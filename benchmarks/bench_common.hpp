@@ -1,0 +1,95 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Every bench binary regenerates one table/figure of the paper's evaluation
+// (Section 4) and prints the same rows/series. Scale: the paper replays
+// 2.6e7-packet CAIDA traces against 2^16-2^17-unit cache arrays; these
+// benches default to ~10x smaller traces and correspondingly smaller arrays
+// so the whole suite finishes in minutes on a laptop. Set P4LRU_SCALE (e.g.
+// 2.0) to grow packet counts and cache sizes proportionally.
+#pragma once
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "p4lru/cache/policy.hpp"
+#include "p4lru/common/table.hpp"
+#include "p4lru/common/types.hpp"
+#include "p4lru/trace/trace_gen.hpp"
+
+namespace p4lru::bench {
+
+/// Global scale knob from the environment (default 1.0).
+inline double scale() {
+    if (const char* s = std::getenv("P4LRU_SCALE")) {
+        const double v = std::atof(s);
+        if (v > 0) return v;
+    }
+    return 1.0;
+}
+
+inline std::size_t scaled(std::size_t base) {
+    return static_cast<std::size_t>(static_cast<double>(base) * scale());
+}
+
+/// Default trace size (paper: 2.6e7; here ~1.2e6 per run at scale 1).
+inline std::size_t default_packets() { return scaled(1'200'000); }
+
+/// Make a CAIDA_n-like trace.
+inline std::vector<PacketRecord> make_trace(std::size_t segments,
+                                            std::uint64_t seed = 1,
+                                            std::size_t packets = 0) {
+    trace::TraceConfig cfg;
+    cfg.seed = seed;
+    cfg.total_packets = packets ? packets : default_packets();
+    cfg.segments = segments;
+    return trace::generate_trace(cfg);
+}
+
+/// The concurrency sweep of the testbed figures (CAIDA_1 .. CAIDA_60).
+inline std::vector<std::size_t> concurrency_sweep() {
+    return {1, 10, 20, 30, 40, 50, 60};
+}
+
+/// Policy factory for the comparative benches. Key/Value/Merge are template
+/// parameters so the same list serves LruTable (FlowKey -> address,
+/// replace) and LruMon (fingerprint -> bytes, accumulate).
+template <typename Key, typename Value, typename Merge = core::ReplaceMerge>
+struct PolicyFactory {
+    using Ptr = std::unique_ptr<cache::ReplacementPolicy<Key, Value>>;
+
+    static Ptr p4lru1(std::size_t entries, std::uint32_t seed) {
+        return std::make_unique<cache::P4lruArrayPolicy<Key, Value, 1, Merge>>(
+            entries, seed);
+    }
+    static Ptr p4lru2(std::size_t entries, std::uint32_t seed) {
+        return std::make_unique<cache::P4lruArrayPolicy<Key, Value, 2, Merge>>(
+            entries, seed);
+    }
+    static Ptr p4lru3(std::size_t entries, std::uint32_t seed) {
+        return std::make_unique<cache::P4lruArrayPolicy<Key, Value, 3, Merge>>(
+            entries, seed);
+    }
+    static Ptr ideal(std::size_t entries) {
+        return std::make_unique<cache::IdealLruPolicy<Key, Value, Merge>>(
+            entries);
+    }
+    static Ptr timeout(std::size_t entries, std::uint32_t seed, TimeNs t) {
+        return std::make_unique<cache::TimeoutPolicy<Key, Value, Merge>>(
+            entries, seed, t);
+    }
+    static Ptr elastic(std::size_t entries, std::uint32_t seed) {
+        return std::make_unique<cache::ElasticPolicy<Key, Value, Merge>>(
+            entries, seed);
+    }
+    static Ptr coco(std::size_t entries, std::uint32_t seed) {
+        return std::make_unique<cache::CocoPolicy<Key, Value, Merge>>(entries,
+                                                                      seed);
+    }
+};
+
+/// Percent formatting helper.
+inline std::string pct(double v) { return ConsoleTable::num(v * 100.0, 2); }
+
+}  // namespace p4lru::bench

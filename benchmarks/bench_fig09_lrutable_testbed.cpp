@@ -1,0 +1,68 @@
+// Figure 9 — LruTable testbed experiment.
+//   (a) fast-path miss rate vs traffic concurrency (CAIDA_1 .. CAIDA_60)
+//   (b) added latency vs concurrency
+// Series: P4LRU3 (the system) and Baseline (hash-table cache = P4LRU1),
+// exactly the comparison of the paper's testbed run.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "p4lru/systems/lrutable/lrutable.hpp"
+
+using namespace p4lru;
+using namespace p4lru::bench;
+using namespace p4lru::systems::lrutable;
+
+namespace {
+
+using Factory = PolicyFactory<VirtualAddress, std::uint32_t>;
+
+LruTableReport run(const std::vector<PacketRecord>& trace,
+                   Factory::Ptr policy) {
+    LruTableConfig cfg;
+    cfg.slow_path_delay = 40 * kMicrosecond;  // control-plane RTT
+    LruTableSystem sys(std::move(policy), cfg);
+    for (const auto& p : trace) sys.process(p);
+    sys.finish();
+    return sys.report();
+}
+
+}  // namespace
+
+int main() {
+    // Cache sized like the paper relative to the trace: the array holds
+    // roughly the peak flow concurrency of the busiest trace.
+    const std::size_t entries = scaled(3 * (1u << 12));
+
+    ConsoleTable a({"trace", "max concurrent flows", "P4LRU3 miss %",
+                    "Baseline miss %", "improvement x"});
+    ConsoleTable b({"trace", "max concurrent flows", "P4LRU3 latency us",
+                    "Baseline latency us", "improvement x"});
+
+    for (const std::size_t n : concurrency_sweep()) {
+        const auto trace = make_trace(n, /*seed=*/40 + n);
+        const auto stats = trace::compute_stats(trace);
+
+        const auto p3 = run(trace, Factory::p4lru3(entries, 0x91));
+        const auto p1 = run(trace, Factory::p4lru1(entries, 0x91));
+
+        a.add_row({"CAIDA" + std::to_string(n),
+                   std::to_string(stats.max_concurrent),
+                   pct(p3.miss_rate), pct(p1.miss_rate),
+                   ConsoleTable::num(p1.miss_rate / p3.miss_rate, 2)});
+        b.add_row({"CAIDA" + std::to_string(n),
+                   std::to_string(stats.max_concurrent),
+                   ConsoleTable::num(p3.avg_added_latency_us, 3),
+                   ConsoleTable::num(p1.avg_added_latency_us, 3),
+                   ConsoleTable::num(
+                       p1.avg_added_latency_us / p3.avg_added_latency_us,
+                       2)});
+    }
+
+    a.print("Figure 9(a): LruTable miss rate vs concurrency");
+    b.print("Figure 9(b): LruTable added latency vs concurrency");
+    std::printf(
+        "\nPaper shape: miss rate rises with concurrency; P4LRU3 roughly\n"
+        "halves the baseline miss rate (paper: 1.4-2.7%% vs 3.0-5.1%%, up\n"
+        "to 2.14x) and cuts added latency up to 1.35x.\n");
+    return 0;
+}

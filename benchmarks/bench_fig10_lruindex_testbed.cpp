@@ -1,0 +1,102 @@
+// Figure 10 — LruIndex testbed experiment (YCSB, Zipf alpha = 0.9).
+//   (a) query throughput vs number of client threads (1e5-item database)
+//   (b) throughput speedup over the Naive (cache-less) solution vs database
+//       size, at 8 threads
+// Series: P4LRU3 (two-pipeline LruIndex = 2 series levels, as the paper's
+// testbed uses) and Baseline (hash-table cache under the same protocol).
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "p4lru/systems/lruindex/db_server.hpp"
+#include "p4lru/systems/lruindex/driver.hpp"
+#include "p4lru/systems/lruindex/index_cache.hpp"
+
+using namespace p4lru;
+using namespace p4lru::bench;
+using namespace p4lru::systems::lruindex;
+
+namespace {
+
+DriverConfig driver_config(std::size_t threads, std::uint64_t items,
+                           std::size_t queries) {
+    DriverConfig cfg;
+    cfg.threads = threads;
+    cfg.queries = queries;
+    cfg.workload.items = items;
+    cfg.workload.zipf_alpha = 0.9;
+    cfg.workload.seed = 77;
+    return cfg;
+}
+
+std::unique_ptr<IndexCache> baseline(std::size_t entries) {
+    return std::make_unique<PolicyIndexCache>(
+        std::make_unique<cache::P4lruArrayPolicy<DbKey, index::RecordAddress,
+                                                 1>>(entries, 0xB0));
+}
+
+}  // namespace
+
+int main() {
+    const std::size_t units = scaled(1u << 13);
+    const std::size_t queries = scaled(120'000);
+
+    // --- (a) throughput vs #threads, fixed database ---------------------
+    {
+        const std::uint64_t items = scaled(100'000);
+        DbServer server(items, ServerCosts{});
+        ConsoleTable t({"threads", "P4LRU3 KTPS", "Baseline KTPS",
+                        "Naive KTPS", "P4LRU3/Baseline"});
+        for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
+            SeriesIndexCache p3(2, units, 0xC1);
+            auto p1 = baseline(2 * units * 3);
+            const auto cfg = driver_config(threads, items, queries / 2);
+            const auto r3 = run_driver(cfg, server, &p3);
+            const auto r1 = run_driver(cfg, server, p1.get());
+            auto naive_cfg = cfg;
+            naive_cfg.use_cache = false;
+            const auto rn = run_driver(naive_cfg, server, nullptr);
+            t.add_row({std::to_string(threads),
+                       ConsoleTable::num(r3.throughput_ktps, 1),
+                       ConsoleTable::num(r1.throughput_ktps, 1),
+                       ConsoleTable::num(rn.throughput_ktps, 1),
+                       ConsoleTable::num(
+                           r3.throughput_ktps / r1.throughput_ktps, 3)});
+        }
+        t.print("Figure 10(a): LruIndex throughput vs #threads");
+    }
+
+    // --- (b) speedup over naive vs #items, 8 threads ---------------------
+    {
+        ConsoleTable t({"items", "P4LRU3 speedup", "Baseline speedup",
+                        "P4LRU3 miss %", "Baseline miss %"});
+        for (const std::uint64_t items :
+             {scaled(50'000), scaled(100'000), scaled(200'000),
+              scaled(400'000)}) {
+            DbServer server(items, ServerCosts{});
+            SeriesIndexCache p3(2, units, 0xC2);
+            auto p1 = baseline(2 * units * 3);
+            const auto cfg = driver_config(8, items, queries / 2);
+            const auto r3 = run_driver(cfg, server, &p3);
+            const auto r1 = run_driver(cfg, server, p1.get());
+            auto naive_cfg = cfg;
+            naive_cfg.use_cache = false;
+            const auto rn = run_driver(naive_cfg, server, nullptr);
+            t.add_row({std::to_string(items),
+                       ConsoleTable::num(
+                           r3.throughput_ktps / rn.throughput_ktps, 3),
+                       ConsoleTable::num(
+                           r1.throughput_ktps / rn.throughput_ktps, 3),
+                       pct(r3.miss_rate), pct(r1.miss_rate)});
+        }
+        t.print("Figure 10(b): LruIndex speedup over Naive vs #items");
+    }
+
+    std::printf(
+        "\nPaper shape: throughput scales near-linearly with threads\n"
+        "(98.5 -> 644.8 KTPS over 1 -> 8); P4LRU3 edges the baseline by a\n"
+        "few percent (up to 1.03x in (a), 1.08x in (b)); both beat Naive by\n"
+        "1.2-1.4x. The gain is muted because YCSB's stochastic keys have\n"
+        "weaker temporal locality than CAIDA traffic (paper Section 4.1).\n");
+    return 0;
+}

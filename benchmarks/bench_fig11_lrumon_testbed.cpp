@@ -1,0 +1,84 @@
+// Figure 11 — LruMon testbed experiment (CM-sketch filter, as the paper's
+// testbed uses; reset period 10 ms).
+//   (a) upload rate (KPPS) vs traffic concurrency, threshold 1500 B
+//   (b) upload rate vs filter threshold, CAIDA_60
+// Series: P4LRU3 and Baseline (hash-table cache).
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "p4lru/systems/lrumon/lrumon.hpp"
+
+using namespace p4lru;
+using namespace p4lru::bench;
+using namespace p4lru::systems::lrumon;
+
+namespace {
+
+using Factory = PolicyFactory<std::uint32_t, FlowLen, core::AddMerge>;
+
+LruMonReport run(const std::vector<PacketRecord>& trace, Factory::Ptr policy,
+                 std::uint32_t threshold) {
+    FilterConfig fcfg;
+    fcfg.reset_period = 10 * kMillisecond;
+    fcfg.cm_width = scaled(1u << 16);
+    LruMonConfig cfg;
+    cfg.threshold = threshold;
+    cfg.track_ground_truth = false;  // testbed figure measures uploads only
+    LruMonSystem sys(make_filter(FilterKind::kCm, fcfg), std::move(policy),
+                     cfg);
+    for (const auto& p : trace) sys.process(p);
+    sys.finish();
+    return sys.report();
+}
+
+}  // namespace
+
+int main() {
+    // Sized so elephant flows contend for the cache (the regime where the
+    // replacement policy matters, as on the paper's testbed).
+    const std::size_t entries = scaled(3 * (1u << 8));
+
+    // --- (a) upload rate vs concurrency ----------------------------------
+    {
+        ConsoleTable t({"trace", "max concurrent flows", "P4LRU3 KPPS",
+                        "Baseline KPPS", "improvement x"});
+        for (const std::size_t n : concurrency_sweep()) {
+            const auto trace = make_trace(n, 70 + n);
+            const auto stats = trace::compute_stats(trace);
+            const auto p3 = run(trace, Factory::p4lru3(entries, 0xD1), 1500);
+            const auto p1 = run(trace, Factory::p4lru1(entries, 0xD1), 1500);
+            t.add_row({"CAIDA" + std::to_string(n),
+                       std::to_string(stats.max_concurrent),
+                       ConsoleTable::num(p3.upload_kpps, 1),
+                       ConsoleTable::num(p1.upload_kpps, 1),
+                       ConsoleTable::num(p1.upload_kpps / p3.upload_kpps,
+                                         2)});
+        }
+        t.print("Figure 11(a): LruMon upload rate vs concurrency");
+    }
+
+    // --- (b) upload rate vs filter threshold -----------------------------
+    {
+        const auto trace = make_trace(60, 71);
+        ConsoleTable t({"threshold B", "P4LRU3 KPPS", "Baseline KPPS",
+                        "improvement x"});
+        for (const std::uint32_t thr : {500u, 1000u, 1500u, 3000u, 6000u}) {
+            const auto p3 = run(trace, Factory::p4lru3(entries, 0xD2), thr);
+            const auto p1 = run(trace, Factory::p4lru1(entries, 0xD2), thr);
+            t.add_row({std::to_string(thr),
+                       ConsoleTable::num(p3.upload_kpps, 1),
+                       ConsoleTable::num(p1.upload_kpps, 1),
+                       ConsoleTable::num(p1.upload_kpps / p3.upload_kpps,
+                                         2)});
+        }
+        t.print("Figure 11(b): LruMon upload rate vs filter threshold");
+    }
+
+    std::printf(
+        "\nPaper shape: upload rate grows with concurrency (35.5 -> 74.0\n"
+        "KPPS for P4LRU3 vs 48.0 -> 93.7 for the baseline, up to 1.35x)\n"
+        "and falls as the threshold rises (92.9 -> 36.0 vs 115.8 -> 47.9,\n"
+        "up to 1.33x).\n");
+    return 0;
+}

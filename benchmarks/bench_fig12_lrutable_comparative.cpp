@@ -1,0 +1,103 @@
+// Figure 12 — LruTable comparative experiment (simulation, CAIDA_60
+// rescaled to one second, Section 4.2.1).
+//   (a) cache miss rate vs cache memory, policies: P4LRU3, Timeout (tuned),
+//       Elastic, Coco (+ LRU_IDEAL reference)
+//   (b) cache miss rate vs slow-path latency dT
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "p4lru/systems/lrutable/lrutable.hpp"
+
+using namespace p4lru;
+using namespace p4lru::bench;
+using namespace p4lru::systems::lrutable;
+
+namespace {
+
+using Factory = PolicyFactory<VirtualAddress, std::uint32_t>;
+
+double miss_rate(const std::vector<PacketRecord>& trace, Factory::Ptr policy,
+                 TimeNs dt) {
+    LruTableConfig cfg;
+    cfg.slow_path_delay = dt;
+    LruTableSystem sys(std::move(policy), cfg);
+    for (const auto& p : trace) sys.process(p);
+    sys.finish();
+    return sys.report().miss_rate;
+}
+
+/// The paper "meticulously adjusted" the timeout threshold; reproduce that
+/// by trying several thresholds and keeping the best.
+double tuned_timeout_miss(const std::vector<PacketRecord>& trace,
+                          std::size_t entries, TimeNs dt) {
+    double best = 1.0;
+    for (const TimeNs t :
+         {10 * kMillisecond, 30 * kMillisecond, 100 * kMillisecond,
+          300 * kMillisecond}) {
+        best = std::min(best,
+                        miss_rate(trace, Factory::timeout(entries, 0xE1, t),
+                                  dt));
+    }
+    return best;
+}
+
+}  // namespace
+
+int main() {
+    const auto trace = make_trace(60, 120);
+    const TimeNs base_dt = 40 * kMicrosecond;
+    const std::size_t base_entries = scaled(3 * (1u << 11));
+
+    // --- (a) miss rate vs memory ------------------------------------------
+    {
+        ConsoleTable t({"entries", "P4LRU3 %", "Timeout %", "Elastic %",
+                        "Coco %", "LRU_IDEAL %", "vs Coco", "vs Elastic",
+                        "vs Timeout"});
+        for (const double mult : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+            const auto entries =
+                static_cast<std::size_t>(base_entries * mult);
+            const double p3 =
+                miss_rate(trace, Factory::p4lru3(entries, 0xE1), base_dt);
+            const double to = tuned_timeout_miss(trace, entries, base_dt);
+            const double el =
+                miss_rate(trace, Factory::elastic(entries, 0xE1), base_dt);
+            const double co =
+                miss_rate(trace, Factory::coco(entries, 0xE1), base_dt);
+            const double id =
+                miss_rate(trace, Factory::ideal(entries), base_dt);
+            t.add_row({std::to_string(entries), pct(p3), pct(to), pct(el),
+                       pct(co), pct(id), pct(1.0 - p3 / co),
+                       pct(1.0 - p3 / el), pct(1.0 - p3 / to)});
+        }
+        t.print(
+            "Figure 12(a): LruTable miss rate vs memory (reduction columns "
+            "= paper's 'up to 26.8/20.8/12.7%')");
+    }
+
+    // --- (b) miss rate vs slow-path latency dT ----------------------------
+    {
+        ConsoleTable t({"dT us", "P4LRU3 %", "Timeout %", "Elastic %",
+                        "Coco %", "LRU_IDEAL %"});
+        for (const TimeNs dt :
+             {10 * kMicrosecond, 40 * kMicrosecond, 160 * kMicrosecond,
+              640 * kMicrosecond, 2560 * kMicrosecond}) {
+            t.add_row(
+                {std::to_string(dt / 1000),
+                 pct(miss_rate(trace, Factory::p4lru3(base_entries, 0xE1),
+                               dt)),
+                 pct(tuned_timeout_miss(trace, base_entries, dt)),
+                 pct(miss_rate(trace, Factory::elastic(base_entries, 0xE1),
+                               dt)),
+                 pct(miss_rate(trace, Factory::coco(base_entries, 0xE1),
+                               dt)),
+                 pct(miss_rate(trace, Factory::ideal(base_entries), dt))});
+        }
+        t.print("Figure 12(b): LruTable miss rate vs slow-path latency");
+    }
+
+    std::printf(
+        "\nPaper shape: Coco ~ Elastic > Timeout > P4LRU3 ~ LRU_IDEAL; the\n"
+        "P4LRU3 reductions peak at 26.8%% (vs Coco), 20.8%% (vs Elastic),\n"
+        "12.7%% (vs Timeout) in (a) and 18.4/17.3/9.3%% in (b).\n");
+    return 0;
+}

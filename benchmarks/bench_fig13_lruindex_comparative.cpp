@@ -1,0 +1,116 @@
+// Figure 13 — LruIndex comparative experiment (Section 4.2.1): the same
+// query/reply protocol driven over each replacement policy.
+//   (a) cache miss rate vs cache memory
+//   (b) cache miss rate vs query latency dT of the database server
+#include <cstdio>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "p4lru/systems/lruindex/db_server.hpp"
+#include "p4lru/systems/lruindex/driver.hpp"
+#include "p4lru/systems/lruindex/index_cache.hpp"
+
+using namespace p4lru;
+using namespace p4lru::bench;
+using namespace p4lru::systems::lruindex;
+
+namespace {
+
+using Factory = PolicyFactory<DbKey, index::RecordAddress>;
+
+double miss_rate(DbServer& server, std::unique_ptr<IndexCache> cache,
+                 std::size_t queries) {
+    DriverConfig cfg;
+    cfg.threads = 8;
+    cfg.queries = queries;
+    cfg.workload.items = server.items();
+    cfg.workload.zipf_alpha = 0.9;
+    cfg.workload.seed = 130;
+    const auto r = run_driver(cfg, server, cache.get());
+    return r.miss_rate;
+}
+
+std::unique_ptr<IndexCache> wrap(Factory::Ptr policy) {
+    return std::make_unique<PolicyIndexCache>(std::move(policy));
+}
+
+double tuned_timeout_miss(DbServer& server, std::size_t entries,
+                          std::size_t queries) {
+    double best = 1.0;
+    for (const TimeNs t :
+         {3 * kMillisecond, 10 * kMillisecond, 30 * kMillisecond,
+          100 * kMillisecond}) {
+        best = std::min(
+            best, miss_rate(server, wrap(Factory::timeout(entries, 0xF1, t)),
+                            queries));
+    }
+    return best;
+}
+
+}  // namespace
+
+int main() {
+    const std::uint64_t items = scaled(200'000);
+    const std::size_t queries = scaled(100'000);
+    const std::size_t base_entries = scaled(3 * (1u << 12));
+
+    // --- (a) miss rate vs memory ------------------------------------------
+    {
+        DbServer server(items, ServerCosts{});
+        ConsoleTable t({"entries", "P4LRU3 %", "Timeout %", "Elastic %",
+                        "Coco %", "LRU_IDEAL %"});
+        for (const double mult : {0.5, 1.0, 2.0, 4.0}) {
+            const auto entries =
+                static_cast<std::size_t>(base_entries * mult);
+            // The paper's LruIndex uses the series connection; 4 levels.
+            auto p3 = std::make_unique<SeriesIndexCache>(
+                4, std::max<std::size_t>(1, entries / 12), 0xF1);
+            t.add_row(
+                {std::to_string(entries),
+                 pct(miss_rate(server, std::move(p3), queries)),
+                 pct(tuned_timeout_miss(server, entries, queries)),
+                 pct(miss_rate(server, wrap(Factory::elastic(entries, 0xF1)),
+                               queries)),
+                 pct(miss_rate(server, wrap(Factory::coco(entries, 0xF1)),
+                               queries)),
+                 pct(miss_rate(server, wrap(Factory::ideal(entries)),
+                               queries))});
+        }
+        t.print("Figure 13(a): LruIndex miss rate vs memory");
+    }
+
+    // --- (b) miss rate vs server query latency dT --------------------------
+    {
+        ConsoleTable t({"dT us (index cost)", "P4LRU3 %", "Timeout %",
+                        "Elastic %", "Coco %", "LRU_IDEAL %"});
+        for (const TimeNs hop : {1'000u, 3'000u, 9'000u, 27'000u}) {
+            ServerCosts costs;
+            costs.per_index_hop = hop;
+            DbServer server(items, costs);
+            const TimeNs approx_dt =
+                hop * 4;  // ~tree height hops per indexed query
+            auto p3 = std::make_unique<SeriesIndexCache>(
+                4, std::max<std::size_t>(1, base_entries / 12), 0xF2);
+            t.add_row(
+                {std::to_string(approx_dt / 1000),
+                 pct(miss_rate(server, std::move(p3), queries)),
+                 pct(tuned_timeout_miss(server, base_entries, queries)),
+                 pct(miss_rate(server,
+                               wrap(Factory::elastic(base_entries, 0xF2)),
+                               queries)),
+                 pct(miss_rate(server,
+                               wrap(Factory::coco(base_entries, 0xF2)),
+                               queries)),
+                 pct(miss_rate(server, wrap(Factory::ideal(base_entries)),
+                               queries))});
+        }
+        t.print("Figure 13(b): LruIndex miss rate vs query latency");
+    }
+
+    std::printf(
+        "\nPaper shape: Coco > Elastic > Timeout > P4LRU3; P4LRU3 cuts the\n"
+        "miss rate by up to 33.3/23.6/10.4%% in (a) and 23.7/19.0/9.8%% in\n"
+        "(b). Gains are smaller than LruTable's because YCSB keys have\n"
+        "weaker temporal locality.\n");
+    return 0;
+}

@@ -1,0 +1,94 @@
+// Figure 14 — LruMon comparative experiment (Section 4.2.1): elephant-packet
+// cache miss rate under each replacement policy (write-cache semantics:
+// hits accumulate byte counts).
+//   (a) miss rate vs cache memory
+//   (b) miss rate vs filter threshold
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "p4lru/systems/lrumon/lrumon.hpp"
+
+using namespace p4lru;
+using namespace p4lru::bench;
+using namespace p4lru::systems::lrumon;
+
+namespace {
+
+using Factory = PolicyFactory<std::uint32_t, FlowLen, core::AddMerge>;
+
+double miss_rate(const std::vector<PacketRecord>& trace, Factory::Ptr policy,
+                 std::uint32_t threshold) {
+    FilterConfig fcfg;
+    fcfg.reset_period = 10 * kMillisecond;
+    LruMonConfig cfg;
+    cfg.threshold = threshold;
+    cfg.track_ground_truth = false;
+    LruMonSystem sys(make_filter(FilterKind::kTower, fcfg), std::move(policy),
+                     cfg);
+    for (const auto& p : trace) sys.process(p);
+    sys.finish();
+    return sys.report().cache_miss_rate;
+}
+
+double tuned_timeout_miss(const std::vector<PacketRecord>& trace,
+                          std::size_t entries, std::uint32_t threshold) {
+    double best = 1.0;
+    for (const TimeNs t :
+         {3 * kMillisecond, 10 * kMillisecond, 30 * kMillisecond,
+          100 * kMillisecond}) {
+        best = std::min(
+            best,
+            miss_rate(trace, Factory::timeout(entries, 0xA7, t), threshold));
+    }
+    return best;
+}
+
+}  // namespace
+
+int main() {
+    const auto trace = make_trace(60, 140);
+    const std::size_t base_entries = scaled(3 * (1u << 8));
+
+    // --- (a) miss rate vs memory ------------------------------------------
+    {
+        ConsoleTable t({"entries", "P4LRU3 %", "Timeout %", "Elastic %",
+                        "Coco %", "LRU_IDEAL %"});
+        for (const double mult : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+            const auto entries =
+                static_cast<std::size_t>(base_entries * mult);
+            t.add_row(
+                {std::to_string(entries),
+                 pct(miss_rate(trace, Factory::p4lru3(entries, 0xA7), 1500)),
+                 pct(tuned_timeout_miss(trace, entries, 1500)),
+                 pct(miss_rate(trace, Factory::elastic(entries, 0xA7),
+                               1500)),
+                 pct(miss_rate(trace, Factory::coco(entries, 0xA7), 1500)),
+                 pct(miss_rate(trace, Factory::ideal(entries), 1500))});
+        }
+        t.print("Figure 14(a): LruMon cache miss rate vs memory");
+    }
+
+    // --- (b) miss rate vs filter threshold --------------------------------
+    {
+        ConsoleTable t({"threshold B", "P4LRU3 %", "Timeout %", "Elastic %",
+                        "Coco %", "LRU_IDEAL %"});
+        for (const std::uint32_t thr : {500u, 1000u, 1500u, 3000u, 6000u}) {
+            t.add_row(
+                {std::to_string(thr),
+                 pct(miss_rate(trace, Factory::p4lru3(base_entries, 0xA7),
+                               thr)),
+                 pct(tuned_timeout_miss(trace, base_entries, thr)),
+                 pct(miss_rate(trace, Factory::elastic(base_entries, 0xA7),
+                               thr)),
+                 pct(miss_rate(trace, Factory::coco(base_entries, 0xA7),
+                               thr)),
+                 pct(miss_rate(trace, Factory::ideal(base_entries), thr))});
+        }
+        t.print("Figure 14(b): LruMon cache miss rate vs filter threshold");
+    }
+
+    std::printf(
+        "\nPaper shape: Coco ~ Elastic > Timeout > P4LRU3; reductions up to\n"
+        "35.2/31.7/8.0%% in (a) and 36.0/31.2/8.1%% in (b).\n");
+    return 0;
+}

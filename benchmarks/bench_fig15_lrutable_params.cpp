@@ -1,0 +1,113 @@
+// Figure 15 — LruTable parameter experiment (Section 4.2.2): how close the
+// deployable P4LRU variants come to the ideal LRU.
+//   (a) miss rate vs memory        (b) LRU similarity vs memory
+//   (c) miss rate vs dT            (d) LRU similarity vs dT
+// Series: LRU_IDEAL, P4LRU1 (hash), P4LRU2, P4LRU3.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "p4lru/systems/lrutable/lrutable.hpp"
+
+using namespace p4lru;
+using namespace p4lru::bench;
+using namespace p4lru::systems::lrutable;
+
+namespace {
+
+using Factory = PolicyFactory<VirtualAddress, std::uint32_t>;
+
+Factory::Ptr p4lru4(std::size_t entries, std::uint32_t seed) {
+    return std::make_unique<cache::P4lru4ArrayPolicy<VirtualAddress,
+                                                     std::uint32_t>>(
+        entries, seed, "P4LRU4");
+}
+
+struct Outcome {
+    double miss = 0;
+    double similarity = 0;
+};
+
+Outcome run(const std::vector<PacketRecord>& trace, Factory::Ptr policy,
+            TimeNs dt) {
+    LruTableConfig cfg;
+    cfg.slow_path_delay = dt;
+    cfg.track_similarity = true;
+    cfg.similarity_max_accesses = 3 * trace.size() + 16;
+    LruTableSystem sys(std::move(policy), cfg);
+    for (const auto& p : trace) sys.process(p);
+    sys.finish();
+    const auto r = sys.report();
+    return {r.miss_rate, r.similarity};
+}
+
+}  // namespace
+
+int main() {
+    const auto trace = make_trace(60, 150);
+    const TimeNs base_dt = 40 * kMicrosecond;
+    const std::size_t base_entries = scaled(3 * (1u << 11));
+
+    // --- (a)+(b): sweep memory -------------------------------------------
+    {
+        ConsoleTable a({"entries", "LRU_IDEAL %", "P4LRU1 %", "P4LRU2 %",
+                        "P4LRU3 %", "P4LRU4 %"});
+        ConsoleTable b({"entries", "LRU_IDEAL sim", "P4LRU1 sim",
+                        "P4LRU2 sim", "P4LRU3 sim", "P4LRU4 sim"});
+        for (const double mult : {0.25, 0.5, 1.0, 2.0, 4.0}) {
+            const auto entries =
+                static_cast<std::size_t>(base_entries * mult);
+            const auto id = run(trace, Factory::ideal(entries), base_dt);
+            const auto p1 = run(trace, Factory::p4lru1(entries, 0xB5), base_dt);
+            const auto p2 = run(trace, Factory::p4lru2(entries, 0xB5), base_dt);
+            const auto p3 = run(trace, Factory::p4lru3(entries, 0xB5), base_dt);
+            const auto p4 = run(trace, p4lru4(entries, 0xB5), base_dt);
+            a.add_row({std::to_string(entries), pct(id.miss), pct(p1.miss),
+                       pct(p2.miss), pct(p3.miss), pct(p4.miss)});
+            b.add_row({std::to_string(entries),
+                       ConsoleTable::num(id.similarity, 4),
+                       ConsoleTable::num(p1.similarity, 4),
+                       ConsoleTable::num(p2.similarity, 4),
+                       ConsoleTable::num(p3.similarity, 4),
+                       ConsoleTable::num(p4.similarity, 4)});
+        }
+        a.print(
+            "Figure 15(a): LruTable miss rate vs memory (+P4LRU4 extension, "
+            "Section 2.3.3)");
+        b.print("Figure 15(b): LruTable LRU similarity vs memory");
+    }
+
+    // --- (c)+(d): sweep slow-path latency ---------------------------------
+    {
+        ConsoleTable c({"dT us", "LRU_IDEAL %", "P4LRU1 %", "P4LRU2 %",
+                        "P4LRU3 %"});
+        ConsoleTable d({"dT us", "LRU_IDEAL sim", "P4LRU1 sim", "P4LRU2 sim",
+                        "P4LRU3 sim"});
+        for (const TimeNs dt :
+             {10 * kMicrosecond, 40 * kMicrosecond, 160 * kMicrosecond,
+              640 * kMicrosecond, 2560 * kMicrosecond}) {
+            const auto id = run(trace, Factory::ideal(base_entries), dt);
+            const auto p1 = run(trace, Factory::p4lru1(base_entries, 0xB5),
+                                dt);
+            const auto p2 = run(trace, Factory::p4lru2(base_entries, 0xB5),
+                                dt);
+            const auto p3 = run(trace, Factory::p4lru3(base_entries, 0xB5),
+                                dt);
+            c.add_row({std::to_string(dt / 1000), pct(id.miss),
+                       pct(p1.miss), pct(p2.miss), pct(p3.miss)});
+            d.add_row({std::to_string(dt / 1000),
+                       ConsoleTable::num(id.similarity, 4),
+                       ConsoleTable::num(p1.similarity, 4),
+                       ConsoleTable::num(p2.similarity, 4),
+                       ConsoleTable::num(p3.similarity, 4)});
+        }
+        c.print("Figure 15(c): LruTable miss rate vs slow-path latency");
+        d.print("Figure 15(d): LruTable LRU similarity vs slow-path latency");
+    }
+
+    std::printf(
+        "\nPaper shape: P4LRU3 tracks LRU_IDEAL's miss rate closely at\n"
+        "every memory size and latency; P4LRU3 similarity is the highest\n"
+        "of the deployable variants and nearly memory-invariant; P4LRU1 <\n"
+        "P4LRU2 < P4LRU3 everywhere.\n");
+    return 0;
+}

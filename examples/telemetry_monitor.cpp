@@ -1,0 +1,80 @@
+// telemetry_monitor — the LruMon scenario end to end (paper Section 3.3).
+//
+// A telemetry switch measures per-flow byte counts with zero
+// overestimation: a windowed TowerSketch filters mouse flows, elephants are
+// aggregated in a fingerprint-keyed P4LRU3 write-cache, and every cache miss
+// uploads the evicted entry to a remote analyzer. A better cache means fewer
+// uploads at identical accuracy.
+//
+//   ./build/examples/example_telemetry_monitor [packets] [threshold_bytes]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "p4lru/systems/lrumon/lrumon.hpp"
+#include "p4lru/trace/trace_gen.hpp"
+
+using namespace p4lru;
+using namespace p4lru::systems::lrumon;
+
+namespace {
+
+LruMonReport monitor(const std::vector<PacketRecord>& trace,
+                     std::uint32_t threshold, bool use_p4lru3) {
+    FilterConfig fcfg;
+    fcfg.reset_period = 10 * kMillisecond;
+    LruMonConfig cfg;
+    cfg.threshold = threshold;
+
+    std::unique_ptr<cache::ReplacementPolicy<std::uint32_t, FlowLen>> policy;
+    if (use_p4lru3) {
+        policy = std::make_unique<cache::P4lruArrayPolicy<
+            std::uint32_t, FlowLen, 3, core::AddMerge>>(768, 0x3E);
+    } else {
+        policy = std::make_unique<cache::P4lruArrayPolicy<
+            std::uint32_t, FlowLen, 1, core::AddMerge>>(768, 0x3E);
+    }
+    LruMonSystem mon(make_filter(FilterKind::kTower, fcfg), std::move(policy),
+                     cfg);
+    for (const auto& pkt : trace) mon.process(pkt);
+    mon.finish();
+    return mon.report();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const std::size_t packets =
+        argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 800'000;
+    const std::uint32_t threshold =
+        argc > 2 ? static_cast<std::uint32_t>(std::strtoul(argv[2], nullptr,
+                                                           10))
+                 : 1500;
+
+    trace::TraceConfig tc;
+    tc.total_packets = packets;
+    tc.segments = 60;
+    const auto trace = trace::generate_trace(tc);
+    std::printf("trace: %zu packets\n\n", trace.size());
+
+    for (const bool p4lru3 : {true, false}) {
+        const auto r = monitor(trace, threshold, p4lru3);
+        std::printf("%s:\n", p4lru3 ? "P4LRU3 cache" : "hash baseline");
+        std::printf("  filtered (mouse) packets : %lu\n", r.filtered_packets);
+        std::printf("  elephant packets         : %lu (miss rate %.2f%%)\n",
+                    r.elephant_packets, 100.0 * r.cache_miss_rate);
+        std::printf("  uploads to the analyzer  : %lu (%.1f KPPS)\n",
+                    r.uploads, r.upload_kpps);
+        std::printf("  measured bytes           : %lu of %lu (error %.2f%%)\n",
+                    r.measured_bytes, r.total_bytes,
+                    100.0 * r.total_error_rate);
+        std::printf("  max per-flow error       : %lu B"
+                    "   overestimated flows: %lu\n\n",
+                    r.max_flow_error, r.overestimated_flows);
+    }
+    std::printf(
+        "Identical accuracy, fewer uploads: the replacement policy only\n"
+        "changes how often entries bounce to the analyzer, never the\n"
+        "no-overestimation guarantee.\n");
+    return 0;
+}

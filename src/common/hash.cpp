@@ -1,0 +1,193 @@
+#include "p4lru/common/hash.hpp"
+
+#include <array>
+#include <cstring>
+#include <sstream>
+
+namespace p4lru::hash {
+namespace {
+
+/// Build the reflected CRC32 table at static-init time.
+constexpr std::array<std::uint32_t, 256> make_crc_table() {
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int bit = 0; bit < 8; ++bit) {
+            c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+constexpr auto kCrcTable = make_crc_table();
+
+constexpr std::uint64_t kXxPrime1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kXxPrime2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kXxPrime3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t kXxPrime4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t kXxPrime5 = 0x27D4EB2F165667C5ULL;
+
+constexpr std::uint64_t rotl64(std::uint64_t x, int r) noexcept {
+    return (x << r) | (x >> (64 - r));
+}
+
+constexpr std::uint32_t rotl32(std::uint32_t x, int r) noexcept {
+    return (x << r) | (x >> (32 - r));
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) noexcept {
+    std::uint64_t v;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+std::uint32_t read_u32(const std::uint8_t* p) noexcept {
+    std::uint32_t v;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+std::uint64_t xx_round(std::uint64_t acc, std::uint64_t input) noexcept {
+    acc += input * kXxPrime2;
+    acc = rotl64(acc, 31);
+    return acc * kXxPrime1;
+}
+
+std::uint64_t xx_merge(std::uint64_t acc, std::uint64_t val) noexcept {
+    acc ^= xx_round(0, val);
+    return acc * kXxPrime1 + kXxPrime4;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data,
+                    std::uint32_t seed) noexcept {
+    std::uint32_t crc = ~seed;
+    for (const std::uint8_t byte : data) {
+        crc = kCrcTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+    }
+    return ~crc;
+}
+
+std::uint32_t murmur3_32(std::span<const std::uint8_t> data,
+                         std::uint32_t seed) noexcept {
+    const std::size_t n = data.size();
+    const std::size_t nblocks = n / 4;
+    std::uint32_t h = seed;
+    constexpr std::uint32_t c1 = 0xcc9e2d51u;
+    constexpr std::uint32_t c2 = 0x1b873593u;
+
+    for (std::size_t i = 0; i < nblocks; ++i) {
+        std::uint32_t k = read_u32(data.data() + i * 4);
+        k *= c1;
+        k = rotl32(k, 15);
+        k *= c2;
+        h ^= k;
+        h = rotl32(h, 13);
+        h = h * 5 + 0xe6546b64u;
+    }
+
+    std::uint32_t k = 0;
+    const std::uint8_t* tail = data.data() + nblocks * 4;
+    switch (n & 3u) {
+        case 3: k ^= std::uint32_t{tail[2]} << 16; [[fallthrough]];
+        case 2: k ^= std::uint32_t{tail[1]} << 8; [[fallthrough]];
+        case 1:
+            k ^= tail[0];
+            k *= c1;
+            k = rotl32(k, 15);
+            k *= c2;
+            h ^= k;
+    }
+
+    h ^= static_cast<std::uint32_t>(n);
+    h ^= h >> 16;
+    h *= 0x85ebca6bu;
+    h ^= h >> 13;
+    h *= 0xc2b2ae35u;
+    h ^= h >> 16;
+    return h;
+}
+
+std::uint64_t xxhash64(std::span<const std::uint8_t> data,
+                       std::uint64_t seed) noexcept {
+    const std::uint8_t* p = data.data();
+    const std::uint8_t* const end = p + data.size();
+    std::uint64_t h;
+
+    if (data.size() >= 32) {
+        std::uint64_t v1 = seed + kXxPrime1 + kXxPrime2;
+        std::uint64_t v2 = seed + kXxPrime2;
+        std::uint64_t v3 = seed;
+        std::uint64_t v4 = seed - kXxPrime1;
+        do {
+            v1 = xx_round(v1, read_u64(p));
+            v2 = xx_round(v2, read_u64(p + 8));
+            v3 = xx_round(v3, read_u64(p + 16));
+            v4 = xx_round(v4, read_u64(p + 24));
+            p += 32;
+        } while (p + 32 <= end);
+        h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+        h = xx_merge(h, v1);
+        h = xx_merge(h, v2);
+        h = xx_merge(h, v3);
+        h = xx_merge(h, v4);
+    } else {
+        h = seed + kXxPrime5;
+    }
+
+    h += data.size();
+
+    while (p + 8 <= end) {
+        h ^= xx_round(0, read_u64(p));
+        h = rotl64(h, 27) * kXxPrime1 + kXxPrime4;
+        p += 8;
+    }
+    if (p + 4 <= end) {
+        h ^= std::uint64_t{read_u32(p)} * kXxPrime1;
+        h = rotl64(h, 23) * kXxPrime2 + kXxPrime3;
+        p += 4;
+    }
+    while (p < end) {
+        h ^= std::uint64_t{*p} * kXxPrime5;
+        h = rotl64(h, 11) * kXxPrime1;
+        ++p;
+    }
+
+    h ^= h >> 33;
+    h *= kXxPrime2;
+    h ^= h >> 29;
+    h *= kXxPrime3;
+    h ^= h >> 32;
+    return h;
+}
+
+std::uint32_t fingerprint32(const FlowKey& k) noexcept {
+    const auto b = k.bytes();
+    // Distinct seed from any bucket hash; Murmur3 for independence from CRC32.
+    std::uint32_t fp =
+        murmur3_32(std::span<const std::uint8_t>(b.data(), b.size()),
+                   0xF1A9B375u);
+    // Reserve 0 as the "empty slot" sentinel used by cache units.
+    return fp == 0 ? 1u : fp;
+}
+
+}  // namespace p4lru::hash
+
+namespace p4lru {
+
+std::string FlowKey::to_string() const {
+    const auto ip = [](std::uint32_t v) {
+        std::ostringstream os;
+        os << ((v >> 24) & 0xFF) << '.' << ((v >> 16) & 0xFF) << '.'
+           << ((v >> 8) & 0xFF) << '.' << (v & 0xFF);
+        return os.str();
+    };
+    std::ostringstream os;
+    os << ip(src_ip) << ':' << src_port << " -> " << ip(dst_ip) << ':'
+       << dst_port << " proto=" << int{proto};
+    return os.str();
+}
+
+}  // namespace p4lru

@@ -1,0 +1,63 @@
+#include "p4lru/common/table.hpp"
+
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace p4lru {
+
+ConsoleTable::ConsoleTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+    if (header_.empty()) {
+        throw std::invalid_argument("ConsoleTable: empty header");
+    }
+}
+
+void ConsoleTable::add_row(std::vector<std::string> cells) {
+    if (cells.size() != header_.size()) {
+        throw std::invalid_argument("ConsoleTable: row width mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+std::string ConsoleTable::num(double v, int precision) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+std::string ConsoleTable::render() const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        widths[c] = header_[c].size();
+    }
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    std::ostringstream os;
+    const auto emit_row = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << "| " << std::left << std::setw(static_cast<int>(widths[c]))
+               << row[c] << ' ';
+        }
+        os << "|\n";
+    };
+    emit_row(header_);
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        os << '|' << std::string(widths[c] + 2, '-');
+    }
+    os << "|\n";
+    for (const auto& row : rows_) emit_row(row);
+    return os.str();
+}
+
+void ConsoleTable::print(const std::string& caption) const {
+    std::printf("\n== %s ==\n%s", caption.c_str(), render().c_str());
+    std::fflush(stdout);
+}
+
+}  // namespace p4lru

@@ -1,0 +1,77 @@
+#include "p4lru/common/zipf.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "p4lru/common/hash.hpp"
+
+namespace p4lru::rng {
+
+double Xoshiro256::exponential(double mean) noexcept {
+    // Inverse CDF; uniform() < 1 so the log argument is > 0.
+    return -mean * std::log1p(-uniform());
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double alpha)
+    : n_(n), alpha_(alpha) {
+    if (n == 0) throw std::invalid_argument("ZipfSampler: n must be >= 1");
+    if (alpha < 0) throw std::invalid_argument("ZipfSampler: alpha < 0");
+    h_integral_x1_ = h_integral(1.5) - 1.0;
+    h_integral_num_elements_ = h_integral(static_cast<double>(n) + 0.5);
+    s_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfSampler::h(double x) const {
+    return std::exp(-alpha_ * std::log(x));
+}
+
+double ZipfSampler::h_integral(double x) const {
+    const double log_x = std::log(x);
+    // integral of x^-alpha: handles alpha == 1 via the expm1 formulation.
+    const double t = log_x * (1.0 - alpha_);
+    if (std::abs(t) < 1e-8) {
+        // Series expansion to stay accurate near alpha = 1.
+        return log_x * (1.0 + t / 2.0 + t * t / 6.0);
+    }
+    return std::expm1(t) / (1.0 - alpha_);
+}
+
+double ZipfSampler::h_integral_inverse(double x) const {
+    double t = x * (1.0 - alpha_);
+    if (t < -1.0) t = -1.0;  // numerical clamp
+    if (std::abs(t) < 1e-8) {
+        return std::exp(x * (1.0 - t / 2.0 + t * t / 3.0));
+    }
+    return std::exp(std::log1p(t) / (1.0 - alpha_));
+}
+
+std::uint64_t ZipfSampler::sample(Xoshiro256& rng) const {
+    if (n_ == 1) return 1;
+    while (true) {
+        const double u = h_integral_num_elements_ +
+                         rng.uniform() * (h_integral_x1_ -
+                                          h_integral_num_elements_);
+        const double x = h_integral_inverse(u);
+        std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+        if (k < 1) {
+            k = 1;
+        } else if (k > n_) {
+            k = n_;
+        }
+        const double kd = static_cast<double>(k);
+        if (kd - x <= s_ ||
+            u >= h_integral(kd + 0.5) - h(kd)) {
+            return k;
+        }
+    }
+}
+
+ScrambledZipf::ScrambledZipf(std::uint64_t n, double alpha, std::uint64_t seed)
+    : zipf_(n, alpha), n_(n), salt_(hash::mix64(seed ^ 0xA5C3E1F7ULL)) {}
+
+std::uint64_t ScrambledZipf::sample(Xoshiro256& rng) const {
+    const std::uint64_t rank = zipf_.sample(rng) - 1;
+    return hash::mix64(rank ^ salt_) % n_;
+}
+
+}  // namespace p4lru::rng

@@ -1,0 +1,234 @@
+#include "p4lru/core/group.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+#include <set>
+#include <stdexcept>
+
+namespace p4lru::core::group {
+
+Cyclic::Cyclic(std::uint32_t n) : n_(n) {
+    if (n == 0) throw std::invalid_argument("Cyclic: order 0");
+}
+
+std::uint32_t Cyclic::mul(std::uint32_t a, std::uint32_t b) const {
+    if (a >= n_ || b >= n_) throw std::out_of_range("Cyclic: element");
+    return (a + b) % n_;
+}
+
+std::uint32_t Cyclic::inverse(std::uint32_t a) const {
+    if (a >= n_) throw std::out_of_range("Cyclic: element");
+    return a == 0 ? 0 : n_ - a;
+}
+
+CayleyGroup::CayleyGroup(std::vector<std::vector<std::uint32_t>> table)
+    : table_(std::move(table)) {
+    const std::size_t n = table_.size();
+    if (n == 0) throw std::invalid_argument("CayleyGroup: empty");
+    for (const auto& row : table_) {
+        if (row.size() != n) {
+            throw std::invalid_argument("CayleyGroup: non-square table");
+        }
+        for (const auto v : row) {
+            if (v >= n) throw std::invalid_argument("CayleyGroup: bad entry");
+        }
+    }
+    // Locate the identity: the element e with e*x == x and x*e == x for all x.
+    bool found = false;
+    for (std::uint32_t e = 0; e < n; ++e) {
+        bool ok = true;
+        for (std::uint32_t x = 0; x < n && ok; ++x) {
+            ok = table_[e][x] == x && table_[x][e] == x;
+        }
+        if (ok) {
+            identity_ = e;
+            found = true;
+            break;
+        }
+    }
+    if (!found) throw std::invalid_argument("CayleyGroup: no identity");
+}
+
+std::uint32_t CayleyGroup::mul(std::uint32_t a, std::uint32_t b) const {
+    if (a >= order() || b >= order()) {
+        throw std::out_of_range("CayleyGroup: element");
+    }
+    return table_[a][b];
+}
+
+std::uint32_t CayleyGroup::inverse(std::uint32_t a) const {
+    for (std::uint32_t b = 0; b < order(); ++b) {
+        if (mul(a, b) == identity_) return b;
+    }
+    throw std::logic_error("CayleyGroup: no inverse (not a group)");
+}
+
+bool CayleyGroup::valid() const {
+    const auto n = static_cast<std::uint32_t>(order());
+    // Latin square (cancellation) check.
+    for (std::uint32_t a = 0; a < n; ++a) {
+        std::set<std::uint32_t> row(table_[a].begin(), table_[a].end());
+        if (row.size() != n) return false;
+        std::set<std::uint32_t> col;
+        for (std::uint32_t b = 0; b < n; ++b) col.insert(table_[b][a]);
+        if (col.size() != n) return false;
+    }
+    // Associativity (cubic; orders here are <= 24).
+    for (std::uint32_t a = 0; a < n; ++a) {
+        for (std::uint32_t b = 0; b < n; ++b) {
+            for (std::uint32_t c = 0; c < n; ++c) {
+                if (mul(mul(a, b), c) != mul(a, mul(b, c))) return false;
+            }
+        }
+    }
+    return true;
+}
+
+CayleyGroup CayleyGroup::symmetric(std::size_t n) {
+    const std::uint64_t order = factorial(n);
+    std::vector<Permutation> elems;
+    elems.reserve(order);
+    for (std::uint64_t r = 0; r < order; ++r) {
+        elems.push_back(Permutation::from_lehmer_rank(n, r));
+    }
+    std::vector<std::vector<std::uint32_t>> table(
+        order, std::vector<std::uint32_t>(order));
+    for (std::uint64_t a = 0; a < order; ++a) {
+        for (std::uint64_t b = 0; b < order; ++b) {
+            table[a][b] = static_cast<std::uint32_t>(
+                elems[a].compose(elems[b]).lehmer_rank());
+        }
+    }
+    return CayleyGroup(std::move(table));
+}
+
+CayleyGroup CayleyGroup::direct_product(const CayleyGroup& h,
+                                        const CayleyGroup& k) {
+    const std::size_t n = h.order() * k.order();
+    std::vector<std::vector<std::uint32_t>> table(
+        n, std::vector<std::uint32_t>(n));
+    const auto kk = static_cast<std::uint32_t>(k.order());
+    for (std::uint32_t a = 0; a < n; ++a) {
+        for (std::uint32_t b = 0; b < n; ++b) {
+            const std::uint32_t hm = h.mul(a / kk, b / kk);
+            const std::uint32_t km = k.mul(a % kk, b % kk);
+            table[a][b] = hm * kk + km;
+        }
+    }
+    return CayleyGroup(std::move(table));
+}
+
+CayleyGroup CayleyGroup::klein_four() {
+    // C2 x C2 written out: elements {e, a, b, ab}.
+    return CayleyGroup({{0, 1, 2, 3},
+                        {1, 0, 3, 2},
+                        {2, 3, 0, 1},
+                        {3, 2, 1, 0}});
+}
+
+bool is_normal_subgroup(const CayleyGroup& g,
+                        const std::vector<std::uint32_t>& normal) {
+    const std::set<std::uint32_t> h(normal.begin(), normal.end());
+    if (!h.contains(g.identity())) return false;
+    for (const auto a : h) {
+        for (const auto b : h) {
+            if (!h.contains(g.mul(a, b))) return false;  // closure
+        }
+        if (!h.contains(g.inverse(a))) return false;
+    }
+    // g h g^-1 subset of h for every g.
+    for (std::uint32_t x = 0; x < g.order(); ++x) {
+        const std::uint32_t xi = g.inverse(x);
+        for (const auto a : h) {
+            if (!h.contains(g.mul(g.mul(x, a), xi))) return false;
+        }
+    }
+    return true;
+}
+
+CayleyGroup quotient(const CayleyGroup& g,
+                     const std::vector<std::uint32_t>& h) {
+    if (!is_normal_subgroup(g, h)) {
+        throw std::invalid_argument("quotient: subgroup not normal");
+    }
+    // Build left cosets xH and index them.
+    std::map<std::set<std::uint32_t>, std::uint32_t> coset_index;
+    std::vector<std::set<std::uint32_t>> cosets;
+    std::vector<std::uint32_t> element_coset(g.order());
+    for (std::uint32_t x = 0; x < g.order(); ++x) {
+        std::set<std::uint32_t> coset;
+        for (const auto a : h) coset.insert(g.mul(x, a));
+        auto [it, inserted] =
+            coset_index.try_emplace(coset,
+                                    static_cast<std::uint32_t>(cosets.size()));
+        if (inserted) cosets.push_back(coset);
+        element_coset[x] = it->second;
+    }
+    const std::size_t q = cosets.size();
+    std::vector<std::vector<std::uint32_t>> table(
+        q, std::vector<std::uint32_t>(q));
+    for (std::uint32_t a = 0; a < q; ++a) {
+        for (std::uint32_t b = 0; b < q; ++b) {
+            const std::uint32_t ra = *cosets[a].begin();
+            const std::uint32_t rb = *cosets[b].begin();
+            table[a][b] = element_coset[g.mul(ra, rb)];
+        }
+    }
+    return CayleyGroup(std::move(table));
+}
+
+namespace {
+
+bool try_isomorphism(const CayleyGroup& a, const CayleyGroup& b,
+                     std::vector<std::uint32_t>& phi,
+                     std::vector<bool>& used, std::uint32_t next) {
+    const auto n = static_cast<std::uint32_t>(a.order());
+    if (next == n) return true;
+    for (std::uint32_t img = 0; img < n; ++img) {
+        if (used[img]) continue;
+        phi[next] = img;
+        used[img] = true;
+        bool ok = true;
+        // Check all products among already-mapped elements.
+        for (std::uint32_t x = 0; x <= next && ok; ++x) {
+            const std::uint32_t xy = a.mul(x, next);
+            const std::uint32_t yx = a.mul(next, x);
+            if (xy <= next && b.mul(phi[x], phi[next]) != phi[xy]) ok = false;
+            if (ok && yx <= next && b.mul(phi[next], phi[x]) != phi[yx]) {
+                ok = false;
+            }
+        }
+        if (ok && try_isomorphism(a, b, phi, used, next + 1)) return true;
+        used[img] = false;
+    }
+    return false;
+}
+
+}  // namespace
+
+bool isomorphic(const CayleyGroup& a, const CayleyGroup& b) {
+    if (a.order() != b.order()) return false;
+    // Quick invariant: multiset of element orders must match.
+    const auto orders = [](const CayleyGroup& g) {
+        std::vector<std::uint32_t> out;
+        for (std::uint32_t x = 0; x < g.order(); ++x) {
+            std::uint32_t acc = x;
+            std::uint32_t ord = 1;
+            while (acc != g.identity()) {
+                acc = g.mul(acc, x);
+                ++ord;
+            }
+            out.push_back(ord);
+        }
+        std::sort(out.begin(), out.end());
+        return out;
+    };
+    if (orders(a) != orders(b)) return false;
+
+    std::vector<std::uint32_t> phi(a.order());
+    std::vector<bool> used(a.order(), false);
+    return try_isomorphism(a, b, phi, used, 0);
+}
+
+}  // namespace p4lru::core::group

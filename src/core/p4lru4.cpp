@@ -1,0 +1,135 @@
+#include "p4lru/core/p4lru4.hpp"
+
+#include <stdexcept>
+
+#include "p4lru/core/lru_state.hpp"
+#include "p4lru/core/state_codec.hpp"
+
+namespace p4lru::core::codec4 {
+namespace {
+
+/// The four V4 elements in code order: e, (12)(34), (13)(24), (14)(23).
+/// With this ordering the group product is XOR on the codes (tested).
+Permutation v4_element(std::uint8_t code) {
+    switch (code) {
+        case 0: return Permutation({1, 2, 3, 4});
+        case 1: return Permutation({2, 1, 4, 3});
+        case 2: return Permutation({3, 4, 1, 2});
+        case 3: return Permutation({4, 3, 2, 1});
+        default: throw std::out_of_range("v4_element: code > 3");
+    }
+}
+
+std::uint8_t encode_v4(const Permutation& p) {
+    for (std::uint8_t c = 0; c < 4; ++c) {
+        if (v4_element(c) == p) return c;
+    }
+    throw std::invalid_argument("encode_v4: not a V4 element");
+}
+
+/// Extend a Table-1 S3 code to the S4 subgroup fixing position 4.
+Permutation sigma_element(std::uint8_t code) {
+    const Permutation s3 = codec::decode_lru3(code);
+    return Permutation({s3(1), s3(2), s3(3), 4});
+}
+
+std::uint8_t encode_sigma(const Permutation& p) {
+    if (p(4) != 4) throw std::invalid_argument("encode_sigma: moves 4");
+    return codec::encode_lru3(Permutation({p(1), p(2), p(3)}));
+}
+
+Lru4Tables build_tables() {
+    Lru4Tables t;
+    for (std::uint8_t op = 0; op < 4; ++op) {
+        const Permutation r_inv =
+            Permutation::rotation(4, op + 1u).inverse();
+        const auto [sig_r, v_r] = decompose_state(r_inv);
+        const Permutation sigma_r = sigma_element(sig_r);
+        const Permutation vr = v4_element(v_r);
+        for (std::uint8_t s = 0; s < 6; ++s) {
+            const Permutation sigma_s = sigma_element(s);
+            // sigma' = sigma_r x sigma_s (left multiplication).
+            t.sigma_next[op][s] = encode_sigma(sigma_r.compose(sigma_s));
+            // w = sigma_s^-1 x v_r x sigma_s (conjugation keeps V4).
+            const Permutation w =
+                sigma_s.inverse().compose(vr).compose(sigma_s);
+            t.w[op][s] = encode_v4(w);
+        }
+    }
+    for (std::uint8_t s = 0; s < 6; ++s) {
+        for (std::uint8_t v = 0; v < 4; ++v) {
+            const Permutation state = compose_state(s, v);
+            t.slot1[s * 4u + v] = static_cast<std::uint8_t>(state(1));
+            t.slot4[s * 4u + v] = static_cast<std::uint8_t>(state(4));
+        }
+    }
+    return t;
+}
+
+}  // namespace
+
+const Lru4Tables& tables() {
+    static const Lru4Tables t = build_tables();
+    return t;
+}
+
+Permutation compose_state(std::uint8_t sigma, std::uint8_t v) {
+    // S = sigma x v in the paper's convention: S(j) = v(sigma(j)).
+    return sigma_element(sigma).compose(v4_element(v));
+}
+
+std::pair<std::uint8_t, std::uint8_t> decompose_state(const Permutation& p) {
+    if (p.size() != 4) throw std::invalid_argument("decompose_state: size");
+    // v is the unique V4 element with v(4) = p(4); then sigma = p x v^-1 =
+    // p x v (every V4 element is its own inverse) fixes 4.
+    std::uint8_t v_code = 0;
+    for (std::uint8_t c = 0; c < 4; ++c) {
+        if (v4_element(c)(4) == p(4)) {
+            v_code = c;
+            break;
+        }
+    }
+    const Permutation sigma = p.compose(v4_element(v_code));
+    return {encode_sigma(sigma), v_code};
+}
+
+bool verify_lru4_codec() {
+    // V4 codes multiply as XOR.
+    for (std::uint8_t a = 0; a < 4; ++a) {
+        for (std::uint8_t b = 0; b < 4; ++b) {
+            if (encode_v4(v4_element(a).compose(v4_element(b))) != (a ^ b)) {
+                return false;
+            }
+        }
+    }
+    // Decomposition is a bijection over all 24 states.
+    for (std::uint64_t rank = 0; rank < factorial(4); ++rank) {
+        const Permutation p = Permutation::from_lehmer_rank(4, rank);
+        const auto [s, v] = decompose_state(p);
+        if (!(compose_state(s, v) == p)) return false;
+    }
+    // Component transitions match Algorithm 1's S <- R^-1 x S exactly.
+    const auto& t = tables();
+    for (std::uint8_t s = 0; s < 6; ++s) {
+        for (std::uint8_t v = 0; v < 4; ++v) {
+            const Permutation state = compose_state(s, v);
+            for (std::uint8_t op = 0; op < 4; ++op) {
+                auto ref = LruState<4>::from_permutation(state);
+                ref.apply_hit(op + 1u);
+                const std::uint8_t s2 = t.sigma_next[op][s];
+                const std::uint8_t v2 = t.w[op][s] ^ v;
+                if (!(compose_state(s2, v2) == ref.to_permutation())) {
+                    return false;
+                }
+                // Slot tables agree with the composed permutation.
+                if (t.slot1[s2 * 4u + v2] !=
+                    ref.to_permutation()(1)) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+}  // namespace p4lru::core::codec4

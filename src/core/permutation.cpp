@@ -1,0 +1,145 @@
+#include "p4lru/core/permutation.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace p4lru::core {
+
+Permutation::Permutation(std::size_t n) : map_(n) {
+    if (n == 0) throw std::invalid_argument("Permutation: size 0");
+    std::iota(map_.begin(), map_.end(), std::size_t{0});
+}
+
+Permutation::Permutation(std::initializer_list<std::size_t> bottom_row)
+    : Permutation(std::vector<std::size_t>(bottom_row)) {}
+
+Permutation::Permutation(const std::vector<std::size_t>& bottom_row)
+    : map_(bottom_row.size()) {
+    for (std::size_t i = 0; i < bottom_row.size(); ++i) {
+        if (bottom_row[i] < 1 || bottom_row[i] > bottom_row.size()) {
+            throw std::invalid_argument("Permutation: entry out of range");
+        }
+        map_[i] = bottom_row[i] - 1;
+    }
+    validate();
+}
+
+void Permutation::validate() const {
+    std::vector<bool> seen(map_.size(), false);
+    for (const std::size_t v : map_) {
+        if (seen[v]) throw std::invalid_argument("Permutation: not bijective");
+        seen[v] = true;
+    }
+}
+
+std::size_t Permutation::operator()(std::size_t i) const {
+    if (i < 1 || i > map_.size()) {
+        throw std::out_of_range("Permutation: index");
+    }
+    return map_[i - 1] + 1;
+}
+
+Permutation Permutation::compose(const Permutation& other) const {
+    if (size() != other.size()) {
+        throw std::invalid_argument("Permutation: size mismatch");
+    }
+    std::vector<std::size_t> out(size());
+    for (std::size_t j = 0; j < size(); ++j) {
+        out[j] = other.map_[map_[j]] + 1;  // (p x q)(j) = q(p(j))
+    }
+    return Permutation(out);
+}
+
+Permutation Permutation::inverse() const {
+    std::vector<std::size_t> out(size());
+    for (std::size_t j = 0; j < size(); ++j) {
+        out[map_[j]] = j + 1;
+    }
+    return Permutation(out);
+}
+
+Permutation Permutation::rotation(std::size_t n, std::size_t i) {
+    if (i < 1 || i > n) throw std::out_of_range("rotation: i");
+    std::vector<std::size_t> row(n);
+    for (std::size_t j = 1; j <= n; ++j) {
+        if (j < i) {
+            row[j - 1] = j + 1;
+        } else if (j == i) {
+            row[j - 1] = 1;
+        } else {
+            row[j - 1] = j;
+        }
+    }
+    return Permutation(row);
+}
+
+bool Permutation::is_even() const {
+    // Count transpositions via cycle decomposition: a cycle of length L
+    // contributes L-1 transpositions.
+    std::vector<bool> seen(map_.size(), false);
+    std::size_t transpositions = 0;
+    for (std::size_t i = 0; i < map_.size(); ++i) {
+        if (seen[i]) continue;
+        std::size_t len = 0;
+        for (std::size_t j = i; !seen[j]; j = map_[j]) {
+            seen[j] = true;
+            ++len;
+        }
+        transpositions += len - 1;
+    }
+    return transpositions % 2 == 0;
+}
+
+std::uint64_t Permutation::lehmer_rank() const {
+    std::uint64_t rank = 0;
+    const std::size_t n = map_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t smaller = 0;
+        for (std::size_t j = i + 1; j < n; ++j) {
+            smaller += map_[j] < map_[i] ? 1 : 0;
+        }
+        rank += smaller * factorial(n - 1 - i);
+    }
+    return rank;
+}
+
+Permutation Permutation::from_lehmer_rank(std::size_t n, std::uint64_t rank) {
+    if (rank >= factorial(n)) throw std::out_of_range("lehmer rank");
+    std::vector<std::size_t> pool(n);
+    std::iota(pool.begin(), pool.end(), std::size_t{1});
+    std::vector<std::size_t> row;
+    row.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t f = factorial(n - 1 - i);
+        const auto idx = static_cast<std::size_t>(rank / f);
+        rank %= f;
+        row.push_back(pool[idx]);
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+    }
+    return Permutation(row);
+}
+
+std::string Permutation::to_string() const {
+    std::ostringstream os;
+    os << '(';
+    for (std::size_t i = 1; i <= size(); ++i) {
+        os << i << (i == size() ? "" : " ");
+    }
+    os << " / ";
+    for (std::size_t i = 0; i < size(); ++i) {
+        os << map_[i] + 1 << (i + 1 == size() ? "" : " ");
+    }
+    os << ')';
+    return os.str();
+}
+
+std::uint64_t factorial(std::size_t n) {
+    if (n > 20) throw std::overflow_error("factorial: n > 20");
+    std::uint64_t f = 1;
+    for (std::size_t i = 2; i <= n; ++i) f *= i;
+    return f;
+}
+
+}  // namespace p4lru::core

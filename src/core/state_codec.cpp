@@ -1,0 +1,72 @@
+#include "p4lru/core/state_codec.hpp"
+
+#include <stdexcept>
+
+#include "p4lru/core/lru_state.hpp"
+
+namespace p4lru::core::codec {
+
+std::uint8_t encode_lru3(const Permutation& p) {
+    if (p.size() != 3) throw std::invalid_argument("encode_lru3: size != 3");
+    for (std::uint8_t code = 0; code < 6; ++code) {
+        const auto& row = kLru3Decode[code];
+        if (p(1) == row[0] && p(2) == row[1] && p(3) == row[2]) return code;
+    }
+    throw std::logic_error("encode_lru3: unreachable");
+}
+
+Permutation decode_lru3(std::uint8_t code) {
+    if (code > 5) throw std::out_of_range("decode_lru3: code > 5");
+    const auto& row = kLru3Decode[code];
+    return Permutation({row[0], row[1], row[2]});
+}
+
+namespace {
+
+/// Reference transition: Algorithm-1 state update via LruState<3>.
+std::uint8_t reference_lru3_transition(std::uint8_t code, std::size_t i) {
+    auto state = LruState<3>::from_permutation(decode_lru3(code));
+    state.apply_hit(i);
+    return encode_lru3(state.to_permutation());
+}
+
+}  // namespace
+
+bool verify_lru3_codec() {
+    for (std::uint8_t code = 0; code < 6; ++code) {
+        if (lru3_op1(code) != reference_lru3_transition(code, 1)) return false;
+        if (lru3_op2(code) != reference_lru3_transition(code, 2)) return false;
+        if (lru3_op3(code) != reference_lru3_transition(code, 3)) return false;
+        // S(1)/S(3) lookup tables must agree with the decoded permutation.
+        const Permutation p = decode_lru3(code);
+        if (kLru3S1[code] != p(1)) return false;
+        if (kLru3S3[code] != p(3)) return false;
+        // Parity property claimed by the paper: even permutations get even
+        // codes.
+        if (p.is_even() != (code % 2 == 0)) return false;
+    }
+    return true;
+}
+
+bool verify_lru2_codec() {
+    const Permutation identity({1, 2});
+    const Permutation swapped({2, 1});
+    const auto encode = [&](const Permutation& p) -> std::uint8_t {
+        return p == identity ? 0 : 1;
+    };
+    for (std::uint8_t code = 0; code < 2; ++code) {
+        const Permutation p = code == 0 ? identity : swapped;
+        for (std::size_t i = 1; i <= 2; ++i) {
+            auto state = LruState<2>::from_permutation(p);
+            state.apply_hit(i);
+            const std::uint8_t want = encode(state.to_permutation());
+            const std::uint8_t got = i == 1 ? lru2_op1(code) : lru2_op2(code);
+            if (want != got) return false;
+        }
+        if (lru2_s1(code) != p(1)) return false;
+        if (lru2_s2(code) != p(2)) return false;
+    }
+    return true;
+}
+
+}  // namespace p4lru::core::codec

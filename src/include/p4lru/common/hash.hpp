@@ -1,0 +1,94 @@
+// Hash functions implemented from scratch.
+//
+// The data-plane models use CRC32 (what Tofino's hash engines compute) seeded
+// with per-array polynom-like salts; host-side structures use Murmur3/xxHash64
+// finalizer-quality mixing. Nothing here depends on third-party code.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "p4lru/common/types.hpp"
+
+namespace p4lru::hash {
+
+/// CRC32 (reflected, polynomial 0xEDB88320), the classic Ethernet CRC that
+/// Tofino hash engines expose. `seed` models per-table hash-salt configuration.
+[[nodiscard]] std::uint32_t crc32(std::span<const std::uint8_t> data,
+                                  std::uint32_t seed = 0) noexcept;
+
+/// MurmurHash3 x86 32-bit finalization-complete implementation.
+[[nodiscard]] std::uint32_t murmur3_32(std::span<const std::uint8_t> data,
+                                       std::uint32_t seed) noexcept;
+
+/// xxHash64 (from the published algorithm description), used for 64-bit
+/// fingerprints and host-side indexing.
+[[nodiscard]] std::uint64_t xxhash64(std::span<const std::uint8_t> data,
+                                     std::uint64_t seed) noexcept;
+
+/// Mix a 64-bit integer (SplitMix64 finalizer). Cheap avalanche for integers.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+/// A seeded hash function over FlowKeys producing a slot in [0, buckets).
+/// Models one configured hash unit of the switch: same seed -> same function.
+class FlowHasher {
+  public:
+    FlowHasher() = default;
+    explicit FlowHasher(std::uint32_t seed, std::size_t buckets = 0) noexcept
+        : seed_(seed), buckets_(buckets) {}
+
+    /// Raw 32-bit digest of the flow key.
+    [[nodiscard]] std::uint32_t digest(const FlowKey& k) const noexcept {
+        const auto b = k.bytes();
+        return crc32(std::span<const std::uint8_t>(b.data(), b.size()), seed_);
+    }
+
+    /// Slot index in [0, buckets). Requires buckets > 0.
+    [[nodiscard]] std::size_t slot(const FlowKey& k) const noexcept {
+        return static_cast<std::size_t>(
+            (std::uint64_t{digest(k)} * buckets_) >> 32);
+    }
+
+    /// Slot index for a 32-bit key, CRC32 over its little-endian bytes —
+    /// byte-identical to what the pipeline hash engine computes, so the
+    /// behavioural arrays and the pipeline programs agree on buckets.
+    [[nodiscard]] std::size_t slot_u32(std::uint32_t key) const noexcept {
+        std::uint8_t b[4];
+        b[0] = static_cast<std::uint8_t>(key);
+        b[1] = static_cast<std::uint8_t>(key >> 8);
+        b[2] = static_cast<std::uint8_t>(key >> 16);
+        b[3] = static_cast<std::uint8_t>(key >> 24);
+        const std::uint32_t h =
+            crc32(std::span<const std::uint8_t>(b, 4), seed_);
+        return static_cast<std::size_t>((std::uint64_t{h} * buckets_) >> 32);
+    }
+
+    /// Slot index for a 64-bit key (LruIndex DB keys), same CRC32 scheme.
+    [[nodiscard]] std::size_t slot_u64(std::uint64_t key) const noexcept {
+        std::uint8_t b[8];
+        for (int i = 0; i < 8; ++i) {
+            b[i] = static_cast<std::uint8_t>(key >> (8 * i));
+        }
+        const std::uint32_t h =
+            crc32(std::span<const std::uint8_t>(b, 8), seed_);
+        return static_cast<std::size_t>((std::uint64_t{h} * buckets_) >> 32);
+    }
+
+    [[nodiscard]] std::uint32_t seed() const noexcept { return seed_; }
+    [[nodiscard]] std::size_t buckets() const noexcept { return buckets_; }
+
+  private:
+    std::uint32_t seed_ = 0;
+    std::size_t buckets_ = 0;
+};
+
+/// 32-bit flow fingerprint used by LruMon as the cache key. A distinct seed
+/// keeps it independent from the bucket-choosing hash, as in the paper.
+[[nodiscard]] std::uint32_t fingerprint32(const FlowKey& k) noexcept;
+
+}  // namespace p4lru::hash

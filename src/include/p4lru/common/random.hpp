@@ -1,0 +1,95 @@
+// Deterministic, fast pseudo-random generators implemented from scratch.
+//
+// Benchmarks and tests must be reproducible across runs and platforms, so we
+// do not rely on std::default_random_engine (unspecified) and implement
+// SplitMix64 (seeding) and xoshiro256** (bulk generation) ourselves.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace p4lru::rng {
+
+/// SplitMix64: tiny, excellent for seeding and hashing integers.
+class SplitMix64 {
+  public:
+    using result_type = std::uint64_t;
+    explicit constexpr SplitMix64(std::uint64_t seed) noexcept : x_(seed) {}
+
+    constexpr std::uint64_t next() noexcept {
+        std::uint64_t z = (x_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    constexpr std::uint64_t operator()() noexcept { return next(); }
+    static constexpr std::uint64_t min() noexcept { return 0; }
+    static constexpr std::uint64_t max() noexcept {
+        return std::numeric_limits<std::uint64_t>::max();
+    }
+
+  private:
+    std::uint64_t x_;
+};
+
+/// xoshiro256**: the workhorse generator for workload synthesis.
+class Xoshiro256 {
+  public:
+    using result_type = std::uint64_t;
+
+    explicit constexpr Xoshiro256(std::uint64_t seed) noexcept {
+        SplitMix64 sm(seed);
+        for (auto& s : s_) s = sm.next();
+    }
+
+    constexpr std::uint64_t next() noexcept {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    constexpr std::uint64_t operator()() noexcept { return next(); }
+    static constexpr std::uint64_t min() noexcept { return 0; }
+    static constexpr std::uint64_t max() noexcept {
+        return std::numeric_limits<std::uint64_t>::max();
+    }
+
+    /// Uniform double in [0, 1).
+    constexpr double uniform() noexcept {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform integer in [0, bound). Lemire's multiply-shift reduction;
+    /// bias is negligible for our bounds (< 2^40).
+    constexpr std::uint64_t below(std::uint64_t bound) noexcept {
+        return static_cast<std::uint64_t>(
+            (static_cast<unsigned __int128>(next()) * bound) >> 64);
+    }
+
+    /// Uniform integer in [lo, hi] inclusive.
+    constexpr std::uint64_t between(std::uint64_t lo,
+                                    std::uint64_t hi) noexcept {
+        return lo + below(hi - lo + 1);
+    }
+
+    /// Bernoulli trial with probability p.
+    constexpr bool chance(double p) noexcept { return uniform() < p; }
+
+    /// Exponentially distributed double with the given mean (> 0).
+    double exponential(double mean) noexcept;
+
+  private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+    std::uint64_t s_[4]{};
+};
+
+}  // namespace p4lru::rng

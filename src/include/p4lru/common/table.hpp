@@ -1,0 +1,32 @@
+// Console table printer used by the benchmark harness to emit paper-style
+// rows/series ("Figure 9(a): miss rate vs concurrency", ...).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace p4lru {
+
+/// Accumulates rows of string cells and prints an aligned ASCII table.
+class ConsoleTable {
+  public:
+    explicit ConsoleTable(std::vector<std::string> header);
+
+    /// Append a row; it must have as many cells as the header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format doubles with the given precision.
+    static std::string num(double v, int precision = 4);
+
+    /// Render the table to a string (header, separator, rows).
+    [[nodiscard]] std::string render() const;
+
+    /// Render with a caption line on top and print to stdout.
+    void print(const std::string& caption) const;
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace p4lru

@@ -1,0 +1,57 @@
+// Zipf-distributed integer sampler.
+//
+// Used by the CAIDA-like trace generator (heavy-tailed flow sizes) and by the
+// YCSB workload (key popularity with skew alpha = 0.9, as in the paper's
+// LruIndex evaluation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "p4lru/common/random.hpp"
+
+namespace p4lru::rng {
+
+/// Samples ranks in [1, n] with P(rank = k) proportional to k^-alpha.
+///
+/// Implementation: rejection-inversion (W. Hormann, G. Derflinger, 1996),
+/// O(1) per sample, no O(n) table, exact for any alpha >= 0, n >= 1.
+class ZipfSampler {
+  public:
+    ZipfSampler(std::uint64_t n, double alpha);
+
+    /// Draw one rank in [1, n].
+    [[nodiscard]] std::uint64_t sample(Xoshiro256& rng) const;
+
+    [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+    [[nodiscard]] double alpha() const noexcept { return alpha_; }
+
+  private:
+    [[nodiscard]] double h(double x) const;
+    [[nodiscard]] double h_integral(double x) const;
+    [[nodiscard]] double h_integral_inverse(double x) const;
+
+    std::uint64_t n_;
+    double alpha_;
+    double h_integral_x1_;
+    double h_integral_num_elements_;
+    double s_;
+};
+
+/// Pre-shuffled Zipf: maps sampled ranks through a fixed pseudo-random
+/// permutation so that popular keys are scattered over the key space
+/// (YCSB's "scrambled zipfian"). Deterministic given the seed.
+class ScrambledZipf {
+  public:
+    ScrambledZipf(std::uint64_t n, double alpha, std::uint64_t seed);
+
+    /// Draw one key in [0, n).
+    [[nodiscard]] std::uint64_t sample(Xoshiro256& rng) const;
+
+  private:
+    ZipfSampler zipf_;
+    std::uint64_t n_;
+    std::uint64_t salt_;
+};
+
+}  // namespace p4lru::rng

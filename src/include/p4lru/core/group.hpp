@@ -1,0 +1,78 @@
+// Group-theoretic view of the cache state (Section 2.3.3).
+//
+// The paper observes that P4LRU_n's cache states form the symmetric group
+// S_n, that the n transitions are a subset of group multiplication, and that
+// any group expressible through cyclic groups, direct products and quotient
+// lifts can be encoded on data-plane registers. This module implements that
+// machinery for small groups so we can (a) verify the Table-1 encoding is
+// the S3 ≅ (C3 lifted by C2) construction and (b) demonstrate the claimed
+// P4LRU4 feasibility through S4 / V4 ≅ S3 with V4 = C2 x C2.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "p4lru/core/permutation.hpp"
+
+namespace p4lru::core::group {
+
+/// The cyclic group C_n represented on {0..n-1} with addition mod n — the
+/// paper's example of a register-representable group.
+class Cyclic {
+  public:
+    explicit Cyclic(std::uint32_t n);
+    [[nodiscard]] std::uint32_t order() const noexcept { return n_; }
+    [[nodiscard]] std::uint32_t identity() const noexcept { return 0; }
+    [[nodiscard]] std::uint32_t mul(std::uint32_t a, std::uint32_t b) const;
+    [[nodiscard]] std::uint32_t inverse(std::uint32_t a) const;
+
+  private:
+    std::uint32_t n_;
+};
+
+/// A finite group given by an explicit Cayley table; element i*j =
+/// table[i][j]. Built from generators or from permutation groups.
+class CayleyGroup {
+  public:
+    explicit CayleyGroup(std::vector<std::vector<std::uint32_t>> table);
+
+    [[nodiscard]] std::size_t order() const noexcept { return table_.size(); }
+    [[nodiscard]] std::uint32_t mul(std::uint32_t a, std::uint32_t b) const;
+    [[nodiscard]] std::uint32_t identity() const noexcept { return identity_; }
+    [[nodiscard]] std::uint32_t inverse(std::uint32_t a) const;
+
+    /// Check the group axioms hold for the table (used in tests).
+    [[nodiscard]] bool valid() const;
+
+    /// The symmetric group S_n with elements ordered by Lehmer rank and the
+    /// paper's composition convention (p x q)(j) = q(p(j)).
+    static CayleyGroup symmetric(std::size_t n);
+
+    /// Direct product G = H x K with elements encoded as h * |K| + k —
+    /// construction (1) of Section 2.3.3.
+    static CayleyGroup direct_product(const CayleyGroup& h,
+                                      const CayleyGroup& k);
+
+    /// The Klein four-group V4 = C2 x C2.
+    static CayleyGroup klein_four();
+
+  private:
+    std::vector<std::vector<std::uint32_t>> table_;
+    std::uint32_t identity_ = 0;
+};
+
+/// Check whether `normal` (a subset of element indices of g) is a normal
+/// subgroup of g.
+[[nodiscard]] bool is_normal_subgroup(const CayleyGroup& g,
+                                      const std::vector<std::uint32_t>& normal);
+
+/// Compute the quotient group G/H as a CayleyGroup over the cosets of H.
+/// Throws if H is not normal in G. Construction (2) of Section 2.3.3.
+[[nodiscard]] CayleyGroup quotient(const CayleyGroup& g,
+                                   const std::vector<std::uint32_t>& h);
+
+/// True if groups a and b are isomorphic (brute force; orders <= 24). Used to
+/// confirm S3/C3 ≅ C2 and S4/V4 ≅ S3 as stated in the paper.
+[[nodiscard]] bool isomorphic(const CayleyGroup& a, const CayleyGroup& b);
+
+}  // namespace p4lru::core::group

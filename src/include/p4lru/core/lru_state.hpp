@@ -1,0 +1,81 @@
+// The cache-state DFA S_lru of P4LRU, specialised for fixed small N.
+//
+// S_lru is a permutation of {1..N}: the key at key[i] owns the value slot
+// val[S(i)].  Step 2 of Algorithm 1 premultiplies S by the inverse of the
+// rotation R the key array underwent; concretely that is a right-rotation of
+// the first i entries of S's bottom row:
+//   S_new(1) = S_old(i),  S_new(j) = S_old(j-1) for 2 <= j <= i,
+//   S_new(j) = S_old(j) otherwise.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+#include "p4lru/core/permutation.hpp"
+
+namespace p4lru::core {
+
+/// Fixed-size cache state; N in [1, 8]. Cheap value type (no allocation),
+/// used inside every behavioural P4LRU unit.
+template <std::size_t N>
+class LruState {
+    static_assert(N >= 1 && N <= 8, "LruState: N out of supported range");
+
+  public:
+    /// Starts at the identity mapping (key[i] -> val[i]).
+    constexpr LruState() noexcept {
+        for (std::size_t i = 0; i < N; ++i) {
+            map_[i] = static_cast<std::uint8_t>(i + 1);
+        }
+    }
+
+    /// Value slot owned by key position i (1-based), i.e. S(i).
+    [[nodiscard]] constexpr std::size_t operator()(std::size_t i) const noexcept {
+        return map_[i - 1];
+    }
+
+    /// Value slot of the most recently used key: S(1).
+    [[nodiscard]] constexpr std::size_t mru_slot() const noexcept {
+        return map_[0];
+    }
+
+    /// Value slot of the least recently used key: S(N).
+    [[nodiscard]] constexpr std::size_t lru_slot() const noexcept {
+        return map_[N - 1];
+    }
+
+    /// Apply the Step-2 transition after the incoming key matched position i
+    /// (i = N also covers the miss case, where key[N] was evicted).
+    constexpr void apply_hit(std::size_t i) noexcept {
+        const std::uint8_t head = map_[i - 1];
+        for (std::size_t j = i - 1; j > 0; --j) {
+            map_[j] = map_[j - 1];
+        }
+        map_[0] = head;
+    }
+
+    /// Convert to a general Permutation (for tests / pretty printing).
+    [[nodiscard]] Permutation to_permutation() const {
+        std::vector<std::size_t> row(N);
+        for (std::size_t i = 0; i < N; ++i) row[i] = map_[i];
+        return Permutation(row);
+    }
+
+    /// Rebuild from a general Permutation of matching size.
+    static LruState from_permutation(const Permutation& p) {
+        LruState s;
+        for (std::size_t i = 1; i <= N; ++i) {
+            s.map_[i - 1] = static_cast<std::uint8_t>(p(i));
+        }
+        return s;
+    }
+
+    friend constexpr bool operator==(const LruState&,
+                                     const LruState&) noexcept = default;
+
+  private:
+    std::array<std::uint8_t, N> map_{};
+};
+
+}  // namespace p4lru::core

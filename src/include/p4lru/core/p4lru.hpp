@@ -1,0 +1,206 @@
+// The behavioural P4LRU unit: Algorithm 1 of the paper, for any small N.
+//
+// Keys live in LRU order across N "stages" (array slots); values never move;
+// the LruState permutation keeps the key->value mapping.  A single forward
+// pass per operation: bubble the key to key[1], rotate the state, then touch
+// exactly one value slot — the property that makes the scheme deployable in
+// a match-action pipeline.
+#pragma once
+
+#include <array>
+#include <concepts>
+#include <cstddef>
+#include <optional>
+#include <utility>
+
+#include "p4lru/core/lru_state.hpp"
+
+namespace p4lru::core {
+
+/// Result of one update pass over a P4LRU unit.
+template <typename Key, typename Value>
+struct UpdateResult {
+    bool hit = false;                ///< incoming key was already cached
+    std::size_t hit_pos = 0;         ///< 1-based position on hit, N on miss
+    bool evicted = false;            ///< a victim fell off the tail
+    Key evicted_key{};               ///< valid iff evicted
+    Value evicted_value{};           ///< valid iff evicted
+};
+
+/// Replace-on-hit merge: write-path semantics of a read cache refill.
+struct ReplaceMerge {
+    template <typename V>
+    V operator()(const V& /*old_value*/, const V& incoming) const {
+        return incoming;
+    }
+};
+
+/// Accumulate-on-hit merge: write-cache semantics (LruMon length counters).
+struct AddMerge {
+    template <typename V>
+    V operator()(const V& old_value, const V& incoming) const {
+        return old_value + incoming;
+    }
+};
+
+/// Keep-on-hit merge: read-path semantics — a query packet carries no value,
+/// so a hit must preserve the stored one.
+struct KeepMerge {
+    template <typename V>
+    V operator()(const V& old_value, const V& /*incoming*/) const {
+        return old_value;
+    }
+};
+
+/// One P4LRU cache unit with capacity N.
+///
+/// \tparam Key    equality-comparable key (flow key, fingerprint, DB key).
+/// \tparam Value  cached value (real address, record index, byte count).
+/// \tparam N      entries per unit; the paper deploys N = 2 and N = 3.
+/// \tparam Merge  how a hit combines the stored and incoming value.
+template <typename Key, typename Value, std::size_t N,
+          typename Merge = ReplaceMerge>
+    requires std::equality_comparable<Key> && (N >= 1 && N <= 8)
+class P4lru {
+  public:
+    using Result = UpdateResult<Key, Value>;
+
+    /// Algorithm 1 with the unit's configured merge.
+    Result update(const Key& k, const Value& v) {
+        return update(k, v, merge_);
+    }
+
+    /// Algorithm 1: insert/update the pair <k, v>. One pass: Step 1 bubbles k
+    /// into key[1] (recording where it was found), Step 2 rotates the state,
+    /// Step 3 applies `merge` to (or replaces) the single value slot
+    /// val[S(1)]. The per-call merge lets one unit serve both the read pass
+    /// (KeepMerge) and the write/refill pass (ReplaceMerge / AddMerge).
+    template <typename MergeFn>
+    Result update(const Key& k, const Value& v, MergeFn&& merge) {
+        Result r;
+
+        // Step 1 — maintain the key array in LRU order.
+        Key carry = k;
+        std::size_t i = N;
+        bool found = false;
+        for (std::size_t pos = 0; pos < size_; ++pos) {
+            std::swap(carry, key_[pos]);
+            if (carry == k) {
+                i = pos + 1;
+                found = true;
+                break;
+            }
+        }
+        if (!found && size_ < N) {
+            // Cache not yet full: the new key extends the occupied prefix.
+            key_[size_] = carry;  // carry == k when size_ == 0
+            ++size_;
+            i = size_;
+            // carry is k itself only when the loop never ran; otherwise the
+            // displaced key settles into the newly occupied slot.
+            if (size_ > 1) {
+                // carry holds the key displaced from slot size_-1; it was
+                // already written by key_[size_-1] = carry above.
+            }
+            carry = k;  // nothing truly evicted
+        }
+
+        // Step 2 — update the cache state by the inverse rotation.
+        state_.apply_hit(i);
+        const std::size_t slot = state_.mru_slot();
+
+        // Step 3 — single access to the value array.
+        if (found) {
+            r.hit = true;
+            r.hit_pos = i;
+            val_[slot - 1] = merge(val_[slot - 1], v);
+        } else if (carry == k) {
+            // Inserted into a non-full cache: fresh slot, no victim.
+            r.hit_pos = i;
+            val_[slot - 1] = v;
+        } else {
+            // Miss with eviction: carry is the key that fell off the tail and
+            // val[S_new(1)] still holds its value (the reused slot).
+            r.hit_pos = N;
+            r.evicted = true;
+            r.evicted_key = carry;
+            r.evicted_value = val_[slot - 1];
+            val_[slot - 1] = v;
+        }
+        return r;
+    }
+
+    /// Read-only lookup (the query pass of the series-connection protocol).
+    [[nodiscard]] std::optional<Value> find(const Key& k) const {
+        for (std::size_t pos = 0; pos < size_; ++pos) {
+            if (key_[pos] == k) {
+                return val_[state_(pos + 1) - 1];
+            }
+        }
+        return std::nullopt;
+    }
+
+    [[nodiscard]] bool contains(const Key& k) const {
+        return find(k).has_value();
+    }
+
+    /// Promote an existing key to most-recently-used and merge v into its
+    /// value. Returns false (and does nothing) if k is absent. Used by reply
+    /// packets in the series protocol ("prioritized as the most recent
+    /// entry").
+    bool touch(const Key& k, const Value& v) {
+        if (!contains(k)) return false;
+        update(k, v);
+        return true;
+    }
+
+    /// Insert <k, v> as the *least* recently used entry, replacing the
+    /// current tail. The cache state is untouched: key[N] changes identity
+    /// but keeps owning val[S(N)]. This is the downstream-array insert of the
+    /// series-connection protocol. Returns the displaced pair, if any.
+    std::optional<std::pair<Key, Value>> insert_lru(const Key& k,
+                                                    const Value& v) {
+        // Defensive: if k already lives here, refresh its value in place.
+        for (std::size_t pos = 0; pos < size_; ++pos) {
+            if (key_[pos] == k) {
+                val_[state_(pos + 1) - 1] = v;
+                return std::nullopt;
+            }
+        }
+        if (size_ < N) {
+            key_[size_] = k;
+            ++size_;
+            val_[state_(size_) - 1] = v;
+            return std::nullopt;
+        }
+        const std::size_t slot = state_.lru_slot();
+        auto displaced = std::make_pair(key_[N - 1], val_[slot - 1]);
+        key_[N - 1] = k;
+        val_[slot - 1] = v;
+        return displaced;
+    }
+
+    /// Number of occupied entries (they always form a prefix of key[]).
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] static constexpr std::size_t capacity() noexcept { return N; }
+    [[nodiscard]] bool full() const noexcept { return size_ == N; }
+
+    /// Key at 1-based LRU position (1 = most recent). Requires i <= size().
+    [[nodiscard]] const Key& key_at(std::size_t i) const { return key_[i - 1]; }
+
+    /// Value owned by the key at 1-based position i.
+    [[nodiscard]] const Value& value_at(std::size_t i) const {
+        return val_[state_(i) - 1];
+    }
+
+    [[nodiscard]] const LruState<N>& state() const noexcept { return state_; }
+
+  private:
+    std::array<Key, N> key_{};
+    std::array<Value, N> val_{};
+    LruState<N> state_{};
+    std::size_t size_ = 0;
+    [[no_unique_address]] Merge merge_{};
+};
+
+}  // namespace p4lru::core

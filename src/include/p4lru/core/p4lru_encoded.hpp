@@ -1,0 +1,250 @@
+// Hardware-faithful P4LRU2 / P4LRU3 units.
+//
+// These mirror what the P4 programs on Tofino do: key registers hold raw
+// integers with Key{} ("0") reserved as the empty sentinel, the cache state
+// is the Table-1 integer code updated by two-branch stateful-ALU arithmetic,
+// and a miss always performs the full rotation — "evicting" a sentinel when
+// the unit is not yet full.  Observable behaviour (hits, real evictions,
+// returned values) matches the behavioural core::P4lru; tests check this on
+// random traces.
+#pragma once
+
+#include <array>
+#include <concepts>
+#include <cstddef>
+#include <optional>
+
+#include "p4lru/core/p4lru.hpp"
+#include "p4lru/core/state_codec.hpp"
+
+namespace p4lru::core {
+
+/// P4LRU3 with the arithmetic state machine of Section 2.3.2.
+///
+/// Key{} (value-initialized key, e.g. 0) marks an empty slot and must not be
+/// inserted; LruMon's fingerprint function reserves 0 for exactly this
+/// reason.
+template <typename Key, typename Value, typename Merge = ReplaceMerge>
+    requires std::equality_comparable<Key>
+class P4lru3Encoded {
+  public:
+    using Result = UpdateResult<Key, Value>;
+
+    Result update(const Key& k, const Value& v) {
+        return update(k, v, merge_);
+    }
+
+    /// Per-call merge overload (read pass vs write pass; see core::P4lru).
+    template <typename MergeFn>
+    Result update(const Key& k, const Value& v, MergeFn&& merge) {
+        Result r;
+        std::uint8_t op;
+
+        // One comparison per pipeline stage; shifts write each key register
+        // exactly once.
+        if (key_[0] == k) {
+            op = 1;
+            r.hit = true;
+            r.hit_pos = 1;
+        } else if (key_[1] == k) {
+            key_[1] = key_[0];
+            key_[0] = k;
+            op = 2;
+            r.hit = true;
+            r.hit_pos = 2;
+        } else if (key_[2] == k) {
+            key_[2] = key_[1];
+            key_[1] = key_[0];
+            key_[0] = k;
+            op = 3;
+            r.hit = true;
+            r.hit_pos = 3;
+        } else {
+            const Key victim = key_[2];
+            key_[2] = key_[1];
+            key_[1] = key_[0];
+            key_[0] = k;
+            op = 3;
+            r.hit_pos = 3;
+            if (victim != Key{}) {
+                r.evicted = true;
+                r.evicted_key = victim;
+            }
+        }
+
+        // Stateful-ALU transition (Table 1 arithmetic).
+        switch (op) {
+            case 1: code_ = codec::lru3_op1(code_); break;
+            case 2: code_ = codec::lru3_op2(code_); break;
+            default: code_ = codec::lru3_op3(code_); break;
+        }
+
+        // Single value-register access at val[S(1)].
+        const std::size_t slot = codec::kLru3S1[code_];
+        if (r.hit) {
+            val_[slot - 1] = merge(val_[slot - 1], v);
+        } else {
+            if (r.evicted) r.evicted_value = val_[slot - 1];
+            val_[slot - 1] = v;
+        }
+        return r;
+    }
+
+    /// Read-only lookup (query pass of the series protocol).
+    [[nodiscard]] std::optional<Value> find(const Key& k) const {
+        for (std::size_t i = 0; i < 3; ++i) {
+            if (key_[i] == k && k != Key{}) {
+                return val_[codec::kLru3Decode[code_][i] - 1];
+            }
+        }
+        return std::nullopt;
+    }
+
+    [[nodiscard]] bool contains(const Key& k) const {
+        return find(k).has_value();
+    }
+
+    bool touch(const Key& k, const Value& v) {
+        if (!contains(k)) return false;
+        update(k, v);
+        return true;
+    }
+
+    /// Series-connection downstream insert: replace the least-recent slot,
+    /// leaving the state untouched. Returns the displaced real pair, if any.
+    std::optional<std::pair<Key, Value>> insert_lru(const Key& k,
+                                                    const Value& v) {
+        for (std::size_t i = 0; i < 3; ++i) {
+            if (key_[i] == k && k != Key{}) {
+                val_[codec::kLru3Decode[code_][i] - 1] = v;
+                return std::nullopt;
+            }
+        }
+        const std::size_t slot = codec::kLru3S3[code_];
+        std::optional<std::pair<Key, Value>> displaced;
+        if (key_[2] != Key{}) {
+            displaced = std::make_pair(key_[2], val_[slot - 1]);
+        }
+        key_[2] = k;
+        val_[slot - 1] = v;
+        return displaced;
+    }
+
+    [[nodiscard]] std::uint8_t state_code() const noexcept { return code_; }
+    [[nodiscard]] const Key& raw_key(std::size_t i) const { return key_[i]; }
+    [[nodiscard]] static constexpr std::size_t capacity() noexcept { return 3; }
+
+    [[nodiscard]] std::size_t size() const noexcept {
+        std::size_t n = 0;
+        for (const auto& key : key_) n += key != Key{} ? 1 : 0;
+        return n;
+    }
+
+  private:
+    std::array<Key, 3> key_{};
+    std::array<Value, 3> val_{};
+    std::uint8_t code_ = codec::kLru3Initial;
+    [[no_unique_address]] Merge merge_{};
+};
+
+/// P4LRU2 with the single-bit state machine of Section 2.3.1.
+template <typename Key, typename Value, typename Merge = ReplaceMerge>
+    requires std::equality_comparable<Key>
+class P4lru2Encoded {
+  public:
+    using Result = UpdateResult<Key, Value>;
+
+    Result update(const Key& k, const Value& v) {
+        return update(k, v, merge_);
+    }
+
+    /// Per-call merge overload (read pass vs write pass; see core::P4lru).
+    template <typename MergeFn>
+    Result update(const Key& k, const Value& v, MergeFn&& merge) {
+        Result r;
+        if (key_[0] == k) {
+            r.hit = true;
+            r.hit_pos = 1;
+            code_ = codec::lru2_op1(code_);
+        } else {
+            const Key victim = key_[1];
+            const bool hit2 = victim == k;
+            key_[1] = key_[0];
+            key_[0] = k;
+            code_ = codec::lru2_op2(code_);
+            if (hit2) {
+                r.hit = true;
+                r.hit_pos = 2;
+            } else {
+                r.hit_pos = 2;
+                if (victim != Key{}) {
+                    r.evicted = true;
+                    r.evicted_key = victim;
+                }
+            }
+        }
+        const std::size_t slot = codec::lru2_s1(code_);
+        if (r.hit) {
+            val_[slot - 1] = merge(val_[slot - 1], v);
+        } else {
+            if (r.evicted) r.evicted_value = val_[slot - 1];
+            val_[slot - 1] = v;
+        }
+        return r;
+    }
+
+    [[nodiscard]] std::optional<Value> find(const Key& k) const {
+        if (k == Key{}) return std::nullopt;
+        if (key_[0] == k) return val_[codec::lru2_s1(code_) - 1];
+        if (key_[1] == k) return val_[codec::lru2_s2(code_) - 1];
+        return std::nullopt;
+    }
+
+    [[nodiscard]] bool contains(const Key& k) const {
+        return find(k).has_value();
+    }
+
+    bool touch(const Key& k, const Value& v) {
+        if (!contains(k)) return false;
+        update(k, v);
+        return true;
+    }
+
+    std::optional<std::pair<Key, Value>> insert_lru(const Key& k,
+                                                    const Value& v) {
+        if (k != Key{}) {
+            if (key_[0] == k) {
+                val_[codec::lru2_s1(code_) - 1] = v;
+                return std::nullopt;
+            }
+            if (key_[1] == k) {
+                val_[codec::lru2_s2(code_) - 1] = v;
+                return std::nullopt;
+            }
+        }
+        const std::size_t slot = codec::lru2_s2(code_);
+        std::optional<std::pair<Key, Value>> displaced;
+        if (key_[1] != Key{}) {
+            displaced = std::make_pair(key_[1], val_[slot - 1]);
+        }
+        key_[1] = k;
+        val_[slot - 1] = v;
+        return displaced;
+    }
+
+    [[nodiscard]] std::uint8_t state_code() const noexcept { return code_; }
+    [[nodiscard]] const Key& raw_key(std::size_t i) const { return key_[i]; }
+    [[nodiscard]] static constexpr std::size_t capacity() noexcept { return 2; }
+
+    [[nodiscard]] std::size_t size() const noexcept {
+        return (key_[0] != Key{} ? 1u : 0u) + (key_[1] != Key{} ? 1u : 0u);
+    }
+
+  private:
+    std::array<Key, 2> key_{};
+    std::array<Value, 2> val_{};
+    std::uint8_t code_ = codec::kLru2Initial;
+    [[no_unique_address]] Merge merge_{};
+};
+
+}  // namespace p4lru::core

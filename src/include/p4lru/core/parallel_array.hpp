@@ -1,0 +1,107 @@
+// Parallel connection technique (Section 1.2 / 3.1):
+// a hash-indexed array of small P4LRU units yields arbitrary total capacity
+// while each bucket keeps strict LRU order among its 2-3 entries.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "p4lru/common/hash.hpp"
+#include "p4lru/core/p4lru.hpp"
+
+namespace p4lru::core {
+
+/// Map a key of any supported type onto a bucket through a seeded hasher.
+/// FlowKeys use CRC32 over the packed 13-byte layout (as the P4 programs do);
+/// integral keys use a salted 64-bit mix.
+template <typename Key>
+[[nodiscard]] std::size_t bucket_of(const hash::FlowHasher& h, const Key& k) {
+    if constexpr (std::is_same_v<Key, FlowKey>) {
+        return h.slot(k);
+    } else if constexpr (sizeof(Key) <= 4) {
+        static_assert(std::integral<Key>, "bucket_of: unsupported key type");
+        return h.slot_u32(static_cast<std::uint32_t>(k));
+    } else {
+        static_assert(std::integral<Key>, "bucket_of: unsupported key type");
+        return h.slot_u64(static_cast<std::uint64_t>(k));
+    }
+}
+
+/// An array of `Unit` caches (P4lru, P4lru3Encoded, ...) indexed by one
+/// configured hash function, mirroring the paper's P[1..2^16] arrays.
+template <typename Unit, typename Key, typename Value>
+class ParallelCache {
+  public:
+    using Result = UpdateResult<Key, Value>;
+
+    /// \param units number of cache units (buckets); must be > 0.
+    /// \param seed  per-array hash salt, making multiple arrays independent.
+    ParallelCache(std::size_t units, std::uint32_t seed)
+        : units_(units), hasher_(seed, units) {
+        if (units == 0) {
+            throw std::invalid_argument("ParallelCache: zero units");
+        }
+    }
+
+    /// Insert/update through the owning unit (Algorithm 1 within a bucket).
+    Result update(const Key& k, const Value& v) {
+        return units_[bucket(k)].update(k, v);
+    }
+
+    /// Per-call merge overload (read pass vs write pass).
+    template <typename MergeFn>
+    Result update(const Key& k, const Value& v, MergeFn&& merge) {
+        return units_[bucket(k)].update(k, v, std::forward<MergeFn>(merge));
+    }
+
+    /// Read-only lookup.
+    [[nodiscard]] std::optional<Value> find(const Key& k) const {
+        return units_[bucket(k)].find(k);
+    }
+
+    [[nodiscard]] bool contains(const Key& k) const {
+        return find(k).has_value();
+    }
+
+    /// Promote k to most-recent in its unit, merging v. False if absent.
+    bool touch(const Key& k, const Value& v) {
+        return units_[bucket(k)].touch(k, v);
+    }
+
+    /// Insert as least-recently-used in the owning unit (series protocol).
+    std::optional<std::pair<Key, Value>> insert_lru(const Key& k,
+                                                    const Value& v) {
+        return units_[bucket(k)].insert_lru(k, v);
+    }
+
+    [[nodiscard]] std::size_t bucket(const Key& k) const {
+        return bucket_of(hasher_, k);
+    }
+
+    [[nodiscard]] std::size_t unit_count() const noexcept {
+        return units_.size();
+    }
+    [[nodiscard]] std::size_t capacity() const noexcept {
+        return units_.size() * Unit::capacity();
+    }
+    [[nodiscard]] const Unit& unit(std::size_t i) const { return units_.at(i); }
+    [[nodiscard]] std::uint32_t seed() const noexcept { return hasher_.seed(); }
+
+    /// Total occupied entries across all units (O(units); for tests/metrics).
+    [[nodiscard]] std::size_t size() const {
+        std::size_t n = 0;
+        for (const auto& u : units_) n += u.size();
+        return n;
+    }
+
+  private:
+    std::vector<Unit> units_;
+    hash::FlowHasher hasher_;
+};
+
+}  // namespace p4lru::core

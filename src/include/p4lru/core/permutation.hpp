@@ -1,0 +1,70 @@
+// Permutations over {1..n} in the paper's two-row notation.
+//
+// A P4LRU cache state S_lru is a permutation mapping *key positions* to
+// *value positions*: the key at key[i] owns the value at val[S(i)].  The
+// update rule of Algorithm 1 is S <- R^-1 x S where R is the rotation the
+// key array underwent, with composition defined (footnote 2 of the paper) as
+//   (p x q)(j) = q(p(j)).
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace p4lru::core {
+
+/// A permutation of {1..n}. Internally 0-based; the public accessors use the
+/// paper's 1-based convention to stay textually close to Algorithm 1.
+class Permutation {
+  public:
+    /// Identity permutation of size n.
+    explicit Permutation(std::size_t n);
+
+    /// From the bottom row of the two-row notation, 1-based. For example
+    /// Permutation({2, 1, 3}) maps 1->2, 2->1, 3->3.
+    Permutation(std::initializer_list<std::size_t> bottom_row);
+    explicit Permutation(const std::vector<std::size_t>& bottom_row);
+
+    [[nodiscard]] std::size_t size() const noexcept { return map_.size(); }
+
+    /// Image of i (1-based): S(i).
+    [[nodiscard]] std::size_t operator()(std::size_t i) const;
+
+    /// Paper footnote-2 composition: (this x other)(j) = other(this(j)).
+    [[nodiscard]] Permutation compose(const Permutation& other) const;
+
+    /// Inverse permutation.
+    [[nodiscard]] Permutation inverse() const;
+
+    /// The rotation R of Step 1 when the incoming key was found at position
+    /// i (or i = n on a miss): R = (1 2 ... i-1 i | 2 3 ... i 1), identity
+    /// beyond i. Note R^-1 = (1 2 ... i | i 1 ... i-1).
+    static Permutation rotation(std::size_t n, std::size_t i);
+
+    /// Parity: true if the permutation is even (product of an even number of
+    /// transpositions). The paper's Table-1 encoding maps even permutations
+    /// to even codes.
+    [[nodiscard]] bool is_even() const;
+
+    /// Lexicographic rank in [0, n!) of the bottom row — a canonical dense
+    /// integer encoding used by the generic DFA tables.
+    [[nodiscard]] std::uint64_t lehmer_rank() const;
+
+    /// Inverse of lehmer_rank.
+    static Permutation from_lehmer_rank(std::size_t n, std::uint64_t rank);
+
+    /// Two-row rendering, e.g. "(1 2 3 / 2 1 3)".
+    [[nodiscard]] std::string to_string() const;
+
+    friend bool operator==(const Permutation&, const Permutation&) = default;
+
+  private:
+    void validate() const;
+    std::vector<std::size_t> map_;  // 0-based images
+};
+
+/// n! for small n (n <= 20).
+[[nodiscard]] std::uint64_t factorial(std::size_t n);
+
+}  // namespace p4lru::core

@@ -1,0 +1,176 @@
+// Series connection technique (Sections 1.2 / 3.2):
+// several parallel P4LRU arrays chained into a deeper approximate LRU.
+//
+// Duplicate entries are avoided by exploiting round-trip traffic: the *query*
+// pass reads all levels without modifying them and records which level holds
+// the key; the *reply* pass performs the single mutation —
+//   * key was cached at level i  -> promote it inside level i;
+//   * key was absent             -> insert at level 1 as most-recent; the
+//     evictee of level 1 is inserted into level 2 as *least*-recent, whose
+//     displaced entry moves to level 3, and so on; the entry displaced from
+//     the last level leaves the cache entirely.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "p4lru/common/hash.hpp"
+#include "p4lru/core/parallel_array.hpp"
+
+namespace p4lru::core {
+
+/// Outcome of the read-only query pass.
+template <typename Value>
+struct SeriesLookup {
+    std::size_t level = 0;  ///< 1-based hit level; 0 = not cached
+    Value value{};          ///< valid iff level != 0
+    [[nodiscard]] bool hit() const noexcept { return level != 0; }
+};
+
+/// A chain of `levels` ParallelCache arrays, each with its own hash salt.
+template <typename Unit, typename Key, typename Value>
+class SeriesCache {
+  public:
+    using Level = ParallelCache<Unit, Key, Value>;
+
+    /// \param levels          number of series-connected arrays (>= 1).
+    /// \param units_per_level cache units in each array.
+    /// \param seed            base salt; level i uses seed + i.
+    SeriesCache(std::size_t levels, std::size_t units_per_level,
+                std::uint32_t seed) {
+        if (levels == 0) throw std::invalid_argument("SeriesCache: 0 levels");
+        levels_.reserve(levels);
+        for (std::size_t i = 0; i < levels; ++i) {
+            levels_.emplace_back(units_per_level,
+                                 seed + static_cast<std::uint32_t>(i) * 0x9E37u);
+        }
+    }
+
+    /// Query pass: read-only scan through the levels in order.
+    [[nodiscard]] SeriesLookup<Value> query(const Key& k) const {
+        SeriesLookup<Value> out;
+        for (std::size_t i = 0; i < levels_.size(); ++i) {
+            if (auto v = levels_[i].find(k)) {
+                out.level = i + 1;
+                out.value = *v;
+                return out;
+            }
+        }
+        return out;
+    }
+
+    /// Reply pass after a query that hit at `level` (1-based): promote the
+    /// key inside that level. Returns false if the key vanished meanwhile
+    /// (cannot happen in the single-threaded simulators, but kept honest).
+    bool reply_promote(const Key& k, const Value& v, std::size_t level) {
+        if (level == 0 || level > levels_.size()) {
+            throw std::out_of_range("SeriesCache: bad level");
+        }
+        return levels_[level - 1].touch(k, v);
+    }
+
+    /// Reply pass after a query miss: insert <k, v> at level 1 and cascade
+    /// evictees down the chain as least-recent entries. Returns the pair
+    /// that left the cache entirely, if any.
+    std::optional<std::pair<Key, Value>> reply_insert(const Key& k,
+                                                      const Value& v) {
+        auto res = levels_[0].update(k, v);
+        if (!res.evicted) return std::nullopt;
+        std::pair<Key, Value> carry{res.evicted_key, res.evicted_value};
+        for (std::size_t i = 1; i < levels_.size(); ++i) {
+            auto displaced = levels_[i].insert_lru(carry.first, carry.second);
+            if (!displaced) return std::nullopt;
+            carry = *displaced;
+        }
+        return carry;
+    }
+
+    /// The scenario Section 3.2 warns about: traffic touches the data plane
+    /// ONCE, so the switch cannot know which level holds the key; every key
+    /// is injected at level 1 and evictees cascade down — the same key can
+    /// end up cached in several levels, wasting capacity. Exposed so the
+    /// ablation bench can quantify what the round-trip protocol buys.
+    UpdateResult<Key, Value> naive_inject(const Key& k, const Value& v) {
+        UpdateResult<Key, Value> r;
+        r.hit = query(k).hit();  // observability only; the update ignores it
+        auto res = levels_[0].update(k, v);
+        if (!res.evicted) return r;
+        std::pair<Key, Value> carry{res.evicted_key, res.evicted_value};
+        for (std::size_t i = 1; i < levels_.size(); ++i) {
+            auto displaced = levels_[i].insert_lru(carry.first, carry.second);
+            if (!displaced) return r;
+            carry = *displaced;
+        }
+        r.evicted = true;
+        r.evicted_key = carry.first;
+        r.evicted_value = carry.second;
+        return r;
+    }
+
+    /// Fraction of currently cached keys that occupy more than one level
+    /// (0 under the round-trip protocol). O(capacity); for benches/tests.
+    [[nodiscard]] double duplicate_fraction() const {
+        std::unordered_map<Key, std::size_t> counts;
+        for (const auto& level : levels_) {
+            for (std::size_t u = 0; u < level.unit_count(); ++u) {
+                const auto& unit = level.unit(u);
+                for (std::size_t i = 1; i <= unit.size(); ++i) {
+                    ++counts[unit.key_at(i)];
+                }
+            }
+        }
+        if (counts.empty()) return 0.0;
+        std::size_t dups = 0;
+        for (const auto& [k, c] : counts) dups += c > 1 ? 1 : 0;
+        return static_cast<double>(dups) / static_cast<double>(counts.size());
+    }
+
+    /// Single-pass convenience (no round trip): query + immediate mutation.
+    /// This is the "suboptimal" mode the paper warns about for injection-only
+    /// traffic; exposed so benches can quantify the difference.
+    UpdateResult<Key, Value> update_single_pass(const Key& k, const Value& v) {
+        const auto lookup = query(k);
+        UpdateResult<Key, Value> r;
+        if (lookup.hit()) {
+            r.hit = true;
+            r.hit_pos = lookup.level;
+            reply_promote(k, v, lookup.level);
+            return r;
+        }
+        if (auto out = reply_insert(k, v)) {
+            r.evicted = true;
+            r.evicted_key = out->first;
+            r.evicted_value = out->second;
+        }
+        return r;
+    }
+
+    [[nodiscard]] std::size_t level_count() const noexcept {
+        return levels_.size();
+    }
+    [[nodiscard]] const Level& level(std::size_t i) const {
+        return levels_.at(i);
+    }
+    [[nodiscard]] std::size_t capacity() const noexcept {
+        return levels_.empty() ? 0 : levels_.size() * levels_[0].capacity();
+    }
+
+    /// True if k is cached in no more than one level (duplicate-freedom
+    /// invariant of the round-trip protocol). For tests.
+    [[nodiscard]] bool duplicate_free(const Key& k) const {
+        std::size_t count = 0;
+        for (const auto& level : levels_) {
+            count += level.contains(k) ? 1 : 0;
+        }
+        return count <= 1;
+    }
+
+  private:
+    std::vector<Level> levels_;
+};
+
+}  // namespace p4lru::core

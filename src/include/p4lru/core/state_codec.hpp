@@ -1,0 +1,98 @@
+// Table-1 integer encoding of the P4LRU3 cache state and the arithmetic
+// transition rules that a Tofino stateful ALU can execute, plus the trivial
+// P4LRU2 encoding. Decoding tables are exported so callers (and exhaustive
+// tests) can map codes back to permutations.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "p4lru/core/permutation.hpp"
+
+namespace p4lru::core::codec {
+
+// ----- P4LRU2: two states -----------------------------------------------
+// (1 2 / 1 2) == 0,  (1 2 / 2 1) == 1.
+
+inline constexpr std::uint8_t kLru2Initial = 0;
+
+/// Transition for a hit at key[1]: identity.
+[[nodiscard]] constexpr std::uint8_t lru2_op1(std::uint8_t s) noexcept {
+    return s;
+}
+
+/// Transition for a hit at key[2] or a miss: S ^= 1.
+[[nodiscard]] constexpr std::uint8_t lru2_op2(std::uint8_t s) noexcept {
+    return s ^ 1u;
+}
+
+/// S(1) for a P4LRU2 code: value slot (1-based) of the most recent key.
+[[nodiscard]] constexpr std::size_t lru2_s1(std::uint8_t s) noexcept {
+    return s == 0 ? 1 : 2;
+}
+
+/// S(2) for a P4LRU2 code: value slot (1-based) of the least recent key.
+[[nodiscard]] constexpr std::size_t lru2_s2(std::uint8_t s) noexcept {
+    return s == 0 ? 2 : 1;
+}
+
+// ----- P4LRU3: six states, Table 1 of the paper --------------------------
+//   (123/123) == 4   (123/132) == 1
+//   (123/213) == 5   (123/231) == 0
+//   (123/312) == 2   (123/321) == 3
+// Even permutations get even codes; odd permutations get odd codes.
+
+inline constexpr std::uint8_t kLru3Initial = 4;
+
+/// Bottom rows indexed by code: kLru3Decode[code][i] == S(i+1).
+inline constexpr std::array<std::array<std::uint8_t, 3>, 6> kLru3Decode = {{
+    {{2, 3, 1}},  // code 0
+    {{1, 3, 2}},  // code 1
+    {{3, 1, 2}},  // code 2
+    {{3, 2, 1}},  // code 3
+    {{1, 2, 3}},  // code 4
+    {{2, 1, 3}},  // code 5
+}};
+
+/// Operation 1 — incoming key matched key[1]: state unchanged.
+[[nodiscard]] constexpr std::uint8_t lru3_op1(std::uint8_t s) noexcept {
+    return s;
+}
+
+/// Operation 2 — incoming key matched key[2]:
+///   S_new = S ^ 1 if S >= 4,  S ^ 3 if S <= 3.
+/// (One two-branch stateful ALU.)
+[[nodiscard]] constexpr std::uint8_t lru3_op2(std::uint8_t s) noexcept {
+    return s >= 4 ? static_cast<std::uint8_t>(s ^ 1u)
+                  : static_cast<std::uint8_t>(s ^ 3u);
+}
+
+/// Operation 3 — incoming key matched key[3], or a miss:
+///   S_new = S - 2 if S >= 2,  S + 4 if S <= 1.
+/// (One two-branch stateful ALU.)
+[[nodiscard]] constexpr std::uint8_t lru3_op3(std::uint8_t s) noexcept {
+    return s >= 2 ? static_cast<std::uint8_t>(s - 2u)
+                  : static_cast<std::uint8_t>(s + 4u);
+}
+
+/// S(1) lookup per code: value slot (1-based) of the most recent key.
+inline constexpr std::array<std::uint8_t, 6> kLru3S1 = {2, 1, 3, 3, 1, 2};
+
+/// S(3) lookup per code: value slot (1-based) of the least recent key.
+inline constexpr std::array<std::uint8_t, 6> kLru3S3 = {1, 2, 2, 1, 3, 3};
+
+/// Encode a 3-permutation into its Table-1 code (throws if size != 3).
+[[nodiscard]] std::uint8_t encode_lru3(const Permutation& p);
+
+/// Decode a Table-1 code back into a Permutation (throws if code > 5).
+[[nodiscard]] Permutation decode_lru3(std::uint8_t code);
+
+/// Exhaustively check that the arithmetic transitions match the permutation
+/// algebra of Algorithm 1 for every (state, operation) pair. Returns true on
+/// success; used by tests and by the pipeline self-check.
+[[nodiscard]] bool verify_lru3_codec();
+
+/// Same exhaustive check for the P4LRU2 encoding.
+[[nodiscard]] bool verify_lru2_codec();
+
+}  // namespace p4lru::core::codec

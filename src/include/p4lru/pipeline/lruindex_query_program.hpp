@@ -1,0 +1,90 @@
+// The READ-ONLY query pass of LruIndex (Section 3.2) compiled onto the
+// pipeline model: one program per series level (the paper folds one level
+// into each of the four physical pipelines).
+//
+// A query packet must inspect key[1..3], the state and one value register
+// WITHOUT modifying anything — every SALU here uses kKeep on both branches
+// and only exports the old value / predicate. The matched position i needs
+// the slot S(i), not S(1); since the 18-entry (state x position) table
+// exceeds the 16-entry tiny-table limit, the program uses three 6-entry
+// lookups (one per position) and selects among them with the match flags —
+// exactly the kind of "more nuanced logic" real P4 deployments resort to.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "p4lru/pipeline/pipeline.hpp"
+
+namespace p4lru::pipeline {
+
+/// One series level's query program over its own register arrays.
+class LruIndexQueryLevel {
+  public:
+    LruIndexQueryLevel(std::size_t units, std::uint32_t hash_seed);
+
+    struct Result {
+        bool hit = false;
+        std::uint32_t value = 0;
+    };
+
+    /// Send one query packet through the level (read-only).
+    Result query(std::uint32_t key);
+
+    /// Mirror a behavioural-cache mutation into the level's registers (the
+    /// reply pass is modelled behaviourally; see the class comment in
+    /// LruIndexQueryPipeline).
+    void load_unit(std::size_t bucket, const std::uint32_t keys[3],
+                   const std::uint32_t vals[3], std::uint8_t state_code);
+
+    [[nodiscard]] const Pipeline& pipeline() const noexcept { return pipe_; }
+    [[nodiscard]] std::size_t units() const noexcept { return units_; }
+
+  private:
+    void build(std::uint32_t hash_seed);
+
+    Pipeline pipe_;
+    std::size_t units_;
+    FieldId f_key_, f_idx_;
+    FieldId f_m1_, f_m2_, f_m3_, f_hit_;
+    FieldId f_scode_, f_s1_, f_s2_, f_s3_, f_slot_a_, f_slot_;
+    FieldId f_v1_, f_v2_, f_v3_, f_va_, f_value_;
+    std::size_t reg_key_[3];
+    std::size_t reg_state_, reg_val_[3];
+};
+
+/// The chained query pass over `levels` levels: first hit wins, as in the
+/// paper (the packet's cached_flag records the hit level).
+///
+/// The mutating reply pass runs behaviourally (core::SeriesCache) and is
+/// mirrored into the level registers through load_unit(); the pipeline
+/// programs prove the read-only pass — the half of the protocol that is
+/// architecturally novel (three register reads, zero writes, per packet).
+class LruIndexQueryPipeline {
+  public:
+    LruIndexQueryPipeline(std::size_t levels, std::size_t units,
+                          std::uint32_t seed);
+
+    struct Lookup {
+        std::uint32_t level = 0;  ///< 1-based; 0 = miss (cached_flag)
+        std::uint32_t value = 0;  ///< cached_index
+    };
+
+    Lookup query(std::uint32_t key);
+
+    [[nodiscard]] LruIndexQueryLevel& level(std::size_t i) {
+        return levels_.at(i);
+    }
+    [[nodiscard]] std::size_t level_count() const noexcept {
+        return levels_.size();
+    }
+
+    /// Aggregate resource usage across the folded pipelines (Table 2).
+    [[nodiscard]] ResourceReport resources() const;
+
+  private:
+    std::vector<LruIndexQueryLevel> levels_;
+};
+
+}  // namespace p4lru::pipeline

@@ -1,0 +1,43 @@
+// The P4LRU2 cache array compiled onto the pipeline model (Section 2.3.1):
+// two key stages, ONE stateful ALU for the whole DFA (two states, XOR
+// transition — "one stateful ALU can accommodate the arithmetic logic of a
+// P4LRU2 cache"), a 2-entry slot lookup, and two value stages. Five stages
+// total.
+#pragma once
+
+#include <cstdint>
+
+#include "p4lru/pipeline/p4lru3_program.hpp"
+
+namespace p4lru::pipeline {
+
+/// A parallel array of P4LRU2 units running as a pipeline program.
+/// Keys and values are 32-bit; key 0 is the empty sentinel.
+class P4lru2PipelineCache {
+  public:
+    P4lru2PipelineCache(std::size_t units, std::uint32_t hash_seed,
+                        ValueMode mode);
+
+    using Result = P4lru3PipelineCache::Result;
+
+    Result update(std::uint32_t key, std::uint32_t value);
+
+    [[nodiscard]] const Pipeline& pipeline() const noexcept { return pipe_; }
+    [[nodiscard]] ResourceReport resources() const {
+        return pipe_.resources();
+    }
+    [[nodiscard]] std::size_t units() const noexcept { return units_; }
+
+  private:
+    void build(std::uint32_t hash_seed, ValueMode mode);
+
+    Pipeline pipe_;
+    std::size_t units_;
+    FieldId f_key_, f_value_, f_idx_;
+    FieldId f_c1_, f_m1_, f_c2_, f_m2_;
+    FieldId f_scode_, f_vslot_, f_hit_;
+    FieldId f_val_old_, f_val_new_;
+    std::size_t reg_key1_, reg_key2_, reg_state_, reg_val1_, reg_val2_;
+};
+
+}  // namespace p4lru::pipeline

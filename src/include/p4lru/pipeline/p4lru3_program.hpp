@@ -1,0 +1,73 @@
+// The P4LRU3 cache array compiled onto the pipeline model.
+//
+// This is the software twin of the paper's P4 implementation: a hash stage
+// picks the bucket, three key stages bubble the incoming key while exporting
+// match flags and the displaced key, ONE stage holds the three state SALUs
+// (operations 1-3 of Section 2.3.2, guarded by mutually exclusive match
+// flags), a tiny 6-entry lookup maps the new state code to the value slot
+// S(1), and three value stages touch exactly one value register. Seven
+// stages, seven SALU executions max, every register array accessed at most
+// once per packet — the pipeline model enforces all of it at runtime.
+#pragma once
+
+#include <cstdint>
+
+#include "p4lru/core/p4lru.hpp"
+#include "p4lru/pipeline/pipeline.hpp"
+
+namespace p4lru::pipeline {
+
+/// How a hit combines the stored and incoming value.
+enum class ValueMode {
+    kReadCache,       ///< hit keeps the stored value (LruTable / LruIndex)
+    kWriteAccumulate  ///< hit adds the incoming value (LruMon byte counts)
+};
+
+/// A parallel array of P4LRU3 units running as a pipeline program.
+/// Keys and values are 32-bit; key 0 is the empty sentinel (as on hardware).
+class P4lru3PipelineCache {
+  public:
+    /// \param units      number of buckets (each 3 entries).
+    /// \param hash_seed  salt of the bucket-choosing hash.
+    /// \param mode       read-cache or accumulate semantics.
+    P4lru3PipelineCache(std::size_t units, std::uint32_t hash_seed,
+                        ValueMode mode);
+
+    /// Result of one packet traversal.
+    struct Result {
+        bool hit = false;
+        std::uint32_t value = 0;  ///< value after the access (hit: stored /
+                                  ///< accumulated; miss: the inserted value)
+        bool evicted = false;
+        std::uint32_t evicted_key = 0;
+        std::uint32_t evicted_value = 0;
+        std::uint32_t bucket = 0;
+    };
+
+    /// Send one update packet (key, value) through the pipeline.
+    Result update(std::uint32_t key, std::uint32_t value);
+
+    [[nodiscard]] const Pipeline& pipeline() const noexcept {
+        return pipe_;
+    }
+    [[nodiscard]] ResourceReport resources() const {
+        return pipe_.resources();
+    }
+    [[nodiscard]] std::size_t units() const noexcept { return units_; }
+
+  private:
+    void build(std::uint32_t hash_seed, ValueMode mode);
+
+    Pipeline pipe_;
+    std::size_t units_;
+
+    // Cached field ids.
+    FieldId f_key_, f_value_, f_idx_;
+    FieldId f_c1_, f_m1_, f_c2_, f_m2_, f_done2_, f_c3_, f_m3_;
+    FieldId f_scode_, f_vslot_, f_hit_;
+    FieldId f_val_old_, f_val_new_;
+    std::size_t reg_key1_, reg_key2_, reg_key3_, reg_state_;
+    std::size_t reg_val1_, reg_val2_, reg_val3_;
+};
+
+}  // namespace p4lru::pipeline

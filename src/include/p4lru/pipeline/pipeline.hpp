@@ -1,0 +1,277 @@
+// A faithful model of the programmable match-action pipeline (Tofino-like)
+// that P4LRU must run on. This is the substrate that makes requirement R1 of
+// the paper checkable in software:
+//
+//   * the program is a fixed sequence of stages, executed once per packet,
+//     front to back — no loops, no backward jumps;
+//   * state lives in per-stage register arrays; each array can be touched by
+//     AT MOST ONE executed stateful-ALU operation per packet (the "no second
+//     data traversal" constraint that breaks classical LRU);
+//   * a stateful ALU performs one read-modify-write with a single two-way
+//     predicated branch (the paper: "each stateful ALU ... can support two
+//     arithmetic branches") and can export the old value / predicate to PHV;
+//   * plain header manipulation is VLIW-style: instructions within one stage
+//     execute in parallel, so an instruction must not read a PHV field
+//     written earlier in the SAME stage (read-after-write needs a new stage);
+//   * tiny lookup tables (<= 16 entries) are available to actions, matching
+//     the "we can only access a tiny table" constraint of Section 2.3.
+//
+// Violations throw PipelineError at execution time, so the unit tests prove
+// the P4LRU3 program is actually expressible under the constraints.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace p4lru::pipeline {
+
+/// Thrown when a program violates a data-plane constraint (double register
+/// access, same-stage RAW hazard, resource overflow, malformed config).
+class PipelineError : public std::runtime_error {
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+using FieldId = std::uint16_t;
+
+/// Registry of PHV (packet header vector) fields; names resolve to dense ids
+/// at program-construction time.
+class PhvLayout {
+  public:
+    /// Get-or-create the field named `name`.
+    FieldId field(const std::string& name);
+
+    [[nodiscard]] std::size_t field_count() const noexcept {
+        return names_.size();
+    }
+    [[nodiscard]] const std::string& name(FieldId id) const {
+        return names_.at(id);
+    }
+
+  private:
+    std::vector<std::string> names_;
+};
+
+/// One packet's header vector: 32-bit containers, value-initialized to 0.
+class Phv {
+  public:
+    explicit Phv(std::size_t field_count) : values_(field_count, 0) {}
+
+    [[nodiscard]] std::uint32_t get(FieldId f) const { return values_.at(f); }
+    void set(FieldId f, std::uint32_t v) { values_.at(f) = v; }
+
+  private:
+    std::vector<std::uint32_t> values_;
+};
+
+// ---------------------------------------------------------------------------
+// Instruction set
+// ---------------------------------------------------------------------------
+
+/// VLIW header-manipulation ops (all same-stage-parallel).
+enum class VliwOp : std::uint8_t {
+    kSetConst,  ///< dst = konst
+    kCopy,      ///< dst = a
+    kAdd,       ///< dst = a + b
+    kSub,       ///< dst = a - b
+    kXor,       ///< dst = a ^ b
+    kAnd,       ///< dst = a & b
+    kOr,        ///< dst = a | b
+    kEq,        ///< dst = (a == b)
+    kNe,        ///< dst = (a != b)
+    kGe,        ///< dst = (a >= b)
+    kLt,        ///< dst = (a < b)
+    kEqConst,   ///< dst = (a == konst)
+    kGeConst,   ///< dst = (a >= konst)
+    kSelect,    ///< dst = cond ? a : b
+    kLookup,    ///< dst = table[a]  (table size <= 16)
+};
+
+struct VliwInstr {
+    VliwOp op{};
+    FieldId dst = 0;
+    FieldId a = 0;
+    FieldId b = 0;
+    FieldId cond = 0;
+    std::uint32_t konst = 0;
+    std::vector<std::uint32_t> table;  ///< for kLookup only, <= 16 entries
+};
+
+/// Hash-engine invocation: dst = crc32(seed, inputs...) scaled to [0, modulo).
+struct HashInstr {
+    std::vector<FieldId> inputs;
+    FieldId dst = 0;
+    std::uint32_t seed = 0;
+    std::uint32_t modulo = 0;  ///< 0 = export the raw 32-bit digest
+};
+
+/// Stateful-ALU predicate: compare the register value or a PHV field against
+/// a PHV operand or a constant.
+enum class CmpSource : std::uint8_t { kRegister, kField };
+enum class CmpOp : std::uint8_t { kAlways, kEq, kNe, kGe, kLt };
+
+/// Register update executed by the chosen branch.
+enum class AluUpdate : std::uint8_t {
+    kKeep,        ///< R = R
+    kSetOperand,  ///< R = operand field
+    kSetConst,    ///< R = konst
+    kAddOperand,  ///< R = R + operand field
+    kAddConst,    ///< R = R + konst
+    kSubConst,    ///< R = R - konst
+    kXorConst,    ///< R = R ^ konst
+};
+
+/// What an ALU output port exports into the PHV.
+enum class AluOutput : std::uint8_t { kNone, kOldValue, kNewValue, kPredicate };
+
+struct SaluBranch {
+    AluUpdate update = AluUpdate::kKeep;
+    FieldId operand = 0;
+    std::uint32_t konst = 0;
+};
+
+/// One stateful-ALU operation bound to a register array.
+struct SaluInstr {
+    std::string name;
+    std::size_t register_array = 0;  ///< id from Pipeline::add_register_array
+    FieldId index = 0;               ///< PHV field with the array index
+
+    /// Optional execution guard (models the match that triggers the
+    /// RegisterAction): execute only if guard_field == guard_value.
+    std::optional<FieldId> guard;
+    std::uint32_t guard_value = 0;
+
+    CmpSource cmp_source = CmpSource::kRegister;
+    FieldId cmp_field = 0;  ///< used when cmp_source == kField
+    CmpOp cmp = CmpOp::kAlways;
+    bool cmp_with_operand = false;  ///< compare against operand field?
+    FieldId cmp_operand = 0;
+    std::uint32_t cmp_const = 0;
+
+    SaluBranch on_true;
+    SaluBranch on_false;
+
+    /// Saturating arithmetic (Tofino SALUs support saturating adds): the
+    /// written value is clamped to sat_max when enabled.
+    bool saturate = false;
+    std::uint32_t sat_max = 0;
+
+    AluOutput out1_sel = AluOutput::kNone;
+    FieldId out1 = 0;
+    AluOutput out2_sel = AluOutput::kNone;
+    FieldId out2 = 0;
+};
+
+/// One pipeline stage: hashes and VLIW instructions and SALUs, all logically
+/// parallel (same-stage RAW is rejected at runtime).
+struct Stage {
+    std::string name;
+    std::vector<HashInstr> hashes;
+    std::vector<VliwInstr> vliw;
+    std::vector<SaluInstr> salus;
+};
+
+// ---------------------------------------------------------------------------
+// Resources
+// ---------------------------------------------------------------------------
+
+/// Approximate per-pipeline budgets of a Tofino-1-class ASIC (public
+/// figures); used to express usage as percentages like the paper's Table 2.
+struct PipelineBudget {
+    std::size_t stages = 12;
+    std::size_t salus_per_stage = 4;
+    std::size_t vliw_per_stage = 32;
+    std::size_t hash_bits = 12 * 2 * 52;        ///< 2 engines x 52 bits/stage
+    std::size_t sram_bytes = 15 * 1024 * 1024;  ///< register + table SRAM
+    std::size_t map_ram_bytes = 6 * 1024 * 1024;
+};
+
+struct ResourceReport {
+    std::size_t stages = 0;
+    std::size_t salus = 0;
+    std::size_t vliw_instrs = 0;
+    std::size_t hash_bits = 0;
+    std::size_t register_bytes = 0;
+    std::size_t table_bytes = 0;
+    std::size_t map_ram_bytes = 0;
+
+    /// Render a Table-2-style percentage block against the budget.
+    [[nodiscard]] std::string to_table(const PipelineBudget& budget) const;
+
+    /// Sum of two reports (systems composed of several programs).
+    ResourceReport operator+(const ResourceReport& o) const;
+};
+
+// ---------------------------------------------------------------------------
+// The pipeline itself
+// ---------------------------------------------------------------------------
+
+class Pipeline {
+  public:
+    explicit Pipeline(PipelineBudget budget = {}) : budget_(budget) {}
+
+    /// Register a stateful array of `width` 32-bit cells. Returns its id.
+    std::size_t add_register_array(const std::string& name, std::size_t width);
+
+    /// Append a stage. Validates per-stage resource limits.
+    void add_stage(Stage stage);
+
+    /// Run one packet through every stage, enforcing all constraints.
+    void execute(Phv& phv);
+
+    [[nodiscard]] PhvLayout& layout() noexcept { return layout_; }
+    [[nodiscard]] const PhvLayout& layout() const noexcept { return layout_; }
+
+    [[nodiscard]] Phv make_phv() const {
+        return Phv(layout_.field_count());
+    }
+
+    /// Direct register inspection for tests.
+    [[nodiscard]] std::uint32_t register_value(std::size_t array,
+                                               std::size_t idx) const;
+    void set_register_value(std::size_t array, std::size_t idx,
+                            std::uint32_t v);
+
+    /// Initialize every cell of an array (control-plane style preload, e.g.
+    /// setting every P4LRU3 state register to the identity code 4).
+    void fill_register_array(std::size_t array, std::uint32_t v);
+
+    [[nodiscard]] std::size_t stage_count() const noexcept {
+        return stages_.size();
+    }
+    [[nodiscard]] ResourceReport resources() const;
+    [[nodiscard]] const PipelineBudget& budget() const noexcept {
+        return budget_;
+    }
+
+    /// Human-readable program listing: one line per instruction, grouped by
+    /// stage (debugging, docs, the pipeline_inspector example).
+    [[nodiscard]] std::string describe() const;
+
+    /// Emit P4-16-style source (TNA flavoured) for this program: register
+    /// declarations, RegisterActions with the branch arithmetic, hash
+    /// engine calls and the stage-ordered apply block. The output is
+    /// illustrative — it shows exactly how the model maps onto the
+    /// constructs the paper's artifact uses — and is tested for structural
+    /// properties, not compiled by a P4 toolchain.
+    [[nodiscard]] std::string export_p4(const std::string& program_name) const;
+
+  private:
+    struct RegisterArray {
+        std::string name;
+        std::vector<std::uint32_t> cells;
+    };
+
+    void execute_stage(const Stage& stage, Phv& phv,
+                       std::vector<bool>& reg_accessed);
+
+    PipelineBudget budget_;
+    PhvLayout layout_;
+    std::vector<RegisterArray> arrays_;
+    std::vector<Stage> stages_;
+};
+
+}  // namespace p4lru::pipeline

@@ -1,0 +1,37 @@
+// Table-2 reproduction: hardware resource accounting for the three P4LRU
+// systems, computed from the actual pipeline programs (not hand-entered).
+//
+// Pipeline occupancy follows the paper: LruTable uses 1 of 4 pipelines,
+// LruIndex folds all 4 (one P4LRU3 array per pipeline), LruMon folds 2
+// (Tower filter in one, cache array in the other).
+#pragma once
+
+#include <string>
+
+#include "p4lru/pipeline/pipeline.hpp"
+
+namespace p4lru::pipeline {
+
+struct SystemResources {
+    std::string system;
+    std::size_t pipelines_used = 0;
+    ResourceReport report;
+    PipelineBudget budget;  ///< scaled by pipelines_used
+
+    [[nodiscard]] std::string to_table() const {
+        return report.to_table(budget);
+    }
+};
+
+/// LruTable: one hash + one 2^16-unit P4LRU3 array, one pipeline.
+[[nodiscard]] SystemResources lrutable_resources(std::size_t units = 1u << 16);
+
+/// LruIndex: `levels` series-connected 2^16-unit arrays, one per pipeline.
+[[nodiscard]] SystemResources lruindex_resources(std::size_t levels = 4,
+                                                 std::size_t units = 1u << 16);
+
+/// LruMon: Tower filter (2^20 + 2^19 counters) + 2^17-unit P4LRU3 array,
+/// two pipelines.
+[[nodiscard]] SystemResources lrumon_resources(std::size_t units = 1u << 17);
+
+}  // namespace p4lru::pipeline

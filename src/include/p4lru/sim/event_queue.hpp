@@ -1,0 +1,71 @@
+// Minimal discrete-event simulation kernel: a time-ordered queue of
+// callbacks. Replaces the paper's DPDK testbed timing (see DESIGN.md).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "p4lru/common/types.hpp"
+
+namespace p4lru::sim {
+
+/// Deterministic event queue: ties broken by insertion order.
+class EventQueue {
+  public:
+    using Callback = std::function<void()>;
+
+    /// Schedule `fn` at absolute time `when` (>= now(), not checked: events
+    /// scheduled in the past fire immediately-next, keeping runs monotone).
+    void schedule(TimeNs when, Callback fn) {
+        heap_.push(Event{when, seq_++, std::move(fn)});
+    }
+
+    void schedule_after(TimeNs delay, Callback fn) {
+        schedule(now_ + delay, std::move(fn));
+    }
+
+    /// Run events until the queue is empty.
+    void run() {
+        while (!heap_.empty()) step();
+    }
+
+    /// Run events with time <= `until`.
+    void run_until(TimeNs until) {
+        while (!heap_.empty() && heap_.top().when <= until) step();
+        now_ = std::max(now_, until);
+    }
+
+    /// Execute the single earliest event. Returns false if none is pending.
+    bool step() {
+        if (heap_.empty()) return false;
+        // Move out the callback before popping (top() is const; copy cheap
+        // fields, swap the function).
+        Event ev = std::move(const_cast<Event&>(heap_.top()));
+        heap_.pop();
+        now_ = std::max(now_, ev.when);
+        ev.fn();
+        return true;
+    }
+
+    [[nodiscard]] TimeNs now() const noexcept { return now_; }
+    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+    [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  private:
+    struct Event {
+        TimeNs when = 0;
+        std::uint64_t seq = 0;
+        Callback fn;
+        bool operator>(const Event& o) const noexcept {
+            return when != o.when ? when > o.when : seq > o.seq;
+        }
+    };
+
+    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    TimeNs now_ = 0;
+    std::uint64_t seq_ = 0;
+};
+
+}  // namespace p4lru::sim

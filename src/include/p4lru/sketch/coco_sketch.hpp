@@ -1,0 +1,99 @@
+// CocoSketch (Zhang et al., SIGCOMM 2021): per-bucket (key, count) pairs
+// with probabilistic replacement — on a collision the newcomer captures the
+// bucket with probability delta/count, keeping every flow's estimate
+// unbiased. We implement the d-array variant with the smallest-count update.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "p4lru/common/random.hpp"
+#include "p4lru/sketch/sketch_common.hpp"
+
+namespace p4lru::sketch {
+
+template <typename Key>
+class CocoSketch {
+  public:
+    CocoSketch(std::size_t width, std::size_t depth, std::uint64_t seed)
+        : width_(width), depth_(depth), seed_(seed),
+          rows_(depth, std::vector<Bucket>(width)),
+          rng_(seed ^ 0xC0C0C0C0ULL) {
+        if (width == 0 || depth == 0) {
+            throw std::invalid_argument("CocoSketch: zero dimension");
+        }
+    }
+
+    void add(const Key& k, std::uint64_t delta = 1) {
+        // Find the minimal-count bucket among the key's d candidates; if the
+        // key already owns one of them, update that one instead.
+        std::size_t best_d = 0;
+        std::size_t best_w = 0;
+        std::uint64_t best_count = std::numeric_limits<std::uint64_t>::max();
+        for (std::size_t d = 0; d < depth_; ++d) {
+            const std::size_t w = slot(d, k);
+            Bucket& b = rows_[d][w];
+            if (b.occupied && b.key == k) {
+                b.count += delta;
+                return;
+            }
+            if (b.count < best_count) {
+                best_count = b.count;
+                best_d = d;
+                best_w = w;
+            }
+        }
+        Bucket& b = rows_[best_d][best_w];
+        b.count += delta;
+        if (!b.occupied ||
+            rng_.chance(static_cast<double>(delta) /
+                        static_cast<double>(b.count))) {
+            b.occupied = true;
+            b.key = k;
+        }
+    }
+
+    /// Estimate: count of the bucket the key owns; 0 if it owns none (the
+    /// sketch only tracks keys currently resident — per-key unbiasedness is
+    /// over the random replacement).
+    [[nodiscard]] std::uint64_t estimate(const Key& k) const {
+        for (std::size_t d = 0; d < depth_; ++d) {
+            const Bucket& b = rows_[d][slot(d, k)];
+            if (b.occupied && b.key == k) return b.count;
+        }
+        return 0;
+    }
+
+    [[nodiscard]] bool resident(const Key& k) const {
+        for (std::size_t d = 0; d < depth_; ++d) {
+            const Bucket& b = rows_[d][slot(d, k)];
+            if (b.occupied && b.key == k) return true;
+        }
+        return false;
+    }
+
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return width_ * depth_ * sizeof(Bucket);
+    }
+
+  private:
+    struct Bucket {
+        bool occupied = false;
+        Key key{};
+        std::uint64_t count = 0;
+    };
+
+    [[nodiscard]] std::size_t slot(std::size_t d, const Key& k) const {
+        return reduce(digest64(k, seed_ + d * 0x2545F491ULL), width_);
+    }
+
+    std::size_t width_;
+    std::size_t depth_;
+    std::uint64_t seed_;
+    std::vector<std::vector<Bucket>> rows_;
+    rng::Xoshiro256 rng_;
+};
+
+}  // namespace p4lru::sketch

@@ -1,0 +1,114 @@
+// Count-Min sketch (Cormode & Muthukrishnan) and its conservative-update
+// variant (CU). Both are usable as the mouse-flow filter of LruMon
+// (Section 3.3 notes LruMon is "compatible with other sketches").
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "p4lru/sketch/sketch_common.hpp"
+
+namespace p4lru::sketch {
+
+/// Classic Count-Min: d rows of w saturating counters; estimate = row min.
+/// Overestimates only (never underestimates), the property LruMon's accuracy
+/// argument relies on.
+template <typename Key, typename Counter = std::uint32_t>
+class CountMin {
+  public:
+    CountMin(std::size_t width, std::size_t depth, std::uint64_t seed)
+        : width_(width), depth_(depth), seed_(seed),
+          rows_(depth, std::vector<Counter>(width, 0)) {
+        if (width == 0 || depth == 0) {
+            throw std::invalid_argument("CountMin: zero dimension");
+        }
+    }
+
+    /// Add `delta` to the key's counters (saturating).
+    void add(const Key& k, std::uint64_t delta = 1) {
+        for (std::size_t d = 0; d < depth_; ++d) {
+            Counter& c = cell(d, k);
+            c = saturating_add(c, delta);
+        }
+    }
+
+    /// Point query: min over the rows.
+    [[nodiscard]] std::uint64_t estimate(const Key& k) const {
+        std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+        for (std::size_t d = 0; d < depth_; ++d) {
+            best = std::min<std::uint64_t>(best, cell(d, k));
+        }
+        return best;
+    }
+
+    /// Combined add + estimate in one pass (what the data plane does).
+    std::uint64_t add_and_estimate(const Key& k, std::uint64_t delta) {
+        std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+        for (std::size_t d = 0; d < depth_; ++d) {
+            Counter& c = cell(d, k);
+            c = saturating_add(c, delta);
+            best = std::min<std::uint64_t>(best, c);
+        }
+        return best;
+    }
+
+    void clear() {
+        for (auto& row : rows_) std::fill(row.begin(), row.end(), Counter{0});
+    }
+
+    [[nodiscard]] std::size_t width() const noexcept { return width_; }
+    [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return width_ * depth_ * sizeof(Counter);
+    }
+
+  protected:
+    [[nodiscard]] Counter& cell(std::size_t d, const Key& k) {
+        return rows_[d][reduce(digest64(k, seed_ + d * 0x9E3779B9ULL), width_)];
+    }
+    [[nodiscard]] const Counter& cell(std::size_t d, const Key& k) const {
+        return rows_[d][reduce(digest64(k, seed_ + d * 0x9E3779B9ULL), width_)];
+    }
+
+    static Counter saturating_add(Counter c, std::uint64_t delta) noexcept {
+        const auto max = std::numeric_limits<Counter>::max();
+        const std::uint64_t sum = static_cast<std::uint64_t>(c) + delta;
+        return sum >= max ? max : static_cast<Counter>(sum);
+    }
+
+    std::size_t width_;
+    std::size_t depth_;
+    std::uint64_t seed_;
+    std::vector<std::vector<Counter>> rows_;
+};
+
+/// Conservative-update (CU) sketch: only the minimal counters grow, cutting
+/// overestimation roughly in half at the cost of not supporting deletions.
+template <typename Key, typename Counter = std::uint32_t>
+class CuSketch : public CountMin<Key, Counter> {
+  public:
+    using Base = CountMin<Key, Counter>;
+    using Base::Base;
+
+    void add(const Key& k, std::uint64_t delta = 1) {
+        // Raise every counter to max(counter, current_estimate + delta).
+        const std::uint64_t target = this->estimate(k) + delta;
+        for (std::size_t d = 0; d < this->depth_; ++d) {
+            Counter& c = this->cell(d, k);
+            if (static_cast<std::uint64_t>(c) < target) {
+                const auto max = std::numeric_limits<Counter>::max();
+                c = target >= max ? max : static_cast<Counter>(target);
+            }
+        }
+    }
+
+    std::uint64_t add_and_estimate(const Key& k, std::uint64_t delta) {
+        add(k, delta);
+        return this->estimate(k);
+    }
+};
+
+}  // namespace p4lru::sketch

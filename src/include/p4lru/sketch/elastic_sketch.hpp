@@ -1,0 +1,109 @@
+// Elastic sketch (Yang et al., SIGCOMM 2018): a heavy part of vote-guarded
+// buckets that pins elephant flows, backed by a light part (CM row of 8-bit
+// counters) absorbing the evicted mouse traffic. Point queries combine both.
+//
+// LruMon's comparative experiments use Elastic's replacement rule as a cache
+// policy (cache::ElasticPolicy); this full sketch exists as the measurement
+// substrate and for the filter-ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "p4lru/sketch/sketch_common.hpp"
+
+namespace p4lru::sketch {
+
+template <typename Key>
+class ElasticSketch {
+  public:
+    /// \param heavy_buckets number of heavy-part buckets
+    /// \param light_width   number of 8-bit light-part counters
+    /// \param lambda        eviction threshold (negative >= lambda * positive)
+    ElasticSketch(std::size_t heavy_buckets, std::size_t light_width,
+                  std::uint64_t seed, std::uint32_t lambda = 8)
+        : heavy_(heavy_buckets), light_(light_width, 0), seed_(seed),
+          lambda_(lambda) {
+        if (heavy_buckets == 0 || light_width == 0) {
+            throw std::invalid_argument("ElasticSketch: zero dimension");
+        }
+        if (lambda == 0) throw std::invalid_argument("ElasticSketch: lambda 0");
+    }
+
+    void add(const Key& k, std::uint32_t delta = 1) {
+        Bucket& b = heavy_[reduce(digest64(k, seed_), heavy_.size())];
+        if (b.occupied && b.key == k) {
+            b.positive += delta;
+            return;
+        }
+        if (!b.occupied) {
+            b = {true, false, k, delta, 0};
+            return;
+        }
+        b.negative += delta;
+        if (b.negative >= lambda_ * b.positive) {
+            // Evict the resident into the light part; newcomer takes over
+            // with the "flag" marking that its early traffic may sit in the
+            // light part too.
+            light_add(b.key, b.positive);
+            b = {true, true, k, delta, 0};
+        } else {
+            light_add(k, delta);
+        }
+    }
+
+    /// Point query; can both over- and under-estimate slightly, as in the
+    /// original design (heavy hits are near-exact).
+    [[nodiscard]] std::uint64_t estimate(const Key& k) const {
+        const Bucket& b = heavy_[reduce(digest64(k, seed_), heavy_.size())];
+        std::uint64_t est = 0;
+        if (b.occupied && b.key == k) {
+            est += b.positive;
+            if (!b.flagged) return est;  // never touched the light part
+        }
+        return est + light_estimate(k);
+    }
+
+    /// True if k currently owns a heavy bucket (the "cached" notion used by
+    /// frequency-based data plane caches).
+    [[nodiscard]] bool heavy_hit(const Key& k) const {
+        const Bucket& b = heavy_[reduce(digest64(k, seed_), heavy_.size())];
+        return b.occupied && b.key == k;
+    }
+
+    [[nodiscard]] std::size_t heavy_buckets() const noexcept {
+        return heavy_.size();
+    }
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        return heavy_.size() * sizeof(Bucket) + light_.size();
+    }
+
+  private:
+    struct Bucket {
+        bool occupied = false;
+        bool flagged = false;  ///< resident may have mass in the light part
+        Key key{};
+        std::uint32_t positive = 0;
+        std::uint32_t negative = 0;
+    };
+
+    void light_add(const Key& k, std::uint32_t delta) {
+        std::uint8_t& c = light_[reduce(digest64(k, seed_ ^ 0xE1A5ULL),
+                                        light_.size())];
+        const std::uint32_t sum = std::uint32_t{c} + delta;
+        c = sum >= 0xFFu ? std::uint8_t{0xFF} : static_cast<std::uint8_t>(sum);
+    }
+
+    [[nodiscard]] std::uint64_t light_estimate(const Key& k) const {
+        return light_[reduce(digest64(k, seed_ ^ 0xE1A5ULL), light_.size())];
+    }
+
+    std::vector<Bucket> heavy_;
+    std::vector<std::uint8_t> light_;
+    std::uint64_t seed_;
+    std::uint32_t lambda_;
+};
+
+}  // namespace p4lru::sketch

@@ -1,0 +1,38 @@
+// Shared helpers for the sketch substrates.
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <span>
+#include <type_traits>
+
+#include "p4lru/common/hash.hpp"
+#include "p4lru/common/types.hpp"
+
+namespace p4lru::sketch {
+
+/// Seeded 64-bit digest for any supported key type. FlowKeys hash their
+/// packed 13-byte layout; integral keys go through a salted mixer. Distinct
+/// seeds yield (empirically) independent hash functions, as required by the
+/// CM/CU/Tower error analyses.
+template <typename Key>
+[[nodiscard]] std::uint64_t digest64(const Key& k, std::uint64_t seed) {
+    if constexpr (std::is_same_v<Key, FlowKey>) {
+        const auto b = k.bytes();
+        return hash::xxhash64(std::span<const std::uint8_t>(b.data(), b.size()),
+                              seed);
+    } else {
+        static_assert(std::integral<Key>, "digest64: unsupported key type");
+        return hash::mix64(static_cast<std::uint64_t>(k) ^
+                           hash::mix64(seed ^ 0x5EEDULL));
+    }
+}
+
+/// Reduce a digest onto [0, width).
+[[nodiscard]] inline std::size_t reduce(std::uint64_t digest,
+                                        std::size_t width) noexcept {
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(digest) * width) >> 64);
+}
+
+}  // namespace p4lru::sketch

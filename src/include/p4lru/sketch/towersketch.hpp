@@ -1,0 +1,131 @@
+// TowerSketch (Yang et al., ICNP 2021): a Count-Min variant whose levels use
+// counters of different widths — wide arrays of small counters catch mouse
+// flows cheaply, narrow arrays of large counters keep elephants countable.
+// A saturated counter carries no information and is excluded from the min.
+//
+// This is the mouse-flow filter of LruMon (Section 3.3): C1 = 2^20 8-bit
+// counters, C2 = 2^19 16-bit counters in the paper's configuration.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "p4lru/sketch/sketch_common.hpp"
+
+namespace p4lru::sketch {
+
+/// One Tower level: `width` counters of `bits` (8, 16 or 32) each.
+struct TowerLevelConfig {
+    std::size_t width = 0;
+    unsigned bits = 8;
+};
+
+template <typename Key>
+class TowerSketch {
+  public:
+    TowerSketch(std::vector<TowerLevelConfig> levels, std::uint64_t seed)
+        : seed_(seed) {
+        if (levels.empty()) {
+            throw std::invalid_argument("TowerSketch: no levels");
+        }
+        levels_.reserve(levels.size());
+        for (const auto& cfg : levels) {
+            if (cfg.width == 0) {
+                throw std::invalid_argument("TowerSketch: zero width");
+            }
+            if (cfg.bits != 8 && cfg.bits != 16 && cfg.bits != 32) {
+                throw std::invalid_argument("TowerSketch: bits not in 8/16/32");
+            }
+            Level lvl;
+            lvl.max = cfg.bits == 32
+                          ? std::numeric_limits<std::uint32_t>::max()
+                          : ((std::uint32_t{1} << cfg.bits) - 1);
+            lvl.counters.assign(cfg.width, 0);
+            levels_.push_back(std::move(lvl));
+        }
+    }
+
+    /// Add delta to the key's counter in every level (saturating) and return
+    /// the resulting estimate: min over non-saturated counters; if all are
+    /// saturated the estimate is the largest level maximum (a lower bound).
+    std::uint64_t add_and_estimate(const Key& k, std::uint64_t delta) {
+        std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+        std::uint64_t floor = 0;
+        for (std::size_t i = 0; i < levels_.size(); ++i) {
+            Level& lvl = levels_[i];
+            std::uint32_t& c = lvl.counters[slot(i, k)];
+            const std::uint64_t sum = static_cast<std::uint64_t>(c) + delta;
+            c = sum >= lvl.max ? lvl.max : static_cast<std::uint32_t>(sum);
+            if (c < lvl.max) {
+                best = std::min<std::uint64_t>(best, c);
+            } else {
+                floor = std::max<std::uint64_t>(floor, lvl.max);
+            }
+        }
+        return best == std::numeric_limits<std::uint64_t>::max() ? floor
+                                                                 : best;
+    }
+
+    void add(const Key& k, std::uint64_t delta = 1) { add_and_estimate(k, delta); }
+
+    [[nodiscard]] std::uint64_t estimate(const Key& k) const {
+        std::uint64_t best = std::numeric_limits<std::uint64_t>::max();
+        std::uint64_t floor = 0;
+        for (std::size_t i = 0; i < levels_.size(); ++i) {
+            const Level& lvl = levels_[i];
+            const std::uint32_t c = lvl.counters[slot(i, k)];
+            if (c < lvl.max) {
+                best = std::min<std::uint64_t>(best, c);
+            } else {
+                floor = std::max<std::uint64_t>(floor, lvl.max);
+            }
+        }
+        return best == std::numeric_limits<std::uint64_t>::max() ? floor
+                                                                 : best;
+    }
+
+    void clear() {
+        for (auto& lvl : levels_) {
+            std::fill(lvl.counters.begin(), lvl.counters.end(), 0u);
+        }
+    }
+
+    [[nodiscard]] std::size_t level_count() const noexcept {
+        return levels_.size();
+    }
+    [[nodiscard]] std::size_t level_width(std::size_t i) const {
+        return levels_.at(i).counters.size();
+    }
+    [[nodiscard]] std::uint32_t level_max(std::size_t i) const {
+        return levels_.at(i).max;
+    }
+
+    [[nodiscard]] std::size_t memory_bytes() const noexcept {
+        std::size_t bits = 0;
+        for (const auto& lvl : levels_) {
+            unsigned width_bits = 32;
+            if (lvl.max == 0xFFu) width_bits = 8;
+            else if (lvl.max == 0xFFFFu) width_bits = 16;
+            bits += lvl.counters.size() * width_bits;
+        }
+        return bits / 8;
+    }
+
+  private:
+    struct Level {
+        std::uint32_t max = 0;
+        std::vector<std::uint32_t> counters;
+    };
+
+    [[nodiscard]] std::size_t slot(std::size_t level, const Key& k) const {
+        return reduce(digest64(k, seed_ + level * 0x517CC1B7ULL),
+                      levels_[level].counters.size());
+    }
+
+    std::uint64_t seed_;
+    std::vector<Level> levels_;
+};
+
+}  // namespace p4lru::sketch

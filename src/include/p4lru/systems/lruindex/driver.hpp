@@ -1,0 +1,38 @@
+// Closed-loop benchmark driver for LruIndex: `threads` client threads, each
+// with one outstanding YCSB query; the switch cache is consulted on the way
+// in (read-only) and updated by the reply on the way out. Thread scaling is
+// sublinear because index traversals contend on a serialized latch
+// (ServerCosts::index_lock_fraction) — which is also why index bypasses
+// (cache hits) buy more than their raw latency.
+#pragma once
+
+#include <cstdint>
+
+#include "p4lru/common/types.hpp"
+#include "p4lru/systems/lruindex/db_server.hpp"
+#include "p4lru/systems/lruindex/index_cache.hpp"
+#include "p4lru/trace/ycsb.hpp"
+
+namespace p4lru::systems::lruindex {
+
+struct DriverConfig {
+    std::size_t threads = 8;
+    std::size_t queries = 200'000;            ///< total across all threads
+    TimeNs net_delay = 3 * kMicrosecond;      ///< one-way client<->server
+    trace::YcsbConfig workload{};             ///< keys, skew
+    bool use_cache = true;  ///< false = the paper's "Naive Solution"
+};
+
+struct DriverReport {
+    double throughput_ktps = 0.0;  ///< kilo transactions per second
+    double miss_rate = 0.0;        ///< query packets with cached_flag == 0
+    double avg_latency_us = 0.0;
+    std::uint64_t queries = 0;
+    std::uint64_t wrong_replies = 0;  ///< correctness check: must be 0
+};
+
+/// Run the closed loop against `cache` (may be null when use_cache=false).
+[[nodiscard]] DriverReport run_driver(const DriverConfig& cfg,
+                                      DbServer& server, IndexCache* cache);
+
+}  // namespace p4lru::systems::lruindex

@@ -1,0 +1,48 @@
+// The remote analyzer of LruMon (Section 3.3): receives the entries the
+// data plane uploads on cache misses, maintains the T_fp (flow -> fp) and
+// T_len (flow -> bytes) tables, and credits evicted fingerprints back to
+// their flows.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "p4lru/common/types.hpp"
+
+namespace p4lru::systems::lrumon {
+
+class Analyzer {
+  public:
+    /// An uploaded data plane entry <f, fp', len'>: the flow whose miss
+    /// triggered the upload, and the evicted fingerprint with its byte
+    /// count (fp' == 0 when the miss evicted nothing).
+    void on_upload(const FlowKey& flow, std::uint32_t flow_fp,
+                   std::uint32_t evicted_fp, std::uint64_t evicted_len);
+
+    /// Teardown flush of entries still cached in the data plane.
+    void on_flush(std::uint32_t fp, std::uint64_t len);
+
+    /// Measured bytes of `flow` (0 if never seen).
+    [[nodiscard]] std::uint64_t measured_bytes(const FlowKey& flow) const;
+
+    [[nodiscard]] std::uint64_t uploads() const noexcept { return uploads_; }
+    [[nodiscard]] std::size_t known_flows() const noexcept {
+        return t_len_.size();
+    }
+    /// Evicted fingerprints that matched no known flow (collision or flush
+    /// ordering artifacts); should stay ~0.
+    [[nodiscard]] std::uint64_t unmatched() const noexcept {
+        return unmatched_;
+    }
+
+  private:
+    void credit(std::uint32_t fp, std::uint64_t len);
+
+    std::unordered_map<FlowKey, std::uint32_t> t_fp_;
+    std::unordered_map<FlowKey, std::uint64_t> t_len_;
+    std::unordered_map<std::uint32_t, FlowKey> fp_to_flow_;
+    std::uint64_t uploads_ = 0;
+    std::uint64_t unmatched_ = 0;
+};
+
+}  // namespace p4lru::systems::lrumon

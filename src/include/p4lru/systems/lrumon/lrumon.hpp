@@ -1,0 +1,83 @@
+// LruMon (Section 3.3): data-plane telemetry that never overestimates.
+//
+// Per packet: the windowed filter drops mouse traffic (est < threshold);
+// elephant packets enter the fingerprint-keyed cache with accumulate-on-hit
+// semantics; every cache miss uploads <f, fp', len'> to the analyzer. A
+// better replacement policy means fewer misses, hence fewer uploads — the
+// quantity Figures 11/14/17 measure — while accuracy is structurally
+// unaffected (only the filter can under-count, and only below threshold).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+
+#include "p4lru/cache/policy.hpp"
+#include "p4lru/common/types.hpp"
+#include "p4lru/systems/lrumon/analyzer.hpp"
+#include "p4lru/systems/lrumon/tower_filter.hpp"
+
+namespace p4lru::systems::lrumon {
+
+using FlowLen = std::uint64_t;
+
+struct LruMonConfig {
+    std::uint32_t threshold = 1500;  ///< filter threshold L (bytes)
+    bool track_ground_truth = true;  ///< keep per-flow true byte counts
+};
+
+struct LruMonReport {
+    std::uint64_t packets = 0;
+    std::uint64_t filtered_packets = 0;  ///< mouse packets dropped
+    std::uint64_t elephant_packets = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t uploads = 0;           ///< entries sent to the analyzer
+    double upload_kpps = 0.0;            ///< uploads / trace seconds / 1e3
+    double cache_miss_rate = 0.0;        ///< among elephant packets
+    std::uint64_t total_bytes = 0;
+    std::uint64_t measured_bytes = 0;
+    double total_error_rate = 0.0;       ///< underestimation / total bytes
+    std::uint64_t max_flow_error = 0;    ///< max per-flow underestimation
+    std::uint64_t overestimated_flows = 0;  ///< must stay 0
+};
+
+class LruMonSystem {
+  public:
+    LruMonSystem(std::unique_ptr<FlowFilter> filter,
+                 std::unique_ptr<cache::ReplacementPolicy<std::uint32_t,
+                                                          FlowLen>>
+                     policy,
+                 LruMonConfig cfg);
+
+    /// Process one packet (timestamps non-decreasing).
+    void process(const PacketRecord& pkt);
+
+    /// Teardown: flush entries still cached into the analyzer.
+    void finish();
+
+    /// Report over everything processed so far (call finish() first for
+    /// exact error accounting).
+    [[nodiscard]] LruMonReport report() const;
+
+    [[nodiscard]] const Analyzer& analyzer() const noexcept {
+        return analyzer_;
+    }
+
+  private:
+    std::unique_ptr<FlowFilter> filter_;
+    std::unique_ptr<cache::ReplacementPolicy<std::uint32_t, FlowLen>> policy_;
+    LruMonConfig cfg_;
+    Analyzer analyzer_;
+
+    std::unordered_map<FlowKey, std::uint64_t> true_bytes_;
+    std::unordered_map<std::uint32_t, FlowKey> fp_owner_;  // ground truth aid
+
+    std::uint64_t packets_ = 0;
+    std::uint64_t filtered_ = 0;
+    std::uint64_t elephants_ = 0;
+    std::uint64_t hits_ = 0;
+    TimeNs first_ts_ = 0;
+    TimeNs last_ts_ = 0;
+    bool finished_ = false;
+};
+
+}  // namespace p4lru::systems::lrumon

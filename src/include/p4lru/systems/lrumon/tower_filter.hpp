@@ -1,0 +1,150 @@
+// The mouse-flow filter of LruMon (Section 3.3): a sketch whose counters are
+// periodically reset. The paper pairs every counter with an 8-bit timestamp
+// for lazy per-counter resets on a millisecond scale; resetting a counter on
+// first touch in a new window is observably identical to clearing the whole
+// sketch at the window boundary, which is how we model it.
+//
+// Three interchangeable sketches (the paper: "LruMon is also compatible with
+// other sketches, such as the CM sketch or the approximate CU sketch").
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "p4lru/common/types.hpp"
+#include "p4lru/sketch/countmin.hpp"
+#include "p4lru/sketch/towersketch.hpp"
+
+namespace p4lru::systems::lrumon {
+
+/// Windowed filter interface over a 32-bit flow fingerprint.
+class FlowFilter {
+  public:
+    virtual ~FlowFilter() = default;
+
+    /// Count `len` bytes for `fp` at time `ts`; returns the flow's estimated
+    /// bytes within the current reset window.
+    virtual std::uint64_t add_and_estimate(std::uint32_t fp, std::uint32_t len,
+                                           TimeNs ts) = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+    [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
+};
+
+struct FilterConfig {
+    TimeNs reset_period = 10 * kMillisecond;  ///< paper default
+    std::uint64_t seed = 0x70EEE;
+    std::size_t tower_width1 = 1u << 20;  ///< 8-bit level
+    std::size_t tower_width2 = 1u << 19;  ///< 16-bit level
+    std::size_t cm_width = 1u << 19;      ///< CM / CU counters per row
+    std::size_t cm_depth = 2;
+};
+
+/// TowerSketch-backed filter (the paper's primary configuration).
+class TowerFilter final : public FlowFilter {
+  public:
+    explicit TowerFilter(const FilterConfig& cfg)
+        : cfg_(cfg),
+          sketch_({{cfg.tower_width1, 8}, {cfg.tower_width2, 16}}, cfg.seed) {}
+
+    std::uint64_t add_and_estimate(std::uint32_t fp, std::uint32_t len,
+                                   TimeNs ts) override {
+        roll_window(ts);
+        return sketch_.add_and_estimate(fp, len);
+    }
+
+    std::string name() const override { return "Tower"; }
+    std::size_t memory_bytes() const override {
+        return sketch_.memory_bytes();
+    }
+
+  private:
+    void roll_window(TimeNs ts) {
+        const std::uint64_t w = ts / cfg_.reset_period;
+        if (w != window_) {
+            sketch_.clear();
+            window_ = w;
+        }
+    }
+
+    FilterConfig cfg_;
+    std::uint64_t window_ = 0;
+    sketch::TowerSketch<std::uint32_t> sketch_;
+};
+
+/// Count-Min-backed filter (used by the testbed experiments, Figure 11).
+class CmFilter final : public FlowFilter {
+  public:
+    explicit CmFilter(const FilterConfig& cfg)
+        : cfg_(cfg), sketch_(cfg.cm_width, cfg.cm_depth, cfg.seed) {}
+
+    std::uint64_t add_and_estimate(std::uint32_t fp, std::uint32_t len,
+                                   TimeNs ts) override {
+        roll_window(ts);
+        return sketch_.add_and_estimate(fp, len);
+    }
+
+    std::string name() const override { return "CM"; }
+    std::size_t memory_bytes() const override {
+        return sketch_.memory_bytes();
+    }
+
+  private:
+    void roll_window(TimeNs ts) {
+        const std::uint64_t w = ts / cfg_.reset_period;
+        if (w != window_) {
+            sketch_.clear();
+            window_ = w;
+        }
+    }
+
+    FilterConfig cfg_;
+    std::uint64_t window_ = 0;
+    sketch::CountMin<std::uint32_t> sketch_;
+};
+
+/// CU-backed filter (conservative update halves the overestimation).
+class CuFilter final : public FlowFilter {
+  public:
+    explicit CuFilter(const FilterConfig& cfg)
+        : cfg_(cfg), sketch_(cfg.cm_width, cfg.cm_depth, cfg.seed) {}
+
+    std::uint64_t add_and_estimate(std::uint32_t fp, std::uint32_t len,
+                                   TimeNs ts) override {
+        roll_window(ts);
+        return sketch_.add_and_estimate(fp, len);
+    }
+
+    std::string name() const override { return "CU"; }
+    std::size_t memory_bytes() const override {
+        return sketch_.memory_bytes();
+    }
+
+  private:
+    void roll_window(TimeNs ts) {
+        const std::uint64_t w = ts / cfg_.reset_period;
+        if (w != window_) {
+            sketch_.clear();
+            window_ = w;
+        }
+    }
+
+    FilterConfig cfg_;
+    std::uint64_t window_ = 0;
+    sketch::CuSketch<std::uint32_t> sketch_;
+};
+
+enum class FilterKind { kTower, kCm, kCu };
+
+[[nodiscard]] inline std::unique_ptr<FlowFilter> make_filter(
+    FilterKind kind, const FilterConfig& cfg) {
+    switch (kind) {
+        case FilterKind::kTower: return std::make_unique<TowerFilter>(cfg);
+        case FilterKind::kCm: return std::make_unique<CmFilter>(cfg);
+        case FilterKind::kCu: return std::make_unique<CuFilter>(cfg);
+    }
+    return nullptr;
+}
+
+}  // namespace p4lru::systems::lrumon

@@ -1,0 +1,105 @@
+// LruTable (Section 3.1): a data-plane NAT whose fast path is a cache of
+// control-plane table entries.
+//
+// Protocol per packet with virtual address va (the packet's virtual
+// destination address, as in the paper):
+//   * cache hit with a real address  -> fast path, base latency;
+//   * cache hit on a PLACEHOLDER     -> the fill for this flow is still in
+//     flight: the packet takes the slow path (latency dT) but does NOT
+//     schedule another fill and does not traverse the cache again;
+//   * cache miss                     -> slow path (latency dT); the cache
+//     inserts a placeholder and the control-plane lookup result re-enters
+//     the data plane after dT, replacing the placeholder with the real
+//     address (a normal write-path cache update).
+//
+// The replacement policy is pluggable so the comparative benches (Figure 12)
+// run the identical protocol over P4LRU3 / Timeout / Elastic / Coco / ideal
+// LRU.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "p4lru/cache/policy.hpp"
+#include "p4lru/cache/similarity.hpp"
+#include "p4lru/common/stats.hpp"
+#include "p4lru/common/types.hpp"
+
+namespace p4lru::systems::lrutable {
+
+/// Virtual address: the packet's virtual destination IP.
+using VirtualAddress = std::uint32_t;
+
+/// The control-plane NAT table: the authoritative virtual->real mapping.
+/// Mappings are deterministic functions of the virtual address (a
+/// pre-provisioned table), so any trace works without a provisioning step.
+class NatTable {
+  public:
+    /// Authoritative lookup (slow path). Never fails: the table is full.
+    [[nodiscard]] std::uint32_t lookup(VirtualAddress va) const;
+};
+
+/// Placeholder marking an in-flight control-plane lookup (paper: "e.g.
+/// 0x00000000 or 0xFFFFFFFF").
+inline constexpr std::uint32_t kPlaceholder = 0xFFFFFFFFu;
+
+struct LruTableConfig {
+    TimeNs slow_path_delay = 100 * kMicrosecond;  ///< dT
+    TimeNs base_latency = 1 * kMicrosecond;       ///< direct forwarding cost
+    bool track_similarity = false;
+    std::size_t similarity_max_accesses = 0;  ///< required when tracking
+};
+
+struct LruTableReport {
+    std::uint64_t packets = 0;
+    std::uint64_t fast_path = 0;        ///< real-address hits
+    std::uint64_t placeholder_hits = 0; ///< slow path, fill already pending
+    std::uint64_t misses = 0;           ///< slow path, fill scheduled
+    double avg_added_latency_us = 0.0;  ///< mean latency beyond base
+    double miss_rate = 0.0;             ///< (placeholder_hits + misses)/packets
+    double similarity = 1.0;            ///< only if tracking enabled
+};
+
+/// The full system simulation around a pluggable cache policy.
+class LruTableSystem {
+  public:
+    using Policy = cache::ReplacementPolicy<VirtualAddress, std::uint32_t>;
+
+    LruTableSystem(std::unique_ptr<Policy> policy, LruTableConfig cfg);
+
+    /// Process one packet (packets must arrive in non-decreasing ts order).
+    /// Returns the latency experienced by this packet.
+    TimeNs process(const PacketRecord& pkt);
+
+    /// Drain remaining pending fills (end of trace).
+    void finish();
+
+    [[nodiscard]] LruTableReport report() const;
+
+    [[nodiscard]] const Policy& policy() const { return *policy_; }
+
+  private:
+    void apply_fills(TimeNs now);
+
+    struct PendingFill {
+        TimeNs ready_at = 0;
+        VirtualAddress va = 0;
+        std::uint32_t real_address = 0;
+    };
+
+    std::unique_ptr<Policy> policy_;
+    LruTableConfig cfg_;
+    NatTable nat_;
+    std::deque<PendingFill> pending_;
+    std::unique_ptr<cache::SimilarityTracker<VirtualAddress>> similarity_;
+
+    std::uint64_t packets_ = 0;
+    std::uint64_t fast_path_ = 0;
+    std::uint64_t placeholder_hits_ = 0;
+    std::uint64_t misses_ = 0;
+    stats::Running added_latency_us_;
+};
+
+}  // namespace p4lru::systems::lrutable

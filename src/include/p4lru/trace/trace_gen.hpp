@@ -1,0 +1,64 @@
+// Synthetic CAIDA-like packet traces (substitution for the CAIDA 2018
+// anonymized traces used by the paper; see DESIGN.md).
+//
+// The generator reproduces the statistical properties the evaluation depends
+// on: Pareto/Zipf heavy-tailed flow sizes (most flows are a few packets, a
+// few flows are huge), bursty within-flow packet arrivals (temporal locality
+// — what recency-based policies exploit), realistic packet-length mix, and
+// the paper's CAIDA_n construction: the trace is assembled from n
+// back-to-back segments with *independent* flow populations, so total flow
+// count and maximum flow concurrency grow with n while duration and packet
+// count stay fixed.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "p4lru/common/random.hpp"
+#include "p4lru/common/types.hpp"
+
+namespace p4lru::trace {
+
+/// Parameters of the synthetic trace. Defaults give a laptop-sized analogue
+/// of the paper's 2.6e7-packet traces (scaled down ~10x).
+struct TraceConfig {
+    std::uint64_t seed = 1;
+    std::size_t total_packets = 2'000'000;  ///< target packet count
+    std::size_t segments = 1;               ///< the "n" of CAIDA_n
+    TimeNs duration = kSecond;              ///< total duration (paper: 1 s)
+    double pareto_alpha = 1.05;             ///< flow-size tail exponent
+    double pareto_xm = 2.5;                 ///< flow-size scale (min size)
+    /// Cap on a single flow's packets, divided across segments: shorter
+    /// segments truncate elephants, as cutting a real trace does.
+    std::size_t flow_size_cap = 200'000;
+    double burst_mean = 4.0;                ///< mean packets per burst
+    TimeNs intra_burst_gap = 2 * kMicrosecond;
+    TimeNs mean_pacing = 400 * kMicrosecond;  ///< flow lifetime per packet
+    /// Destination hosts are drawn from a Zipf-popular server pool shared by
+    /// all segments (flows hit the same popular services across minutes).
+    /// 0 = auto (total_packets / 64).
+    std::size_t dst_hosts = 0;
+    double dst_zipf_alpha = 1.0;
+};
+
+/// Generate the full packet trace, sorted by timestamp.
+[[nodiscard]] std::vector<PacketRecord> generate_trace(const TraceConfig& cfg);
+
+/// Summary statistics over a trace (used to validate the generator and to
+/// report the concurrency axis of Figures 9 and 11).
+struct TraceStats {
+    std::size_t packets = 0;
+    std::size_t flows = 0;              ///< distinct 5-tuples
+    std::size_t max_concurrent = 0;     ///< peak flows active in any window
+    std::uint64_t total_bytes = 0;
+    TimeNs duration = 0;
+};
+
+/// Compute stats. A flow is "active" from its first packet until
+/// `idle_timeout` after its last packet; max_concurrent is the peak number
+/// of simultaneously active flows (the paper's concurrency notion).
+[[nodiscard]] TraceStats compute_stats(const std::vector<PacketRecord>& trace,
+                                       TimeNs idle_timeout = 20 *
+                                                             kMillisecond);
+
+}  // namespace p4lru::trace

@@ -1,0 +1,25 @@
+// Binary trace serialization: lets benches generate a trace once and replay
+// it across policy sweeps, and lets users feed their own converted traces.
+//
+// Format (little-endian):
+//   magic "P4LRUTRC" (8 bytes) | version u32 | count u64 |
+//   count x { ts u64 | src_ip u32 | dst_ip u32 | src_port u16 | dst_port u16
+//             | proto u8 | pad u8[3] | len u32 }
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "p4lru/common/types.hpp"
+
+namespace p4lru::trace {
+
+/// Write the trace to `path`. Throws std::runtime_error on IO failure.
+void write_trace(const std::string& path,
+                 const std::vector<PacketRecord>& records);
+
+/// Read a trace from `path`. Throws std::runtime_error on IO failure, bad
+/// magic, unsupported version, or a truncated body.
+[[nodiscard]] std::vector<PacketRecord> read_trace(const std::string& path);
+
+}  // namespace p4lru::trace

@@ -1,0 +1,49 @@
+// YCSB-like workload generator for the LruIndex evaluation.
+//
+// The paper drives LruIndex with YCSB transactions whose keys follow a Zipf
+// distribution with skew alpha = 0.9. We reproduce that: a key space of N
+// items, scrambled-Zipfian key chooser, and a configurable read/update mix
+// (the paper's experiment is read-dominant; default is 100% reads).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "p4lru/common/random.hpp"
+#include "p4lru/common/zipf.hpp"
+
+namespace p4lru::trace {
+
+enum class OpType : std::uint8_t { kRead, kUpdate };
+
+struct YcsbOp {
+    OpType type = OpType::kRead;
+    std::uint64_t key = 0;
+};
+
+struct YcsbConfig {
+    std::uint64_t seed = 7;
+    std::uint64_t items = 1'000'000;  ///< database size (paper: 1e6)
+    double zipf_alpha = 0.9;          ///< paper's skew
+    double read_fraction = 1.0;       ///< fraction of reads
+};
+
+/// Streaming generator: draws one operation at a time, deterministic in the
+/// seed. Also materializes whole transaction sets for replay-style benches.
+class YcsbWorkload {
+  public:
+    explicit YcsbWorkload(const YcsbConfig& cfg);
+
+    [[nodiscard]] YcsbOp next();
+
+    [[nodiscard]] std::vector<YcsbOp> generate(std::size_t count);
+
+    [[nodiscard]] const YcsbConfig& config() const noexcept { return cfg_; }
+
+  private:
+    YcsbConfig cfg_;
+    rng::ScrambledZipf chooser_;
+    rng::Xoshiro256 rng_;
+};
+
+}  // namespace p4lru::trace

@@ -1,0 +1,49 @@
+#include "p4lru/index/record_store.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p4lru::index {
+
+RecordAddress RecordStore::allocate(std::span<const std::uint8_t> payload) {
+    const std::uint64_t slot = slabs_.size() + 1;  // slot 0 = null
+    const RecordAddress addr = slot * kRecordBytes;
+    if ((addr & ~kAddressMask) != 0) {
+        throw std::length_error("RecordStore: 48-bit address space exhausted");
+    }
+    Record r{};
+    std::copy_n(payload.data(), std::min(payload.size(), kRecordBytes),
+                r.begin());
+    slabs_.push_back(r);
+    return addr;
+}
+
+std::size_t RecordStore::slot_of(RecordAddress addr) const {
+    if (addr == kNullRecord || addr % kRecordBytes != 0) {
+        throw std::out_of_range("RecordStore: malformed address");
+    }
+    const std::size_t slot = addr / kRecordBytes - 1;
+    if (slot >= slabs_.size()) {
+        throw std::out_of_range("RecordStore: address beyond store");
+    }
+    return slot;
+}
+
+const RecordStore::Record& RecordStore::read(RecordAddress addr) const {
+    return slabs_[slot_of(addr)];
+}
+
+void RecordStore::write(RecordAddress addr,
+                        std::span<const std::uint8_t> payload) {
+    Record& r = slabs_[slot_of(addr)];
+    r.fill(0);
+    std::copy_n(payload.data(), std::min(payload.size(), kRecordBytes),
+                r.begin());
+}
+
+bool RecordStore::valid(RecordAddress addr) const noexcept {
+    if (addr == kNullRecord || addr % kRecordBytes != 0) return false;
+    return addr / kRecordBytes - 1 < slabs_.size();
+}
+
+}  // namespace p4lru::index

@@ -1,0 +1,212 @@
+#include "p4lru/pipeline/lruindex_query_program.hpp"
+
+#include "p4lru/core/state_codec.hpp"
+
+namespace p4lru::pipeline {
+
+LruIndexQueryLevel::LruIndexQueryLevel(std::size_t units,
+                                       std::uint32_t hash_seed)
+    : units_(units) {
+    build(hash_seed);
+}
+
+void LruIndexQueryLevel::build(std::uint32_t hash_seed) {
+    auto& L = pipe_.layout();
+    f_key_ = L.field("in.key");
+    f_idx_ = L.field("md.idx");
+    f_m1_ = L.field("md.match1");
+    f_m2_ = L.field("md.match2");
+    f_m3_ = L.field("md.match3");
+    f_hit_ = L.field("md.hit");
+    f_scode_ = L.field("md.state_code");
+    f_s1_ = L.field("md.slot_if_m1");
+    f_s2_ = L.field("md.slot_if_m2");
+    f_s3_ = L.field("md.slot_if_m3");
+    f_slot_a_ = L.field("md.slot_23");
+    f_slot_ = L.field("md.slot");
+    f_v1_ = L.field("md.or12");
+    f_va_ = L.field("md.value_read");
+    f_value_ = L.field("out.value");
+    // Unused placeholders kept named for the listing.
+    f_v2_ = L.field("md.unused2");
+    f_v3_ = L.field("md.unused3");
+
+    reg_key_[0] = pipe_.add_register_array("key1", units_);
+    reg_key_[1] = pipe_.add_register_array("key2", units_);
+    reg_key_[2] = pipe_.add_register_array("key3", units_);
+    reg_state_ = pipe_.add_register_array("state", units_);
+    reg_val_[0] = pipe_.add_register_array("val1", units_);
+    reg_val_[1] = pipe_.add_register_array("val2", units_);
+    reg_val_[2] = pipe_.add_register_array("val3", units_);
+    pipe_.fill_register_array(reg_state_, core::codec::kLru3Initial);
+
+    // Stage 0 — bucket hash.
+    {
+        Stage st;
+        st.name = "hash";
+        st.hashes.push_back(HashInstr{
+            {f_key_}, f_idx_, hash_seed, static_cast<std::uint32_t>(units_)});
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 1 — read-only probes: three key compares + the state read.
+    // Four SALUs, the per-stage maximum; every branch is kKeep.
+    {
+        Stage st;
+        st.name = "probe";
+        const FieldId mflags[3] = {f_m1_, f_m2_, f_m3_};
+        for (int i = 0; i < 3; ++i) {
+            SaluInstr s;
+            s.name = "key" + std::to_string(i + 1) + ".read";
+            s.register_array = reg_key_[i];
+            s.index = f_idx_;
+            s.cmp_source = CmpSource::kRegister;
+            s.cmp = CmpOp::kEq;
+            s.cmp_with_operand = true;
+            s.cmp_operand = f_key_;
+            s.on_true = {AluUpdate::kKeep, 0, 0};
+            s.on_false = {AluUpdate::kKeep, 0, 0};
+            s.out1_sel = AluOutput::kPredicate;
+            s.out1 = mflags[i];
+            st.salus.push_back(std::move(s));
+        }
+        SaluInstr state;
+        state.name = "state.read";
+        state.register_array = reg_state_;
+        state.index = f_idx_;
+        state.cmp = CmpOp::kAlways;
+        state.on_true = {AluUpdate::kKeep, 0, 0};
+        state.out1_sel = AluOutput::kOldValue;
+        state.out1 = f_scode_;
+        st.salus.push_back(std::move(state));
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 2 — slot candidates per match position: three 6-entry lookups
+    // (the 18-entry combined table would bust the tiny-table limit).
+    {
+        Stage st;
+        st.name = "slots";
+        const FieldId dst[3] = {f_s1_, f_s2_, f_s3_};
+        for (std::size_t pos = 0; pos < 3; ++pos) {
+            VliwInstr lut;
+            lut.op = VliwOp::kLookup;
+            lut.dst = dst[pos];
+            lut.a = f_scode_;
+            lut.table.resize(6);
+            for (std::uint8_t code = 0; code < 6; ++code) {
+                lut.table[code] = core::codec::kLru3Decode[code][pos];
+            }
+            st.vliw.push_back(std::move(lut));
+        }
+        st.vliw.push_back(
+            VliwInstr{VliwOp::kOr, f_v1_, f_m1_, f_m2_, 0, 0, {}});
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 3 — fold flags and pick between positions 2/3.
+    {
+        Stage st;
+        st.name = "fold";
+        st.vliw.push_back(
+            VliwInstr{VliwOp::kOr, f_hit_, f_v1_, f_m3_, 0, 0, {}});
+        st.vliw.push_back(
+            VliwInstr{VliwOp::kSelect, f_slot_a_, f_s2_, f_s3_, f_m2_, 0, {}});
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 4 — final slot select (position 1 wins).
+    {
+        Stage st;
+        st.name = "slot";
+        st.vliw.push_back(
+            VliwInstr{VliwOp::kSelect, f_slot_, f_s1_, f_slot_a_, f_m1_, 0,
+                      {}});
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 5 — the single (read-only) value access.
+    {
+        Stage st;
+        st.name = "value";
+        for (std::uint32_t slot = 1; slot <= 3; ++slot) {
+            SaluInstr v;
+            v.name = "val" + std::to_string(slot) + ".read";
+            v.register_array = reg_val_[slot - 1];
+            v.index = f_idx_;
+            v.guard = f_slot_;
+            v.guard_value = slot;
+            v.cmp = CmpOp::kAlways;
+            v.on_true = {AluUpdate::kKeep, 0, 0};
+            v.out1_sel = AluOutput::kOldValue;
+            v.out1 = f_va_;
+            st.salus.push_back(std::move(v));
+        }
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 6 — export (value valid only when hit).
+    {
+        Stage st;
+        st.name = "export";
+        st.vliw.push_back(
+            VliwInstr{VliwOp::kCopy, f_value_, f_va_, 0, 0, 0, {}});
+        pipe_.add_stage(std::move(st));
+    }
+}
+
+LruIndexQueryLevel::Result LruIndexQueryLevel::query(std::uint32_t key) {
+    Phv phv = pipe_.make_phv();
+    phv.set(f_key_, key);
+    pipe_.execute(phv);
+    Result r;
+    r.hit = phv.get(f_hit_) != 0;
+    r.value = phv.get(f_value_);
+    return r;
+}
+
+void LruIndexQueryLevel::load_unit(std::size_t bucket,
+                                   const std::uint32_t keys[3],
+                                   const std::uint32_t vals[3],
+                                   std::uint8_t state_code) {
+    for (int i = 0; i < 3; ++i) {
+        pipe_.set_register_value(reg_key_[i], bucket, keys[i]);
+        pipe_.set_register_value(reg_val_[i], bucket, vals[i]);
+    }
+    pipe_.set_register_value(reg_state_, bucket, state_code);
+}
+
+LruIndexQueryPipeline::LruIndexQueryPipeline(std::size_t levels,
+                                             std::size_t units,
+                                             std::uint32_t seed) {
+    levels_.reserve(levels);
+    for (std::size_t i = 0; i < levels; ++i) {
+        // Same per-level salts as core::SeriesCache.
+        levels_.emplace_back(units,
+                             seed + static_cast<std::uint32_t>(i) * 0x9E37u);
+    }
+}
+
+LruIndexQueryPipeline::Lookup LruIndexQueryPipeline::query(
+    std::uint32_t key) {
+    Lookup out;
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+        const auto r = levels_[i].query(key);
+        if (r.hit && out.level == 0) {
+            out.level = static_cast<std::uint32_t>(i + 1);
+            out.value = r.value;
+        }
+        // Later levels are still traversed, as on the folded hardware.
+    }
+    return out;
+}
+
+ResourceReport LruIndexQueryPipeline::resources() const {
+    ResourceReport total;
+    for (const auto& level : levels_) {
+        total = total + level.pipeline().resources();
+    }
+    return total;
+}
+
+}  // namespace p4lru::pipeline

@@ -1,0 +1,178 @@
+#include "p4lru/pipeline/p4lru2_program.hpp"
+
+#include "p4lru/core/state_codec.hpp"
+
+namespace p4lru::pipeline {
+
+P4lru2PipelineCache::P4lru2PipelineCache(std::size_t units,
+                                         std::uint32_t hash_seed,
+                                         ValueMode mode)
+    : units_(units) {
+    build(hash_seed, mode);
+}
+
+void P4lru2PipelineCache::build(std::uint32_t hash_seed, ValueMode mode) {
+    auto& L = pipe_.layout();
+    f_key_ = L.field("in.key");
+    f_value_ = L.field("in.value");
+    f_idx_ = L.field("md.idx");
+    f_c1_ = L.field("md.carry1");
+    f_m1_ = L.field("md.match1");
+    f_c2_ = L.field("md.carry2");
+    f_m2_ = L.field("md.match2");
+    f_scode_ = L.field("md.state_code");
+    f_vslot_ = L.field("md.value_slot");
+    f_hit_ = L.field("md.hit");
+    f_val_old_ = L.field("md.value_old");
+    f_val_new_ = L.field("md.value_new");
+
+    reg_key1_ = pipe_.add_register_array("key1", units_);
+    reg_key2_ = pipe_.add_register_array("key2", units_);
+    reg_state_ = pipe_.add_register_array("state", units_);
+    reg_val1_ = pipe_.add_register_array("val1", units_);
+    reg_val2_ = pipe_.add_register_array("val2", units_);
+    // Initial state: code 0 = identity (Section 2.3.1 encoding).
+
+    // Stage 0 — bucket hash.
+    {
+        Stage st;
+        st.name = "hash";
+        st.hashes.push_back(HashInstr{
+            {f_key_}, f_idx_, hash_seed, static_cast<std::uint32_t>(units_)});
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 1 — key[1] compare-and-bubble.
+    {
+        Stage st;
+        st.name = "key1";
+        SaluInstr s;
+        s.name = "key1";
+        s.register_array = reg_key1_;
+        s.index = f_idx_;
+        s.cmp_source = CmpSource::kRegister;
+        s.cmp = CmpOp::kEq;
+        s.cmp_with_operand = true;
+        s.cmp_operand = f_key_;
+        s.on_true = {AluUpdate::kKeep, 0, 0};
+        s.on_false = {AluUpdate::kSetOperand, f_key_, 0};
+        s.out1_sel = AluOutput::kOldValue;
+        s.out1 = f_c1_;
+        s.out2_sel = AluOutput::kPredicate;
+        s.out2 = f_m1_;
+        st.salus.push_back(std::move(s));
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 2 — key[2] bubble plus THE one state SALU. Both are guarded on
+    // m1 (the state flips exactly when the key did not match key[1]).
+    {
+        Stage st;
+        st.name = "key2+state";
+
+        SaluInstr k2;
+        k2.name = "key2";
+        k2.register_array = reg_key2_;
+        k2.index = f_idx_;
+        k2.guard = f_m1_;
+        k2.guard_value = 0;
+        k2.cmp_source = CmpSource::kRegister;
+        k2.cmp = CmpOp::kEq;
+        k2.cmp_with_operand = true;
+        k2.cmp_operand = f_key_;
+        k2.on_true = {AluUpdate::kSetOperand, f_c1_, 0};
+        k2.on_false = {AluUpdate::kSetOperand, f_c1_, 0};
+        k2.out1_sel = AluOutput::kOldValue;
+        k2.out1 = f_c2_;
+        k2.out2_sel = AluOutput::kPredicate;
+        k2.out2 = f_m2_;
+        st.salus.push_back(std::move(k2));
+
+        // The whole P4LRU2 DFA: S ^= 1 unless the key matched key[1].
+        SaluInstr dfa;
+        dfa.name = "state.dfa";
+        dfa.register_array = reg_state_;
+        dfa.index = f_idx_;
+        dfa.cmp_source = CmpSource::kField;
+        dfa.cmp_field = f_m1_;
+        dfa.cmp = CmpOp::kEq;
+        dfa.cmp_const = 1;
+        dfa.on_true = {AluUpdate::kKeep, 0, 0};      // op1
+        dfa.on_false = {AluUpdate::kXorConst, 0, 1};  // op2
+        dfa.out1_sel = AluOutput::kNewValue;
+        dfa.out1 = f_scode_;
+        st.salus.push_back(std::move(dfa));
+
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 3 — slot S(1) from the code (2-entry lookup) + hit flag.
+    {
+        Stage st;
+        st.name = "slot";
+        VliwInstr lut;
+        lut.op = VliwOp::kLookup;
+        lut.dst = f_vslot_;
+        lut.a = f_scode_;
+        lut.table = {1, 2};  // S(1) per code, Section 2.3.1
+        st.vliw.push_back(std::move(lut));
+        st.vliw.push_back(
+            VliwInstr{VliwOp::kOr, f_hit_, f_m1_, f_m2_, 0, 0, {}});
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 4 — single value access, one array per slot.
+    {
+        Stage st;
+        st.name = "values";
+        const std::size_t regs[2] = {reg_val1_, reg_val2_};
+        for (std::uint32_t slot = 1; slot <= 2; ++slot) {
+            SaluInstr v;
+            v.name = "val" + std::to_string(slot);
+            v.register_array = regs[slot - 1];
+            v.index = f_idx_;
+            v.guard = f_vslot_;
+            v.guard_value = slot;
+            v.cmp_source = CmpSource::kField;
+            v.cmp_field = f_hit_;
+            v.cmp = CmpOp::kEq;
+            v.cmp_const = 1;
+            if (mode == ValueMode::kReadCache) {
+                v.on_true = {AluUpdate::kKeep, 0, 0};
+            } else {
+                v.on_true = {AluUpdate::kAddOperand, f_value_, 0};
+            }
+            v.on_false = {AluUpdate::kSetOperand, f_value_, 0};
+            v.out1_sel = AluOutput::kOldValue;
+            v.out1 = f_val_old_;
+            v.out2_sel = AluOutput::kNewValue;
+            v.out2 = f_val_new_;
+            st.salus.push_back(std::move(v));
+        }
+        pipe_.add_stage(std::move(st));
+    }
+}
+
+P4lru2PipelineCache::Result P4lru2PipelineCache::update(std::uint32_t key,
+                                                        std::uint32_t value) {
+    Phv phv = pipe_.make_phv();
+    phv.set(f_key_, key);
+    phv.set(f_value_, value);
+    pipe_.execute(phv);
+
+    Result r;
+    r.bucket = phv.get(f_idx_);
+    r.hit = phv.get(f_hit_) != 0;
+    r.value = phv.get(f_val_new_);
+    if (!r.hit) {
+        const std::uint32_t victim = phv.get(f_c2_);
+        if (victim != 0) {
+            r.evicted = true;
+            r.evicted_key = victim;
+            r.evicted_value = phv.get(f_val_old_);
+        }
+    }
+    return r;
+}
+
+}  // namespace p4lru::pipeline

@@ -1,0 +1,249 @@
+#include "p4lru/pipeline/p4lru3_program.hpp"
+
+#include "p4lru/core/state_codec.hpp"
+
+namespace p4lru::pipeline {
+
+P4lru3PipelineCache::P4lru3PipelineCache(std::size_t units,
+                                         std::uint32_t hash_seed,
+                                         ValueMode mode)
+    : units_(units) {
+    build(hash_seed, mode);
+}
+
+void P4lru3PipelineCache::build(std::uint32_t hash_seed, ValueMode mode) {
+    auto& L = pipe_.layout();
+    f_key_ = L.field("in.key");
+    f_value_ = L.field("in.value");
+    f_idx_ = L.field("md.idx");
+    f_c1_ = L.field("md.carry1");
+    f_m1_ = L.field("md.match1");
+    f_c2_ = L.field("md.carry2");
+    f_m2_ = L.field("md.match2");
+    f_done2_ = L.field("md.done2");
+    f_c3_ = L.field("md.carry3");
+    f_m3_ = L.field("md.match3");
+    f_scode_ = L.field("md.state_code");
+    f_vslot_ = L.field("md.value_slot");
+    f_hit_ = L.field("md.hit");
+    f_val_old_ = L.field("md.value_old");
+    f_val_new_ = L.field("md.value_new");
+
+    reg_key1_ = pipe_.add_register_array("key1", units_);
+    reg_key2_ = pipe_.add_register_array("key2", units_);
+    reg_key3_ = pipe_.add_register_array("key3", units_);
+    reg_state_ = pipe_.add_register_array("state", units_);
+    reg_val1_ = pipe_.add_register_array("val1", units_);
+    reg_val2_ = pipe_.add_register_array("val2", units_);
+    reg_val3_ = pipe_.add_register_array("val3", units_);
+    // Control-plane preload: every unit starts in the identity state (code 4
+    // of Table 1), as the P4 program's register initial value does.
+    pipe_.fill_register_array(reg_state_, core::codec::kLru3Initial);
+
+    // Stage 0 — bucket choice on the hash engine.
+    {
+        Stage st;
+        st.name = "hash";
+        st.hashes.push_back(HashInstr{
+            {f_key_}, f_idx_, hash_seed, static_cast<std::uint32_t>(units_)});
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 1 — key[1]: compare-and-bubble. On mismatch the incoming key
+    // takes the slot; the displaced key rides on as carry1.
+    {
+        Stage st;
+        st.name = "key1";
+        SaluInstr s;
+        s.name = "key1";
+        s.register_array = reg_key1_;
+        s.index = f_idx_;
+        s.cmp_source = CmpSource::kRegister;
+        s.cmp = CmpOp::kEq;
+        s.cmp_with_operand = true;
+        s.cmp_operand = f_key_;
+        s.on_true = {AluUpdate::kKeep, 0, 0};
+        s.on_false = {AluUpdate::kSetOperand, f_key_, 0};
+        s.out1_sel = AluOutput::kOldValue;
+        s.out1 = f_c1_;
+        s.out2_sel = AluOutput::kPredicate;
+        s.out2 = f_m1_;
+        st.salus.push_back(std::move(s));
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 2 — key[2]: executes only while the key is still unmatched;
+    // always swallows carry1, reports whether its old occupant matched.
+    {
+        Stage st;
+        st.name = "key2";
+        SaluInstr s;
+        s.name = "key2";
+        s.register_array = reg_key2_;
+        s.index = f_idx_;
+        s.guard = f_m1_;
+        s.guard_value = 0;
+        s.cmp_source = CmpSource::kRegister;
+        s.cmp = CmpOp::kEq;
+        s.cmp_with_operand = true;
+        s.cmp_operand = f_key_;
+        s.on_true = {AluUpdate::kSetOperand, f_c1_, 0};
+        s.on_false = {AluUpdate::kSetOperand, f_c1_, 0};
+        s.out1_sel = AluOutput::kOldValue;
+        s.out1 = f_c2_;
+        s.out2_sel = AluOutput::kPredicate;
+        s.out2 = f_m2_;
+        st.salus.push_back(std::move(s));
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 3 — fold the first two match flags (needed as a guard next).
+    {
+        Stage st;
+        st.name = "flags";
+        st.vliw.push_back(
+            VliwInstr{VliwOp::kOr, f_done2_, f_m1_, f_m2_, 0, 0, {}});
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 4 — key[3] bubble plus the three state SALUs (operations 1-3 of
+    // Section 2.3.2). Guards are mutually exclusive, so exactly one state
+    // SALU executes: the 'state' array is accessed once per packet.
+    {
+        Stage st;
+        st.name = "key3+state";
+
+        SaluInstr k3;
+        k3.name = "key3";
+        k3.register_array = reg_key3_;
+        k3.index = f_idx_;
+        k3.guard = f_done2_;
+        k3.guard_value = 0;
+        k3.cmp_source = CmpSource::kRegister;
+        k3.cmp = CmpOp::kEq;
+        k3.cmp_with_operand = true;
+        k3.cmp_operand = f_key_;
+        k3.on_true = {AluUpdate::kSetOperand, f_c2_, 0};
+        k3.on_false = {AluUpdate::kSetOperand, f_c2_, 0};
+        k3.out1_sel = AluOutput::kOldValue;
+        k3.out1 = f_c3_;
+        k3.out2_sel = AluOutput::kPredicate;
+        k3.out2 = f_m3_;
+        st.salus.push_back(std::move(k3));
+
+        SaluInstr op1;
+        op1.name = "state.op1";
+        op1.register_array = reg_state_;
+        op1.index = f_idx_;
+        op1.guard = f_m1_;
+        op1.guard_value = 1;
+        op1.cmp = CmpOp::kAlways;
+        op1.on_true = {AluUpdate::kKeep, 0, 0};
+        op1.out1_sel = AluOutput::kNewValue;
+        op1.out1 = f_scode_;
+        st.salus.push_back(std::move(op1));
+
+        SaluInstr op2;
+        op2.name = "state.op2";
+        op2.register_array = reg_state_;
+        op2.index = f_idx_;
+        op2.guard = f_m2_;
+        op2.guard_value = 1;
+        op2.cmp = CmpOp::kGe;  // S >= 4 ? S^1 : S^3
+        op2.cmp_const = 4;
+        op2.on_true = {AluUpdate::kXorConst, 0, 1};
+        op2.on_false = {AluUpdate::kXorConst, 0, 3};
+        op2.out1_sel = AluOutput::kNewValue;
+        op2.out1 = f_scode_;
+        st.salus.push_back(std::move(op2));
+
+        SaluInstr op3;
+        op3.name = "state.op3";
+        op3.register_array = reg_state_;
+        op3.index = f_idx_;
+        op3.guard = f_done2_;  // hit at key[3] or full miss
+        op3.guard_value = 0;
+        op3.cmp = CmpOp::kGe;  // S >= 2 ? S-2 : S+4
+        op3.cmp_const = 2;
+        op3.on_true = {AluUpdate::kSubConst, 0, 2};
+        op3.on_false = {AluUpdate::kAddConst, 0, 4};
+        op3.out1_sel = AluOutput::kNewValue;
+        op3.out1 = f_scode_;
+        st.salus.push_back(std::move(op3));
+
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 5 — map the new state code to the value slot S(1) through the
+    // tiny (6-entry) lookup table, and fold the final hit flag.
+    {
+        Stage st;
+        st.name = "slot";
+        VliwInstr lut;
+        lut.op = VliwOp::kLookup;
+        lut.dst = f_vslot_;
+        lut.a = f_scode_;
+        lut.table.assign(core::codec::kLru3S1.begin(),
+                         core::codec::kLru3S1.end());
+        st.vliw.push_back(std::move(lut));
+        st.vliw.push_back(
+            VliwInstr{VliwOp::kOr, f_hit_, f_done2_, f_m3_, 0, 0, {}});
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 6 — the single value access: three value arrays, one per slot,
+    // guarded by S(1); merge semantics depend on the cache mode.
+    {
+        Stage st;
+        st.name = "values";
+        const std::size_t regs[3] = {reg_val1_, reg_val2_, reg_val3_};
+        for (std::uint32_t slot = 1; slot <= 3; ++slot) {
+            SaluInstr v;
+            v.name = "val" + std::to_string(slot);
+            v.register_array = regs[slot - 1];
+            v.index = f_idx_;
+            v.guard = f_vslot_;
+            v.guard_value = slot;
+            v.cmp_source = CmpSource::kField;  // hit?
+            v.cmp_field = f_hit_;
+            v.cmp = CmpOp::kEq;
+            v.cmp_const = 1;
+            if (mode == ValueMode::kReadCache) {
+                v.on_true = {AluUpdate::kKeep, 0, 0};
+            } else {
+                v.on_true = {AluUpdate::kAddOperand, f_value_, 0};
+            }
+            v.on_false = {AluUpdate::kSetOperand, f_value_, 0};
+            v.out1_sel = AluOutput::kOldValue;
+            v.out1 = f_val_old_;
+            v.out2_sel = AluOutput::kNewValue;
+            v.out2 = f_val_new_;
+            st.salus.push_back(std::move(v));
+        }
+        pipe_.add_stage(std::move(st));
+    }
+}
+
+P4lru3PipelineCache::Result P4lru3PipelineCache::update(std::uint32_t key,
+                                                        std::uint32_t value) {
+    Phv phv = pipe_.make_phv();
+    phv.set(f_key_, key);
+    phv.set(f_value_, value);
+    pipe_.execute(phv);
+
+    Result r;
+    r.bucket = phv.get(f_idx_);
+    r.hit = phv.get(f_hit_) != 0;
+    r.value = phv.get(f_val_new_);
+    if (!r.hit) {
+        const std::uint32_t victim = phv.get(f_c3_);
+        if (victim != 0) {
+            r.evicted = true;
+            r.evicted_key = victim;
+            r.evicted_value = phv.get(f_val_old_);
+        }
+    }
+    return r;
+}
+
+}  // namespace p4lru::pipeline

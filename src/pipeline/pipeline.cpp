@@ -1,0 +1,320 @@
+#include "p4lru/pipeline/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <unordered_set>
+
+#include "p4lru/common/hash.hpp"
+#include "p4lru/common/table.hpp"
+
+namespace p4lru::pipeline {
+
+FieldId PhvLayout::field(const std::string& name) {
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name) return static_cast<FieldId>(i);
+    }
+    if (names_.size() >= 0xFFFF) throw PipelineError("PHV: too many fields");
+    names_.push_back(name);
+    return static_cast<FieldId>(names_.size() - 1);
+}
+
+std::size_t Pipeline::add_register_array(const std::string& name,
+                                         std::size_t width) {
+    if (width == 0) throw PipelineError("register array with zero width");
+    arrays_.push_back({name, std::vector<std::uint32_t>(width, 0)});
+    return arrays_.size() - 1;
+}
+
+void Pipeline::add_stage(Stage stage) {
+    if (stages_.size() >= budget_.stages) {
+        throw PipelineError("stage budget exceeded: " + stage.name);
+    }
+    if (stage.salus.size() > budget_.salus_per_stage) {
+        throw PipelineError("per-stage SALU budget exceeded: " + stage.name);
+    }
+    if (stage.vliw.size() > budget_.vliw_per_stage) {
+        throw PipelineError("per-stage VLIW budget exceeded: " + stage.name);
+    }
+    for (const auto& s : stage.salus) {
+        if (s.register_array >= arrays_.size()) {
+            throw PipelineError("SALU references unknown register array: " +
+                                s.name);
+        }
+    }
+    for (const auto& v : stage.vliw) {
+        if (v.op == VliwOp::kLookup && v.table.size() > 16) {
+            throw PipelineError(
+                "lookup table exceeds the 16-entry stateful-table limit");
+        }
+    }
+    for (const auto& h : stage.hashes) {
+        if (h.modulo == 0) throw PipelineError("hash with zero modulo");
+    }
+    stages_.push_back(std::move(stage));
+}
+
+std::uint32_t Pipeline::register_value(std::size_t array,
+                                       std::size_t idx) const {
+    return arrays_.at(array).cells.at(idx);
+}
+
+void Pipeline::set_register_value(std::size_t array, std::size_t idx,
+                                  std::uint32_t v) {
+    arrays_.at(array).cells.at(idx) = v;
+}
+
+void Pipeline::fill_register_array(std::size_t array, std::uint32_t v) {
+    auto& cells = arrays_.at(array).cells;
+    std::fill(cells.begin(), cells.end(), v);
+}
+
+void Pipeline::execute(Phv& phv) {
+    std::vector<bool> reg_accessed(arrays_.size(), false);
+    for (const auto& stage : stages_) {
+        execute_stage(stage, phv, reg_accessed);
+    }
+}
+
+namespace {
+
+/// Tracks same-stage PHV writes to reject read-after-write hazards.
+class HazardTracker {
+  public:
+    explicit HazardTracker(const std::string& stage) : stage_(stage) {}
+
+    void read(FieldId f) const {
+        if (written_.contains(f)) {
+            throw PipelineError("stage '" + stage_ +
+                                "': same-stage read-after-write on field " +
+                                std::to_string(f));
+        }
+    }
+
+    void write(FieldId f) {
+        if (!written_.insert(f).second) {
+            throw PipelineError("stage '" + stage_ +
+                                "': double write to field " +
+                                std::to_string(f));
+        }
+    }
+
+  private:
+    const std::string& stage_;
+    std::unordered_set<FieldId> written_;
+};
+
+}  // namespace
+
+void Pipeline::execute_stage(const Stage& stage, Phv& phv,
+                             std::vector<bool>& reg_accessed) {
+    HazardTracker hazards(stage.name);
+
+    for (const auto& h : stage.hashes) {
+        std::vector<std::uint8_t> bytes;
+        bytes.reserve(h.inputs.size() * 4);
+        for (const FieldId f : h.inputs) {
+            hazards.read(f);
+            const std::uint32_t v = phv.get(f);
+            bytes.push_back(static_cast<std::uint8_t>(v));
+            bytes.push_back(static_cast<std::uint8_t>(v >> 8));
+            bytes.push_back(static_cast<std::uint8_t>(v >> 16));
+            bytes.push_back(static_cast<std::uint8_t>(v >> 24));
+        }
+        const std::uint32_t digest = hash::crc32(
+            std::span<const std::uint8_t>(bytes.data(), bytes.size()), h.seed);
+        const std::uint32_t slot =
+            h.modulo == 0 ? digest
+                          : static_cast<std::uint32_t>(
+                                (std::uint64_t{digest} * h.modulo) >> 32);
+        hazards.write(h.dst);
+        phv.set(h.dst, slot);
+    }
+
+    for (const auto& v : stage.vliw) {
+        std::uint32_t result = 0;
+        const auto ra = [&] {
+            hazards.read(v.a);
+            return phv.get(v.a);
+        };
+        const auto rb = [&] {
+            hazards.read(v.b);
+            return phv.get(v.b);
+        };
+        switch (v.op) {
+            case VliwOp::kSetConst: result = v.konst; break;
+            case VliwOp::kCopy: result = ra(); break;
+            case VliwOp::kAdd: result = ra() + rb(); break;
+            case VliwOp::kSub: result = ra() - rb(); break;
+            case VliwOp::kXor: result = ra() ^ rb(); break;
+            case VliwOp::kAnd: result = ra() & rb(); break;
+            case VliwOp::kOr: result = ra() | rb(); break;
+            case VliwOp::kEq: result = ra() == rb() ? 1 : 0; break;
+            case VliwOp::kNe: result = ra() != rb() ? 1 : 0; break;
+            case VliwOp::kGe: result = ra() >= rb() ? 1 : 0; break;
+            case VliwOp::kLt: result = ra() < rb() ? 1 : 0; break;
+            case VliwOp::kEqConst: result = ra() == v.konst ? 1 : 0; break;
+            case VliwOp::kGeConst: result = ra() >= v.konst ? 1 : 0; break;
+            case VliwOp::kSelect: {
+                hazards.read(v.cond);
+                const bool c = phv.get(v.cond) != 0;
+                result = c ? ra() : rb();
+                break;
+            }
+            case VliwOp::kLookup: {
+                const std::uint32_t key = ra();
+                if (key >= v.table.size()) {
+                    throw PipelineError("stage '" + stage.name +
+                                        "': lookup key out of range");
+                }
+                result = v.table[key];
+                break;
+            }
+        }
+        hazards.write(v.dst);
+        phv.set(v.dst, result);
+    }
+
+    for (const auto& s : stage.salus) {
+        if (s.guard) {
+            hazards.read(*s.guard);
+            if (phv.get(*s.guard) != s.guard_value) continue;  // no access
+        }
+
+        if (reg_accessed[s.register_array]) {
+            throw PipelineError(
+                "SALU '" + s.name + "': second access to register array '" +
+                arrays_[s.register_array].name +
+                "' in one packet (pipeline forbids revisiting state)");
+        }
+        reg_accessed[s.register_array] = true;
+
+        hazards.read(s.index);
+        const std::size_t idx = phv.get(s.index);
+        auto& cells = arrays_[s.register_array].cells;
+        if (idx >= cells.size()) {
+            throw PipelineError("SALU '" + s.name + "': index out of range");
+        }
+        const std::uint32_t old_value = cells[idx];
+
+        std::uint32_t lhs = old_value;
+        if (s.cmp_source == CmpSource::kField) {
+            hazards.read(s.cmp_field);
+            lhs = phv.get(s.cmp_field);
+        }
+        std::uint32_t rhs = s.cmp_const;
+        if (s.cmp_with_operand) {
+            hazards.read(s.cmp_operand);
+            rhs = phv.get(s.cmp_operand);
+        }
+        bool pred = true;
+        switch (s.cmp) {
+            case CmpOp::kAlways: pred = true; break;
+            case CmpOp::kEq: pred = lhs == rhs; break;
+            case CmpOp::kNe: pred = lhs != rhs; break;
+            case CmpOp::kGe: pred = lhs >= rhs; break;
+            case CmpOp::kLt: pred = lhs < rhs; break;
+        }
+
+        const SaluBranch& br = pred ? s.on_true : s.on_false;
+        std::uint32_t new_value = old_value;
+        const auto operand = [&] {
+            hazards.read(br.operand);
+            return phv.get(br.operand);
+        };
+        switch (br.update) {
+            case AluUpdate::kKeep: break;
+            case AluUpdate::kSetOperand: new_value = operand(); break;
+            case AluUpdate::kSetConst: new_value = br.konst; break;
+            case AluUpdate::kAddOperand:
+                new_value = old_value + operand();
+                break;
+            case AluUpdate::kAddConst: new_value = old_value + br.konst; break;
+            case AluUpdate::kSubConst: new_value = old_value - br.konst; break;
+            case AluUpdate::kXorConst: new_value = old_value ^ br.konst; break;
+        }
+        if (s.saturate && new_value > s.sat_max) new_value = s.sat_max;
+        cells[idx] = new_value;
+
+        const auto emit = [&](AluOutput sel, FieldId dst) {
+            std::uint32_t out = 0;
+            switch (sel) {
+                case AluOutput::kNone: return;
+                case AluOutput::kOldValue: out = old_value; break;
+                case AluOutput::kNewValue: out = new_value; break;
+                case AluOutput::kPredicate: out = pred ? 1 : 0; break;
+            }
+            hazards.write(dst);
+            phv.set(dst, out);
+        };
+        emit(s.out1_sel, s.out1);
+        emit(s.out2_sel, s.out2);
+    }
+}
+
+ResourceReport Pipeline::resources() const {
+    ResourceReport r;
+    r.stages = stages_.size();
+    for (const auto& stage : stages_) {
+        r.salus += stage.salus.size();
+        r.vliw_instrs += stage.vliw.size();
+        for (const auto& h : stage.hashes) {
+            // Bits consumed on the hash crossbar: ceil(log2(modulo)) output
+            // bits (32 for raw-digest hashes).
+            r.hash_bits +=
+                h.modulo == 0
+                    ? 32
+                    : static_cast<std::size_t>(std::ceil(
+                          std::log2(static_cast<double>(h.modulo))));
+        }
+        for (const auto& v : stage.vliw) {
+            if (v.op == VliwOp::kLookup) r.table_bytes += v.table.size() * 4;
+        }
+    }
+    for (const auto& a : arrays_) {
+        r.register_bytes += a.cells.size() * 4;
+    }
+    // Tofino shadows registers in map RAM for the sync path; model 1:1.
+    r.map_ram_bytes = r.register_bytes;
+    return r;
+}
+
+ResourceReport ResourceReport::operator+(const ResourceReport& o) const {
+    ResourceReport r = *this;
+    r.stages += o.stages;
+    r.salus += o.salus;
+    r.vliw_instrs += o.vliw_instrs;
+    r.hash_bits += o.hash_bits;
+    r.register_bytes += o.register_bytes;
+    r.table_bytes += o.table_bytes;
+    r.map_ram_bytes += o.map_ram_bytes;
+    return r;
+}
+
+std::string ResourceReport::to_table(const PipelineBudget& b) const {
+    const auto pct = [](double used, double total) {
+        std::ostringstream os;
+        os.precision(2);
+        os << std::fixed << (total > 0 ? 100.0 * used / total : 0.0) << "%";
+        return os.str();
+    };
+    ConsoleTable t({"Resource", "Used", "Percentage"});
+    t.add_row({"Stages", std::to_string(stages), pct(stages, b.stages)});
+    t.add_row({"Stateful ALU", std::to_string(salus),
+               pct(salus, b.stages * b.salus_per_stage)});
+    t.add_row({"VLIW instr", std::to_string(vliw_instrs),
+               pct(vliw_instrs, b.stages * b.vliw_per_stage)});
+    t.add_row({"Hash Bits", std::to_string(hash_bits),
+               pct(hash_bits, b.hash_bits)});
+    t.add_row({"SRAM (bytes)",
+               std::to_string(register_bytes + table_bytes),
+               pct(static_cast<double>(register_bytes + table_bytes),
+                   static_cast<double>(b.sram_bytes))});
+    t.add_row({"Map RAM (bytes)", std::to_string(map_ram_bytes),
+               pct(static_cast<double>(map_ram_bytes),
+                   static_cast<double>(b.map_ram_bytes))});
+    t.add_row({"TCAM", "0", "0.00%"});
+    return t.render();
+}
+
+}  // namespace p4lru::pipeline

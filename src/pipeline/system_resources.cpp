@@ -1,0 +1,58 @@
+#include "p4lru/pipeline/system_resources.hpp"
+
+#include "p4lru/pipeline/p4lru3_program.hpp"
+#include "p4lru/pipeline/tower_program.hpp"
+
+namespace p4lru::pipeline {
+namespace {
+
+PipelineBudget scaled_budget(std::size_t pipelines) {
+    PipelineBudget b;
+    b.stages *= pipelines;
+    b.hash_bits *= pipelines;
+    b.sram_bytes *= pipelines;
+    b.map_ram_bytes *= pipelines;
+    // salus_per_stage / vliw_per_stage stay per-stage; totals derive from
+    // the scaled stage count inside ResourceReport::to_table.
+    return b;
+}
+
+}  // namespace
+
+SystemResources lrutable_resources(std::size_t units) {
+    P4lru3PipelineCache cache(units, 0x1AB1u, ValueMode::kReadCache);
+    SystemResources r;
+    r.system = "LruTable";
+    r.pipelines_used = 1;
+    r.report = cache.resources();
+    r.budget = scaled_budget(1);
+    return r;
+}
+
+SystemResources lruindex_resources(std::size_t levels, std::size_t units) {
+    SystemResources r;
+    r.system = "LruIndex";
+    r.pipelines_used = levels;
+    for (std::size_t i = 0; i < levels; ++i) {
+        P4lru3PipelineCache cache(
+            units, 0x1DE0u ^ static_cast<std::uint32_t>(i * 0x9E37u),
+            ValueMode::kReadCache);
+        r.report = r.report + cache.resources();
+    }
+    r.budget = scaled_budget(levels);
+    return r;
+}
+
+SystemResources lrumon_resources(std::size_t units) {
+    TowerPipelineFilter::Config cfg;
+    TowerPipelineFilter tower(cfg);
+    P4lru3PipelineCache cache(units, 0x303Eu, ValueMode::kWriteAccumulate);
+    SystemResources r;
+    r.system = "LruMon";
+    r.pipelines_used = 2;
+    r.report = tower.resources() + cache.resources();
+    r.budget = scaled_budget(2);
+    return r;
+}
+
+}  // namespace p4lru::pipeline

@@ -1,0 +1,116 @@
+#include "p4lru/pipeline/tower_program.hpp"
+
+namespace p4lru::pipeline {
+
+TowerPipelineFilter::TowerPipelineFilter(const Config& cfg) : cfg_(cfg) {
+    build();
+}
+
+void TowerPipelineFilter::build() {
+    auto& L = pipe_.layout();
+    f_key_ = L.field("in.key");
+    f_len_ = L.field("in.len");
+    f_i1_ = L.field("md.idx1");
+    f_i2_ = L.field("md.idx2");
+    f_e1_ = L.field("md.est1");
+    f_e2_ = L.field("md.est2");
+    f_lt_ = L.field("md.lt");
+    f_sat1_ = L.field("md.sat1");
+    f_mincand_ = L.field("md.mincand");
+    f_min_ = L.field("md.min");
+    f_eleph_ = L.field("md.elephant");
+
+    reg_c1_ = pipe_.add_register_array("tower.c1", cfg_.width1);
+    reg_c2_ = pipe_.add_register_array("tower.c2", cfg_.width2);
+
+    // Stage 0 — both bucket hashes (two hash engines per stage).
+    {
+        Stage st;
+        st.name = "tower.hash";
+        st.hashes.push_back(HashInstr{{f_key_}, f_i1_, cfg_.seed,
+                                      static_cast<std::uint32_t>(cfg_.width1)});
+        st.hashes.push_back(HashInstr{{f_key_}, f_i2_, cfg_.seed ^ 0x51C7u,
+                                      static_cast<std::uint32_t>(cfg_.width2)});
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 1 — both counter SALUs: hardware saturating adds.
+    {
+        Stage st;
+        st.name = "tower.count";
+        const auto counter = [&](const char* name, std::size_t reg,
+                                 FieldId idx, std::uint32_t max, FieldId out) {
+            SaluInstr s;
+            s.name = name;
+            s.register_array = reg;
+            s.index = idx;
+            s.cmp = CmpOp::kAlways;
+            s.on_true = {AluUpdate::kAddOperand, f_len_, 0};
+            s.saturate = true;
+            s.sat_max = max;
+            s.out1_sel = AluOutput::kNewValue;
+            s.out1 = out;
+            return s;
+        };
+        st.salus.push_back(
+            counter("tower.c1", reg_c1_, f_i1_, cfg_.max1, f_e1_));
+        st.salus.push_back(
+            counter("tower.c2", reg_c2_, f_i2_, cfg_.max2, f_e2_));
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 2 — compare the estimates and detect level-1 saturation (a
+    // saturated counter carries no information and is excluded from the min).
+    {
+        Stage st;
+        st.name = "tower.cmp";
+        st.vliw.push_back(
+            VliwInstr{VliwOp::kLt, f_lt_, f_e1_, f_e2_, 0, 0, {}});
+        st.vliw.push_back(VliwInstr{VliwOp::kGeConst, f_sat1_, f_e1_, 0, 0,
+                                    cfg_.max1, {}});
+        pipe_.add_stage(std::move(st));
+    }
+
+    // Stage 3 — min candidate; Stage 4 — saturation override; Stage 5 —
+    // threshold test. (Separate stages: each reads the previous result.)
+    {
+        Stage st;
+        st.name = "tower.min";
+        st.vliw.push_back(
+            VliwInstr{VliwOp::kSelect, f_mincand_, f_e1_, f_e2_, f_lt_, 0, {}});
+        pipe_.add_stage(std::move(st));
+    }
+    {
+        Stage st;
+        st.name = "tower.est";
+        st.vliw.push_back(VliwInstr{VliwOp::kSelect, f_min_, f_e2_, f_mincand_,
+                                    f_sat1_, 0, {}});
+        pipe_.add_stage(std::move(st));
+    }
+    {
+        Stage st;
+        st.name = "tower.threshold";
+        st.vliw.push_back(VliwInstr{VliwOp::kGeConst, f_eleph_, f_min_, 0, 0,
+                                    cfg_.threshold, {}});
+        pipe_.add_stage(std::move(st));
+    }
+}
+
+TowerPipelineFilter::Result TowerPipelineFilter::update(std::uint32_t key,
+                                                        std::uint32_t len) {
+    Phv phv = pipe_.make_phv();
+    phv.set(f_key_, key);
+    phv.set(f_len_, len);
+    pipe_.execute(phv);
+    Result r;
+    r.estimate = phv.get(f_min_);
+    r.elephant = phv.get(f_eleph_) != 0;
+    return r;
+}
+
+void TowerPipelineFilter::reset_counters() {
+    pipe_.fill_register_array(reg_c1_, 0);
+    pipe_.fill_register_array(reg_c2_, 0);
+}
+
+}  // namespace p4lru::pipeline

@@ -1,0 +1,118 @@
+#include "p4lru/systems/lruindex/driver.hpp"
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "p4lru/common/stats.hpp"
+#include "p4lru/sim/event_queue.hpp"
+
+namespace p4lru::systems::lruindex {
+
+DriverReport run_driver(const DriverConfig& cfg, DbServer& server,
+                        IndexCache* cache) {
+    if (cfg.threads == 0 || cfg.queries == 0) {
+        throw std::invalid_argument("run_driver: zero threads/queries");
+    }
+    if (cfg.use_cache && cache == nullptr) {
+        throw std::invalid_argument("run_driver: cache required");
+    }
+
+    sim::EventQueue q;
+    trace::YcsbWorkload workload(cfg.workload);
+    const TimeNs half = cfg.net_delay / 2;
+
+    struct Shared {
+        std::uint64_t issued = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t misses = 0;
+        std::uint64_t wrong = 0;
+        TimeNs last_done = 0;
+        TimeNs lock_free_at = 0;
+        stats::Running latency_us;
+    };
+    auto shared = std::make_shared<Shared>();
+
+    // One in-flight query per client thread; completion chains the next.
+    // std::function recursion via a held callable.
+    struct Issuer {
+        const DriverConfig* cfg;
+        DbServer* server;
+        IndexCache* cache;
+        sim::EventQueue* q;
+        trace::YcsbWorkload* workload;
+        std::shared_ptr<Shared> sh;
+        TimeNs half;
+
+        void issue(TimeNs now) {
+            if (sh->issued >= cfg->queries) return;
+            ++sh->issued;
+            const DbKey key = workload->next().key;
+            const TimeNs t0 = now;
+            // Client -> switch.
+            q->schedule(now + half, [this, key, t0] {
+                const TimeNs t_sw = q->now();
+                CacheHeader hdr;
+                if (cfg->use_cache) hdr = cache->query(key);
+                if (!hdr.hit()) ++sh->misses;
+                // Switch -> server.
+                q->schedule(t_sw + half, [this, key, t0, hdr] {
+                    const TimeNs arrive = q->now();
+                    const ServeResult res = server->serve(key, hdr);
+                    TimeNs done;
+                    if (res.used_index && res.lock_time > 0) {
+                        const TimeNs start =
+                            std::max(arrive, sh->lock_free_at);
+                        sh->lock_free_at = start + res.lock_time;
+                        done = start + res.lock_time + res.service_time;
+                    } else {
+                        done = arrive + res.service_time;
+                    }
+                    if (!res.valid ||
+                        res.addr != server->address_of(key)) {
+                        ++sh->wrong;
+                    }
+                    // Server -> switch (reply pass updates the cache).
+                    q->schedule(done + half, [this, key, t0, hdr, res] {
+                        const TimeNs t_sw2 = q->now();
+                        if (cfg->use_cache) {
+                            cache->reply(key, res.addr, hdr, t_sw2);
+                        }
+                        // Switch -> client; completion issues the next query.
+                        q->schedule(t_sw2 + half, [this, t0] {
+                            const TimeNs t_end = q->now();
+                            ++sh->completed;
+                            sh->last_done = std::max(sh->last_done, t_end);
+                            sh->latency_us.add(
+                                static_cast<double>(t_end - t0) / 1000.0);
+                            issue(t_end);
+                        });
+                    });
+                });
+            });
+        }
+    };
+
+    Issuer issuer{&cfg, &server, cache, &q, &workload, shared, half};
+    for (std::size_t c = 0; c < cfg.threads; ++c) {
+        issuer.issue(0);
+    }
+    q.run();
+
+    DriverReport r;
+    r.queries = shared->completed;
+    r.miss_rate = shared->completed == 0
+                      ? 0.0
+                      : static_cast<double>(shared->misses) /
+                            static_cast<double>(shared->issued);
+    r.avg_latency_us = shared->latency_us.mean();
+    r.wrong_replies = shared->wrong;
+    if (shared->last_done > 0) {
+        r.throughput_ktps = static_cast<double>(shared->completed) /
+                            (static_cast<double>(shared->last_done) / 1e9) /
+                            1e3;
+    }
+    return r;
+}
+
+}  // namespace p4lru::systems::lruindex

@@ -1,0 +1,35 @@
+#include "p4lru/systems/lrumon/analyzer.hpp"
+
+namespace p4lru::systems::lrumon {
+
+void Analyzer::on_upload(const FlowKey& flow, std::uint32_t flow_fp,
+                         std::uint32_t evicted_fp,
+                         std::uint64_t evicted_len) {
+    ++uploads_;
+    // Register the missing flow: <f, fp(f)> into T_fp, <f, 0> into T_len.
+    if (t_fp_.try_emplace(flow, flow_fp).second) {
+        t_len_.try_emplace(flow, 0);
+    }
+    fp_to_flow_[flow_fp] = flow;
+    if (evicted_fp != 0) credit(evicted_fp, evicted_len);
+}
+
+void Analyzer::on_flush(std::uint32_t fp, std::uint64_t len) {
+    credit(fp, len);
+}
+
+void Analyzer::credit(std::uint32_t fp, std::uint64_t len) {
+    const auto it = fp_to_flow_.find(fp);
+    if (it == fp_to_flow_.end()) {
+        ++unmatched_;
+        return;
+    }
+    t_len_[it->second] += len;
+}
+
+std::uint64_t Analyzer::measured_bytes(const FlowKey& flow) const {
+    const auto it = t_len_.find(flow);
+    return it == t_len_.end() ? 0 : it->second;
+}
+
+}  // namespace p4lru::systems::lrumon

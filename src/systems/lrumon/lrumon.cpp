@@ -1,0 +1,104 @@
+#include "p4lru/systems/lrumon/lrumon.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "p4lru/common/hash.hpp"
+
+namespace p4lru::systems::lrumon {
+
+LruMonSystem::LruMonSystem(
+    std::unique_ptr<FlowFilter> filter,
+    std::unique_ptr<cache::ReplacementPolicy<std::uint32_t, FlowLen>> policy,
+    LruMonConfig cfg)
+    : filter_(std::move(filter)), policy_(std::move(policy)), cfg_(cfg) {
+    if (!filter_) throw std::invalid_argument("LruMonSystem: null filter");
+    if (!policy_) throw std::invalid_argument("LruMonSystem: null policy");
+}
+
+void LruMonSystem::process(const PacketRecord& pkt) {
+    if (finished_) throw std::logic_error("LruMonSystem: already finished");
+    if (packets_ == 0) first_ts_ = pkt.ts;
+    last_ts_ = std::max(last_ts_, pkt.ts);
+    ++packets_;
+
+    if (cfg_.track_ground_truth) {
+        true_bytes_[pkt.flow] += pkt.len;
+    }
+
+    const std::uint32_t fp = hash::fingerprint32(pkt.flow);
+    if (cfg_.track_ground_truth) fp_owner_.try_emplace(fp, pkt.flow);
+
+    // Tower filter pass.
+    const std::uint64_t est = filter_->add_and_estimate(fp, pkt.len, pkt.ts);
+    if (est < cfg_.threshold) {
+        ++filtered_;  // mouse traffic: not measured
+        return;
+    }
+
+    // Cache array pass: write-cache semantics (AddMerge-configured policy).
+    ++elephants_;
+    const auto a = policy_->fill(fp, pkt.len, pkt.ts);
+    if (a.hit) {
+        ++hits_;
+        return;
+    }
+    // Cache miss: upload <f, fp', len'>. When the policy kept its occupant
+    // (timeout baseline), this packet's bytes ride along in the upload so
+    // measurement stays exact for elephants.
+    if (a.inserted) {
+        analyzer_.on_upload(pkt.flow, fp, a.evicted ? a.evicted_key : 0,
+                            a.evicted ? a.evicted_value : 0);
+    } else {
+        analyzer_.on_upload(pkt.flow, fp, fp, pkt.len);
+    }
+}
+
+void LruMonSystem::finish() {
+    if (finished_) return;
+    finished_ = true;
+    policy_->for_each([this](const std::uint32_t& fp, const FlowLen& len) {
+        analyzer_.on_flush(fp, len);
+    });
+}
+
+LruMonReport LruMonSystem::report() const {
+    LruMonReport r;
+    r.packets = packets_;
+    r.filtered_packets = filtered_;
+    r.elephant_packets = elephants_;
+    r.cache_hits = hits_;
+    r.uploads = analyzer_.uploads();
+    const double secs =
+        last_ts_ > first_ts_
+            ? static_cast<double>(last_ts_ - first_ts_) / 1e9
+            : 1.0;
+    r.upload_kpps = static_cast<double>(r.uploads) / secs / 1e3;
+    r.cache_miss_rate =
+        elephants_ == 0
+            ? 0.0
+            : static_cast<double>(elephants_ - hits_) /
+                  static_cast<double>(elephants_);
+
+    if (cfg_.track_ground_truth) {
+        for (const auto& [flow, bytes] : true_bytes_) {
+            r.total_bytes += bytes;
+            const std::uint64_t measured = analyzer_.measured_bytes(flow);
+            if (measured > bytes) {
+                ++r.overestimated_flows;
+            } else {
+                r.max_flow_error =
+                    std::max(r.max_flow_error, bytes - measured);
+            }
+            r.measured_bytes += std::min(measured, bytes);
+        }
+        r.total_error_rate =
+            r.total_bytes == 0
+                ? 0.0
+                : static_cast<double>(r.total_bytes - r.measured_bytes) /
+                      static_cast<double>(r.total_bytes);
+    }
+    return r;
+}
+
+}  // namespace p4lru::systems::lrumon

@@ -1,0 +1,96 @@
+#include "p4lru/trace/trace_io.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace p4lru::trace {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'P', '4', 'L', 'R', 'U',
+                                        'T', 'R', 'C'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kRecordBytes = 8 + 4 + 4 + 2 + 2 + 1 + 3 + 4;
+
+void put_record(std::ofstream& os, const PacketRecord& r) {
+    std::array<std::uint8_t, kRecordBytes> buf{};
+    std::size_t off = 0;
+    const auto put = [&](const void* p, std::size_t n) {
+        std::memcpy(buf.data() + off, p, n);
+        off += n;
+    };
+    put(&r.ts, 8);
+    put(&r.flow.src_ip, 4);
+    put(&r.flow.dst_ip, 4);
+    put(&r.flow.src_port, 2);
+    put(&r.flow.dst_port, 2);
+    put(&r.flow.proto, 1);
+    off += 3;  // padding
+    put(&r.len, 4);
+    os.write(reinterpret_cast<const char*>(buf.data()),
+             static_cast<std::streamsize>(buf.size()));
+}
+
+PacketRecord get_record(std::ifstream& is) {
+    std::array<std::uint8_t, kRecordBytes> buf{};
+    is.read(reinterpret_cast<char*>(buf.data()),
+            static_cast<std::streamsize>(buf.size()));
+    if (is.gcount() != static_cast<std::streamsize>(buf.size())) {
+        throw std::runtime_error("read_trace: truncated record");
+    }
+    PacketRecord r;
+    std::size_t off = 0;
+    const auto get = [&](void* p, std::size_t n) {
+        std::memcpy(p, buf.data() + off, n);
+        off += n;
+    };
+    get(&r.ts, 8);
+    get(&r.flow.src_ip, 4);
+    get(&r.flow.dst_ip, 4);
+    get(&r.flow.src_port, 2);
+    get(&r.flow.dst_port, 2);
+    get(&r.flow.proto, 1);
+    off += 3;
+    get(&r.len, 4);
+    return r;
+}
+
+}  // namespace
+
+void write_trace(const std::string& path,
+                 const std::vector<PacketRecord>& records) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) throw std::runtime_error("write_trace: cannot open " + path);
+    os.write(kMagic.data(), kMagic.size());
+    os.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
+    const std::uint64_t count = records.size();
+    os.write(reinterpret_cast<const char*>(&count), sizeof(count));
+    for (const auto& r : records) put_record(os, r);
+    if (!os) throw std::runtime_error("write_trace: write failed: " + path);
+}
+
+std::vector<PacketRecord> read_trace(const std::string& path) {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) throw std::runtime_error("read_trace: cannot open " + path);
+    std::array<char, 8> magic{};
+    is.read(magic.data(), magic.size());
+    if (is.gcount() != static_cast<std::streamsize>(magic.size()) ||
+        magic != kMagic) {
+        throw std::runtime_error("read_trace: bad magic in " + path);
+    }
+    std::uint32_t version = 0;
+    is.read(reinterpret_cast<char*>(&version), sizeof(version));
+    if (!is || version != kVersion) {
+        throw std::runtime_error("read_trace: unsupported version");
+    }
+    std::uint64_t count = 0;
+    is.read(reinterpret_cast<char*>(&count), sizeof(count));
+    if (!is) throw std::runtime_error("read_trace: truncated header");
+    std::vector<PacketRecord> out;
+    out.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) out.push_back(get_record(is));
+    return out;
+}
+
+}  // namespace p4lru::trace

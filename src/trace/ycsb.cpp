@@ -1,0 +1,31 @@
+#include "p4lru/trace/ycsb.hpp"
+
+#include <stdexcept>
+
+namespace p4lru::trace {
+
+YcsbWorkload::YcsbWorkload(const YcsbConfig& cfg)
+    : cfg_(cfg),
+      chooser_(cfg.items, cfg.zipf_alpha, cfg.seed),
+      rng_(cfg.seed ^ 0x6C5B7E3AULL) {
+    if (cfg.items == 0) throw std::invalid_argument("YcsbWorkload: 0 items");
+    if (cfg.read_fraction < 0.0 || cfg.read_fraction > 1.0) {
+        throw std::invalid_argument("YcsbWorkload: bad read_fraction");
+    }
+}
+
+YcsbOp YcsbWorkload::next() {
+    YcsbOp op;
+    op.key = chooser_.sample(rng_);
+    op.type = rng_.chance(cfg_.read_fraction) ? OpType::kRead : OpType::kUpdate;
+    return op;
+}
+
+std::vector<YcsbOp> YcsbWorkload::generate(std::size_t count) {
+    std::vector<YcsbOp> ops;
+    ops.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) ops.push_back(next());
+    return ops;
+}
+
+}  // namespace p4lru::trace

@@ -1,0 +1,84 @@
+#include "p4lru/common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include "p4lru/common/table.hpp"
+
+namespace p4lru::stats {
+namespace {
+
+TEST(Running, EmptyIsZero) {
+    Running r;
+    EXPECT_EQ(r.count(), 0u);
+    EXPECT_EQ(r.mean(), 0.0);
+    EXPECT_EQ(r.variance(), 0.0);
+}
+
+TEST(Running, MeanAndVariance) {
+    Running r;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) r.add(x);
+    EXPECT_DOUBLE_EQ(r.mean(), 5.0);
+    EXPECT_NEAR(r.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+    EXPECT_DOUBLE_EQ(r.min(), 2.0);
+    EXPECT_DOUBLE_EQ(r.max(), 9.0);
+    EXPECT_DOUBLE_EQ(r.sum(), 40.0);
+}
+
+TEST(Running, SingleValue) {
+    Running r;
+    r.add(3.5);
+    EXPECT_DOUBLE_EQ(r.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(r.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(r.min(), 3.5);
+    EXPECT_DOUBLE_EQ(r.max(), 3.5);
+}
+
+TEST(Percentiles, Quantiles) {
+    Percentiles p;
+    for (int i = 1; i <= 100; ++i) p.add(i);
+    EXPECT_DOUBLE_EQ(p.quantile(0.0), 1.0);
+    EXPECT_DOUBLE_EQ(p.quantile(1.0), 100.0);
+    EXPECT_NEAR(p.quantile(0.5), 50.0, 1.0);
+    EXPECT_NEAR(p.quantile(0.99), 99.0, 1.0);
+}
+
+TEST(Percentiles, EmptyThrows) {
+    Percentiles p;
+    EXPECT_THROW((void)p.quantile(0.5), std::logic_error);
+}
+
+TEST(Ratio, Accumulates) {
+    Ratio r;
+    r.hit(true);
+    r.hit(false);
+    r.hit(true);
+    r.hit(true);
+    EXPECT_DOUBLE_EQ(r.value(), 0.75);
+}
+
+TEST(Ratio, EmptyIsZero) {
+    EXPECT_DOUBLE_EQ(Ratio{}.value(), 0.0);
+}
+
+TEST(ConsoleTable, RendersAlignedRows) {
+    ConsoleTable t({"name", "value"});
+    t.add_row({"x", "1"});
+    t.add_row({"longer", "2"});
+    const auto out = t.render();
+    EXPECT_NE(out.find("| name   | value |"), std::string::npos);
+    EXPECT_NE(out.find("| longer | 2     |"), std::string::npos);
+}
+
+TEST(ConsoleTable, RejectsBadShapes) {
+    EXPECT_THROW(ConsoleTable({}), std::invalid_argument);
+    ConsoleTable t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(ConsoleTable, NumFormatsPrecision) {
+    EXPECT_EQ(ConsoleTable::num(3.14159, 2), "3.14");
+    EXPECT_EQ(ConsoleTable::num(2.0, 0), "2");
+}
+
+}  // namespace
+}  // namespace p4lru::stats

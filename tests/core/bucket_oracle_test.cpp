@@ -1,0 +1,101 @@
+// Property: a parallel-connected P4LRU_N array is EXACTLY a collection of
+// independent strict-LRU caches, one per bucket. We shadow every bucket
+// with a NaiveLru oracle and require packet-by-packet agreement — across
+// unit sizes, seeds and workload skews (TEST_P sweep).
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "../test_util.hpp"
+#include "p4lru/core/p4lru4.hpp"
+#include "p4lru/core/p4lru_encoded.hpp"
+#include "p4lru/core/parallel_array.hpp"
+
+namespace p4lru::core {
+namespace {
+
+using testutil::NaiveLru;
+using testutil::random_keys;
+
+struct OracleParam {
+    std::size_t units;
+    std::uint32_t universe;
+    double repeat_bias;
+    std::uint64_t seed;
+};
+
+class BucketOracle : public ::testing::TestWithParam<OracleParam> {};
+
+template <typename Array>
+void run_against_oracles(Array& array, std::size_t capacity,
+                         const OracleParam& p) {
+    std::unordered_map<std::size_t, NaiveLru<std::uint32_t, std::uint32_t>>
+        oracles;
+    const auto keys = random_keys(25'000, p.universe, p.seed, p.repeat_bias);
+    std::size_t tick = 0;
+    for (const auto k : keys) {
+        ++tick;
+        const auto v = static_cast<std::uint32_t>(tick % 4096 + 1);
+        const std::size_t bucket = array.bucket(k);
+        auto [it, inserted] = oracles.try_emplace(bucket, capacity);
+        const auto got = array.update(k, v);
+        const auto want = it->second.update(k, v);
+        ASSERT_EQ(got.hit, want.hit) << "tick " << tick << " key " << k;
+        ASSERT_EQ(got.evicted, want.evicted.has_value()) << "tick " << tick;
+        if (want.evicted) {
+            ASSERT_EQ(got.evicted_key, want.evicted->first) << "tick " << tick;
+            ASSERT_EQ(got.evicted_value, want.evicted->second)
+                << "tick " << tick;
+        }
+    }
+    // Terminal state: every oracle's contents equal the unit's contents.
+    for (const auto& [bucket, oracle] : oracles) {
+        for (std::uint32_t probe = 1; probe <= p.universe; ++probe) {
+            if (array.bucket(probe) != bucket) continue;
+            ASSERT_EQ(array.find(probe), oracle.find(probe)) << probe;
+        }
+    }
+}
+
+TEST_P(BucketOracle, Behavioural3MatchesPerBucketStrictLru) {
+    const auto p = GetParam();
+    ParallelCache<P4lru<std::uint32_t, std::uint32_t, 3>, std::uint32_t,
+                  std::uint32_t>
+        array(p.units, static_cast<std::uint32_t>(p.seed));
+    run_against_oracles(array, 3, p);
+}
+
+TEST_P(BucketOracle, Encoded3MatchesPerBucketStrictLru) {
+    const auto p = GetParam();
+    ParallelCache<P4lru3Encoded<std::uint32_t, std::uint32_t>, std::uint32_t,
+                  std::uint32_t>
+        array(p.units, static_cast<std::uint32_t>(p.seed));
+    run_against_oracles(array, 3, p);
+}
+
+TEST_P(BucketOracle, Encoded2MatchesPerBucketStrictLru) {
+    const auto p = GetParam();
+    ParallelCache<P4lru2Encoded<std::uint32_t, std::uint32_t>, std::uint32_t,
+                  std::uint32_t>
+        array(p.units, static_cast<std::uint32_t>(p.seed));
+    run_against_oracles(array, 2, p);
+}
+
+TEST_P(BucketOracle, Encoded4MatchesPerBucketStrictLru) {
+    const auto p = GetParam();
+    ParallelCache<P4lru4Encoded<std::uint32_t, std::uint32_t>, std::uint32_t,
+                  std::uint32_t>
+        array(p.units, static_cast<std::uint32_t>(p.seed));
+    run_against_oracles(array, 4, p);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BucketOracle,
+    ::testing::Values(OracleParam{1, 12, 0.5, 101},
+                      OracleParam{4, 60, 0.3, 102},
+                      OracleParam{16, 300, 0.5, 103},
+                      OracleParam{64, 2000, 0.7, 104},
+                      OracleParam{256, 10000, 0.2, 105}));
+
+}  // namespace
+}  // namespace p4lru::core

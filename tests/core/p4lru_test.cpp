@@ -1,0 +1,196 @@
+#include "p4lru/core/p4lru.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "../test_util.hpp"
+
+namespace p4lru::core {
+namespace {
+
+using testutil::NaiveLru;
+using testutil::random_keys;
+
+TEST(P4lru, InsertIntoEmptyUnit) {
+    P4lru<std::uint32_t, std::uint32_t, 3> u;
+    const auto r = u.update(7, 70);
+    EXPECT_FALSE(r.hit);
+    EXPECT_FALSE(r.evicted);
+    EXPECT_EQ(u.size(), 1u);
+    EXPECT_EQ(u.find(7), std::optional<std::uint32_t>(70));
+}
+
+TEST(P4lru, HitAtHeadKeepsOrder) {
+    P4lru<std::uint32_t, std::uint32_t, 3> u;
+    u.update(1, 10);
+    const auto r = u.update(1, 11);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.hit_pos, 1u);
+    EXPECT_EQ(u.find(1), std::optional<std::uint32_t>(11));  // ReplaceMerge
+    EXPECT_EQ(u.size(), 1u);
+}
+
+TEST(P4lru, EvictionFollowsLruOrder) {
+    P4lru<std::uint32_t, std::uint32_t, 3> u;
+    u.update(1, 10);
+    u.update(2, 20);
+    u.update(3, 30);
+    // LRU order is now 3, 2, 1; touching 1 promotes it.
+    u.update(1, 11);
+    const auto r = u.update(4, 40);  // must evict 2 (least recent)
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.evicted_key, 2u);
+    EXPECT_EQ(r.evicted_value, 20u);
+    EXPECT_FALSE(u.contains(2));
+    EXPECT_TRUE(u.contains(1));
+    EXPECT_TRUE(u.contains(3));
+    EXPECT_TRUE(u.contains(4));
+}
+
+TEST(P4lru, ValuesFollowKeysThroughStateIndirection) {
+    // Figure 3 of the paper, replayed on the value plane: values never move;
+    // the mapping does.
+    P4lru<std::string, std::string, 5> u;
+    u.update("A", "VA");
+    u.update("B", "VB");
+    u.update("C", "VC");
+    u.update("D", "VD");
+    u.update("E", "VE");
+    // After warm-up in insertion order, LRU order is E D C B A.
+    // (Inserting into a non-full unit rotates only the occupied prefix.)
+    u.update("D", "VD2");  // Example 1: hit
+    EXPECT_EQ(u.key_at(1), "D");
+    EXPECT_EQ(u.value_at(1), "VD2");
+    auto r = u.update("F", "VF");  // Example 2: miss, evicts LRU key
+    EXPECT_TRUE(r.evicted);
+    EXPECT_EQ(r.evicted_key, "A");
+    EXPECT_EQ(r.evicted_value, "VA");
+    EXPECT_EQ(u.key_at(1), "F");
+    EXPECT_EQ(u.value_at(1), "VF");
+    // Every surviving key still maps to its own value.
+    EXPECT_EQ(u.find("B"), std::optional<std::string>("VB"));
+    EXPECT_EQ(u.find("C"), std::optional<std::string>("VC"));
+    EXPECT_EQ(u.find("D"), std::optional<std::string>("VD2"));
+    EXPECT_EQ(u.find("E"), std::optional<std::string>("VE"));
+}
+
+TEST(P4lru, AddMergeAccumulates) {
+    P4lru<std::uint32_t, std::uint64_t, 2, AddMerge> u;
+    u.update(5, 100);
+    u.update(5, 50);
+    EXPECT_EQ(u.find(5), std::optional<std::uint64_t>(150));
+}
+
+TEST(P4lru, PerCallMergeOverridesMember) {
+    P4lru<std::uint32_t, std::uint64_t, 2> u;  // ReplaceMerge by default
+    u.update(5, 100);
+    u.update(5, 1, KeepMerge{});
+    EXPECT_EQ(u.find(5), std::optional<std::uint64_t>(100));
+    u.update(5, 7, AddMerge{});
+    EXPECT_EQ(u.find(5), std::optional<std::uint64_t>(107));
+}
+
+TEST(P4lru, TouchPromotesOnlyExistingKeys) {
+    P4lru<std::uint32_t, std::uint32_t, 3> u;
+    u.update(1, 10);
+    u.update(2, 20);
+    EXPECT_FALSE(u.touch(9, 90));
+    EXPECT_FALSE(u.contains(9));
+    EXPECT_TRUE(u.touch(1, 10));
+    EXPECT_EQ(u.key_at(1), 1u);
+}
+
+TEST(P4lru, InsertLruPlacesAtTail) {
+    P4lru<std::uint32_t, std::uint32_t, 3> u;
+    u.update(1, 10);
+    u.update(2, 20);
+    u.update(3, 30);  // order: 3 2 1
+    const auto displaced = u.insert_lru(4, 40);
+    ASSERT_TRUE(displaced.has_value());
+    EXPECT_EQ(displaced->first, 1u);
+    EXPECT_EQ(displaced->second, 10u);
+    EXPECT_EQ(u.key_at(3), 4u);   // new key is least recent
+    EXPECT_EQ(u.value_at(3), 40u);
+    EXPECT_EQ(u.key_at(1), 3u);   // head untouched
+}
+
+TEST(P4lru, InsertLruIntoNonFullUnitExtendsPrefix) {
+    P4lru<std::uint32_t, std::uint32_t, 3> u;
+    u.update(1, 10);
+    EXPECT_FALSE(u.insert_lru(2, 20).has_value());
+    EXPECT_EQ(u.size(), 2u);
+    EXPECT_EQ(u.key_at(2), 2u);
+    EXPECT_EQ(u.find(2), std::optional<std::uint32_t>(20));
+}
+
+TEST(P4lru, InsertLruRefreshesExistingKeyInPlace) {
+    P4lru<std::uint32_t, std::uint32_t, 3> u;
+    u.update(1, 10);
+    u.update(2, 20);
+    EXPECT_FALSE(u.insert_lru(1, 99).has_value());
+    EXPECT_EQ(u.find(1), std::optional<std::uint32_t>(99));
+    EXPECT_EQ(u.key_at(1), 2u);  // recency unchanged
+}
+
+// ---- Property tests: P4lru must behave exactly like a strict LRU ---------
+
+struct EquivParam {
+    std::size_t n;
+    std::uint32_t universe;
+    std::uint64_t seed;
+};
+
+class P4lruEquivalence : public ::testing::TestWithParam<EquivParam> {};
+
+TEST_P(P4lruEquivalence, MatchesNaiveLruExactly) {
+    const auto [n, universe, seed] = GetParam();
+    NaiveLru<std::uint32_t, std::uint64_t> ref(n);
+
+    const auto run = [&](auto& unit) {
+        const auto keys = random_keys(20'000, universe, seed);
+        std::uint64_t tick = 0;
+        for (const std::uint32_t k : keys) {
+            const std::uint64_t v = ++tick;
+            const auto got = unit.update(k, v, AddMerge{});
+            const auto want = ref.update(
+                k, v, [](std::uint64_t a, std::uint64_t b) { return a + b; });
+            ASSERT_EQ(got.hit, want.hit) << "key " << k << " tick " << tick;
+            ASSERT_EQ(got.evicted, want.evicted.has_value());
+            if (want.evicted) {
+                ASSERT_EQ(got.evicted_key, want.evicted->first);
+                ASSERT_EQ(got.evicted_value, want.evicted->second);
+            }
+            // Spot-check the full mapping every 1000 ops.
+            if (tick % 1000 == 0) {
+                for (std::uint32_t probe = 1; probe <= universe; ++probe) {
+                    ASSERT_EQ(unit.find(probe), ref.find(probe));
+                }
+                for (std::size_t pos = 1; pos <= ref.size(); ++pos) {
+                    ASSERT_EQ(unit.key_at(pos), ref.key_at(pos));
+                }
+            }
+        }
+    };
+
+    switch (n) {
+        case 1: { P4lru<std::uint32_t, std::uint64_t, 1> u; run(u); break; }
+        case 2: { P4lru<std::uint32_t, std::uint64_t, 2> u; run(u); break; }
+        case 3: { P4lru<std::uint32_t, std::uint64_t, 3> u; run(u); break; }
+        case 4: { P4lru<std::uint32_t, std::uint64_t, 4> u; run(u); break; }
+        case 5: { P4lru<std::uint32_t, std::uint64_t, 5> u; run(u); break; }
+        case 6: { P4lru<std::uint32_t, std::uint64_t, 6> u; run(u); break; }
+        default: FAIL() << "unsupported n";
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndWorkloads, P4lruEquivalence,
+    ::testing::Values(EquivParam{1, 4, 11}, EquivParam{2, 4, 12},
+                      EquivParam{2, 16, 13}, EquivParam{3, 5, 14},
+                      EquivParam{3, 64, 15}, EquivParam{4, 8, 16},
+                      EquivParam{5, 10, 17}, EquivParam{6, 24, 18}));
+
+}  // namespace
+}  // namespace p4lru::core

@@ -1,0 +1,106 @@
+// The read-only LruIndex query pass on the pipeline model must agree with
+// the behavioural series cache at every step of the round-trip protocol.
+// The mutating reply pass runs behaviourally and is mirrored into the
+// pipeline registers; the test proves the query program decodes the same
+// hit level and value through the state DFA, with zero register writes.
+#include "p4lru/pipeline/lruindex_query_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "p4lru/core/p4lru_encoded.hpp"
+#include "p4lru/core/series_cache.hpp"
+
+namespace p4lru::pipeline {
+namespace {
+
+using Unit = core::P4lru3Encoded<std::uint32_t, std::uint32_t>;
+using Series = core::SeriesCache<Unit, std::uint32_t, std::uint32_t>;
+
+/// Mirror one behavioural unit into the pipeline level's registers.
+void mirror_unit(LruIndexQueryLevel& level, std::size_t bucket,
+                 const Unit& unit) {
+    std::uint32_t keys[3] = {unit.raw_key(0), unit.raw_key(1),
+                             unit.raw_key(2)};
+    std::uint32_t vals[3] = {0, 0, 0};
+    for (int i = 0; i < 3; ++i) {
+        if (keys[i] == 0) continue;
+        const std::size_t slot =
+            core::codec::kLru3Decode[unit.state_code()][i];
+        vals[slot - 1] = *unit.find(keys[i]);
+    }
+    level.load_unit(bucket, keys, vals, unit.state_code());
+}
+
+void mirror_all(LruIndexQueryPipeline& pipe, const Series& series) {
+    for (std::size_t l = 0; l < series.level_count(); ++l) {
+        for (std::size_t b = 0; b < series.level(l).unit_count(); ++b) {
+            mirror_unit(pipe.level(l), b, series.level(l).unit(b));
+        }
+    }
+}
+
+TEST(LruIndexQueryProgram, ReadOnlyFootprint) {
+    const LruIndexQueryPipeline pipe(4, 64, 0x1D);
+    const auto r = pipe.resources();
+    EXPECT_EQ(r.stages, 4u * 7u);
+    EXPECT_EQ(r.salus, 4u * 7u);  // 3 key + 1 state + 3 value per level
+    // Each level fits one physical pipeline, as the paper folds it.
+    PipelineBudget budget;
+    EXPECT_LE(r.stages / 4, budget.stages);
+}
+
+TEST(LruIndexQueryProgram, EmptyCacheAlwaysMisses) {
+    LruIndexQueryPipeline pipe(2, 16, 0x2D);
+    for (std::uint32_t k = 1; k <= 100; ++k) {
+        EXPECT_EQ(pipe.query(k).level, 0u) << k;
+    }
+}
+
+TEST(LruIndexQueryProgram, QueryIsActuallyReadOnly) {
+    LruIndexQueryPipeline pipe(1, 4, 0x3D);
+    const std::uint32_t keys[3] = {10, 20, 30};
+    const std::uint32_t vals[3] = {100, 200, 300};
+    for (std::size_t b = 0; b < 4; ++b) {
+        pipe.level(0).load_unit(b, keys, vals, 4);
+    }
+    for (int rep = 0; rep < 50; ++rep) {
+        const auto r = pipe.query(20);
+        EXPECT_EQ(r.level, 1u);
+        EXPECT_EQ(r.value, 200u);
+    }
+    // Registers unchanged after 50 queries.
+    for (std::size_t b = 0; b < 4; ++b) {
+        EXPECT_EQ(pipe.level(0).pipeline().register_value(3, b), 4u);
+        EXPECT_EQ(pipe.level(0).pipeline().register_value(0, b), 10u);
+    }
+}
+
+TEST(LruIndexQueryProgram, MatchesBehaviouralSeriesCacheUnderProtocol) {
+    const std::size_t levels = 3;
+    const std::size_t units = 8;
+    const std::uint32_t seed = 0x4D;
+    Series series(levels, units, seed);
+    LruIndexQueryPipeline pipe(levels, units, seed);
+
+    const auto keys = testutil::random_keys(4'000, 120, 0xF00D, 0.4);
+    std::size_t hits = 0;
+    for (const auto k : keys) {
+        const auto want = series.query(k);
+        const auto got = pipe.query(k);
+        ASSERT_EQ(got.level, want.level) << "key " << k;
+        if (want.hit()) {
+            ASSERT_EQ(got.value, want.value) << "key " << k;
+            ++hits;
+            series.reply_promote(k, want.value, want.level);
+        } else {
+            series.reply_insert(k, k * 7u + 1u);
+        }
+        // Reply pass mutated the behavioural cache; mirror it.
+        mirror_all(pipe, series);
+    }
+    EXPECT_GT(hits, 500u);  // the equivalence covered plenty of hit paths
+}
+
+}  // namespace
+}  // namespace p4lru::pipeline

@@ -1,0 +1,58 @@
+#include <gtest/gtest.h>
+
+#include "p4lru/pipeline/p4lru3_program.hpp"
+#include "p4lru/pipeline/tower_program.hpp"
+
+namespace p4lru::pipeline {
+namespace {
+
+TEST(Describe, ListsEveryStageAndRegister) {
+    P4lru3PipelineCache cache(16, 1, ValueMode::kReadCache);
+    const auto text = cache.pipeline().describe();
+    for (const char* needle :
+         {"stage 0", "stage 6", "key1", "key2", "key3", "state", "val1",
+          "val2", "val3", "hash"}) {
+        EXPECT_NE(text.find(needle), std::string::npos) << needle;
+    }
+}
+
+TEST(P4Export, EmitsRegistersAndActions) {
+    P4lru3PipelineCache cache(16, 1, ValueMode::kReadCache);
+    const auto p4 = cache.pipeline().export_p4("p4lru3_cache");
+    // One Register per array.
+    for (const char* reg :
+         {"reg_key1", "reg_key2", "reg_key3", "reg_state", "reg_val1",
+          "reg_val2", "reg_val3"}) {
+        EXPECT_NE(p4.find(std::string("Register<bit<32>, bit<32>>") ), std::string::npos);
+        EXPECT_NE(p4.find(reg), std::string::npos) << reg;
+    }
+    // The Table-1 arithmetic shows up verbatim in the state actions.
+    EXPECT_NE(p4.find("value >= 4"), std::string::npos);
+    EXPECT_NE(p4.find("value ^ 1"), std::string::npos);
+    EXPECT_NE(p4.find("value ^ 3"), std::string::npos);
+    EXPECT_NE(p4.find("value >= 2"), std::string::npos);
+    EXPECT_NE(p4.find("value - 2"), std::string::npos);
+    EXPECT_NE(p4.find("value + 4"), std::string::npos);
+    // Stage-ordered apply block with guarded executes.
+    EXPECT_NE(p4.find("control p4lru3_cache"), std::string::npos);
+    EXPECT_NE(p4.find("ra_state_op2.execute"), std::string::npos);
+    EXPECT_NE(p4.find("if (meta.md_match2 == 1)"), std::string::npos);
+}
+
+TEST(P4Export, TowerSaturationIsEmitted) {
+    TowerPipelineFilter tower(TowerPipelineFilter::Config{});
+    const auto p4 = tower.pipeline().export_p4("tower_filter");
+    EXPECT_NE(p4.find("// saturating"), std::string::npos);
+    EXPECT_NE(p4.find("reg_tower_c1"), std::string::npos);
+    EXPECT_NE(p4.find("reg_tower_c2"), std::string::npos);
+}
+
+TEST(P4Export, MetadataCoversAllFields) {
+    P4lru3PipelineCache cache(16, 1, ValueMode::kReadCache);
+    const auto p4 = cache.pipeline().export_p4("x");
+    EXPECT_NE(p4.find("bit<32> in_key;"), std::string::npos);
+    EXPECT_NE(p4.find("bit<32> md_state_code;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4lru::pipeline

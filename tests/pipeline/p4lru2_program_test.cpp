@@ -1,0 +1,71 @@
+#include "p4lru/pipeline/p4lru2_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "p4lru/core/parallel_array.hpp"
+#include "p4lru/core/p4lru_encoded.hpp"
+
+namespace p4lru::pipeline {
+namespace {
+
+TEST(P4lru2Program, CompactFootprint) {
+    const P4lru2PipelineCache cache(1u << 10, 0xAB, ValueMode::kReadCache);
+    const auto r = cache.resources();
+    EXPECT_EQ(r.stages, 5u);
+    EXPECT_EQ(r.salus, 5u);  // 2 key + 1 state + 2 value
+}
+
+TEST(P4lru2Program, SingleStateSaluHandlesTheWholeDfa) {
+    P4lru2PipelineCache cache(1, 0x1, ValueMode::kReadCache);
+    EXPECT_FALSE(cache.update(1, 10).hit);
+    EXPECT_FALSE(cache.update(2, 20).hit);
+    EXPECT_TRUE(cache.update(1, 0).hit);       // hit at key[2], state flips
+    EXPECT_EQ(cache.update(1, 0).value, 10u);  // hit at key[1], state keeps
+    const auto miss = cache.update(3, 30);
+    EXPECT_TRUE(miss.evicted);
+    EXPECT_EQ(miss.evicted_key, 2u);
+    EXPECT_EQ(miss.evicted_value, 20u);
+}
+
+TEST(P4lru2Program, AccumulateMode) {
+    P4lru2PipelineCache cache(1, 0x2, ValueMode::kWriteAccumulate);
+    cache.update(5, 100);
+    EXPECT_EQ(cache.update(5, 50).value, 150u);
+}
+
+class P4lru2ProgramEquivalence
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::uint32_t>> {
+};
+
+TEST_P(P4lru2ProgramEquivalence, MatchesEncodedUnitArray) {
+    const auto [units, universe] = GetParam();
+    const std::uint32_t seed = 0x5EED;
+    P4lru2PipelineCache pipe(units, seed, ValueMode::kWriteAccumulate);
+    core::ParallelCache<
+        core::P4lru2Encoded<std::uint32_t, std::uint32_t, core::AddMerge>,
+        std::uint32_t, std::uint32_t>
+        behavioural(units, seed);
+
+    const auto keys = testutil::random_keys(15'000, universe, 77, 0.4);
+    std::uint64_t tick = 0;
+    for (const auto k : keys) {
+        const auto v = static_cast<std::uint32_t>(++tick % 997 + 1);
+        const auto a = pipe.update(k, v);
+        const auto b = behavioural.update(k, v);
+        ASSERT_EQ(a.hit, b.hit) << "tick " << tick;
+        ASSERT_EQ(a.evicted, b.evicted) << "tick " << tick;
+        if (a.evicted) {
+            ASSERT_EQ(a.evicted_key, b.evicted_key);
+            ASSERT_EQ(a.evicted_value, b.evicted_value);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, P4lru2ProgramEquivalence,
+                         ::testing::Values(std::make_pair(1u, 5u),
+                                           std::make_pair(8u, 50u),
+                                           std::make_pair(64u, 2000u)));
+
+}  // namespace
+}  // namespace p4lru::pipeline

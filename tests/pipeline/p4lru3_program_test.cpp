@@ -1,0 +1,118 @@
+// The pipeline-compiled P4LRU3 array must behave exactly like the encoded
+// behavioural unit array — this is the software form of the paper's claim
+// that P4LRU runs on a real match-action pipeline (requirement R1).
+#include "p4lru/pipeline/p4lru3_program.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "p4lru/core/parallel_array.hpp"
+#include "p4lru/core/p4lru_encoded.hpp"
+
+namespace p4lru::pipeline {
+namespace {
+
+TEST(P4lru3Program, FitsInOneTofinoPipeline) {
+    const P4lru3PipelineCache cache(1u << 10, 0xAB, ValueMode::kReadCache);
+    const auto r = cache.resources();
+    const PipelineBudget budget;
+    EXPECT_LE(r.stages, budget.stages);
+    EXPECT_EQ(r.stages, 7u);
+    EXPECT_EQ(r.salus, 9u);  // 3 key + 3 state + 3 value SALUs
+    EXPECT_LE(r.salus, budget.stages * budget.salus_per_stage);
+}
+
+TEST(P4lru3Program, BasicHitMissEviction) {
+    P4lru3PipelineCache cache(1, 0x1, ValueMode::kReadCache);  // one bucket
+    EXPECT_FALSE(cache.update(1, 10).hit);
+    EXPECT_FALSE(cache.update(2, 20).hit);
+    EXPECT_FALSE(cache.update(3, 30).hit);
+    const auto hit = cache.update(2, 99);
+    EXPECT_TRUE(hit.hit);
+    EXPECT_EQ(hit.value, 20u);  // read-cache: stored value survives
+    const auto miss = cache.update(4, 40);
+    EXPECT_FALSE(miss.hit);
+    EXPECT_TRUE(miss.evicted);
+    EXPECT_EQ(miss.evicted_key, 1u);  // 1 was least recent
+    EXPECT_EQ(miss.evicted_value, 10u);
+}
+
+TEST(P4lru3Program, AccumulateMode) {
+    P4lru3PipelineCache cache(1, 0x2, ValueMode::kWriteAccumulate);
+    cache.update(5, 100);
+    const auto r = cache.update(5, 50);
+    EXPECT_TRUE(r.hit);
+    EXPECT_EQ(r.value, 150u);
+}
+
+TEST(P4lru3Program, SentinelEvictionsSuppressed) {
+    P4lru3PipelineCache cache(1, 0x3, ValueMode::kReadCache);
+    EXPECT_FALSE(cache.update(1, 10).evicted);
+    EXPECT_FALSE(cache.update(2, 20).evicted);
+    EXPECT_FALSE(cache.update(3, 30).evicted);
+    EXPECT_TRUE(cache.update(4, 40).evicted);
+}
+
+struct ProgParam {
+    std::size_t units;
+    std::uint32_t universe;
+    std::uint64_t seed;
+};
+
+class P4lru3ProgramEquivalence : public ::testing::TestWithParam<ProgParam> {};
+
+TEST_P(P4lru3ProgramEquivalence, MatchesEncodedUnitArray) {
+    const auto [units, universe, seed] = GetParam();
+    // Same hash seed => same bucket mapping as the behavioural array (both
+    // use CRC32-based slot choice on the same layout).
+    const std::uint32_t hash_seed = 0x5EED;
+    P4lru3PipelineCache pipe(units, hash_seed, ValueMode::kWriteAccumulate);
+    core::ParallelCache<
+        core::P4lru3Encoded<std::uint32_t, std::uint32_t, core::AddMerge>,
+        std::uint32_t, std::uint32_t>
+        behavioural(units, hash_seed);
+
+    const auto keys = testutil::random_keys(20'000, universe, seed, 0.4);
+    std::uint64_t tick = 0;
+    for (const auto k : keys) {
+        const auto v = static_cast<std::uint32_t>(++tick % 1000 + 1);
+        const auto a = pipe.update(k, v);
+        const auto b = behavioural.update(k, v);
+        ASSERT_EQ(a.hit, b.hit) << "tick " << tick << " key " << k;
+        ASSERT_EQ(a.evicted, b.evicted) << "tick " << tick;
+        if (a.evicted) {
+            ASSERT_EQ(a.evicted_key, b.evicted_key) << "tick " << tick;
+            ASSERT_EQ(a.evicted_value, b.evicted_value) << "tick " << tick;
+        }
+        if (a.hit) {
+            ASSERT_EQ(a.value, behavioural.find(k).value()) << "tick " << tick;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, P4lru3ProgramEquivalence,
+    ::testing::Values(ProgParam{1, 6, 31}, ProgParam{4, 40, 32},
+                      ProgParam{16, 100, 33}, ProgParam{64, 4000, 34}));
+
+TEST(P4lru3Program, BucketsMatchBehaviouralHash) {
+    const std::uint32_t seed = 0x77;
+    P4lru3PipelineCache pipe(64, seed, ValueMode::kReadCache);
+    core::ParallelCache<core::P4lru3Encoded<std::uint32_t, std::uint32_t>,
+                        std::uint32_t, std::uint32_t>
+        beh(64, seed);
+    for (std::uint32_t k = 1; k <= 200; ++k) {
+        EXPECT_EQ(pipe.update(k, k).bucket, beh.bucket(k)) << k;
+    }
+}
+
+TEST(P4lru3Program, StateRegistersInitializedToIdentityCode) {
+    P4lru3PipelineCache cache(8, 0x9, ValueMode::kReadCache);
+    // The 4th register array (index 3) is the state array.
+    for (std::size_t i = 0; i < 8; ++i) {
+        EXPECT_EQ(cache.pipeline().register_value(3, i), 4u);
+    }
+}
+
+}  // namespace
+}  // namespace p4lru::pipeline

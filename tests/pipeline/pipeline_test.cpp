@@ -1,0 +1,395 @@
+// The pipeline model itself: instruction semantics and, critically, the
+// constraint enforcement that makes "this program is pipeline-feasible" a
+// checkable statement.
+#include "p4lru/pipeline/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "p4lru/common/hash.hpp"
+
+namespace p4lru::pipeline {
+namespace {
+
+TEST(Phv, FieldsStartAtZero) {
+    PhvLayout layout;
+    const auto f = layout.field("a");
+    Phv phv(layout.field_count());
+    EXPECT_EQ(phv.get(f), 0u);
+}
+
+TEST(PhvLayout, SameNameSameId) {
+    PhvLayout layout;
+    EXPECT_EQ(layout.field("x"), layout.field("x"));
+    EXPECT_NE(layout.field("x"), layout.field("y"));
+}
+
+TEST(Pipeline, VliwArithmetic) {
+    Pipeline p;
+    auto& L = p.layout();
+    const auto a = L.field("a");
+    const auto b = L.field("b");
+    const auto sum = L.field("sum");
+    const auto diff = L.field("diff");
+    const auto x = L.field("xor");
+
+    Stage st;
+    st.name = "alu";
+    st.vliw.push_back(VliwInstr{VliwOp::kAdd, sum, a, b, 0, 0, {}});
+    st.vliw.push_back(VliwInstr{VliwOp::kSub, diff, a, b, 0, 0, {}});
+    st.vliw.push_back(VliwInstr{VliwOp::kXor, x, a, b, 0, 0, {}});
+    p.add_stage(std::move(st));
+
+    Phv phv = p.make_phv();
+    phv.set(a, 10);
+    phv.set(b, 3);
+    p.execute(phv);
+    EXPECT_EQ(phv.get(sum), 13u);
+    EXPECT_EQ(phv.get(diff), 7u);
+    EXPECT_EQ(phv.get(x), 9u);
+}
+
+TEST(Pipeline, VliwComparisonsAndSelect) {
+    Pipeline p;
+    auto& L = p.layout();
+    const auto a = L.field("a");
+    const auto b = L.field("b");
+    const auto ge = L.field("ge");
+    const auto lt = L.field("lt");
+    const auto eq = L.field("eqc");
+    {
+        Stage st;
+        st.name = "cmp";
+        st.vliw.push_back(VliwInstr{VliwOp::kGe, ge, a, b, 0, 0, {}});
+        st.vliw.push_back(VliwInstr{VliwOp::kLt, lt, a, b, 0, 0, {}});
+        st.vliw.push_back(VliwInstr{VliwOp::kEqConst, eq, a, 0, 0, 7, {}});
+        p.add_stage(std::move(st));
+    }
+    const auto sel = L.field("sel");
+    {
+        Stage st;
+        st.name = "sel";
+        st.vliw.push_back(VliwInstr{VliwOp::kSelect, sel, a, b, ge, 0, {}});
+        p.add_stage(std::move(st));
+    }
+    Phv phv = p.make_phv();
+    phv.set(a, 7);
+    phv.set(b, 5);
+    p.execute(phv);
+    EXPECT_EQ(phv.get(ge), 1u);
+    EXPECT_EQ(phv.get(lt), 0u);
+    EXPECT_EQ(phv.get(eq), 1u);
+    EXPECT_EQ(phv.get(sel), 7u);
+}
+
+TEST(Pipeline, HashMatchesCrc32Reference) {
+    Pipeline p;
+    auto& L = p.layout();
+    const auto in = L.field("in");
+    const auto out = L.field("out");
+    Stage st;
+    st.name = "h";
+    st.hashes.push_back(HashInstr{{in}, out, 77, 1024});
+    p.add_stage(std::move(st));
+
+    Phv phv = p.make_phv();
+    phv.set(in, 0xDEADBEEF);
+    p.execute(phv);
+
+    std::uint8_t bytes[4] = {0xEF, 0xBE, 0xAD, 0xDE};
+    const auto digest = hash::crc32(std::span<const std::uint8_t>(bytes, 4), 77);
+    EXPECT_EQ(phv.get(out), (std::uint64_t{digest} * 1024) >> 32);
+}
+
+TEST(Pipeline, SameStageReadAfterWriteThrows) {
+    Pipeline p;
+    auto& L = p.layout();
+    const auto a = L.field("a");
+    const auto b = L.field("b");
+    const auto c = L.field("c");
+    Stage st;
+    st.name = "raw";
+    st.vliw.push_back(VliwInstr{VliwOp::kCopy, b, a, 0, 0, 0, {}});
+    st.vliw.push_back(VliwInstr{VliwOp::kCopy, c, b, 0, 0, 0, {}});  // RAW!
+    p.add_stage(std::move(st));
+    Phv phv = p.make_phv();
+    EXPECT_THROW(p.execute(phv), PipelineError);
+}
+
+TEST(Pipeline, CrossStageDependencyIsFine) {
+    Pipeline p;
+    auto& L = p.layout();
+    const auto a = L.field("a");
+    const auto b = L.field("b");
+    const auto c = L.field("c");
+    {
+        Stage st;
+        st.name = "s1";
+        st.vliw.push_back(VliwInstr{VliwOp::kCopy, b, a, 0, 0, 0, {}});
+        p.add_stage(std::move(st));
+    }
+    {
+        Stage st;
+        st.name = "s2";
+        st.vliw.push_back(VliwInstr{VliwOp::kCopy, c, b, 0, 0, 0, {}});
+        p.add_stage(std::move(st));
+    }
+    Phv phv = p.make_phv();
+    phv.set(a, 42);
+    p.execute(phv);
+    EXPECT_EQ(phv.get(c), 42u);
+}
+
+TEST(Pipeline, DoubleWriteSameFieldThrows) {
+    Pipeline p;
+    auto& L = p.layout();
+    const auto a = L.field("a");
+    const auto b = L.field("b");
+    Stage st;
+    st.name = "waw";
+    st.vliw.push_back(VliwInstr{VliwOp::kCopy, b, a, 0, 0, 0, {}});
+    st.vliw.push_back(VliwInstr{VliwOp::kSetConst, b, 0, 0, 0, 9, {}});
+    p.add_stage(std::move(st));
+    Phv phv = p.make_phv();
+    EXPECT_THROW(p.execute(phv), PipelineError);
+}
+
+SaluInstr simple_counter(std::size_t reg, FieldId idx, FieldId out) {
+    SaluInstr s;
+    s.name = "ctr";
+    s.register_array = reg;
+    s.index = idx;
+    s.cmp = CmpOp::kAlways;
+    s.on_true = {AluUpdate::kAddConst, 0, 1};
+    s.out1_sel = AluOutput::kNewValue;
+    s.out1 = out;
+    return s;
+}
+
+TEST(Pipeline, SaluReadModifyWrite) {
+    Pipeline p;
+    auto& L = p.layout();
+    const auto idx = L.field("idx");
+    const auto out = L.field("out");
+    const auto reg = p.add_register_array("ctr", 8);
+    Stage st;
+    st.name = "count";
+    st.salus.push_back(simple_counter(reg, idx, out));
+    p.add_stage(std::move(st));
+
+    Phv phv = p.make_phv();
+    phv.set(idx, 3);
+    p.execute(phv);
+    EXPECT_EQ(phv.get(out), 1u);
+    EXPECT_EQ(p.register_value(reg, 3), 1u);
+    Phv phv2 = p.make_phv();
+    phv2.set(idx, 3);
+    p.execute(phv2);
+    EXPECT_EQ(phv2.get(out), 2u);
+}
+
+TEST(Pipeline, SecondRegisterAccessInOnePacketThrows) {
+    // The constraint that kills classical LRU: one packet may not revisit a
+    // register array.
+    Pipeline p;
+    auto& L = p.layout();
+    const auto idx = L.field("idx");
+    const auto o1 = L.field("o1");
+    const auto o2 = L.field("o2");
+    const auto reg = p.add_register_array("r", 4);
+    {
+        Stage st;
+        st.name = "first";
+        st.salus.push_back(simple_counter(reg, idx, o1));
+        p.add_stage(std::move(st));
+    }
+    {
+        Stage st;
+        st.name = "second";
+        st.salus.push_back(simple_counter(reg, idx, o2));
+        p.add_stage(std::move(st));
+    }
+    Phv phv = p.make_phv();
+    EXPECT_THROW(p.execute(phv), PipelineError);
+}
+
+TEST(Pipeline, GuardedOffSaluDoesNotCountAsAccess) {
+    Pipeline p;
+    auto& L = p.layout();
+    const auto idx = L.field("idx");
+    const auto g = L.field("g");
+    const auto o1 = L.field("o1");
+    const auto o2 = L.field("o2");
+    const auto reg = p.add_register_array("r", 4);
+    {
+        Stage st;
+        st.name = "first";
+        auto s = simple_counter(reg, idx, o1);
+        s.guard = g;
+        s.guard_value = 1;  // g == 0 -> skipped
+        st.salus.push_back(std::move(s));
+        p.add_stage(std::move(st));
+    }
+    {
+        Stage st;
+        st.name = "second";
+        st.salus.push_back(simple_counter(reg, idx, o2));
+        p.add_stage(std::move(st));
+    }
+    Phv phv = p.make_phv();
+    p.execute(phv);  // must not throw: only one executed access
+    EXPECT_EQ(phv.get(o2), 1u);
+    EXPECT_EQ(phv.get(o1), 0u);  // untouched
+}
+
+TEST(Pipeline, SaluPredicateBranches) {
+    Pipeline p;
+    auto& L = p.layout();
+    const auto idx = L.field("idx");
+    const auto out = L.field("out");
+    const auto reg = p.add_register_array("r", 2);
+    p.set_register_value(reg, 0, 10);
+    Stage st;
+    st.name = "pred";
+    SaluInstr s;
+    s.name = "pred";
+    s.register_array = reg;
+    s.index = idx;
+    s.cmp = CmpOp::kGe;
+    s.cmp_const = 5;
+    s.on_true = {AluUpdate::kSubConst, 0, 5};   // R >= 5: R -= 5
+    s.on_false = {AluUpdate::kAddConst, 0, 100};
+    s.out1_sel = AluOutput::kNewValue;
+    s.out1 = out;
+    st.salus.push_back(std::move(s));
+    p.add_stage(std::move(st));
+
+    Phv a = p.make_phv();
+    a.set(idx, 0);
+    p.execute(a);
+    EXPECT_EQ(a.get(out), 5u);  // 10 - 5
+
+    Phv b = p.make_phv();
+    b.set(idx, 1);
+    p.execute(b);
+    EXPECT_EQ(b.get(out), 100u);  // 0 + 100
+}
+
+TEST(Pipeline, LookupTableLimits) {
+    Pipeline p;
+    auto& L = p.layout();
+    const auto a = L.field("a");
+    const auto d = L.field("d");
+    Stage ok;
+    ok.name = "lut";
+    VliwInstr lut;
+    lut.op = VliwOp::kLookup;
+    lut.dst = d;
+    lut.a = a;
+    lut.table = {5, 6, 7};
+    ok.vliw.push_back(lut);
+    p.add_stage(std::move(ok));
+
+    Phv phv = p.make_phv();
+    phv.set(a, 2);
+    p.execute(phv);
+    EXPECT_EQ(phv.get(d), 7u);
+
+    // Out-of-range key at runtime:
+    Phv bad = p.make_phv();
+    bad.set(a, 3);
+    EXPECT_THROW(p.execute(bad), PipelineError);
+
+    // A 17-entry table violates the tiny-table constraint at build time:
+    Pipeline p2;
+    auto& L2 = p2.layout();
+    Stage big;
+    big.name = "big";
+    VliwInstr wide;
+    wide.op = VliwOp::kLookup;
+    wide.dst = L2.field("d");
+    wide.a = L2.field("a");
+    wide.table.assign(17, 0);
+    big.vliw.push_back(wide);
+    EXPECT_THROW(p2.add_stage(std::move(big)), PipelineError);
+}
+
+TEST(Pipeline, BudgetsEnforced) {
+    PipelineBudget tight;
+    tight.stages = 1;
+    Pipeline p(tight);
+    p.add_stage(Stage{"only", {}, {}, {}});
+    EXPECT_THROW(p.add_stage(Stage{"extra", {}, {}, {}}), PipelineError);
+
+    PipelineBudget salus;
+    salus.salus_per_stage = 1;
+    Pipeline p2(salus);
+    const auto reg = p2.add_register_array("r", 2);
+    const auto idx = p2.layout().field("idx");
+    const auto o = p2.layout().field("o");
+    Stage st;
+    st.name = "two";
+    st.salus.push_back(simple_counter(reg, idx, o));
+    st.salus.push_back(simple_counter(reg, idx, o));
+    EXPECT_THROW(p2.add_stage(std::move(st)), PipelineError);
+}
+
+TEST(Pipeline, UnknownRegisterRejectedAtBuild) {
+    Pipeline p;
+    Stage st;
+    st.name = "bad";
+    st.salus.push_back(simple_counter(5, 0, 0));
+    EXPECT_THROW(p.add_stage(std::move(st)), PipelineError);
+}
+
+TEST(Pipeline, IndexOutOfRangeThrowsAtRuntime) {
+    Pipeline p;
+    const auto reg = p.add_register_array("r", 2);
+    const auto idx = p.layout().field("idx");
+    const auto o = p.layout().field("o");
+    Stage st;
+    st.name = "s";
+    st.salus.push_back(simple_counter(reg, idx, o));
+    p.add_stage(std::move(st));
+    Phv phv = p.make_phv();
+    phv.set(idx, 2);
+    EXPECT_THROW(p.execute(phv), PipelineError);
+}
+
+TEST(Pipeline, ResourceReportCountsEverything) {
+    Pipeline p;
+    auto& L = p.layout();
+    const auto in = L.field("in");
+    const auto idx = L.field("idx");
+    const auto o = L.field("o");
+    const auto reg = p.add_register_array("r", 1024);
+    {
+        Stage st;
+        st.name = "h";
+        st.hashes.push_back(HashInstr{{in}, idx, 1, 1024});
+        p.add_stage(std::move(st));
+    }
+    {
+        Stage st;
+        st.name = "c";
+        st.salus.push_back(simple_counter(reg, idx, o));
+        p.add_stage(std::move(st));
+    }
+    const auto r = p.resources();
+    EXPECT_EQ(r.stages, 2u);
+    EXPECT_EQ(r.salus, 1u);
+    EXPECT_EQ(r.hash_bits, 10u);  // log2(1024)
+    EXPECT_EQ(r.register_bytes, 1024u * 4u);
+    EXPECT_EQ(r.map_ram_bytes, 1024u * 4u);
+}
+
+TEST(Pipeline, FillRegisterArray) {
+    Pipeline p;
+    const auto reg = p.add_register_array("r", 4);
+    p.fill_register_array(reg, 9);
+    for (std::size_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(p.register_value(reg, i), 9u);
+    }
+}
+
+}  // namespace
+}  // namespace p4lru::pipeline

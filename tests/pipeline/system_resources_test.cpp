@@ -1,0 +1,55 @@
+#include "p4lru/pipeline/system_resources.hpp"
+
+#include <gtest/gtest.h>
+
+namespace p4lru::pipeline {
+namespace {
+
+TEST(SystemResources, LruTableUsesOnePipeline) {
+    const auto r = lrutable_resources(1u << 12);  // scaled for test speed
+    EXPECT_EQ(r.pipelines_used, 1u);
+    EXPECT_EQ(r.report.stages, 7u);
+    EXPECT_EQ(r.report.salus, 9u);
+    EXPECT_LE(r.report.stages, r.budget.stages);
+}
+
+TEST(SystemResources, LruIndexScalesWithLevels) {
+    const auto two = lruindex_resources(2, 1u << 10);
+    const auto four = lruindex_resources(4, 1u << 10);
+    EXPECT_EQ(two.pipelines_used, 2u);
+    EXPECT_EQ(four.pipelines_used, 4u);
+    EXPECT_EQ(four.report.salus, 2 * two.report.salus);
+    EXPECT_EQ(four.report.register_bytes, 2 * two.report.register_bytes);
+}
+
+TEST(SystemResources, LruMonCombinesTowerAndCache) {
+    const auto r = lrumon_resources(1u << 12);
+    EXPECT_EQ(r.pipelines_used, 2u);
+    // Tower (6 stages, 2 SALUs) + cache (7 stages, 9 SALUs).
+    EXPECT_EQ(r.report.stages, 13u);
+    EXPECT_EQ(r.report.salus, 11u);
+}
+
+TEST(SystemResources, PaperScaleConfigFitsTheBudget) {
+    // Full paper sizes: 2^16 units etc. Memory percentages must be sane
+    // (> 0, < 100) and SALU counts within budget.
+    const auto table = lrutable_resources();
+    EXPECT_LT(table.report.register_bytes, table.budget.sram_bytes);
+
+    const auto index = lruindex_resources();
+    EXPECT_LT(index.report.register_bytes, index.budget.sram_bytes);
+
+    const auto mon = lrumon_resources();
+    EXPECT_LT(mon.report.register_bytes, mon.budget.sram_bytes);
+    EXPECT_LE(mon.report.stages, mon.budget.stages);
+}
+
+TEST(SystemResources, TableRendersWithoutError) {
+    const auto r = lrutable_resources(1u << 10);
+    const auto table = r.to_table();
+    EXPECT_NE(table.find("Stateful ALU"), std::string::npos);
+    EXPECT_NE(table.find("%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p4lru::pipeline

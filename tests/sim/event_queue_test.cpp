@@ -1,0 +1,79 @@
+#include "p4lru/sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace p4lru::sim {
+namespace {
+
+TEST(EventQueue, RunsInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 30u);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(5, [&] { order.push_back(1); });
+    q.schedule(5, [&] { order.push_back(2); });
+    q.schedule(5, [&] { order.push_back(3); });
+    q.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EventsMayScheduleMoreEvents) {
+    EventQueue q;
+    std::vector<TimeNs> fire_times;
+    std::function<void()> tick = [&] {
+        fire_times.push_back(q.now());
+        if (fire_times.size() < 5) q.schedule_after(10, tick);
+    };
+    q.schedule(0, tick);
+    q.run();
+    EXPECT_EQ(fire_times, (std::vector<TimeNs>{0, 10, 20, 30, 40}));
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(20, [&] { ++fired; });
+    q.schedule(30, [&] { ++fired; });
+    q.run_until(20);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_EQ(q.now(), 20u);
+    q.run();
+    EXPECT_EQ(fired, 3);
+}
+
+TEST(EventQueue, StepReturnsFalseWhenEmpty) {
+    EventQueue q;
+    EXPECT_FALSE(q.step());
+    q.schedule(1, [] {});
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, ClockIsMonotoneEvenWithPastEvents) {
+    EventQueue q;
+    std::vector<TimeNs> times;
+    q.schedule(100, [&] {
+        times.push_back(q.now());
+        q.schedule(50, [&] { times.push_back(q.now()); });  // "in the past"
+    });
+    q.run();
+    ASSERT_EQ(times.size(), 2u);
+    EXPECT_EQ(times[0], 100u);
+    EXPECT_EQ(times[1], 100u);  // clamped, never goes backwards
+}
+
+}  // namespace
+}  // namespace p4lru::sim

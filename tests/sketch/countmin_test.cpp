@@ -1,0 +1,119 @@
+#include "p4lru/sketch/countmin.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "p4lru/common/random.hpp"
+#include "p4lru/common/zipf.hpp"
+
+namespace p4lru::sketch {
+namespace {
+
+TEST(CountMin, RejectsZeroDimensions) {
+    using CM = CountMin<std::uint32_t>;
+    EXPECT_THROW(CM(0, 2, 1), std::invalid_argument);
+    EXPECT_THROW(CM(8, 0, 1), std::invalid_argument);
+}
+
+TEST(CountMin, NeverUnderestimates) {
+    CountMin<std::uint32_t> cm(256, 3, 42);
+    std::map<std::uint32_t, std::uint64_t> truth;
+    rng::Xoshiro256 rng(1);
+    for (int i = 0; i < 20'000; ++i) {
+        const auto k = static_cast<std::uint32_t>(rng.between(1, 2000));
+        const std::uint64_t d = rng.between(1, 100);
+        cm.add(k, d);
+        truth[k] += d;
+    }
+    for (const auto& [k, t] : truth) {
+        EXPECT_GE(cm.estimate(k), t) << k;
+    }
+}
+
+TEST(CountMin, ExactWhenNoCollisions) {
+    CountMin<std::uint32_t> cm(1u << 16, 2, 7);
+    for (std::uint32_t k = 1; k <= 20; ++k) cm.add(k, k * 5);
+    for (std::uint32_t k = 1; k <= 20; ++k) {
+        EXPECT_EQ(cm.estimate(k), k * 5ull);
+    }
+}
+
+TEST(CountMin, AddAndEstimateAgreesWithSeparateCalls) {
+    CountMin<std::uint32_t> a(128, 2, 9);
+    CountMin<std::uint32_t> b(128, 2, 9);
+    rng::Xoshiro256 rng(2);
+    for (int i = 0; i < 5'000; ++i) {
+        const auto k = static_cast<std::uint32_t>(rng.between(1, 500));
+        const std::uint64_t est = a.add_and_estimate(k, 3);
+        b.add(k, 3);
+        EXPECT_EQ(est, b.estimate(k));
+    }
+}
+
+TEST(CountMin, SaturatesAtCounterMax) {
+    CountMin<std::uint32_t, std::uint8_t> cm(8, 1, 3);
+    cm.add(1, 1000);
+    EXPECT_EQ(cm.estimate(1), 255u);
+    cm.add(1, 10);  // must not wrap
+    EXPECT_EQ(cm.estimate(1), 255u);
+}
+
+TEST(CountMin, ClearResetsEverything) {
+    CountMin<std::uint32_t> cm(64, 2, 5);
+    cm.add(1, 100);
+    cm.clear();
+    EXPECT_EQ(cm.estimate(1), 0u);
+}
+
+TEST(CountMin, MemoryAccounting) {
+    CountMin<std::uint32_t, std::uint32_t> cm(1024, 3, 1);
+    EXPECT_EQ(cm.memory_bytes(), 1024u * 3u * 4u);
+}
+
+TEST(CuSketch, NeverUnderestimatesAndBeatsOrTiesCm) {
+    CountMin<std::uint32_t> cm(256, 3, 11);
+    CuSketch<std::uint32_t> cu(256, 3, 11);
+    std::map<std::uint32_t, std::uint64_t> truth;
+    rng::Xoshiro256 rng(3);
+    rng::ZipfSampler zipf(1000, 1.1);
+    for (int i = 0; i < 30'000; ++i) {
+        const auto k = static_cast<std::uint32_t>(zipf.sample(rng));
+        cm.add(k, 1);
+        cu.add(k, 1);
+        truth[k] += 1;
+    }
+    std::uint64_t cm_err = 0;
+    std::uint64_t cu_err = 0;
+    for (const auto& [k, t] : truth) {
+        ASSERT_GE(cu.estimate(k), t);
+        ASSERT_LE(cu.estimate(k), cm.estimate(k)) << k;
+        cm_err += cm.estimate(k) - t;
+        cu_err += cu.estimate(k) - t;
+    }
+    EXPECT_LT(cu_err, cm_err);  // strictly better aggregate error here
+}
+
+TEST(CountMin, ErrorBoundHoldsOnAverage) {
+    // Classic CM bound: error <= e * N / w with prob 1 - e^-d per query.
+    const std::size_t w = 512;
+    CountMin<std::uint32_t> cm(w, 3, 13);
+    std::map<std::uint32_t, std::uint64_t> truth;
+    rng::Xoshiro256 rng(4);
+    std::uint64_t total = 0;
+    for (int i = 0; i < 50'000; ++i) {
+        const auto k = static_cast<std::uint32_t>(rng.between(1, 5000));
+        cm.add(k, 1);
+        truth[k] += 1;
+        ++total;
+    }
+    const double bound = 2.72 * static_cast<double>(total) / w;
+    std::size_t violations = 0;
+    for (const auto& [k, t] : truth) {
+        if (static_cast<double>(cm.estimate(k) - t) > bound) ++violations;
+    }
+    EXPECT_LT(static_cast<double>(violations) / truth.size(), 0.05);
+}
+
+}  // namespace
+}  // namespace p4lru::sketch

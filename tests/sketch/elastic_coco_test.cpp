@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "p4lru/common/random.hpp"
+#include "p4lru/common/zipf.hpp"
+#include "p4lru/sketch/coco_sketch.hpp"
+#include "p4lru/sketch/elastic_sketch.hpp"
+
+namespace p4lru::sketch {
+namespace {
+
+TEST(ElasticSketch, RejectsBadConfig) {
+    using ES = ElasticSketch<std::uint32_t>;
+    EXPECT_THROW(ES(0, 8, 1), std::invalid_argument);
+    EXPECT_THROW(ES(8, 0, 1), std::invalid_argument);
+    EXPECT_THROW(ES(8, 8, 1, 0), std::invalid_argument);
+}
+
+TEST(ElasticSketch, TracksSingleFlowExactly) {
+    ElasticSketch<std::uint32_t> es(64, 256, 1);
+    for (int i = 0; i < 100; ++i) es.add(7, 1);
+    EXPECT_TRUE(es.heavy_hit(7));
+    EXPECT_EQ(es.estimate(7), 100u);
+}
+
+TEST(ElasticSketch, ElephantsStayResidentUnderMouseNoise) {
+    ElasticSketch<std::uint32_t> es(1, 512, 2, 8);  // single bucket
+    // The elephant builds votes first.
+    for (int i = 0; i < 1000; ++i) es.add(1, 1);
+    // 500 distinct mice each hit once: negative grows to 500 < 8*1000.
+    for (std::uint32_t m = 2; m < 502; ++m) es.add(m, 1);
+    EXPECT_TRUE(es.heavy_hit(1));
+    EXPECT_GE(es.estimate(1), 1000u);
+}
+
+TEST(ElasticSketch, EvictedResidentKeepsItsMassViaLightPart) {
+    ElasticSketch<std::uint32_t> es(1, 4096, 3, 2);
+    for (int i = 0; i < 10; ++i) es.add(1, 1);  // resident, pos = 10
+    for (int i = 0; i < 20; ++i) es.add(2, 1);  // negative reaches 20 >= 2*10
+    EXPECT_TRUE(es.heavy_hit(2));
+    // Flow 1's 10 packets were moved to the light part on eviction.
+    EXPECT_GE(es.estimate(1), 10u);
+}
+
+TEST(CocoSketch, RejectsBadConfig) {
+    using CS = CocoSketch<std::uint32_t>;
+    EXPECT_THROW(CS(0, 1, 1), std::invalid_argument);
+    EXPECT_THROW(CS(1, 0, 1), std::invalid_argument);
+}
+
+TEST(CocoSketch, SoleFlowIsExact) {
+    CocoSketch<std::uint32_t> cs(64, 2, 1);
+    for (int i = 0; i < 50; ++i) cs.add(9, 2);
+    EXPECT_TRUE(cs.resident(9));
+    EXPECT_EQ(cs.estimate(9), 100u);
+}
+
+TEST(CocoSketch, HeavyFlowsAlmostAlwaysResident) {
+    CocoSketch<std::uint32_t> cs(256, 2, 5);
+    rng::Xoshiro256 rng(10);
+    rng::ZipfSampler zipf(5000, 1.2);
+    std::map<std::uint32_t, std::uint64_t> truth;
+    for (int i = 0; i < 100'000; ++i) {
+        const auto k = static_cast<std::uint32_t>(zipf.sample(rng));
+        cs.add(k, 1);
+        truth[k] += 1;
+    }
+    // The top handful of flows dominate their buckets with overwhelming
+    // probability.
+    std::size_t resident_heavies = 0;
+    std::size_t heavies = 0;
+    for (const auto& [k, t] : truth) {
+        if (t > 2000) {
+            ++heavies;
+            resident_heavies += cs.resident(k) ? 1 : 0;
+        }
+    }
+    ASSERT_GT(heavies, 3u);
+    EXPECT_EQ(resident_heavies, heavies);
+}
+
+TEST(CocoSketch, EstimateIsStatisticallyUnbiasedForBucketOwners) {
+    // Run many independent trials of two colliding flows; the expected
+    // estimate of flow A (over trials where A is resident, weighted) tracks
+    // its true count within a loose band. This is the property CocoSketch
+    // is designed for.
+    const int trials = 2000;
+    double sum_est = 0;
+    int resident_count = 0;
+    for (int t = 0; t < trials; ++t) {
+        CocoSketch<std::uint32_t> cs(1, 1, static_cast<std::uint64_t>(t));
+        for (int i = 0; i < 30; ++i) cs.add(1, 1);
+        for (int i = 0; i < 10; ++i) cs.add(2, 1);
+        if (cs.resident(1)) {
+            sum_est += static_cast<double>(cs.estimate(1));
+            ++resident_count;
+        }
+    }
+    // E[estimate * P(resident)] == true count (unbiasedness):
+    const double weighted = sum_est / trials;
+    EXPECT_NEAR(weighted, 30.0, 4.0);
+    EXPECT_GT(resident_count, trials / 2);  // the bigger flow usually owns it
+}
+
+}  // namespace
+}  // namespace p4lru::sketch

@@ -1,0 +1,121 @@
+#include "p4lru/sketch/towersketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "p4lru/sketch/countmin.hpp"
+
+#include <map>
+
+#include "p4lru/common/random.hpp"
+#include "p4lru/common/zipf.hpp"
+
+namespace p4lru::sketch {
+namespace {
+
+TowerSketch<std::uint32_t> paper_config(std::uint64_t seed = 1) {
+    // LruMon's configuration scaled down 64x: 8-bit and 16-bit levels.
+    return TowerSketch<std::uint32_t>({{1u << 14, 8}, {1u << 13, 16}}, seed);
+}
+
+TEST(TowerSketch, RejectsBadConfig) {
+    using TS = TowerSketch<std::uint32_t>;
+    EXPECT_THROW(TS({}, 1), std::invalid_argument);
+    EXPECT_THROW(TS({{0, 8}}, 1), std::invalid_argument);
+    EXPECT_THROW(TS({{8, 12}}, 1), std::invalid_argument);
+}
+
+TEST(TowerSketch, ExactForSparseKeys) {
+    auto ts = paper_config();
+    for (std::uint32_t k = 1; k <= 30; ++k) ts.add(k, k);
+    for (std::uint32_t k = 1; k <= 30; ++k) {
+        EXPECT_EQ(ts.estimate(k), k) << k;
+    }
+}
+
+TEST(TowerSketch, NeverUnderestimatesBelowSaturation) {
+    auto ts = paper_config(3);
+    std::map<std::uint32_t, std::uint64_t> truth;
+    rng::Xoshiro256 rng(5);
+    for (int i = 0; i < 30'000; ++i) {
+        const auto k = static_cast<std::uint32_t>(rng.between(1, 3000));
+        ts.add(k, 1);
+        truth[k] += 1;
+    }
+    for (const auto& [k, t] : truth) {
+        if (t < 250) {  // below the 8-bit saturation zone
+            EXPECT_GE(ts.estimate(k), t) << k;
+        }
+    }
+}
+
+TEST(TowerSketch, SaturatedLevelIsExcludedFromMin) {
+    auto ts = paper_config(7);
+    // Push one key far past the 8-bit level's max: the 16-bit level should
+    // keep counting and the estimate must exceed 255.
+    for (int i = 0; i < 500; ++i) ts.add(42, 2);
+    EXPECT_GT(ts.estimate(42), 255u);
+    EXPECT_LE(ts.estimate(42), 1000u + 65535u);
+}
+
+TEST(TowerSketch, AllLevelsSaturatedReturnsFloor) {
+    TowerSketch<std::uint32_t> ts({{4, 8}}, 1);
+    for (int i = 0; i < 10; ++i) ts.add(1, 100);
+    EXPECT_EQ(ts.estimate(1), 255u);  // lower-bound floor
+}
+
+TEST(TowerSketch, AddAndEstimateMatchesSeparateOps) {
+    auto a = paper_config(9);
+    auto b = paper_config(9);
+    rng::Xoshiro256 rng(6);
+    for (int i = 0; i < 5'000; ++i) {
+        const auto k = static_cast<std::uint32_t>(rng.between(1, 800));
+        const auto est = a.add_and_estimate(k, 7);
+        b.add(k, 7);
+        EXPECT_EQ(est, b.estimate(k));
+    }
+}
+
+TEST(TowerSketch, ClearResets) {
+    auto ts = paper_config();
+    ts.add(5, 50);
+    ts.clear();
+    EXPECT_EQ(ts.estimate(5), 0u);
+}
+
+TEST(TowerSketch, MemoryAccountingCountsBits) {
+    TowerSketch<std::uint32_t> ts({{1024, 8}, {512, 16}}, 1);
+    EXPECT_EQ(ts.memory_bytes(), (1024u * 8u + 512u * 16u) / 8u);
+}
+
+TEST(TowerSketch, MoreAccurateThanSameMemoryCmForMice) {
+    // The tower's wide 8-bit level gives mice better accuracy per byte than
+    // a 32-bit CM of equal memory.
+    TowerSketch<std::uint32_t> tower({{1u << 12, 8}, {1u << 11, 16}}, 21);
+    // Equal memory in a 32-bit CM: (4096*1 + 2048*2) bytes = 8 KiB -> 2048
+    // 32-bit counters over 2 rows.
+    CountMin<std::uint32_t> cm(1024, 2, 21);
+    std::map<std::uint32_t, std::uint64_t> truth;
+    rng::Xoshiro256 rng(8);
+    rng::ZipfSampler zipf(20'000, 1.0);
+    for (int i = 0; i < 60'000; ++i) {
+        const auto k = static_cast<std::uint32_t>(zipf.sample(rng));
+        tower.add(k, 1);
+        cm.add(k, 1);
+        truth[k] += 1;
+    }
+    std::uint64_t tower_err = 0;
+    std::uint64_t cm_err = 0;
+    std::size_t mice = 0;
+    for (const auto& [k, t] : truth) {
+        if (t > 16) continue;  // mice only
+        ++mice;
+        const auto te = tower.estimate(k);
+        tower_err += te > t ? te - t : 0;
+        cm_err += cm.estimate(k) - t;
+    }
+    ASSERT_GT(mice, 1000u);
+    EXPECT_LT(tower_err, cm_err);
+}
+
+}  // namespace
+}  // namespace p4lru::sketch

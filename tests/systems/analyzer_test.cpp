@@ -1,0 +1,102 @@
+#include "p4lru/systems/lrumon/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.hpp"
+#include "p4lru/systems/lrumon/tower_filter.hpp"
+
+namespace p4lru::systems::lrumon {
+namespace {
+
+using testutil::make_flow;
+
+TEST(Analyzer, RegistersFlowOnFirstUpload) {
+    Analyzer a;
+    a.on_upload(make_flow(1), 111, 0, 0);
+    EXPECT_EQ(a.uploads(), 1u);
+    EXPECT_EQ(a.known_flows(), 1u);
+    EXPECT_EQ(a.measured_bytes(make_flow(1)), 0u);  // T_len starts at 0
+}
+
+TEST(Analyzer, EvictedFingerprintCreditsItsFlow) {
+    Analyzer a;
+    a.on_upload(make_flow(1), 111, 0, 0);       // flow 1 registered, fp 111
+    a.on_upload(make_flow(2), 222, 111, 5000);  // flow 1's bytes come home
+    EXPECT_EQ(a.measured_bytes(make_flow(1)), 5000u);
+    EXPECT_EQ(a.measured_bytes(make_flow(2)), 0u);
+    EXPECT_EQ(a.unmatched(), 0u);
+}
+
+TEST(Analyzer, UnknownFingerprintCountsAsUnmatched) {
+    Analyzer a;
+    a.on_upload(make_flow(1), 111, 999, 1234);  // 999 was never registered
+    EXPECT_EQ(a.unmatched(), 1u);
+}
+
+TEST(Analyzer, FlushCreditsResidualEntries) {
+    Analyzer a;
+    a.on_upload(make_flow(1), 111, 0, 0);
+    a.on_flush(111, 700);
+    EXPECT_EQ(a.measured_bytes(make_flow(1)), 700u);
+}
+
+TEST(Analyzer, RepeatUploadsAccumulate) {
+    Analyzer a;
+    a.on_upload(make_flow(1), 111, 0, 0);
+    a.on_upload(make_flow(2), 222, 111, 100);
+    a.on_upload(make_flow(1), 111, 222, 50);  // flow 1 re-enters; 2 credited
+    a.on_upload(make_flow(3), 333, 111, 25);  // flow 1 credited again
+    EXPECT_EQ(a.measured_bytes(make_flow(1)), 125u);
+    EXPECT_EQ(a.measured_bytes(make_flow(2)), 50u);
+    EXPECT_EQ(a.uploads(), 4u);
+}
+
+TEST(FilterWrappers, NamesAndMemory) {
+    FilterConfig cfg;
+    cfg.tower_width1 = 1u << 10;
+    cfg.tower_width2 = 1u << 9;
+    cfg.cm_width = 1u << 9;
+    const auto tower = make_filter(FilterKind::kTower, cfg);
+    const auto cm = make_filter(FilterKind::kCm, cfg);
+    const auto cu = make_filter(FilterKind::kCu, cfg);
+    EXPECT_EQ(tower->name(), "Tower");
+    EXPECT_EQ(cm->name(), "CM");
+    EXPECT_EQ(cu->name(), "CU");
+    EXPECT_EQ(tower->memory_bytes(), (1024u * 8 + 512u * 16) / 8);
+    EXPECT_GT(cm->memory_bytes(), 0u);
+}
+
+TEST(FilterWrappers, WindowRollForgetsPreviousCounts) {
+    FilterConfig cfg;
+    cfg.reset_period = 10 * kMillisecond;
+    cfg.tower_width1 = 1u << 10;
+    cfg.tower_width2 = 1u << 9;
+    TowerFilter f(cfg);
+    EXPECT_EQ(f.add_and_estimate(7, 500, 0), 500u);
+    EXPECT_EQ(f.add_and_estimate(7, 500, kMillisecond), 1000u);
+    // New window: the counter restarts.
+    EXPECT_EQ(f.add_and_estimate(7, 500, 11 * kMillisecond), 500u);
+    // Going further in time keeps rolling.
+    EXPECT_EQ(f.add_and_estimate(7, 500, 35 * kMillisecond), 500u);
+}
+
+TEST(FilterWrappers, AllKindsAgreeWithoutCollisions) {
+    FilterConfig cfg;
+    cfg.tower_width1 = 1u << 14;
+    cfg.tower_width2 = 1u << 13;
+    cfg.cm_width = 1u << 13;
+    const auto tower = make_filter(FilterKind::kTower, cfg);
+    const auto cm = make_filter(FilterKind::kCm, cfg);
+    const auto cu = make_filter(FilterKind::kCu, cfg);
+    for (std::uint32_t fp = 1; fp <= 50; ++fp) {
+        const auto t = tower->add_and_estimate(fp, fp * 10, 0);
+        const auto c = cm->add_and_estimate(fp, fp * 10, 0);
+        const auto u = cu->add_and_estimate(fp, fp * 10, 0);
+        EXPECT_EQ(t, fp * 10) << fp;
+        EXPECT_EQ(c, fp * 10) << fp;
+        EXPECT_EQ(u, fp * 10) << fp;
+    }
+}
+
+}  // namespace
+}  // namespace p4lru::systems::lrumon

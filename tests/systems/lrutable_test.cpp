@@ -1,0 +1,194 @@
+#include "p4lru/systems/lrutable/lrutable.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "../test_util.hpp"
+#include "p4lru/trace/trace_gen.hpp"
+
+namespace p4lru::systems::lrutable {
+namespace {
+
+using testutil::make_flow;
+using Policy = LruTableSystem::Policy;
+
+std::unique_ptr<Policy> p4lru3(std::size_t entries) {
+    return std::make_unique<
+        cache::P4lruArrayPolicy<VirtualAddress, std::uint32_t, 3>>(entries,
+                                                                   0xA);
+}
+
+LruTableConfig quick_config() {
+    LruTableConfig cfg;
+    cfg.slow_path_delay = 10 * kMicrosecond;
+    return cfg;
+}
+
+PacketRecord packet(std::uint32_t flow_id, TimeNs ts) {
+    PacketRecord p;
+    p.flow = make_flow(flow_id);
+    p.ts = ts;
+    p.len = 100;
+    return p;
+}
+
+TEST(NatTable, LookupIsDeterministicAndNeverPlaceholder) {
+    NatTable nat;
+    for (std::uint32_t va = 1; va < 1000; ++va) {
+        const auto ra = nat.lookup(va);
+        EXPECT_EQ(ra, nat.lookup(va));
+        EXPECT_NE(ra, kPlaceholder);
+        EXPECT_NE(ra, 0u);
+    }
+}
+
+TEST(LruTableSystem, RejectsNullPolicy) {
+    EXPECT_THROW(LruTableSystem(nullptr, quick_config()),
+                 std::invalid_argument);
+}
+
+TEST(LruTableSystem, SimilarityTrackingNeedsBudget) {
+    LruTableConfig cfg = quick_config();
+    cfg.track_similarity = true;
+    EXPECT_THROW(LruTableSystem(p4lru3(30), cfg), std::invalid_argument);
+}
+
+TEST(LruTableSystem, FirstPacketMissesThenHitsAfterFill) {
+    LruTableSystem sys(p4lru3(300), quick_config());
+    sys.process(packet(1, 0));  // miss, fill scheduled at t = 10us
+    // Second packet before the fill lands: placeholder hit, still slow.
+    sys.process(packet(1, 5 * kMicrosecond));
+    // Third packet after the fill: fast path.
+    const TimeNs lat = sys.process(packet(1, 20 * kMicrosecond));
+    EXPECT_EQ(lat, quick_config().base_latency);
+
+    const auto r = sys.report();
+    EXPECT_EQ(r.packets, 3u);
+    EXPECT_EQ(r.misses, 1u);
+    EXPECT_EQ(r.placeholder_hits, 1u);
+    EXPECT_EQ(r.fast_path, 1u);
+    EXPECT_NEAR(r.miss_rate, 2.0 / 3.0, 1e-9);
+}
+
+TEST(LruTableSystem, PlaceholderHitDoesNotScheduleSecondFill) {
+    LruTableSystem sys(p4lru3(300), quick_config());
+    sys.process(packet(1, 0));
+    for (int i = 1; i <= 5; ++i) {
+        sys.process(packet(1, static_cast<TimeNs>(i)));  // all placeholders
+    }
+    const auto r = sys.report();
+    EXPECT_EQ(r.misses, 1u);
+    EXPECT_EQ(r.placeholder_hits, 5u);
+}
+
+TEST(LruTableSystem, SlowPathLatencyIsAccounted) {
+    LruTableConfig cfg = quick_config();
+    cfg.slow_path_delay = 100 * kMicrosecond;
+    LruTableSystem sys(p4lru3(300), cfg);
+    const TimeNs lat = sys.process(packet(1, 0));
+    EXPECT_EQ(lat, cfg.base_latency + cfg.slow_path_delay);
+    const auto r = sys.report();
+    EXPECT_NEAR(r.avg_added_latency_us, 100.0, 1e-6);
+}
+
+TEST(LruTableSystem, TranslationIsCorrectAfterFill) {
+    auto policy = p4lru3(300);
+    auto* raw = policy.get();
+    NatTable nat;
+    LruTableSystem sys(std::move(policy), quick_config());
+    sys.process(packet(7, 0));
+    sys.finish();
+    const VirtualAddress va = make_flow(7).dst_ip;
+    EXPECT_EQ(raw->peek(va), std::optional<std::uint32_t>(nat.lookup(va)));
+}
+
+TEST(LruTableSystem, EvictedFlowMissesAgain) {
+    // One P4LRU3 unit (3 entries): the fourth distinct flow evicts the
+    // least recent; re-touching the evicted flow is a miss again.
+    LruTableSystem sys(p4lru3(3), quick_config());
+    TimeNs t = 0;
+    for (std::uint32_t f = 1; f <= 4; ++f) {
+        sys.process(packet(f, t));
+        t += 20 * kMicrosecond;  // each fill lands before the next packet
+    }
+    const auto before = sys.report().misses;
+    sys.process(packet(1, t));  // flow 1 was evicted by flow 4
+    EXPECT_EQ(sys.report().misses, before + 1);
+}
+
+TEST(LruTableSystem, MissRateDropsWithMoreMemory) {
+    trace::TraceConfig tc;
+    tc.total_packets = 100'000;
+    tc.segments = 16;
+    const auto trace = trace::generate_trace(tc);
+    const auto run = [&](std::size_t entries) {
+        LruTableSystem sys(p4lru3(entries), quick_config());
+        for (const auto& p : trace) sys.process(p);
+        sys.finish();
+        return sys.report().miss_rate;
+    };
+    // The sweep must straddle the working set (peak concurrency is a few
+    // hundred flows at this scale) for memory to matter.
+    const double small = run(30);
+    const double medium = run(100);
+    const double large = run(1'000);
+    EXPECT_GT(small, medium);
+    EXPECT_GT(medium, large);
+    EXPECT_LT(large, 0.5);
+}
+
+TEST(LruTableSystem, LongerSlowPathRaisesMissRate) {
+    trace::TraceConfig tc;
+    tc.total_packets = 60'000;
+    tc.segments = 8;
+    const auto trace = trace::generate_trace(tc);
+    const auto run = [&](TimeNs delay) {
+        LruTableConfig cfg = quick_config();
+        cfg.slow_path_delay = delay;
+        LruTableSystem sys(p4lru3(5'000), cfg);
+        for (const auto& p : trace) sys.process(p);
+        sys.finish();
+        return sys.report().miss_rate;
+    };
+    // Longer control-plane latency = more placeholder hits = higher miss
+    // rate (each miss blocks its flow for longer).
+    EXPECT_LT(run(10 * kMicrosecond), run(10 * kMillisecond));
+}
+
+TEST(LruTableSystem, SimilarityTrackedWhenEnabled) {
+    trace::TraceConfig tc;
+    tc.total_packets = 30'000;
+    const auto trace = trace::generate_trace(tc);
+    LruTableConfig cfg = quick_config();
+    cfg.track_similarity = true;
+    cfg.similarity_max_accesses = 3 * trace.size() + 10;
+    LruTableSystem sys(p4lru3(600), cfg);
+    for (const auto& p : trace) sys.process(p);
+    sys.finish();
+    const auto r = sys.report();
+    EXPECT_GT(r.similarity, 0.3);
+    EXPECT_LE(r.similarity, 1.0);
+}
+
+TEST(LruTableSystem, P4lru3BeatsP4lru1OnMissRate) {
+    trace::TraceConfig tc;
+    tc.total_packets = 100'000;
+    tc.segments = 8;
+    const auto trace = trace::generate_trace(tc);
+    const auto run = [&](std::unique_ptr<Policy> policy) {
+        LruTableSystem sys(std::move(policy), quick_config());
+        for (const auto& p : trace) sys.process(p);
+        sys.finish();
+        return sys.report().miss_rate;
+    };
+    const double p3 = run(p4lru3(600));
+    const double p1 =
+        run(std::make_unique<cache::P4lruArrayPolicy<VirtualAddress,
+                                                     std::uint32_t, 1>>(
+            600, 0xA));
+    EXPECT_LT(p3, p1);
+}
+
+}  // namespace
+}  // namespace p4lru::systems::lrutable

@@ -1,0 +1,125 @@
+#include "p4lru/trace/trace_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace p4lru::trace {
+namespace {
+
+TraceConfig small_config(std::size_t segments, std::uint64_t seed = 1) {
+    TraceConfig cfg;
+    cfg.seed = seed;
+    cfg.total_packets = 120'000;
+    cfg.segments = segments;
+    cfg.duration = kSecond;
+    return cfg;
+}
+
+TEST(TraceGen, RejectsZeroParameters) {
+    TraceConfig cfg;
+    cfg.total_packets = 0;
+    EXPECT_THROW(generate_trace(cfg), std::invalid_argument);
+    cfg = TraceConfig{};
+    cfg.segments = 0;
+    EXPECT_THROW(generate_trace(cfg), std::invalid_argument);
+    cfg = TraceConfig{};
+    cfg.duration = 0;
+    EXPECT_THROW(generate_trace(cfg), std::invalid_argument);
+    cfg = TraceConfig{};
+    cfg.total_packets = 10;
+    cfg.segments = 20;
+    EXPECT_THROW(generate_trace(cfg), std::invalid_argument);
+}
+
+TEST(TraceGen, ProducesApproximatelyRequestedPackets) {
+    const auto t = generate_trace(small_config(1));
+    EXPECT_GE(t.size(), 120'000u);
+    EXPECT_LE(t.size(), 150'000u);
+}
+
+TEST(TraceGen, TimestampsAreSortedAndWithinDuration) {
+    const auto t = generate_trace(small_config(4));
+    ASSERT_FALSE(t.empty());
+    EXPECT_TRUE(std::is_sorted(
+        t.begin(), t.end(),
+        [](const PacketRecord& a, const PacketRecord& b) {
+            return a.ts < b.ts;
+        }));
+    // Bursts can spill slightly past the nominal end; 5% slack.
+    EXPECT_LE(t.back().ts, kSecond + kSecond / 20);
+}
+
+TEST(TraceGen, DeterministicForSameSeed) {
+    const auto a = generate_trace(small_config(2, 7));
+    const auto b = generate_trace(small_config(2, 7));
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(a.front(), b.front());
+    EXPECT_EQ(a[a.size() / 2], b[b.size() / 2]);
+    EXPECT_EQ(a.back(), b.back());
+}
+
+TEST(TraceGen, DifferentSeedsDiffer) {
+    const auto a = generate_trace(small_config(2, 7));
+    const auto b = generate_trace(small_config(2, 8));
+    EXPECT_NE(compute_stats(a).flows, compute_stats(b).flows);
+}
+
+TEST(TraceGen, PacketLengthsAreRealistic) {
+    const auto t = generate_trace(small_config(1));
+    for (const auto& p : t) {
+        ASSERT_GE(p.len, 64u);
+        ASSERT_LE(p.len, 1500u);
+    }
+}
+
+// The CAIDA_n property: flow count and max concurrency grow with n at fixed
+// packet count and duration (Section 4, Datasets).
+TEST(TraceGen, FlowCountGrowsWithSegments) {
+    const auto s1 = compute_stats(generate_trace(small_config(1)));
+    const auto s8 = compute_stats(generate_trace(small_config(8)));
+    const auto s32 = compute_stats(generate_trace(small_config(32)));
+    EXPECT_LT(s1.flows, s8.flows);
+    EXPECT_LT(s8.flows, s32.flows);
+}
+
+TEST(TraceGen, ConcurrencyGrowsWithSegments) {
+    const auto s1 = compute_stats(generate_trace(small_config(1)));
+    const auto s32 = compute_stats(generate_trace(small_config(32)));
+    EXPECT_LT(s1.max_concurrent, s32.max_concurrent);
+}
+
+TEST(TraceGen, HeavyTailedFlowSizes) {
+    const auto t = generate_trace(small_config(1));
+    std::unordered_map<FlowKey, std::size_t> sizes;
+    for (const auto& p : t) ++sizes[p.flow];
+    std::size_t mice = 0;
+    std::size_t big = 0;
+    for (const auto& [f, s] : sizes) {
+        mice += s <= 6 ? 1 : 0;
+        big += s >= 1000 ? 1 : 0;
+    }
+    // Most flows are mice; at least a few elephants exist.
+    EXPECT_GT(mice, sizes.size() / 2);
+    EXPECT_GE(big, 3u);
+}
+
+TEST(TraceGen, StatsComputation) {
+    const auto t = generate_trace(small_config(2));
+    const auto s = compute_stats(t);
+    EXPECT_EQ(s.packets, t.size());
+    EXPECT_GT(s.flows, 0u);
+    EXPECT_GT(s.total_bytes, s.packets * 64ull);
+    EXPECT_GT(s.max_concurrent, 0u);
+    EXPECT_LE(s.max_concurrent, s.flows);
+    EXPECT_GT(s.duration, 0u);
+}
+
+TEST(TraceGen, EmptyTraceStats) {
+    const auto s = compute_stats({});
+    EXPECT_EQ(s.packets, 0u);
+    EXPECT_EQ(s.flows, 0u);
+}
+
+}  // namespace
+}  // namespace p4lru::trace

@@ -1,0 +1,84 @@
+#include "p4lru/trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "p4lru/trace/trace_gen.hpp"
+
+namespace p4lru::trace {
+namespace {
+
+class TraceIoTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("p4lru_trace_test_" +
+                  std::to_string(::getpid()) + ".bin"))
+                    .string();
+    }
+    void TearDown() override { std::remove(path_.c_str()); }
+    std::string path_;
+};
+
+TEST_F(TraceIoTest, RoundTripPreservesEveryRecord) {
+    TraceConfig cfg;
+    cfg.total_packets = 5'000;
+    const auto trace = generate_trace(cfg);
+    write_trace(path_, trace);
+    const auto loaded = read_trace(path_);
+    ASSERT_EQ(loaded.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        ASSERT_EQ(loaded[i], trace[i]) << "record " << i;
+    }
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips) {
+    write_trace(path_, {});
+    EXPECT_TRUE(read_trace(path_).empty());
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+    EXPECT_THROW(read_trace("/nonexistent/dir/x.bin"), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BadMagicRejected) {
+    std::ofstream os(path_, std::ios::binary);
+    os << "NOTATRACEFILE.....";
+    os.close();
+    EXPECT_THROW(read_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, TruncatedBodyRejected) {
+    TraceConfig cfg;
+    cfg.total_packets = 1'000;
+    const auto trace = generate_trace(cfg);
+    write_trace(path_, trace);
+    // Chop the file in half.
+    const auto full = std::filesystem::file_size(path_);
+    std::filesystem::resize_file(path_, full / 2);
+    EXPECT_THROW(read_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, TruncatedHeaderRejected) {
+    std::ofstream os(path_, std::ios::binary);
+    os << "P4LRUTRC";  // magic only, no version/count
+    os.close();
+    EXPECT_THROW(read_trace(path_), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, WrongVersionRejected) {
+    write_trace(path_, {});
+    // Corrupt the version field (bytes 8..11).
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8);
+    const std::uint32_t bad = 999;
+    f.write(reinterpret_cast<const char*>(&bad), 4);
+    f.close();
+    EXPECT_THROW(read_trace(path_), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace p4lru::trace

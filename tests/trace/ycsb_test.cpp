@@ -1,0 +1,89 @@
+#include "p4lru/trace/ycsb.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace p4lru::trace {
+namespace {
+
+TEST(Ycsb, RejectsBadConfig) {
+    YcsbConfig cfg;
+    cfg.items = 0;
+    EXPECT_THROW(YcsbWorkload{cfg}, std::invalid_argument);
+    cfg = YcsbConfig{};
+    cfg.read_fraction = 1.5;
+    EXPECT_THROW(YcsbWorkload{cfg}, std::invalid_argument);
+}
+
+TEST(Ycsb, KeysStayInRange) {
+    YcsbConfig cfg;
+    cfg.items = 1000;
+    YcsbWorkload w(cfg);
+    for (int i = 0; i < 20'000; ++i) {
+        ASSERT_LT(w.next().key, 1000u);
+    }
+}
+
+TEST(Ycsb, DeterministicForSameSeed) {
+    YcsbConfig cfg;
+    cfg.seed = 99;
+    YcsbWorkload a(cfg);
+    YcsbWorkload b(cfg);
+    for (int i = 0; i < 1000; ++i) {
+        const auto oa = a.next();
+        const auto ob = b.next();
+        EXPECT_EQ(oa.key, ob.key);
+        EXPECT_EQ(static_cast<int>(oa.type), static_cast<int>(ob.type));
+    }
+}
+
+TEST(Ycsb, ReadFractionRespected) {
+    YcsbConfig cfg;
+    cfg.read_fraction = 0.7;
+    YcsbWorkload w(cfg);
+    int reads = 0;
+    const int n = 50'000;
+    for (int i = 0; i < n; ++i) {
+        reads += w.next().type == OpType::kRead ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(reads) / n, 0.7, 0.02);
+}
+
+TEST(Ycsb, DefaultIsAllReads) {
+    YcsbWorkload w(YcsbConfig{});
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(static_cast<int>(w.next().type),
+                  static_cast<int>(OpType::kRead));
+    }
+}
+
+TEST(Ycsb, SkewProducesHotKeys) {
+    YcsbConfig cfg;
+    cfg.items = 10'000;
+    cfg.zipf_alpha = 0.9;  // the paper's setting
+    YcsbWorkload w(cfg);
+    std::map<std::uint64_t, std::size_t> counts;
+    const int n = 200'000;
+    for (int i = 0; i < n; ++i) ++counts[w.next().key];
+    std::vector<std::size_t> sorted;
+    for (const auto& [k, c] : counts) sorted.push_back(c);
+    std::sort(sorted.rbegin(), sorted.rend());
+    // Top-10 keys carry a large share under alpha = 0.9.
+    std::size_t top10 = 0;
+    for (std::size_t i = 0; i < 10 && i < sorted.size(); ++i) {
+        top10 += sorted[i];
+    }
+    EXPECT_GT(static_cast<double>(top10) / n, 0.08);
+    // But the workload is not degenerate: many distinct keys appear.
+    EXPECT_GT(counts.size(), 2000u);
+}
+
+TEST(Ycsb, GenerateMaterializesRequestedCount) {
+    YcsbWorkload w(YcsbConfig{});
+    const auto ops = w.generate(1234);
+    EXPECT_EQ(ops.size(), 1234u);
+}
+
+}  // namespace
+}  // namespace p4lru::trace

@@ -1,0 +1,121 @@
+#include "p4lru/common/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+namespace p4lru::rng {
+namespace {
+
+TEST(ZipfSampler, RejectsBadParameters) {
+    EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+    EXPECT_THROW(ZipfSampler(10, -0.5), std::invalid_argument);
+}
+
+TEST(ZipfSampler, SamplesStayInRange) {
+    ZipfSampler z(100, 0.9);
+    Xoshiro256 rng(1);
+    for (int i = 0; i < 50'000; ++i) {
+        const auto s = z.sample(rng);
+        ASSERT_GE(s, 1u);
+        ASSERT_LE(s, 100u);
+    }
+}
+
+TEST(ZipfSampler, SingleElementAlwaysOne) {
+    ZipfSampler z(1, 1.5);
+    Xoshiro256 rng(2);
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(z.sample(rng), 1u);
+}
+
+TEST(ZipfSampler, FrequenciesDecreaseWithRank) {
+    ZipfSampler z(1000, 1.0);
+    Xoshiro256 rng(3);
+    std::map<std::uint64_t, std::size_t> counts;
+    for (int i = 0; i < 200'000; ++i) ++counts[z.sample(rng)];
+    EXPECT_GT(counts[1], counts[10]);
+    EXPECT_GT(counts[10], counts[100]);
+}
+
+TEST(ZipfSampler, MatchesTheoreticalHeadProbability) {
+    // For alpha = 1, n = 100: P(1) = 1 / H_100 ≈ 1/5.187 ≈ 0.1928.
+    ZipfSampler z(100, 1.0);
+    Xoshiro256 rng(4);
+    std::size_t head = 0;
+    const int draws = 300'000;
+    for (int i = 0; i < draws; ++i) head += z.sample(rng) == 1 ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(head) / draws, 0.1928, 0.01);
+}
+
+TEST(ZipfSampler, AlphaZeroIsUniform) {
+    ZipfSampler z(10, 0.0);
+    Xoshiro256 rng(5);
+    std::map<std::uint64_t, std::size_t> counts;
+    const int draws = 100'000;
+    for (int i = 0; i < draws; ++i) ++counts[z.sample(rng)];
+    for (std::uint64_t k = 1; k <= 10; ++k) {
+        EXPECT_NEAR(static_cast<double>(counts[k]) / draws, 0.1, 0.01) << k;
+    }
+}
+
+TEST(ZipfSampler, HigherAlphaIsMoreSkewed) {
+    Xoshiro256 rng(6);
+    const auto head_mass = [&](double alpha) {
+        ZipfSampler z(1000, alpha);
+        std::size_t head = 0;
+        for (int i = 0; i < 100'000; ++i) head += z.sample(rng) <= 10 ? 1 : 0;
+        return head;
+    };
+    EXPECT_LT(head_mass(0.6), head_mass(0.9));
+    EXPECT_LT(head_mass(0.9), head_mass(1.3));
+}
+
+TEST(ScrambledZipf, DeterministicGivenSeeds) {
+    ScrambledZipf a(1000, 0.9, 42);
+    ScrambledZipf b(1000, 0.9, 42);
+    Xoshiro256 r1(7);
+    Xoshiro256 r2(7);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_EQ(a.sample(r1), b.sample(r2));
+    }
+}
+
+TEST(ScrambledZipf, PopularKeysAreScattered) {
+    // The most popular key must not be key 0 systematically.
+    ScrambledZipf z(1000, 1.0, 9);
+    Xoshiro256 rng(8);
+    std::map<std::uint64_t, std::size_t> counts;
+    for (int i = 0; i < 100'000; ++i) ++counts[z.sample(rng)];
+    std::uint64_t hottest = 0;
+    std::size_t best = 0;
+    for (const auto& [k, c] : counts) {
+        if (c > best) {
+            best = c;
+            hottest = k;
+        }
+    }
+    EXPECT_LT(hottest, 1000u);
+    EXPECT_GT(best, 10'000u);  // still heavily skewed after scrambling
+}
+
+TEST(Xoshiro, ExponentialHasRequestedMean) {
+    Xoshiro256 rng(11);
+    double sum = 0;
+    const int n = 200'000;
+    for (int i = 0; i < n; ++i) sum += rng.exponential(5.0);
+    EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Xoshiro, BelowIsUniformEnough) {
+    Xoshiro256 rng(12);
+    std::vector<std::size_t> buckets(10, 0);
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i) ++buckets[rng.below(10)];
+    for (const auto b : buckets) {
+        EXPECT_NEAR(static_cast<double>(b) / n, 0.1, 0.01);
+    }
+}
+
+}  // namespace
+}  // namespace p4lru::rng
