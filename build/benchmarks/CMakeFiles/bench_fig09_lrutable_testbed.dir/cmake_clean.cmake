@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig09_lrutable_testbed"
+  "../bench/bench_fig09_lrutable_testbed.pdb"
+  "CMakeFiles/bench_fig09_lrutable_testbed.dir/bench_fig09_lrutable_testbed.cpp.o"
+  "CMakeFiles/bench_fig09_lrutable_testbed.dir/bench_fig09_lrutable_testbed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_lrutable_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

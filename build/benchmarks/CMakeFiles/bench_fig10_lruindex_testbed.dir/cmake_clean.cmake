@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_lruindex_testbed"
+  "../bench/bench_fig10_lruindex_testbed.pdb"
+  "CMakeFiles/bench_fig10_lruindex_testbed.dir/bench_fig10_lruindex_testbed.cpp.o"
+  "CMakeFiles/bench_fig10_lruindex_testbed.dir/bench_fig10_lruindex_testbed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_lruindex_testbed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

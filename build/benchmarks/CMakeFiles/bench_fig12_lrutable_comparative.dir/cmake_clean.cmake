@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_lrutable_comparative"
+  "../bench/bench_fig12_lrutable_comparative.pdb"
+  "CMakeFiles/bench_fig12_lrutable_comparative.dir/bench_fig12_lrutable_comparative.cpp.o"
+  "CMakeFiles/bench_fig12_lrutable_comparative.dir/bench_fig12_lrutable_comparative.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_lrutable_comparative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

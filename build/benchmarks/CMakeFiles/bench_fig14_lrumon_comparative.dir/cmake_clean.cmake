@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_lrumon_comparative"
+  "../bench/bench_fig14_lrumon_comparative.pdb"
+  "CMakeFiles/bench_fig14_lrumon_comparative.dir/bench_fig14_lrumon_comparative.cpp.o"
+  "CMakeFiles/bench_fig14_lrumon_comparative.dir/bench_fig14_lrumon_comparative.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_lrumon_comparative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

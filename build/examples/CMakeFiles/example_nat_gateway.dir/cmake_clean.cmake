@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_nat_gateway.dir/nat_gateway.cpp.o"
+  "CMakeFiles/example_nat_gateway.dir/nat_gateway.cpp.o.d"
+  "example_nat_gateway"
+  "example_nat_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_nat_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pipeline_inspector.dir/pipeline_inspector.cpp.o"
+  "CMakeFiles/example_pipeline_inspector.dir/pipeline_inspector.cpp.o.d"
+  "example_pipeline_inspector"
+  "example_pipeline_inspector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pipeline_inspector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_query_accelerator.dir/query_accelerator.cpp.o"
+  "CMakeFiles/example_query_accelerator.dir/query_accelerator.cpp.o.d"
+  "example_query_accelerator"
+  "example_query_accelerator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_query_accelerator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_telemetry_monitor.dir/telemetry_monitor.cpp.o"
+  "CMakeFiles/example_telemetry_monitor.dir/telemetry_monitor.cpp.o.d"
+  "example_telemetry_monitor"
+  "example_telemetry_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_telemetry_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

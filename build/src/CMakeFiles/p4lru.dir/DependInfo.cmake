@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/hash.cpp" "src/CMakeFiles/p4lru.dir/common/hash.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/common/hash.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/p4lru.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/zipf.cpp" "src/CMakeFiles/p4lru.dir/common/zipf.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/common/zipf.cpp.o.d"
+  "/root/repo/src/core/group.cpp" "src/CMakeFiles/p4lru.dir/core/group.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/core/group.cpp.o.d"
+  "/root/repo/src/core/p4lru4.cpp" "src/CMakeFiles/p4lru.dir/core/p4lru4.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/core/p4lru4.cpp.o.d"
+  "/root/repo/src/core/permutation.cpp" "src/CMakeFiles/p4lru.dir/core/permutation.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/core/permutation.cpp.o.d"
+  "/root/repo/src/core/state_codec.cpp" "src/CMakeFiles/p4lru.dir/core/state_codec.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/core/state_codec.cpp.o.d"
+  "/root/repo/src/index/record_store.cpp" "src/CMakeFiles/p4lru.dir/index/record_store.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/index/record_store.cpp.o.d"
+  "/root/repo/src/pipeline/lruindex_query_program.cpp" "src/CMakeFiles/p4lru.dir/pipeline/lruindex_query_program.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/pipeline/lruindex_query_program.cpp.o.d"
+  "/root/repo/src/pipeline/p4_export.cpp" "src/CMakeFiles/p4lru.dir/pipeline/p4_export.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/pipeline/p4_export.cpp.o.d"
+  "/root/repo/src/pipeline/p4lru2_program.cpp" "src/CMakeFiles/p4lru.dir/pipeline/p4lru2_program.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/pipeline/p4lru2_program.cpp.o.d"
+  "/root/repo/src/pipeline/p4lru3_program.cpp" "src/CMakeFiles/p4lru.dir/pipeline/p4lru3_program.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/pipeline/p4lru3_program.cpp.o.d"
+  "/root/repo/src/pipeline/pipeline.cpp" "src/CMakeFiles/p4lru.dir/pipeline/pipeline.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/pipeline/pipeline.cpp.o.d"
+  "/root/repo/src/pipeline/system_resources.cpp" "src/CMakeFiles/p4lru.dir/pipeline/system_resources.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/pipeline/system_resources.cpp.o.d"
+  "/root/repo/src/pipeline/tower_program.cpp" "src/CMakeFiles/p4lru.dir/pipeline/tower_program.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/pipeline/tower_program.cpp.o.d"
+  "/root/repo/src/systems/lruindex/db_server.cpp" "src/CMakeFiles/p4lru.dir/systems/lruindex/db_server.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/systems/lruindex/db_server.cpp.o.d"
+  "/root/repo/src/systems/lruindex/driver.cpp" "src/CMakeFiles/p4lru.dir/systems/lruindex/driver.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/systems/lruindex/driver.cpp.o.d"
+  "/root/repo/src/systems/lrumon/analyzer.cpp" "src/CMakeFiles/p4lru.dir/systems/lrumon/analyzer.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/systems/lrumon/analyzer.cpp.o.d"
+  "/root/repo/src/systems/lrumon/lrumon.cpp" "src/CMakeFiles/p4lru.dir/systems/lrumon/lrumon.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/systems/lrumon/lrumon.cpp.o.d"
+  "/root/repo/src/systems/lrutable/lrutable.cpp" "src/CMakeFiles/p4lru.dir/systems/lrutable/lrutable.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/systems/lrutable/lrutable.cpp.o.d"
+  "/root/repo/src/trace/trace_gen.cpp" "src/CMakeFiles/p4lru.dir/trace/trace_gen.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/trace/trace_gen.cpp.o.d"
+  "/root/repo/src/trace/trace_io.cpp" "src/CMakeFiles/p4lru.dir/trace/trace_io.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/trace/trace_io.cpp.o.d"
+  "/root/repo/src/trace/ycsb.cpp" "src/CMakeFiles/p4lru.dir/trace/ycsb.cpp.o" "gcc" "src/CMakeFiles/p4lru.dir/trace/ycsb.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

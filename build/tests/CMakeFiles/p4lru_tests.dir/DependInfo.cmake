@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cache/p4lru4_policy_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/cache/p4lru4_policy_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/cache/p4lru4_policy_test.cpp.o.d"
+  "/root/repo/tests/cache/policy_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/cache/policy_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/cache/policy_test.cpp.o.d"
+  "/root/repo/tests/cache/similarity_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/cache/similarity_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/cache/similarity_test.cpp.o.d"
+  "/root/repo/tests/common/hash_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/common/hash_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/common/hash_test.cpp.o.d"
+  "/root/repo/tests/common/stats_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/common/stats_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/common/stats_test.cpp.o.d"
+  "/root/repo/tests/core/bucket_oracle_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/core/bucket_oracle_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/core/bucket_oracle_test.cpp.o.d"
+  "/root/repo/tests/core/group_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/core/group_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/core/group_test.cpp.o.d"
+  "/root/repo/tests/core/lru_state_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/core/lru_state_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/core/lru_state_test.cpp.o.d"
+  "/root/repo/tests/core/p4lru4_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/core/p4lru4_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/core/p4lru4_test.cpp.o.d"
+  "/root/repo/tests/core/p4lru_encoded_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/core/p4lru_encoded_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/core/p4lru_encoded_test.cpp.o.d"
+  "/root/repo/tests/core/p4lru_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/core/p4lru_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/core/p4lru_test.cpp.o.d"
+  "/root/repo/tests/core/parallel_array_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/core/parallel_array_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/core/parallel_array_test.cpp.o.d"
+  "/root/repo/tests/core/permutation_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/core/permutation_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/core/permutation_test.cpp.o.d"
+  "/root/repo/tests/core/series_cache_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/core/series_cache_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/core/series_cache_test.cpp.o.d"
+  "/root/repo/tests/core/state_codec_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/core/state_codec_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/core/state_codec_test.cpp.o.d"
+  "/root/repo/tests/index/bptree_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/index/bptree_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/index/bptree_test.cpp.o.d"
+  "/root/repo/tests/index/record_store_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/index/record_store_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/index/record_store_test.cpp.o.d"
+  "/root/repo/tests/integration/end_to_end_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/integration/end_to_end_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/integration/end_to_end_test.cpp.o.d"
+  "/root/repo/tests/pipeline/lruindex_query_program_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/pipeline/lruindex_query_program_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/pipeline/lruindex_query_program_test.cpp.o.d"
+  "/root/repo/tests/pipeline/p4_export_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/pipeline/p4_export_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/pipeline/p4_export_test.cpp.o.d"
+  "/root/repo/tests/pipeline/p4lru2_program_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/pipeline/p4lru2_program_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/pipeline/p4lru2_program_test.cpp.o.d"
+  "/root/repo/tests/pipeline/p4lru3_program_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/pipeline/p4lru3_program_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/pipeline/p4lru3_program_test.cpp.o.d"
+  "/root/repo/tests/pipeline/pipeline_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/pipeline/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/pipeline/pipeline_test.cpp.o.d"
+  "/root/repo/tests/pipeline/system_resources_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/pipeline/system_resources_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/pipeline/system_resources_test.cpp.o.d"
+  "/root/repo/tests/pipeline/tower_program_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/pipeline/tower_program_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/pipeline/tower_program_test.cpp.o.d"
+  "/root/repo/tests/sim/event_queue_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/sim/event_queue_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/sim/event_queue_test.cpp.o.d"
+  "/root/repo/tests/sketch/countmin_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/sketch/countmin_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/sketch/countmin_test.cpp.o.d"
+  "/root/repo/tests/sketch/elastic_coco_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/sketch/elastic_coco_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/sketch/elastic_coco_test.cpp.o.d"
+  "/root/repo/tests/sketch/towersketch_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/sketch/towersketch_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/sketch/towersketch_test.cpp.o.d"
+  "/root/repo/tests/systems/analyzer_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/systems/analyzer_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/systems/analyzer_test.cpp.o.d"
+  "/root/repo/tests/systems/lruindex_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/systems/lruindex_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/systems/lruindex_test.cpp.o.d"
+  "/root/repo/tests/systems/lrumon_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/systems/lrumon_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/systems/lrumon_test.cpp.o.d"
+  "/root/repo/tests/systems/lrutable_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/systems/lrutable_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/systems/lrutable_test.cpp.o.d"
+  "/root/repo/tests/trace/trace_gen_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/trace/trace_gen_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/trace/trace_gen_test.cpp.o.d"
+  "/root/repo/tests/trace/trace_io_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/trace/trace_io_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/trace/trace_io_test.cpp.o.d"
+  "/root/repo/tests/trace/ycsb_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/trace/ycsb_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/trace/ycsb_test.cpp.o.d"
+  "/root/repo/tests/trace/zipf_test.cpp" "tests/CMakeFiles/p4lru_tests.dir/trace/zipf_test.cpp.o" "gcc" "tests/CMakeFiles/p4lru_tests.dir/trace/zipf_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/p4lru.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

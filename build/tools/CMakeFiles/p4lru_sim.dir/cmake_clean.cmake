@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p4lru_sim.dir/p4lru_sim.cpp.o"
+  "CMakeFiles/p4lru_sim.dir/p4lru_sim.cpp.o.d"
+  "p4lru_sim"
+  "p4lru_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p4lru_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
