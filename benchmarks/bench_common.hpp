@@ -8,12 +8,18 @@
 // 2.0) to grow packet counts and cache sizes proportionally.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "p4lru/cache/policy.hpp"
+#include "p4lru/common/stats.hpp"
 #include "p4lru/common/table.hpp"
 #include "p4lru/common/types.hpp"
 #include "p4lru/trace/trace_gen.hpp"
@@ -91,5 +97,154 @@ struct PolicyFactory {
 
 /// Percent formatting helper.
 inline std::string pct(double v) { return ConsoleTable::num(v * 100.0, 2); }
+
+// ---------------------------------------------------------------------------
+// Timing harness: every figure bench reports wall time and Mops/s per series
+// so the perf trajectory is visible run over run, and bench_micro_ops emits
+// the same numbers machine-readably (BENCH_micro_ops.json).
+
+/// Monotonic wall-clock stopwatch.
+class StopWatch {
+  public:
+    StopWatch() : start_(std::chrono::steady_clock::now()) {}
+    [[nodiscard]] double seconds() const {
+        return std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+            .count();
+    }
+
+  private:
+    std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates per-series throughput rows and prints them as one table.
+class TimingReport {
+  public:
+    void add(std::string label, std::uint64_t ops, double seconds) {
+        rows_.push_back({std::move(label), {ops, seconds}});
+    }
+
+    void print(const std::string& caption) const {
+        ConsoleTable t({"series", "ops", "wall s", "Mops/s"});
+        for (const auto& [label, tp] : rows_) {
+            t.add_row({label, std::to_string(tp.ops),
+                       ConsoleTable::num(tp.seconds, 3),
+                       ConsoleTable::num(tp.mops(), 2)});
+        }
+        t.print(caption);
+    }
+
+    [[nodiscard]] const auto& rows() const noexcept { return rows_; }
+
+  private:
+    std::vector<std::pair<std::string, stats::Throughput>> rows_;
+};
+
+/// One independent, deterministic figure-series evaluation: replays a trace
+/// against one policy configuration and yields a scalar (e.g. miss rate).
+struct SeriesJob {
+    std::string label;
+    std::uint64_t ops = 0;  ///< packets/queries the job replays (reporting)
+    std::function<double()> fn;
+};
+
+struct SeriesResult {
+    double value = 0.0;
+    double seconds = 0.0;
+};
+
+/// Evaluate all jobs, concurrently when the machine has spare cores (each
+/// job owns its policy/system instance and fixed seeds, so results are
+/// deterministic and land at the job's index). Single-core machines run
+/// inline — thread overhead would only slow the suite down.
+inline std::vector<SeriesResult> run_series(
+    const std::vector<SeriesJob>& jobs, TimingReport* report = nullptr) {
+    std::vector<SeriesResult> results(jobs.size());
+    const std::size_t hw = std::thread::hardware_concurrency();
+    const std::size_t workers =
+        std::min<std::size_t>(jobs.size(), hw > 1 ? hw : 1);
+    if (workers <= 1) {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            StopWatch w;
+            results[i].value = jobs[i].fn();
+            results[i].seconds = w.seconds();
+        }
+    } else {
+        std::atomic<std::size_t> next{0};
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (std::size_t t = 0; t < workers; ++t) {
+            pool.emplace_back([&] {
+                while (true) {
+                    const std::size_t i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= jobs.size()) return;
+                    StopWatch w;
+                    results[i].value = jobs[i].fn();
+                    results[i].seconds = w.seconds();
+                }
+            });
+        }
+        for (auto& th : pool) th.join();
+    }
+    if (report) {
+        for (std::size_t i = 0; i < jobs.size(); ++i) {
+            report->add(jobs[i].label, jobs[i].ops, results[i].seconds);
+        }
+    }
+    return results;
+}
+
+// ---------------------------------------------------------------------------
+// Machine-readable benchmark output (BENCH_*.json).
+
+/// One replay-throughput series of bench_micro_ops.
+struct ReplayJsonSeries {
+    std::string name;        ///< "sequential" / "sharded"
+    std::size_t workers = 0; ///< shard count (0 for sequential)
+    std::string mode;        ///< "sequential" / "threaded" / "inline"
+    double wall_s = 0.0;
+    double mops = 0.0;
+    std::uint64_t ops = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+};
+
+/// Emit the throughput baseline consumed by later PRs' perf tracking.
+inline bool write_replay_json(const std::string& path, std::size_t packets,
+                              std::size_t units, double scale_value,
+                              const std::vector<ReplayJsonSeries>& series) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"micro_ops_replay\",\n"
+                 "  \"schema\": 1,\n"
+                 "  \"scale\": %.3f,\n"
+                 "  \"packets\": %zu,\n"
+                 "  \"units\": %zu,\n"
+                 "  \"hardware_threads\": %u,\n"
+                 "  \"series\": [\n",
+                 scale_value, packets, units,
+                 std::thread::hardware_concurrency());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const auto& s = series[i];
+        std::fprintf(
+            f,
+            "    {\"name\": \"%s\", \"workers\": %zu, \"mode\": \"%s\", "
+            "\"wall_s\": %.6f, \"mops\": %.3f, \"ops\": %llu, "
+            "\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu}%s\n",
+            s.name.c_str(), s.workers, s.mode.c_str(), s.wall_s, s.mops,
+            static_cast<unsigned long long>(s.ops),
+            static_cast<unsigned long long>(s.hits),
+            static_cast<unsigned long long>(s.misses),
+            static_cast<unsigned long long>(s.evictions),
+            i + 1 < series.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+}
 
 }  // namespace p4lru::bench

@@ -2,6 +2,11 @@
 // query/reply protocol driven over each replacement policy.
 //   (a) cache miss rate vs cache memory
 //   (b) cache miss rate vs query latency dT of the database server
+//
+// Every cell drives its own closed-loop simulation against a shared
+// read-only DbServer (serve() is const), so cells are evaluated via
+// bench::run_series — concurrently on multicore machines — and per-series
+// timings (wall time, Mops/s over the query count) print after each table.
 #include <cstdio>
 #include <memory>
 
@@ -47,6 +52,41 @@ double tuned_timeout_miss(DbServer& server, std::size_t entries,
     return best;
 }
 
+/// The five policy columns of one row. `seed` salts the policy hashes (the
+/// original bench used 0xF1 for (a) and 0xF2 for (b)).
+std::vector<SeriesJob> row_jobs(DbServer& server, const std::string& label,
+                                std::size_t entries, std::size_t queries,
+                                std::uint32_t seed) {
+    const auto n = static_cast<std::uint64_t>(queries);
+    return {
+        {label + "/P4LRU3", n,
+         [&server, entries, queries, seed] {
+             // The paper's LruIndex uses the series connection; 4 levels.
+             auto p3 = std::make_unique<SeriesIndexCache>(
+                 4, std::max<std::size_t>(1, entries / 12), seed);
+             return miss_rate(server, std::move(p3), queries);
+         }},
+        {label + "/Timeout", 4 * n,
+         [&server, entries, queries] {
+             return tuned_timeout_miss(server, entries, queries);
+         }},
+        {label + "/Elastic", n,
+         [&server, entries, queries, seed] {
+             return miss_rate(server, wrap(Factory::elastic(entries, seed)),
+                              queries);
+         }},
+        {label + "/Coco", n,
+         [&server, entries, queries, seed] {
+             return miss_rate(server, wrap(Factory::coco(entries, seed)),
+                              queries);
+         }},
+        {label + "/LRU_IDEAL", n,
+         [&server, entries, queries] {
+             return miss_rate(server, wrap(Factory::ideal(entries)), queries);
+         }},
+    };
+}
+
 }  // namespace
 
 int main() {
@@ -57,54 +97,65 @@ int main() {
     // --- (a) miss rate vs memory ------------------------------------------
     {
         DbServer server(items, ServerCosts{});
-        ConsoleTable t({"entries", "P4LRU3 %", "Timeout %", "Elastic %",
-                        "Coco %", "LRU_IDEAL %"});
-        for (const double mult : {0.5, 1.0, 2.0, 4.0}) {
+        const std::vector<double> mults = {0.5, 1.0, 2.0, 4.0};
+        std::vector<SeriesJob> jobs;
+        std::vector<std::size_t> row_entries;
+        for (const double mult : mults) {
             const auto entries =
                 static_cast<std::size_t>(base_entries * mult);
-            // The paper's LruIndex uses the series connection; 4 levels.
-            auto p3 = std::make_unique<SeriesIndexCache>(
-                4, std::max<std::size_t>(1, entries / 12), 0xF1);
-            t.add_row(
-                {std::to_string(entries),
-                 pct(miss_rate(server, std::move(p3), queries)),
-                 pct(tuned_timeout_miss(server, entries, queries)),
-                 pct(miss_rate(server, wrap(Factory::elastic(entries, 0xF1)),
-                               queries)),
-                 pct(miss_rate(server, wrap(Factory::coco(entries, 0xF1)),
-                               queries)),
-                 pct(miss_rate(server, wrap(Factory::ideal(entries)),
-                               queries))});
+            row_entries.push_back(entries);
+            const auto row = row_jobs(server, std::to_string(entries),
+                                      entries, queries, 0xF1);
+            jobs.insert(jobs.end(), row.begin(), row.end());
+        }
+        TimingReport timing;
+        const auto res = run_series(jobs, &timing);
+
+        ConsoleTable t({"entries", "P4LRU3 %", "Timeout %", "Elastic %",
+                        "Coco %", "LRU_IDEAL %"});
+        for (std::size_t r = 0; r < mults.size(); ++r) {
+            t.add_row({std::to_string(row_entries[r]),
+                       pct(res[r * 5 + 0].value), pct(res[r * 5 + 1].value),
+                       pct(res[r * 5 + 2].value), pct(res[r * 5 + 3].value),
+                       pct(res[r * 5 + 4].value)});
         }
         t.print("Figure 13(a): LruIndex miss rate vs memory");
+        timing.print("Figure 13(a): per-series driver timings");
     }
 
     // --- (b) miss rate vs server query latency dT --------------------------
     {
-        ConsoleTable t({"dT us (index cost)", "P4LRU3 %", "Timeout %",
-                        "Elastic %", "Coco %", "LRU_IDEAL %"});
-        for (const TimeNs hop : {1'000u, 3'000u, 9'000u, 27'000u}) {
+        const std::vector<TimeNs> hops = {1'000u, 3'000u, 9'000u, 27'000u};
+        // One shared server per hop cost, alive for the whole section.
+        std::vector<std::unique_ptr<DbServer>> servers;
+        for (const TimeNs hop : hops) {
             ServerCosts costs;
             costs.per_index_hop = hop;
-            DbServer server(items, costs);
+            servers.push_back(std::make_unique<DbServer>(items, costs));
+        }
+        std::vector<SeriesJob> jobs;
+        for (std::size_t h = 0; h < hops.size(); ++h) {
             const TimeNs approx_dt =
-                hop * 4;  // ~tree height hops per indexed query
-            auto p3 = std::make_unique<SeriesIndexCache>(
-                4, std::max<std::size_t>(1, base_entries / 12), 0xF2);
-            t.add_row(
-                {std::to_string(approx_dt / 1000),
-                 pct(miss_rate(server, std::move(p3), queries)),
-                 pct(tuned_timeout_miss(server, base_entries, queries)),
-                 pct(miss_rate(server,
-                               wrap(Factory::elastic(base_entries, 0xF2)),
-                               queries)),
-                 pct(miss_rate(server,
-                               wrap(Factory::coco(base_entries, 0xF2)),
-                               queries)),
-                 pct(miss_rate(server, wrap(Factory::ideal(base_entries)),
-                               queries))});
+                hops[h] * 4;  // ~tree height hops per indexed query
+            const auto row =
+                row_jobs(*servers[h],
+                         "dT" + std::to_string(approx_dt / 1000) + "us",
+                         base_entries, queries, 0xF2);
+            jobs.insert(jobs.end(), row.begin(), row.end());
+        }
+        TimingReport timing;
+        const auto res = run_series(jobs, &timing);
+
+        ConsoleTable t({"dT us (index cost)", "P4LRU3 %", "Timeout %",
+                        "Elastic %", "Coco %", "LRU_IDEAL %"});
+        for (std::size_t r = 0; r < hops.size(); ++r) {
+            t.add_row({std::to_string(hops[r] * 4 / 1000),
+                       pct(res[r * 5 + 0].value), pct(res[r * 5 + 1].value),
+                       pct(res[r * 5 + 2].value), pct(res[r * 5 + 3].value),
+                       pct(res[r * 5 + 4].value)});
         }
         t.print("Figure 13(b): LruIndex miss rate vs query latency");
+        timing.print("Figure 13(b): per-series driver timings");
     }
 
     std::printf(

@@ -3,6 +3,10 @@
 // hits accumulate byte counts).
 //   (a) miss rate vs cache memory
 //   (b) miss rate vs filter threshold
+//
+// Cells are independent deterministic replays, evaluated via
+// bench::run_series (parallel on multicore machines) with per-series
+// timings printed after each figure table.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -43,6 +47,38 @@ double tuned_timeout_miss(const std::vector<PacketRecord>& trace,
     return best;
 }
 
+std::vector<SeriesJob> row_jobs(const std::vector<PacketRecord>& trace,
+                                const std::string& row_label,
+                                std::size_t entries,
+                                std::uint32_t threshold) {
+    const auto n = static_cast<std::uint64_t>(trace.size());
+    return {
+        {row_label + "/P4LRU3", n,
+         [&trace, entries, threshold] {
+             return miss_rate(trace, Factory::p4lru3(entries, 0xA7),
+                              threshold);
+         }},
+        {row_label + "/Timeout", 4 * n,
+         [&trace, entries, threshold] {
+             return tuned_timeout_miss(trace, entries, threshold);
+         }},
+        {row_label + "/Elastic", n,
+         [&trace, entries, threshold] {
+             return miss_rate(trace, Factory::elastic(entries, 0xA7),
+                              threshold);
+         }},
+        {row_label + "/Coco", n,
+         [&trace, entries, threshold] {
+             return miss_rate(trace, Factory::coco(entries, 0xA7),
+                              threshold);
+         }},
+        {row_label + "/LRU_IDEAL", n,
+         [&trace, entries, threshold] {
+             return miss_rate(trace, Factory::ideal(entries), threshold);
+         }},
+    };
+}
+
 }  // namespace
 
 int main() {
@@ -51,40 +87,55 @@ int main() {
 
     // --- (a) miss rate vs memory ------------------------------------------
     {
-        ConsoleTable t({"entries", "P4LRU3 %", "Timeout %", "Elastic %",
-                        "Coco %", "LRU_IDEAL %"});
-        for (const double mult : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+        const std::vector<double> mults = {0.5, 1.0, 2.0, 4.0, 8.0};
+        std::vector<SeriesJob> jobs;
+        std::vector<std::size_t> row_entries;
+        for (const double mult : mults) {
             const auto entries =
                 static_cast<std::size_t>(base_entries * mult);
-            t.add_row(
-                {std::to_string(entries),
-                 pct(miss_rate(trace, Factory::p4lru3(entries, 0xA7), 1500)),
-                 pct(tuned_timeout_miss(trace, entries, 1500)),
-                 pct(miss_rate(trace, Factory::elastic(entries, 0xA7),
-                               1500)),
-                 pct(miss_rate(trace, Factory::coco(entries, 0xA7), 1500)),
-                 pct(miss_rate(trace, Factory::ideal(entries), 1500))});
+            row_entries.push_back(entries);
+            const auto row =
+                row_jobs(trace, std::to_string(entries), entries, 1500);
+            jobs.insert(jobs.end(), row.begin(), row.end());
+        }
+        TimingReport timing;
+        const auto res = run_series(jobs, &timing);
+
+        ConsoleTable t({"entries", "P4LRU3 %", "Timeout %", "Elastic %",
+                        "Coco %", "LRU_IDEAL %"});
+        for (std::size_t r = 0; r < mults.size(); ++r) {
+            t.add_row({std::to_string(row_entries[r]),
+                       pct(res[r * 5 + 0].value), pct(res[r * 5 + 1].value),
+                       pct(res[r * 5 + 2].value), pct(res[r * 5 + 3].value),
+                       pct(res[r * 5 + 4].value)});
         }
         t.print("Figure 14(a): LruMon cache miss rate vs memory");
+        timing.print("Figure 14(a): per-series replay timings");
     }
 
     // --- (b) miss rate vs filter threshold --------------------------------
     {
+        const std::vector<std::uint32_t> thresholds = {500u, 1000u, 1500u,
+                                                       3000u, 6000u};
+        std::vector<SeriesJob> jobs;
+        for (const std::uint32_t thr : thresholds) {
+            const auto row = row_jobs(trace, "thr" + std::to_string(thr),
+                                      base_entries, thr);
+            jobs.insert(jobs.end(), row.begin(), row.end());
+        }
+        TimingReport timing;
+        const auto res = run_series(jobs, &timing);
+
         ConsoleTable t({"threshold B", "P4LRU3 %", "Timeout %", "Elastic %",
                         "Coco %", "LRU_IDEAL %"});
-        for (const std::uint32_t thr : {500u, 1000u, 1500u, 3000u, 6000u}) {
-            t.add_row(
-                {std::to_string(thr),
-                 pct(miss_rate(trace, Factory::p4lru3(base_entries, 0xA7),
-                               thr)),
-                 pct(tuned_timeout_miss(trace, base_entries, thr)),
-                 pct(miss_rate(trace, Factory::elastic(base_entries, 0xA7),
-                               thr)),
-                 pct(miss_rate(trace, Factory::coco(base_entries, 0xA7),
-                               thr)),
-                 pct(miss_rate(trace, Factory::ideal(base_entries), thr))});
+        for (std::size_t r = 0; r < thresholds.size(); ++r) {
+            t.add_row({std::to_string(thresholds[r]),
+                       pct(res[r * 5 + 0].value), pct(res[r * 5 + 1].value),
+                       pct(res[r * 5 + 2].value), pct(res[r * 5 + 3].value),
+                       pct(res[r * 5 + 4].value)});
         }
         t.print("Figure 14(b): LruMon cache miss rate vs filter threshold");
+        timing.print("Figure 14(b): per-series replay timings");
     }
 
     std::printf(

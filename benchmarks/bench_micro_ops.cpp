@@ -3,16 +3,26 @@
 // pipeline-model program (orders of magnitude slower: it interprets each
 // stage, which is the point — it is a checker, not a fast path), the policy
 // implementations, and the sketches.
+//
+// After the google-benchmark suite (skippable with P4LRU_SKIP_GBENCH=1), the
+// trace-replay throughput harness runs: the default 1.2M-packet trace through
+// a paper-scale parallel array, sequential vs sharded per worker count, and
+// writes the machine-readable baseline BENCH_micro_ops.json (path override:
+// P4LRU_BENCH_JSON).
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <span>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "p4lru/cache/policy.hpp"
 #include "p4lru/common/random.hpp"
 #include "p4lru/core/p4lru.hpp"
 #include "p4lru/core/p4lru_encoded.hpp"
 #include "p4lru/core/parallel_array.hpp"
 #include "p4lru/pipeline/p4lru3_program.hpp"
+#include "p4lru/replay/replay.hpp"
 #include "p4lru/sketch/countmin.hpp"
 #include "p4lru/sketch/towersketch.hpp"
 
@@ -142,6 +152,110 @@ void BM_Crc32FlowKey(benchmark::State& state) {
 }
 BENCHMARK(BM_Crc32FlowKey);
 
+// ---------------------------------------------------------------------------
+// Trace-replay throughput: sequential vs sharded engine on the default
+// bench trace. Aggregate statistics must be identical across all series
+// (the engine's bit-equivalence guarantee, asserted here at full scale).
+
+void run_replay_throughput() {
+    using Cache = core::ParallelCache<core::P4lru<FlowKey, std::uint32_t, 3>,
+                                      FlowKey, std::uint32_t>;
+    const std::size_t units = bench::scaled(1u << 16);
+    const auto trace = bench::make_trace(60, 42);
+    const auto ops = replay::ops_from_packets(trace);
+    const auto span =
+        std::span<const replay::ReplayOp<FlowKey, std::uint32_t>>(ops);
+
+    std::vector<bench::ReplayJsonSeries> json;
+    ConsoleTable table(
+        {"series", "workers", "mode", "wall s", "Mops/s", "speedup",
+         "hit %"});
+
+    // Warmup: touch the trace and code paths once, off the clock.
+    {
+        Cache warm(units, 0xE1);
+        (void)replay::replay_sequential(
+            warm, span.subspan(0, std::min<std::size_t>(span.size(),
+                                                        100'000)));
+    }
+
+    // Each series runs kReps times on a fresh cache; best wall time is
+    // reported (standard throughput practice — the floor is the signal).
+    constexpr int kReps = 3;
+
+    replay::ReplayStats seq_stats;
+    double seq_seconds = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+        Cache cache(units, 0xE1);
+        bench::StopWatch w;
+        const auto s = replay::replay_sequential(cache, span);
+        const double secs = w.seconds();
+        if (rep == 0 || secs < seq_seconds) seq_seconds = secs;
+        seq_stats = s;
+    }
+    {
+        const stats::Throughput tp{seq_stats.ops, seq_seconds};
+        table.add_row({"sequential", "1", "sequential",
+                       ConsoleTable::num(seq_seconds, 3),
+                       ConsoleTable::num(tp.mops(), 2), "1.00",
+                       bench::pct(seq_stats.hit_rate())});
+        json.push_back({"sequential", 0, "sequential", seq_seconds, tp.mops(),
+                        seq_stats.ops, seq_stats.hits, seq_stats.misses,
+                        seq_stats.evictions});
+    }
+
+    bool all_identical = true;
+    for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+        replay::ShardedConfig cfg;
+        cfg.shards = workers;
+        double best = 0.0;
+        replay::ShardedReport last;
+        for (int rep = 0; rep < kReps; ++rep) {
+            Cache cache(units, 0xE1);
+            bench::StopWatch w;
+            last = replay::replay_sharded(cache, span, cfg);
+            const double secs = w.seconds();
+            if (rep == 0 || secs < best) best = secs;
+            all_identical = all_identical && last.stats == seq_stats;
+        }
+        const stats::Throughput tp{last.stats.ops, best};
+        const char* mode = last.threaded ? "threaded" : "inline";
+        table.add_row({"sharded", std::to_string(last.shards), mode,
+                       ConsoleTable::num(best, 3),
+                       ConsoleTable::num(tp.mops(), 2),
+                       ConsoleTable::num(seq_seconds / best, 2),
+                       bench::pct(last.stats.hit_rate())});
+        json.push_back({"sharded", last.shards, mode, best, tp.mops(),
+                        last.stats.ops, last.stats.hits, last.stats.misses,
+                        last.stats.evictions});
+    }
+
+    table.print("Replay throughput: sequential vs sharded engine (" +
+                std::to_string(span.size()) + " packets, " +
+                std::to_string(units) + " units)");
+    std::printf("aggregate hit/miss/eviction counts %s across all series\n",
+                all_identical ? "IDENTICAL" : "DIVERGED (BUG)");
+
+    const char* path = std::getenv("P4LRU_BENCH_JSON");
+    const std::string out = path ? path : "BENCH_micro_ops.json";
+    if (bench::write_replay_json(out, span.size(), units, bench::scale(),
+                                 json)) {
+        std::printf("wrote %s\n", out.c_str());
+    } else {
+        std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+    const char* skip = std::getenv("P4LRU_SKIP_GBENCH");
+    if (!(skip && skip[0] == '1')) {
+        benchmark::RunSpecifiedBenchmarks();
+    }
+    benchmark::Shutdown();
+    run_replay_throughput();
+    return 0;
+}

@@ -23,6 +23,25 @@ class Running {
         sum_ += x;
     }
 
+    /// Fold another accumulator in (Chan et al. parallel Welford merge).
+    /// Lets per-shard accumulators combine into the sequential answer.
+    void merge(const Running& o) noexcept {
+        if (o.n_ == 0) return;
+        if (n_ == 0) {
+            *this = o;
+            return;
+        }
+        const auto n = static_cast<double>(n_);
+        const auto m = static_cast<double>(o.n_);
+        const double delta = o.mean_ - mean_;
+        mean_ += delta * m / (n + m);
+        m2_ += o.m2_ + delta * delta * n * m / (n + m);
+        n_ += o.n_;
+        sum_ += o.sum_;
+        min_ = std::min(min_, o.min_);
+        max_ = std::max(max_, o.max_);
+    }
+
     [[nodiscard]] std::size_t count() const noexcept { return n_; }
     [[nodiscard]] double sum() const noexcept { return sum_; }
     [[nodiscard]] double mean() const noexcept { return n_ ? mean_ : 0.0; }
@@ -63,6 +82,18 @@ class Percentiles {
 
   private:
     std::vector<double> xs_;
+};
+
+/// Operations-over-wall-time record for throughput reporting (replay engine,
+/// bench timing harness).
+struct Throughput {
+    std::uint64_t ops = 0;
+    double seconds = 0.0;
+
+    [[nodiscard]] double ops_per_sec() const noexcept {
+        return seconds > 0.0 ? static_cast<double>(ops) / seconds : 0.0;
+    }
+    [[nodiscard]] double mops() const noexcept { return ops_per_sec() / 1e6; }
 };
 
 /// Ratio counter for hit/miss style accounting.

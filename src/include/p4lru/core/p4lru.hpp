@@ -92,16 +92,11 @@ class P4lru {
             }
         }
         if (!found && size_ < N) {
-            // Cache not yet full: the new key extends the occupied prefix.
-            key_[size_] = carry;  // carry == k when size_ == 0
+            // Cache not yet full: the displaced tail (or k itself when the
+            // loop never ran) extends the occupied prefix.
+            key_[size_] = carry;
             ++size_;
             i = size_;
-            // carry is k itself only when the loop never ran; otherwise the
-            // displaced key settles into the newly occupied slot.
-            if (size_ > 1) {
-                // carry holds the key displaced from slot size_-1; it was
-                // already written by key_[size_-1] = carry above.
-            }
             carry = k;  // nothing truly evicted
         }
 
@@ -147,10 +142,33 @@ class P4lru {
     /// Promote an existing key to most-recently-used and merge v into its
     /// value. Returns false (and does nothing) if k is absent. Used by reply
     /// packets in the series protocol ("prioritized as the most recent
-    /// entry").
+    /// entry"). One pass: the Step-1 bubble runs directly; if the occupied
+    /// prefix is exhausted without finding k, the rotation is undone instead
+    /// of scanning twice (contains() + update()).
     bool touch(const Key& k, const Value& v) {
-        if (!contains(k)) return false;
-        update(k, v);
+        Key carry = k;
+        std::size_t i = 0;
+        bool found = false;
+        for (std::size_t pos = 0; pos < size_; ++pos) {
+            std::swap(carry, key_[pos]);
+            if (carry == k) {
+                i = pos + 1;
+                found = true;
+                break;
+            }
+        }
+        if (!found) {
+            // k is absent: the scan rotated the prefix right by one; shift
+            // it back and drop the carried tail into its original slot.
+            for (std::size_t pos = 1; pos < size_; ++pos) {
+                key_[pos - 1] = key_[pos];
+            }
+            if (size_ > 0) key_[size_ - 1] = carry;
+            return false;
+        }
+        state_.apply_hit(i);
+        const std::size_t slot = state_.mru_slot();
+        val_[slot - 1] = merge_(val_[slot - 1], v);
         return true;
     }
 

@@ -59,6 +59,34 @@ class ParallelCache {
         return units_[bucket(k)].update(k, v, std::forward<MergeFn>(merge));
     }
 
+    /// Update through a bucket the caller already computed via bucket(k).
+    /// The replay engine routes packets to shards by bucket and must not pay
+    /// the hash twice. Precondition: b == bucket(k) and b < unit_count().
+    Result update_at(std::size_t b, const Key& k, const Value& v) {
+        return units_[b].update(k, v);
+    }
+
+    template <typename MergeFn>
+    Result update_at(std::size_t b, const Key& k, const Value& v,
+                     MergeFn&& merge) {
+        return units_[b].update(k, v, std::forward<MergeFn>(merge));
+    }
+
+    /// Hint the unit owning bucket b into cache (write intent). The replay
+    /// engine issues these one batch ahead to overlap the random-access
+    /// latency of the unit array with useful work.
+    void prefetch_unit(std::size_t b) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+        const char* p = reinterpret_cast<const char*>(&units_[b]);
+        __builtin_prefetch(p, 1, 2);
+        if constexpr (sizeof(Unit) > 64) {
+            __builtin_prefetch(p + 64, 1, 2);
+        }
+#else
+        (void)b;
+#endif
+    }
+
     /// Read-only lookup.
     [[nodiscard]] std::optional<Value> find(const Key& k) const {
         return units_[bucket(k)].find(k);

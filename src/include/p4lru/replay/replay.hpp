@@ -1,0 +1,249 @@
+// Sharded parallel trace-replay engine.
+//
+// A ParallelCache's bucket hash partitions the key space into disjoint P4LRU
+// units, so replay is embarrassingly parallel across unit ranges: a
+// dispatcher routes each operation to the shard owning its bucket (ShardPlan
+// carves [0, units) into contiguous ranges), batches of ~256 routed ops flow
+// through one SPSC queue per shard, and each worker prefetches the next
+// batch's unit cache lines before draining the previous batch. Because every
+// unit is touched by exactly one shard and each shard processes its ops in
+// arrival order, the final cache state and the merged hit/miss/eviction
+// statistics are bit-identical to sequential replay.
+//
+// On machines without spare hardware threads (or with ShardedConfig::mode =
+// kInline) the same dispatch/batch/prefetch structure runs on the calling
+// thread: batching still buys memory-level parallelism from the two-phase
+// prefetch-then-update pass, and determinism is unchanged.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "p4lru/common/types.hpp"
+#include "p4lru/core/parallel_array.hpp"
+#include "p4lru/replay/shard_plan.hpp"
+#include "p4lru/replay/spsc_queue.hpp"
+
+namespace p4lru::replay {
+
+/// One logical trace operation: update the cache with <key, value>.
+template <typename Key, typename Value>
+struct ReplayOp {
+    Key key{};
+    Value value{};
+};
+
+/// Aggregate outcome counters of a replay. Totals are order-independent
+/// sums, so the deterministic per-shard merge reproduces the sequential
+/// numbers exactly.
+struct ReplayStats {
+    std::uint64_t ops = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    friend bool operator==(const ReplayStats&, const ReplayStats&) = default;
+
+    void merge(const ReplayStats& o) noexcept {
+        ops += o.ops;
+        hits += o.hits;
+        misses += o.misses;
+        evictions += o.evictions;
+    }
+
+    template <typename Key, typename Value>
+    void tally(const core::UpdateResult<Key, Value>& r) noexcept {
+        ++ops;
+        if (r.hit) {
+            ++hits;
+        } else {
+            ++misses;
+        }
+        if (r.evicted) ++evictions;
+    }
+
+    [[nodiscard]] double hit_rate() const noexcept {
+        return ops ? static_cast<double>(hits) / static_cast<double>(ops)
+                   : 0.0;
+    }
+};
+
+enum class Mode {
+    kAuto,      ///< threaded when >1 hardware thread, else inline
+    kThreaded,  ///< always spawn workers (tests, tsan)
+    kInline     ///< always run on the calling thread
+};
+
+struct ShardedConfig {
+    std::size_t shards = 0;         ///< worker count; 0 = default_shards()
+    std::size_t batch_ops = 256;    ///< ops per dispatched batch
+    std::size_t queue_batches = 64; ///< SPSC ring capacity, in batches
+    Mode mode = Mode::kAuto;
+};
+
+/// What a sharded replay actually ran, alongside the merged statistics.
+struct ShardedReport {
+    ReplayStats stats{};
+    std::size_t shards = 0;  ///< shard count after clamping
+    bool threaded = false;   ///< workers spawned (vs inline fallback)
+};
+
+/// Reference replayer: one op at a time on the calling thread.
+template <typename Unit, typename Key, typename Value>
+ReplayStats replay_sequential(core::ParallelCache<Unit, Key, Value>& cache,
+                              std::span<const ReplayOp<Key, Value>> ops) {
+    ReplayStats s;
+    for (const auto& op : ops) {
+        s.tally(cache.update(op.key, op.value));
+    }
+    return s;
+}
+
+namespace detail {
+
+/// An op routed to its owning bucket; the dispatcher hashes exactly once.
+template <typename Key, typename Value>
+struct RoutedOp {
+    std::uint32_t bucket = 0;
+    Key key{};
+    Value value{};
+};
+
+template <typename Unit, typename Key, typename Value>
+void prefetch_batch(const core::ParallelCache<Unit, Key, Value>& cache,
+                    const std::vector<RoutedOp<Key, Value>>& batch) {
+    for (const auto& op : batch) cache.prefetch_unit(op.bucket);
+}
+
+template <typename Unit, typename Key, typename Value>
+void process_batch(core::ParallelCache<Unit, Key, Value>& cache,
+                   const std::vector<RoutedOp<Key, Value>>& batch,
+                   ReplayStats& stats) {
+    for (const auto& op : batch) {
+        stats.tally(cache.update_at(op.bucket, op.key, op.value));
+    }
+}
+
+}  // namespace detail
+
+/// Sharded replay. Bit-identical statistics and final cache state to
+/// replay_sequential on the same (cache, ops) input, for any shard count.
+template <typename Unit, typename Key, typename Value>
+ShardedReport replay_sharded(core::ParallelCache<Unit, Key, Value>& cache,
+                             std::span<const ReplayOp<Key, Value>> ops,
+                             const ShardedConfig& cfg = {}) {
+    using Routed = detail::RoutedOp<Key, Value>;
+    using Batch = std::vector<Routed>;
+
+    const std::size_t requested = cfg.shards ? cfg.shards : default_shards();
+    const ShardPlan plan = ShardPlan::make(cache.unit_count(), requested);
+    const std::size_t W = plan.shards();
+    const std::size_t batch_ops = cfg.batch_ops ? cfg.batch_ops : 256;
+
+    const bool threaded =
+        cfg.mode == Mode::kThreaded ||
+        (cfg.mode == Mode::kAuto && W > 1 && threads_profitable());
+
+    ShardedReport report;
+    report.shards = W;
+    report.threaded = threaded;
+
+    // Cache-line-padded per-shard results (workers write concurrently).
+    struct alignas(64) PaddedStats {
+        ReplayStats s;
+    };
+    std::vector<PaddedStats> results(W);
+
+    if (!threaded) {
+        // Inline path: batched dispatch on the calling thread. Ops stay in
+        // arrival order (per-unit order is what equivalence needs), so no
+        // per-shard scatter is paid; each block gets a two-phase
+        // route-and-prefetch then update pass, overlapping the unit array's
+        // random-access latency with hashing of the following ops.
+        Batch block;
+        block.reserve(batch_ops);
+        for (std::size_t base = 0; base < ops.size(); base += batch_ops) {
+            const std::size_t n = std::min(batch_ops, ops.size() - base);
+            block.clear();
+            for (std::size_t i = 0; i < n; ++i) {
+                const auto& op = ops[base + i];
+                const auto bucket =
+                    static_cast<std::uint32_t>(cache.bucket(op.key));
+                cache.prefetch_unit(bucket);
+                block.push_back(Routed{bucket, op.key, op.value});
+            }
+            detail::process_batch(cache, block, results[0].s);
+        }
+    } else {
+        // Per-shard batches under construction by the dispatcher.
+        std::vector<Batch> open(W);
+        for (auto& b : open) b.reserve(batch_ops);
+
+        std::vector<std::unique_ptr<SpscQueue<Batch>>> queues;
+        queues.reserve(W);
+        for (std::size_t s = 0; s < W; ++s) {
+            queues.push_back(std::make_unique<SpscQueue<Batch>>(
+                cfg.queue_batches ? cfg.queue_batches : 64));
+        }
+
+        {
+            std::vector<std::jthread> workers;
+            workers.reserve(W);
+            for (std::size_t s = 0; s < W; ++s) {
+                workers.emplace_back([&cache, &queues, &results, s] {
+                    ReplayStats local;
+                    Batch pending;
+                    Batch next;
+                    bool have_pending = false;
+                    while (queues[s]->pop(next)) {
+                        // Warm the next batch's units, then drain the
+                        // previous batch — prefetch one batch ahead.
+                        detail::prefetch_batch(cache, next);
+                        if (have_pending) {
+                            detail::process_batch(cache, pending, local);
+                        }
+                        pending = std::move(next);
+                        have_pending = true;
+                    }
+                    if (have_pending) {
+                        detail::process_batch(cache, pending, local);
+                    }
+                    results[s].s = local;
+                });
+            }
+
+            // Dispatch: hash, route, batch, push.
+            for (const auto& op : ops) {
+                const auto bucket =
+                    static_cast<std::uint32_t>(cache.bucket(op.key));
+                const std::size_t s = plan.owner(bucket);
+                open[s].push_back(Routed{bucket, op.key, op.value});
+                if (open[s].size() == batch_ops) {
+                    queues[s]->push(std::move(open[s]));
+                    open[s] = Batch{};
+                    open[s].reserve(batch_ops);
+                }
+            }
+            for (std::size_t s = 0; s < W; ++s) {
+                if (!open[s].empty()) queues[s]->push(std::move(open[s]));
+                queues[s]->close();
+            }
+        }  // jthreads join here
+    }
+
+    for (std::size_t s = 0; s < W; ++s) {
+        report.stats.merge(results[s].s);
+    }
+    return report;
+}
+
+/// Adapter: a packet trace as replay operations (key = 5-tuple, value = wire
+/// length — the LruTable/LruMon-style update stream).
+[[nodiscard]] std::vector<ReplayOp<FlowKey, std::uint32_t>> ops_from_packets(
+    std::span<const PacketRecord> trace);
+
+}  // namespace p4lru::replay

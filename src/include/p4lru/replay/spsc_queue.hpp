@@ -1,0 +1,98 @@
+// Bounded single-producer/single-consumer queue used by the sharded replay
+// engine: the dispatcher thread pushes batches of routed operations, one
+// worker per shard pops them. Lock-free ring buffer with acquire/release
+// head/tail counters; capacity is rounded up to a power of two so the ring
+// index is a mask. Producer-side push spins (with yields) when the ring is
+// full — backpressure, not loss. close() lets the consumer drain and exit.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace p4lru::replay {
+
+template <typename T>
+class SpscQueue {
+  public:
+    /// \param capacity minimum number of slots; rounded up to a power of two.
+    explicit SpscQueue(std::size_t capacity) {
+        std::size_t n = 2;
+        while (n < capacity) n <<= 1;
+        buf_.resize(n);
+        mask_ = n - 1;
+    }
+
+    SpscQueue(const SpscQueue&) = delete;
+    SpscQueue& operator=(const SpscQueue&) = delete;
+
+    /// Producer only. Blocks (spin + yield) while the ring is full.
+    void push(T v) {
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        while (tail - head_.load(std::memory_order_acquire) >= buf_.size()) {
+            std::this_thread::yield();
+        }
+        buf_[tail & mask_] = std::move(v);
+        tail_.store(tail + 1, std::memory_order_release);
+    }
+
+    /// Producer only. Returns false instead of blocking when full.
+    bool try_push(T& v) {
+        const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        if (tail - head_.load(std::memory_order_acquire) >= buf_.size()) {
+            return false;
+        }
+        buf_[tail & mask_] = std::move(v);
+        tail_.store(tail + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer only. Non-blocking; false when currently empty.
+    bool try_pop(T& out) {
+        const std::uint64_t head = head_.load(std::memory_order_relaxed);
+        if (head == tail_.load(std::memory_order_acquire)) return false;
+        out = std::move(buf_[head & mask_]);
+        head_.store(head + 1, std::memory_order_release);
+        return true;
+    }
+
+    /// Consumer only. Blocks until an element arrives or the queue is closed
+    /// and fully drained; returns false only in the latter case.
+    bool pop(T& out) {
+        while (true) {
+            if (try_pop(out)) return true;
+            if (closed_.load(std::memory_order_acquire)) {
+                // Re-check: elements pushed before close() must drain.
+                return try_pop(out);
+            }
+            std::this_thread::yield();
+        }
+    }
+
+    /// Producer only: no further pushes will follow.
+    void close() { closed_.store(true, std::memory_order_release); }
+
+    [[nodiscard]] bool closed() const {
+        return closed_.load(std::memory_order_acquire);
+    }
+
+    /// Approximate occupancy (either side; for tests and metrics).
+    [[nodiscard]] std::size_t size_approx() const {
+        return static_cast<std::size_t>(
+            tail_.load(std::memory_order_acquire) -
+            head_.load(std::memory_order_acquire));
+    }
+
+    [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
+
+  private:
+    std::vector<T> buf_;
+    std::size_t mask_ = 0;
+    alignas(64) std::atomic<std::uint64_t> head_{0};
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+    alignas(64) std::atomic<bool> closed_{false};
+};
+
+}  // namespace p4lru::replay

@@ -1,0 +1,40 @@
+#include "p4lru/replay/shard_plan.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace p4lru::replay {
+
+ShardPlan ShardPlan::make(std::size_t units, std::size_t shards_requested) {
+    if (units == 0) {
+        throw std::invalid_argument("ShardPlan: zero units");
+    }
+    const std::size_t shards =
+        std::clamp<std::size_t>(shards_requested, 1, units);
+    return ShardPlan(units, shards);
+}
+
+std::size_t default_shards() {
+    if (const char* s = std::getenv("P4LRU_REPLAY_SHARDS")) {
+        const long v = std::atol(s);
+        if (v > 0) return static_cast<std::size_t>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw <= 1) return 1;
+    // Leave one hardware thread for the dispatcher; cap at 8 — shards beyond
+    // that saturate the single dispatcher's hash-and-route throughput.
+    return std::clamp<std::size_t>(hw - 1, 1, 8);
+}
+
+bool threads_profitable() {
+    if (const char* s = std::getenv("P4LRU_REPLAY_MODE")) {
+        if (std::strcmp(s, "threaded") == 0) return true;
+        if (std::strcmp(s, "inline") == 0) return false;
+    }
+    return std::thread::hardware_concurrency() > 1;
+}
+
+}  // namespace p4lru::replay

@@ -102,6 +102,43 @@ TEST(P4lru, TouchPromotesOnlyExistingKeys) {
     EXPECT_EQ(u.key_at(1), 1u);
 }
 
+TEST(P4lru, TouchAbsentLeavesUnitUntouched) {
+    // The one-pass touch rotates the prefix while scanning; on a miss it must
+    // restore key order, values and state exactly — full and non-full units.
+    for (const std::size_t fill : {2u, 3u}) {
+        P4lru<std::uint32_t, std::uint32_t, 3> u;
+        for (std::uint32_t k = 1; k <= fill; ++k) u.update(k, k * 10);
+        const auto before_state = u.state();
+        std::vector<std::uint32_t> keys, vals;
+        for (std::size_t i = 1; i <= u.size(); ++i) {
+            keys.push_back(u.key_at(i));
+            vals.push_back(u.value_at(i));
+        }
+        EXPECT_FALSE(u.touch(99, 990));
+        EXPECT_EQ(u.size(), fill);
+        EXPECT_EQ(u.state(), before_state);
+        for (std::size_t i = 1; i <= u.size(); ++i) {
+            EXPECT_EQ(u.key_at(i), keys[i - 1]);
+            EXPECT_EQ(u.value_at(i), vals[i - 1]);
+        }
+    }
+}
+
+TEST(P4lru, TouchHitMatchesUpdate) {
+    P4lru<std::uint32_t, std::uint32_t, 3> a;
+    P4lru<std::uint32_t, std::uint32_t, 3> b;
+    for (std::uint32_t k = 1; k <= 3; ++k) {
+        a.update(k, k * 10);
+        b.update(k, k * 10);
+    }
+    EXPECT_TRUE(a.touch(2, 99));
+    b.update(2, 99);
+    for (std::size_t i = 1; i <= 3; ++i) {
+        EXPECT_EQ(a.key_at(i), b.key_at(i));
+        EXPECT_EQ(a.value_at(i), b.value_at(i));
+    }
+}
+
 TEST(P4lru, InsertLruPlacesAtTail) {
     P4lru<std::uint32_t, std::uint32_t, 3> u;
     u.update(1, 10);

@@ -1,0 +1,54 @@
+#include "p4lru/replay/shard_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace p4lru::replay {
+namespace {
+
+TEST(ShardPlan, RejectsZeroUnits) {
+    EXPECT_THROW(ShardPlan::make(0, 4), std::invalid_argument);
+}
+
+TEST(ShardPlan, ClampsShardCount) {
+    EXPECT_EQ(ShardPlan::make(8, 0).shards(), 1u);
+    EXPECT_EQ(ShardPlan::make(8, 3).shards(), 3u);
+    EXPECT_EQ(ShardPlan::make(8, 64).shards(), 8u);
+}
+
+TEST(ShardPlan, RangesPartitionTheUnitSpace) {
+    for (const std::size_t units : {1u, 7u, 64u, 1000u, 65536u}) {
+        for (const std::size_t shards : {1u, 2u, 3u, 8u, 13u}) {
+            const auto plan = ShardPlan::make(units, shards);
+            std::size_t covered = 0;
+            std::size_t prev_end = 0;
+            for (std::size_t s = 0; s < plan.shards(); ++s) {
+                const auto [first, last] = plan.range(s);
+                EXPECT_EQ(first, prev_end);
+                EXPECT_LE(first, last);
+                covered += last - first;
+                prev_end = last;
+            }
+            EXPECT_EQ(prev_end, units);
+            EXPECT_EQ(covered, units);
+        }
+    }
+}
+
+TEST(ShardPlan, OwnerMatchesRange) {
+    const auto plan = ShardPlan::make(1000, 7);
+    for (std::size_t s = 0; s < plan.shards(); ++s) {
+        const auto [first, last] = plan.range(s);
+        for (std::size_t b = first; b < last; ++b) {
+            EXPECT_EQ(plan.owner(b), s) << "bucket " << b;
+        }
+    }
+}
+
+TEST(ShardPlan, DefaultShardsIsPositive) {
+    EXPECT_GE(default_shards(), 1u);
+}
+
+}  // namespace
+}  // namespace p4lru::replay

@@ -1,0 +1,75 @@
+#include "p4lru/replay/spsc_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace p4lru::replay {
+namespace {
+
+TEST(SpscQueue, CapacityRoundsUpToPowerOfTwo) {
+    EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+    EXPECT_EQ(SpscQueue<int>(5).capacity(), 8u);
+    EXPECT_EQ(SpscQueue<int>(64).capacity(), 64u);
+}
+
+TEST(SpscQueue, FifoSingleThread) {
+    SpscQueue<int> q(8);
+    for (int i = 0; i < 8; ++i) q.push(i);
+    int v = -1;
+    EXPECT_FALSE(q.try_push(v));  // full
+    for (int i = 0; i < 8; ++i) {
+        ASSERT_TRUE(q.try_pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(q.try_pop(v));  // empty
+}
+
+TEST(SpscQueue, PopDrainsAfterClose) {
+    SpscQueue<int> q(8);
+    q.push(1);
+    q.push(2);
+    q.close();
+    int v = 0;
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 1);
+    EXPECT_TRUE(q.pop(v));
+    EXPECT_EQ(v, 2);
+    EXPECT_FALSE(q.pop(v));  // closed and empty
+}
+
+TEST(SpscQueue, TransfersEverythingAcrossThreads) {
+    constexpr std::uint64_t kCount = 100'000;
+    SpscQueue<std::uint64_t> q(32);
+    std::uint64_t sum = 0;
+    std::uint64_t received = 0;
+    std::thread consumer([&] {
+        std::uint64_t v;
+        while (q.pop(v)) {
+            sum += v;
+            ++received;
+        }
+    });
+    for (std::uint64_t i = 1; i <= kCount; ++i) q.push(i);
+    q.close();
+    consumer.join();
+    EXPECT_EQ(received, kCount);
+    EXPECT_EQ(sum, kCount * (kCount + 1) / 2);
+}
+
+TEST(SpscQueue, MoveOnlyPayload) {
+    SpscQueue<std::vector<int>> q(4);
+    std::vector<int> batch(100);
+    std::iota(batch.begin(), batch.end(), 0);
+    q.push(std::move(batch));
+    std::vector<int> out;
+    ASSERT_TRUE(q.try_pop(out));
+    ASSERT_EQ(out.size(), 100u);
+    EXPECT_EQ(out[99], 99);
+}
+
+}  // namespace
+}  // namespace p4lru::replay
