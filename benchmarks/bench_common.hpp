@@ -198,9 +198,12 @@ inline std::vector<SeriesResult> run_series(
 // ---------------------------------------------------------------------------
 // Machine-readable benchmark output (BENCH_*.json).
 
-/// One replay-throughput series of bench_micro_ops.
+/// One replay-throughput series of bench_micro_ops.  Schema 2 tags each
+/// series with the unit-storage layout so the AoS-vs-SoA speedup is tracked
+/// run over run.
 struct ReplayJsonSeries {
     std::string name;        ///< "sequential" / "sharded"
+    std::string layout;      ///< "aos" / "soa" (UnitStorage::layout_name())
     std::size_t workers = 0; ///< shard count (0 for sequential)
     std::string mode;        ///< "sequential" / "threaded" / "inline"
     double wall_s = 0.0;
@@ -220,7 +223,7 @@ inline bool write_replay_json(const std::string& path, std::size_t packets,
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"micro_ops_replay\",\n"
-                 "  \"schema\": 1,\n"
+                 "  \"schema\": 2,\n"
                  "  \"scale\": %.3f,\n"
                  "  \"packets\": %zu,\n"
                  "  \"units\": %zu,\n"
@@ -232,10 +235,12 @@ inline bool write_replay_json(const std::string& path, std::size_t packets,
         const auto& s = series[i];
         std::fprintf(
             f,
-            "    {\"name\": \"%s\", \"workers\": %zu, \"mode\": \"%s\", "
+            "    {\"name\": \"%s\", \"layout\": \"%s\", \"workers\": %zu, "
+            "\"mode\": \"%s\", "
             "\"wall_s\": %.6f, \"mops\": %.3f, \"ops\": %llu, "
             "\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu}%s\n",
-            s.name.c_str(), s.workers, s.mode.c_str(), s.wall_s, s.mops,
+            s.name.c_str(), s.layout.c_str(), s.workers, s.mode.c_str(),
+            s.wall_s, s.mops,
             static_cast<unsigned long long>(s.ops),
             static_cast<unsigned long long>(s.hits),
             static_cast<unsigned long long>(s.misses),

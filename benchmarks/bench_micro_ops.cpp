@@ -69,6 +69,7 @@ void BM_P4lru2Encoded(benchmark::State& state) {
 }
 BENCHMARK(BM_P4lru2Encoded);
 
+// Default storage (the SoA slab for behavioural units).
 void BM_ParallelArrayUpdate(benchmark::State& state) {
     core::ParallelCache<core::P4lru<std::uint32_t, std::uint32_t, 3>,
                         std::uint32_t, std::uint32_t>
@@ -80,6 +81,20 @@ void BM_ParallelArrayUpdate(benchmark::State& state) {
     }
 }
 BENCHMARK(BM_ParallelArrayUpdate)->Arg(1 << 10)->Arg(1 << 16);
+
+// Same array pinned to the AoS reference layout — the head-to-head for the
+// layout split.
+void BM_ParallelArrayUpdateAos(benchmark::State& state) {
+    core::AosParallelCache<core::P4lru<std::uint32_t, std::uint32_t, 3>,
+                           std::uint32_t, std::uint32_t>
+        array(static_cast<std::size_t>(state.range(0)), 7);
+    const auto ks = keys(4096, 1u << 20);
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(array.update(ks[i++ & 4095], 1));
+    }
+}
+BENCHMARK(BM_ParallelArrayUpdateAos)->Arg(1 << 10)->Arg(1 << 16);
 
 void BM_PipelineProgramUpdate(benchmark::State& state) {
     pipeline::P4lru3PipelineCache cache(1u << 10, 7,
@@ -153,23 +168,25 @@ void BM_Crc32FlowKey(benchmark::State& state) {
 BENCHMARK(BM_Crc32FlowKey);
 
 // ---------------------------------------------------------------------------
-// Trace-replay throughput: sequential vs sharded engine on the default
-// bench trace. Aggregate statistics must be identical across all series
-// (the engine's bit-equivalence guarantee, asserted here at full scale).
+// Trace-replay throughput: both storage layouts (AoS reference vs SoA slab),
+// sequential vs sharded engine, on the default bench trace. Aggregate
+// statistics must be identical across every series of both layouts (the
+// engine's and the slab's bit-equivalence guarantees, asserted at full
+// scale).
 
-void run_replay_throughput() {
-    using Cache = core::ParallelCache<core::P4lru<FlowKey, std::uint32_t, 3>,
-                                      FlowKey, std::uint32_t>;
-    const std::size_t units = bench::scaled(1u << 16);
-    const auto trace = bench::make_trace(60, 42);
-    const auto ops = replay::ops_from_packets(trace);
-    const auto span =
-        std::span<const replay::ReplayOp<FlowKey, std::uint32_t>>(ops);
+using ReplaySpan = std::span<const replay::ReplayOp<FlowKey, std::uint32_t>>;
 
-    std::vector<bench::ReplayJsonSeries> json;
-    ConsoleTable table(
-        {"series", "workers", "mode", "wall s", "Mops/s", "speedup",
-         "hit %"});
+/// Sequential + sharded{1,2,4,8} series for one cache layout.  Each series
+/// runs kReps times on a fresh cache; best wall time is reported (standard
+/// throughput practice — the floor is the signal).  Returns the layout's
+/// best sequential wall time; *stats_out receives the sequential stats.
+template <typename Cache>
+double run_layout_series(ReplaySpan span, std::size_t units,
+                         ConsoleTable& table,
+                         std::vector<bench::ReplayJsonSeries>& json,
+                         replay::ReplayStats* stats_out) {
+    const char* layout = Cache::storage_type::layout_name();
+    constexpr int kReps = 3;
 
     // Warmup: touch the trace and code paths once, off the clock.
     {
@@ -178,10 +195,6 @@ void run_replay_throughput() {
             warm, span.subspan(0, std::min<std::size_t>(span.size(),
                                                         100'000)));
     }
-
-    // Each series runs kReps times on a fresh cache; best wall time is
-    // reported (standard throughput practice — the floor is the signal).
-    constexpr int kReps = 3;
 
     replay::ReplayStats seq_stats;
     double seq_seconds = 0.0;
@@ -195,13 +208,13 @@ void run_replay_throughput() {
     }
     {
         const stats::Throughput tp{seq_stats.ops, seq_seconds};
-        table.add_row({"sequential", "1", "sequential",
+        table.add_row({"sequential", layout, "1", "sequential",
                        ConsoleTable::num(seq_seconds, 3),
                        ConsoleTable::num(tp.mops(), 2), "1.00",
                        bench::pct(seq_stats.hit_rate())});
-        json.push_back({"sequential", 0, "sequential", seq_seconds, tp.mops(),
-                        seq_stats.ops, seq_stats.hits, seq_stats.misses,
-                        seq_stats.evictions});
+        json.push_back({"sequential", layout, 0, "sequential", seq_seconds,
+                        tp.mops(), seq_stats.ops, seq_stats.hits,
+                        seq_stats.misses, seq_stats.evictions});
     }
 
     bool all_identical = true;
@@ -220,21 +233,55 @@ void run_replay_throughput() {
         }
         const stats::Throughput tp{last.stats.ops, best};
         const char* mode = last.threaded ? "threaded" : "inline";
-        table.add_row({"sharded", std::to_string(last.shards), mode,
+        table.add_row({"sharded", layout, std::to_string(last.shards), mode,
                        ConsoleTable::num(best, 3),
                        ConsoleTable::num(tp.mops(), 2),
                        ConsoleTable::num(seq_seconds / best, 2),
                        bench::pct(last.stats.hit_rate())});
-        json.push_back({"sharded", last.shards, mode, best, tp.mops(),
+        json.push_back({"sharded", layout, last.shards, mode, best, tp.mops(),
                         last.stats.ops, last.stats.hits, last.stats.misses,
                         last.stats.evictions});
     }
 
-    table.print("Replay throughput: sequential vs sharded engine (" +
+    if (!all_identical) {
+        std::fprintf(stderr, "layout %s: sharded stats DIVERGED (BUG)\n",
+                     layout);
+    }
+    *stats_out = seq_stats;
+    return seq_seconds;
+}
+
+void run_replay_throughput() {
+    using Unit = core::P4lru<FlowKey, std::uint32_t, 3>;
+    using SoaCache = core::ParallelCache<Unit, FlowKey, std::uint32_t>;
+    using AosCache = core::AosParallelCache<Unit, FlowKey, std::uint32_t>;
+    static_assert(std::is_same_v<SoaCache::storage_type,
+                                 core::SoaSlab<FlowKey, std::uint32_t, 3>>);
+
+    const std::size_t units = bench::scaled(1u << 16);
+    const auto trace = bench::make_trace(60, 42);
+    const auto ops = replay::ops_from_packets(trace);
+    const ReplaySpan span(ops);
+
+    std::vector<bench::ReplayJsonSeries> json;
+    ConsoleTable table({"series", "layout", "workers", "mode", "wall s",
+                        "Mops/s", "speedup", "hit %"});
+
+    replay::ReplayStats aos_stats, soa_stats;
+    const double aos_seconds =
+        run_layout_series<AosCache>(span, units, table, json, &aos_stats);
+    const double soa_seconds =
+        run_layout_series<SoaCache>(span, units, table, json, &soa_stats);
+
+    table.print("Replay throughput: AoS reference vs SoA slab, sequential "
+                "vs sharded (" +
                 std::to_string(span.size()) + " packets, " +
                 std::to_string(units) + " units)");
-    std::printf("aggregate hit/miss/eviction counts %s across all series\n",
-                all_identical ? "IDENTICAL" : "DIVERGED (BUG)");
+    const bool layouts_identical = aos_stats == soa_stats;
+    std::printf("aggregate hit/miss/eviction counts %s across layouts\n",
+                layouts_identical ? "IDENTICAL" : "DIVERGED (BUG)");
+    std::printf("single-thread soa/aos replay speedup: %.2fx\n",
+                aos_seconds / soa_seconds);
 
     const char* path = std::getenv("P4LRU_BENCH_JSON");
     const std::string out = path ? path : "BENCH_micro_ops.json";

@@ -1,26 +1,38 @@
 #include "p4lru/common/hash.hpp"
 
 #include <array>
+#include <bit>
 #include <cstring>
 #include <sstream>
 
 namespace p4lru::hash {
 namespace {
 
-/// Build the reflected CRC32 table at static-init time.
-constexpr std::array<std::uint32_t, 256> make_crc_table() {
-    std::array<std::uint32_t, 256> table{};
+/// Slice-by-8 tables for the reflected CRC32 (poly 0xEDB88320), built at
+/// static-init time.  Table 0 is the classic bytewise table; table k folds
+/// a byte that sits k positions ahead, so eight table lookups retire eight
+/// message bytes with one XOR reduction.  Output is bit-identical to the
+/// bytewise algorithm for every input.
+constexpr std::array<std::array<std::uint32_t, 256>, 8> make_crc_tables() {
+    std::array<std::array<std::uint32_t, 256>, 8> t{};
     for (std::uint32_t i = 0; i < 256; ++i) {
         std::uint32_t c = i;
         for (int bit = 0; bit < 8; ++bit) {
             c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
         }
-        table[i] = c;
+        t[0][i] = c;
     }
-    return table;
+    for (std::size_t k = 1; k < 8; ++k) {
+        for (std::uint32_t i = 0; i < 256; ++i) {
+            const std::uint32_t prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][prev & 0xFFu];
+        }
+    }
+    return t;
 }
 
-constexpr auto kCrcTable = make_crc_table();
+constexpr auto kCrcTables = make_crc_tables();
+constexpr const auto& kCrcTable = kCrcTables[0];
 
 constexpr std::uint64_t kXxPrime1 = 0x9E3779B185EBCA87ULL;
 constexpr std::uint64_t kXxPrime2 = 0xC2B2AE3D27D4EB4FULL;
@@ -64,8 +76,39 @@ std::uint64_t xx_merge(std::uint64_t acc, std::uint64_t val) noexcept {
 std::uint32_t crc32(std::span<const std::uint8_t> data,
                     std::uint32_t seed) noexcept {
     std::uint32_t crc = ~seed;
-    for (const std::uint8_t byte : data) {
-        crc = kCrcTable[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+    const std::uint8_t* p = data.data();
+    std::size_t n = data.size();
+
+    if constexpr (std::endian::native == std::endian::little) {
+        // Slice-by-8 main loop, then a slice-by-4 step: a 13-byte FlowKey
+        // costs one 8-byte fold, one 4-byte fold and one tail byte instead
+        // of 13 dependent table lookups.
+        while (n >= 8) {
+            const std::uint32_t lo = crc ^ read_u32(p);
+            const std::uint32_t hi = read_u32(p + 4);
+            crc = kCrcTables[7][lo & 0xFFu] ^
+                  kCrcTables[6][(lo >> 8) & 0xFFu] ^
+                  kCrcTables[5][(lo >> 16) & 0xFFu] ^
+                  kCrcTables[4][lo >> 24] ^
+                  kCrcTables[3][hi & 0xFFu] ^
+                  kCrcTables[2][(hi >> 8) & 0xFFu] ^
+                  kCrcTables[1][(hi >> 16) & 0xFFu] ^
+                  kCrcTables[0][hi >> 24];
+            p += 8;
+            n -= 8;
+        }
+        if (n >= 4) {
+            const std::uint32_t w = crc ^ read_u32(p);
+            crc = kCrcTables[3][w & 0xFFu] ^
+                  kCrcTables[2][(w >> 8) & 0xFFu] ^
+                  kCrcTables[1][(w >> 16) & 0xFFu] ^
+                  kCrcTables[0][w >> 24];
+            p += 4;
+            n -= 4;
+        }
+    }
+    for (; n != 0; ++p, --n) {
+        crc = kCrcTable[(crc ^ *p) & 0xFFu] ^ (crc >> 8);
     }
     return ~crc;
 }

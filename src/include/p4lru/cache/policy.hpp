@@ -91,12 +91,14 @@ class P4lruArrayPolicy final : public ReplacementPolicy<Key, Value> {
 
     Access<Key, Value> access(const Key& k, const Value& v,
                               TimeNs /*now*/) override {
-        return convert(k, array_.update(k, v, core::KeepMerge{}));
+        const std::size_t b = array_.bucket(k);
+        return convert(b, k, array_.update_at(b, k, v, core::KeepMerge{}));
     }
 
     Access<Key, Value> fill(const Key& k, const Value& v,
                             TimeNs /*now*/) override {
-        return convert(k, array_.update(k, v, Merge{}));
+        const std::size_t b = array_.bucket(k);
+        return convert(b, k, array_.update_at(b, k, v, Merge{}));
     }
 
     std::optional<Value> peek(const Key& k) const override {
@@ -120,7 +122,9 @@ class P4lruArrayPolicy final : public ReplacementPolicy<Key, Value> {
     [[nodiscard]] const auto& array() const noexcept { return array_; }
 
   private:
-    Access<Key, Value> convert(const Key& k,
+    /// The bucket is computed once per access/fill and threaded through to
+    /// the post-update readback, so each packet pays exactly one hash.
+    Access<Key, Value> convert(std::size_t b, const Key& k,
                                const core::UpdateResult<Key, Value>& r) {
         Access<Key, Value> a;
         a.hit = r.hit;
@@ -128,7 +132,7 @@ class P4lruArrayPolicy final : public ReplacementPolicy<Key, Value> {
         a.evicted = r.evicted;
         a.evicted_key = r.evicted_key;
         a.evicted_value = r.evicted_value;
-        a.value = array_.find(k).value_or(Value{});
+        a.value = array_.find_at(b, k).value_or(Value{});
         return a;
     }
 
@@ -149,12 +153,14 @@ class UnitArrayPolicy final : public ReplacementPolicy<Key, Value> {
 
     Access<Key, Value> access(const Key& k, const Value& v,
                               TimeNs /*now*/) override {
-        return convert(k, array_.update(k, v, core::KeepMerge{}));
+        const std::size_t b = array_.bucket(k);
+        return convert(b, k, array_.update_at(b, k, v, core::KeepMerge{}));
     }
 
     Access<Key, Value> fill(const Key& k, const Value& v,
                             TimeNs /*now*/) override {
-        return convert(k, array_.update(k, v, Merge{}));
+        const std::size_t b = array_.bucket(k);
+        return convert(b, k, array_.update_at(b, k, v, Merge{}));
     }
 
     std::optional<Value> peek(const Key& k) const override {
@@ -181,7 +187,9 @@ class UnitArrayPolicy final : public ReplacementPolicy<Key, Value> {
     }
 
   private:
-    Access<Key, Value> convert(const Key& k,
+    /// One hash per access/fill: the update's bucket is reused for the
+    /// value readback.
+    Access<Key, Value> convert(std::size_t b, const Key& k,
                                const core::UpdateResult<Key, Value>& r) {
         Access<Key, Value> a;
         a.hit = r.hit;
@@ -189,7 +197,7 @@ class UnitArrayPolicy final : public ReplacementPolicy<Key, Value> {
         a.evicted = r.evicted;
         a.evicted_key = r.evicted_key;
         a.evicted_value = r.evicted_value;
-        a.value = array_.find(k).value_or(Value{});
+        a.value = array_.find_at(b, k).value_or(Value{});
         return a;
     }
 

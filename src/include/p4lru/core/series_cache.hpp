@@ -26,8 +26,9 @@ namespace p4lru::core {
 /// Outcome of the read-only query pass.
 template <typename Value>
 struct SeriesLookup {
-    std::size_t level = 0;  ///< 1-based hit level; 0 = not cached
-    Value value{};          ///< valid iff level != 0
+    std::size_t level = 0;   ///< 1-based hit level; 0 = not cached
+    std::size_t bucket = 0;  ///< bucket of k inside the hit level
+    Value value{};           ///< valid iff level != 0
     [[nodiscard]] bool hit() const noexcept { return level != 0; }
 };
 
@@ -54,8 +55,10 @@ class SeriesCache {
     [[nodiscard]] SeriesLookup<Value> query(const Key& k) const {
         SeriesLookup<Value> out;
         for (std::size_t i = 0; i < levels_.size(); ++i) {
-            if (auto v = levels_[i].find(k)) {
+            const std::size_t b = levels_[i].bucket(k);
+            if (auto v = levels_[i].find_at(b, k)) {
                 out.level = i + 1;
+                out.bucket = b;
                 out.value = *v;
                 return out;
             }
@@ -138,7 +141,9 @@ class SeriesCache {
         if (lookup.hit()) {
             r.hit = true;
             r.hit_pos = lookup.level;
-            reply_promote(k, v, lookup.level);
+            // Reuse the bucket the query pass already hashed for the hit
+            // level instead of re-hashing inside touch().
+            levels_[lookup.level - 1].touch_at(lookup.bucket, k, v);
             return r;
         }
         if (auto out = reply_insert(k, v)) {

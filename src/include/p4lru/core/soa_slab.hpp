@@ -1,0 +1,456 @@
+// SoaSlab: the parallel connection as one flat struct-of-arrays slab.
+//
+// The paper's P[1..2^16] array of tiny N-entry LRU units is a natural
+// struct-of-arrays: keys are scanned every packet, exactly one value slot is
+// touched, and the cache state is a few bits.  Instead of a vector of unit
+// objects (AosStorage), the slab stores three cache-line-aligned planes:
+//
+//   key plane    Key[units * N]   - unit u's N stage lanes at [u*N, u*N+N),
+//                                   contiguous so the Step-1 scan is one
+//                                   branch-free compare-mask over the lanes;
+//   value plane  Value[units * N] - val[] never moves (the paper's fixed
+//                                   value registers); one slot written per op;
+//   meta plane   MetaWord[units]  - the S_lru permutation packed 2 bits per
+//                                   position plus the occupancy count.  For
+//                                   N <= 3 (the paper's deployments) this is
+//                                   a single byte per unit.
+//
+// Observable behaviour is bit-identical to AosStorage over behavioural
+// P4lru units: same UpdateResult stream, same key order, same value slots
+// (tests/core/soa_slab_test.cpp proves it property-style).  The scan is
+// written mask-first — compare all N lanes unconditionally, AND with the
+// occupancy mask, count trailing zeros — so the compiler can vectorize the
+// lane compares; the only data-dependent branch ahead of it is the
+// MRU-hit fast path (lane 0 matches, rotation and state transition are both
+// identities), which dominates on skewed traffic and predicts well.
+//
+// The planes support deferred initialization (core::defer_init): the slab
+// allocates without touching memory and the sharded replay engine
+// first-touches each shard's sub-range from the worker thread that will own
+// it, placing pages NUMA-locally on multi-node machines (ROADMAP: full
+// pinning builds on this).
+#pragma once
+
+#include <bit>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
+#include <optional>
+#include <type_traits>
+#include <utility>
+
+#include "p4lru/common/types.hpp"
+#include "p4lru/core/unit_storage.hpp"
+
+namespace p4lru::core {
+
+namespace detail {
+
+/// Lane equality for the compare-mask scan.  The generic form is the key's
+/// own operator==; FlowKey gets a fused branch-free compare — the 5-tuple's
+/// 13 defined bytes as one u64 + one u32 + the proto byte, AND-combined —
+/// instead of five short-circuiting member compares.
+template <typename K>
+[[nodiscard]] inline bool lane_eq(const K& a, const K& b) {
+    return a == b;
+}
+
+[[nodiscard]] inline bool lane_eq(const FlowKey& a, const FlowKey& b) {
+    static_assert(offsetof(FlowKey, src_port) == 8 &&
+                  offsetof(FlowKey, proto) == 12);
+    std::uint64_t a_ips, b_ips;
+    std::uint32_t a_ports, b_ports;
+    std::memcpy(&a_ips, &a, sizeof(a_ips));
+    std::memcpy(&b_ips, &b, sizeof(b_ips));
+    std::memcpy(&a_ports, reinterpret_cast<const char*>(&a) + 8,
+                sizeof(a_ports));
+    std::memcpy(&b_ports, reinterpret_cast<const char*>(&b) + 8,
+                sizeof(b_ports));
+    return ((a_ips == b_ips) & (a_ports == b_ports) &
+            (a.proto == b.proto)) != 0;
+}
+
+}  // namespace detail
+
+/// Struct-of-arrays storage for an array of behavioural P4LRU_N units.
+///
+/// \tparam Key    trivially copyable key (FlowKey, fingerprints, DB keys).
+/// \tparam Value  trivially copyable value.
+/// \tparam N      entries per unit, 1..4 (the packed permutation uses 2 bits
+///                per position; the paper deploys N = 2 and N = 3).
+/// \tparam Merge  default hit-merge, as in P4lru.
+template <typename Key, typename Value, std::size_t N,
+          typename Merge = ReplaceMerge>
+    requires std::equality_comparable<Key> && (N >= 1 && N <= 4) &&
+             std::is_trivially_copyable_v<Key> &&
+             std::is_trivially_copyable_v<Value> &&
+             std::is_trivially_destructible_v<Key> &&
+             std::is_trivially_destructible_v<Value>
+class SoaSlab {
+  public:
+    using key_type = Key;
+    using value_type = Value;
+    using Result = UpdateResult<Key, Value>;
+    /// Packed per-unit metadata: bits [0, 2N) hold the S_lru bottom row
+    /// (field j = S(j+1) - 1), bits [2N, ..) the occupancy count.  One byte
+    /// per unit for N <= 3, two for N = 4.
+    using MetaWord = std::conditional_t<(N <= 3), std::uint8_t, std::uint16_t>;
+
+    static constexpr unsigned kPermBits = 2u * N;
+    static constexpr unsigned kPermMask = (1u << kPermBits) - 1u;
+
+    /// Key rows are padded to a power-of-two lane count so a row whose key
+    /// size is a power of two never straddles a cache line (a 3-lane FlowKey
+    /// row is 48 bytes; at stride 3 three rows in four cross a line
+    /// boundary, at stride 4 each row is exactly one line).  Only the key
+    /// plane pays the padding: the whole row is scanned every op, while the
+    /// value plane sees a single-slot access and the meta plane a single
+    /// word.  Lanes >= N are never read.
+    static constexpr std::size_t kKeyStride = std::bit_ceil(N);
+
+    explicit SoaSlab(std::size_t units)
+        : units_(units),
+          keys_(alloc_plane<Key>(units * kKeyStride)),
+          vals_(alloc_plane<Value>(units * N)),
+          meta_(alloc_plane<MetaWord>(units)) {
+        first_touch(0, units_);
+        materialized_ = true;
+    }
+
+    /// Allocate the planes without touching them; the owner must cover
+    /// [0, unit_count()) with first_touch calls (from the threads that will
+    /// own each range) and then mark_materialized() before any other use.
+    SoaSlab(std::size_t units, defer_init_t)
+        : units_(units),
+          keys_(alloc_plane<Key>(units * kKeyStride)),
+          vals_(alloc_plane<Value>(units * N)),
+          meta_(alloc_plane<MetaWord>(units)) {}
+
+    [[nodiscard]] static constexpr std::size_t unit_capacity() noexcept {
+        return N;
+    }
+    [[nodiscard]] static constexpr const char* layout_name() noexcept {
+        return "soa";
+    }
+
+    [[nodiscard]] std::size_t unit_count() const noexcept { return units_; }
+
+    // -- packed-state codec (public: the property suite cross-checks it
+    //    against LruState<N>) -------------------------------------------
+
+    /// Identity permutation, occupancy 0.
+    [[nodiscard]] static constexpr MetaWord identity_meta() noexcept {
+        unsigned m = 0;
+        for (std::size_t j = 0; j < N; ++j) {
+            m |= static_cast<unsigned>(j) << (2 * j);
+        }
+        return static_cast<MetaWord>(m);
+    }
+
+    /// Step-2 transition after the key matched 1-based position i (i = N on
+    /// a miss): right-rotate the first i permutation fields.
+    [[nodiscard]] static constexpr MetaWord apply_hit(MetaWord m,
+                                                      std::size_t i) noexcept {
+        unsigned s = m & kPermMask;
+        const unsigned shift = 2u * static_cast<unsigned>(i - 1);
+        const unsigned head = (s >> shift) & 3u;
+        const unsigned low = (1u << (shift + 2u)) - 1u;
+        s = (s & ~low) | (((s << 2u) & low) & ~3u) | head;
+        return static_cast<MetaWord>((m & ~kPermMask) | s);
+    }
+
+    /// S(j): value slot owned by 1-based key position j.
+    [[nodiscard]] static constexpr std::size_t slot_of(MetaWord m,
+                                                       std::size_t j) noexcept {
+        return ((m >> (2u * (j - 1))) & 3u) + 1u;
+    }
+
+    /// Occupied-prefix length encoded in the meta word.
+    [[nodiscard]] static constexpr std::size_t occupancy(MetaWord m) noexcept {
+        return m >> kPermBits;
+    }
+
+    // -- bucket-addressed operations (mirror P4lru bit-for-bit) ----------
+
+    Result update_at(std::size_t b, const Key& k, const Value& v) {
+        return update_at(b, k, v, merge_);
+    }
+
+    /// Algorithm 1 on unit b.  Scan: compare every lane, mask to the
+    /// occupied prefix, take the first match; then one prefix rotation of
+    /// the key row, one packed-state rotation, one value-slot access.
+    template <typename MergeFn>
+    Result update_at(std::size_t b, const Key& k, const Value& v,
+                     MergeFn&& merge) {
+        Key* row = keys_.get() + b * kKeyStride;
+        Value* vrow = vals_.get() + b * N;
+#if defined(__GNUC__) || defined(__clang__)
+        // The value-slot address depends on the meta load; prefetching the
+        // row base breaks that dependency chain.
+        __builtin_prefetch(vrow, 1, 3);
+#endif
+        MetaWord m = meta_[b];
+        const std::size_t sz = occupancy(m);
+
+        Result r;
+        // Hit at the MRU position: the rotation and the state transition are
+        // both identities, so only the value slot is touched.  On skewed
+        // traffic this is the dominant case and the branch predicts well;
+        // checking lane 0 alone skips the full-row compare.  (`&`, not `&&`:
+        // lane 0 is initialized even when empty, and one branch beats two.)
+        if (static_cast<unsigned>(sz != 0) &
+            static_cast<unsigned>(detail::lane_eq(row[0], k))) {
+            r.hit = true;
+            r.hit_pos = 1;
+            Value* slot = vrow + (m & 3u);
+            *slot = merge(*slot, v);
+            return r;
+        }
+        const unsigned mask = match_mask(row, k) & ((1u << sz) - 1u);
+        std::size_t i;
+        if (mask != 0) {
+            const auto p = static_cast<std::size_t>(std::countr_zero(mask));
+            rotate_in(row, p, k);
+            i = p + 1;
+            r.hit = true;
+            r.hit_pos = i;
+        } else if (sz < N) {
+            rotate_in(row, sz, k);
+            m = static_cast<MetaWord>(m + (1u << kPermBits));
+            i = sz + 1;
+            r.hit_pos = i;
+        } else {
+            r.evicted_key = row[N - 1];
+            rotate_in(row, N - 1, k);
+            i = N;
+            r.hit_pos = N;
+            r.evicted = true;
+        }
+
+        m = apply_hit(m, i);
+        meta_[b] = m;
+        Value* slot = vrow + (m & 3u);  // val[S(1)]
+        if (r.hit) {
+            *slot = merge(*slot, v);
+        } else if (r.evicted) {
+            r.evicted_value = *slot;
+            *slot = v;
+        } else {
+            *slot = v;
+        }
+        return r;
+    }
+
+    [[nodiscard]] std::optional<Value> find_at(std::size_t b,
+                                               const Key& k) const {
+        const Key* row = keys_.get() + b * kKeyStride;
+        const MetaWord m = meta_[b];
+        const std::size_t sz = occupancy(m);
+        if (static_cast<unsigned>(sz != 0) &
+            static_cast<unsigned>(detail::lane_eq(row[0], k))) {
+            return vals_[b * N + (m & 3u)];  // MRU fast path
+        }
+        const unsigned mask = match_mask(row, k) & ((1u << sz) - 1u);
+        if (mask == 0) return std::nullopt;
+        const auto p = static_cast<std::size_t>(std::countr_zero(mask));
+        return vals_[b * N + slot_of(m, p + 1) - 1];
+    }
+
+    /// Promote an existing key to most-recent, merging v with the default
+    /// merge; false (and no mutation) if absent.  Matches P4lru::touch,
+    /// whose miss path undoes its speculative rotation.
+    bool touch_at(std::size_t b, const Key& k, const Value& v) {
+        Key* row = keys_.get() + b * kKeyStride;
+        MetaWord m = meta_[b];
+        const std::size_t sz = occupancy(m);
+        if (static_cast<unsigned>(sz != 0) &
+            static_cast<unsigned>(detail::lane_eq(row[0], k))) {
+            // Already most-recent: rotation and state transition are
+            // identities, only the value merge happens.
+            Value* slot = vals_.get() + b * N + (m & 3u);
+            *slot = merge_(*slot, v);
+            return true;
+        }
+        const unsigned mask = match_mask(row, k) & ((1u << sz) - 1u);
+        if (mask == 0) return false;
+        const auto p = static_cast<std::size_t>(std::countr_zero(mask));
+        rotate_in(row, p, k);
+        m = apply_hit(m, p + 1);
+        meta_[b] = m;
+        Value* slot = vals_.get() + b * N + (m & 3u);
+        *slot = merge_(*slot, v);
+        return true;
+    }
+
+    /// Insert <k, v> as the least-recent entry of unit b, state untouched
+    /// (series-connection downstream insert).  Returns the displaced pair.
+    std::optional<std::pair<Key, Value>> insert_lru_at(std::size_t b,
+                                                       const Key& k,
+                                                       const Value& v) {
+        Key* row = keys_.get() + b * kKeyStride;
+        MetaWord m = meta_[b];
+        const std::size_t sz = occupancy(m);
+        const unsigned mask = match_mask(row, k) & ((1u << sz) - 1u);
+        if (mask != 0) {
+            const auto p = static_cast<std::size_t>(std::countr_zero(mask));
+            vals_[b * N + slot_of(m, p + 1) - 1] = v;
+            return std::nullopt;
+        }
+        if (sz < N) {
+            row[sz] = k;
+            meta_[b] = static_cast<MetaWord>(m + (1u << kPermBits));
+            vals_[b * N + slot_of(m, sz + 1) - 1] = v;
+            return std::nullopt;
+        }
+        const std::size_t slot = slot_of(m, N);
+        auto displaced = std::make_pair(row[N - 1], vals_[b * N + slot - 1]);
+        row[N - 1] = k;
+        vals_[b * N + slot - 1] = v;
+        return displaced;
+    }
+
+    [[nodiscard]] std::size_t size_at(std::size_t b) const {
+        return occupancy(meta_[b]);
+    }
+
+    /// Per-plane prefetch (write intent): the key row — both lines when the
+    /// row straddles one — the value row, and the unit's meta word.
+    void prefetch(std::size_t b) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+        const char* kp = reinterpret_cast<const char*>(keys_.get() + b * kKeyStride);
+        __builtin_prefetch(kp, 1, 2);
+        if constexpr (N * sizeof(Key) > 64) {
+            __builtin_prefetch(kp + 64, 1, 2);
+        }
+        __builtin_prefetch(vals_.get() + b * N, 1, 2);
+        __builtin_prefetch(meta_.get() + b, 1, 2);
+#else
+        (void)b;
+#endif
+    }
+
+    // -- first-touch protocol --------------------------------------------
+
+    [[nodiscard]] bool materialized() const noexcept { return materialized_; }
+
+    /// Initialize (and thereby fault in) the planes of units [lo, hi).  On a
+    /// deferred slab the calling thread performs the first write to those
+    /// pages, so a first-touch NUMA policy places them on its node.  No-op
+    /// once materialized — live contents are never re-zeroed.  Disjoint
+    /// ranges may be touched concurrently (the replay workers do).
+    void first_touch(std::size_t lo, std::size_t hi) {
+        if (materialized_) return;
+        for (std::size_t i = lo * kKeyStride; i < hi * kKeyStride; ++i) keys_[i] = Key{};
+        for (std::size_t i = lo * N; i < hi * N; ++i) vals_[i] = Value{};
+        for (std::size_t b = lo; b < hi; ++b) meta_[b] = identity_meta();
+    }
+
+    /// Declare first-touch coverage complete.  Call once, after every range
+    /// of a deferred slab has been touched and the touching threads joined.
+    void mark_materialized() noexcept { materialized_ = true; }
+
+    // -- per-unit inspection ---------------------------------------------
+
+    /// Read-only view of one unit with the P4lru accessor vocabulary
+    /// (key_at / value_at / size), so storage-generic code and tests can
+    /// enumerate entries without knowing the layout.
+    class UnitView {
+      public:
+        UnitView(const SoaSlab* slab, std::size_t b) : slab_(slab), b_(b) {}
+
+        [[nodiscard]] std::size_t size() const { return slab_->size_at(b_); }
+        [[nodiscard]] static constexpr std::size_t capacity() noexcept {
+            return N;
+        }
+        [[nodiscard]] bool full() const { return size() == N; }
+
+        /// Key at 1-based LRU position (1 = most recent).
+        [[nodiscard]] const Key& key_at(std::size_t i) const {
+            return slab_->keys_[b_ * kKeyStride + i - 1];
+        }
+        /// Value owned by the key at 1-based position i.
+        [[nodiscard]] const Value& value_at(std::size_t i) const {
+            return slab_->vals_[b_ * N + slot_of(slab_->meta_[b_], i) - 1];
+        }
+
+        [[nodiscard]] std::optional<Value> find(const Key& k) const {
+            return slab_->find_at(b_, k);
+        }
+        [[nodiscard]] bool contains(const Key& k) const {
+            return find(k).has_value();
+        }
+
+      private:
+        const SoaSlab* slab_;
+        std::size_t b_;
+    };
+
+    [[nodiscard]] UnitView unit(std::size_t b) const {
+        return UnitView(this, b);
+    }
+
+    /// Raw packed meta word of unit b (codec tests).
+    [[nodiscard]] MetaWord meta_at(std::size_t b) const { return meta_[b]; }
+
+  private:
+    static constexpr std::size_t kPlaneAlign = 64;
+
+    template <typename T>
+    struct PlaneDeleter {
+        void operator()(T* p) const noexcept {
+            ::operator delete(static_cast<void*>(p),
+                              std::align_val_t{kPlaneAlign});
+        }
+    };
+    template <typename T>
+    using Plane = std::unique_ptr<T[], PlaneDeleter<T>>;
+
+    template <typename T>
+    static Plane<T> alloc_plane(std::size_t n) {
+        return Plane<T>(static_cast<T*>(::operator new(
+            (n ? n : 1) * sizeof(T), std::align_val_t{kPlaneAlign})));
+    }
+
+    /// Bit j set iff lane j equals k.  Every lane is compared (no early
+    /// exit) so the loop vectorizes; callers mask with the occupancy.
+    [[nodiscard]] static unsigned match_mask(const Key* row,
+                                             const Key& k) noexcept {
+        unsigned eq = 0;
+        for (std::size_t j = 0; j < N; ++j) {
+            eq |= static_cast<unsigned>(detail::lane_eq(row[j], k)) << j;
+        }
+        return eq;
+    }
+
+    /// row[1..m] = row[0..m-1], row[0] = k — the Step-1 key rotation.
+    static void rotate_in(Key* row, std::size_t m, const Key& k) noexcept {
+        for (std::size_t j = m; j > 0; --j) row[j] = row[j - 1];
+        row[0] = k;
+    }
+
+    std::size_t units_;
+    Plane<Key> keys_;
+    Plane<Value> vals_;
+    Plane<MetaWord> meta_;
+    bool materialized_ = false;
+    [[no_unique_address]] Merge merge_{};
+};
+
+static_assert(UnitStorage<SoaSlab<std::uint32_t, std::uint32_t, 3>>);
+
+/// Make the slab the default storage for every behavioural P4lru unit it can
+/// hold; encoded units, N > 4 and non-trivially-copyable keys stay on the
+/// AoS reference layout.
+template <typename Key, typename Value, std::size_t N, typename Merge>
+    requires(N <= 4 && std::is_trivially_copyable_v<Key> &&
+             std::is_trivially_copyable_v<Value> &&
+             std::is_trivially_destructible_v<Key> &&
+             std::is_trivially_destructible_v<Value>)
+struct default_storage<P4lru<Key, Value, N, Merge>, Key, Value> {
+    using type = SoaSlab<Key, Value, N, Merge>;
+};
+
+}  // namespace p4lru::core

@@ -1,0 +1,176 @@
+// The UnitStorage concept: how a parallel connection stores its array of
+// small P4LRU units.
+//
+// ParallelCache is a thin policy layer (hashing, bucket routing); the actual
+// memory layout lives behind this concept.  Two interchangeable models:
+//
+//   * AosStorage<Unit>     - array-of-structs: one self-contained unit object
+//                            per bucket (the original layout; keeps the
+//                            behavioural P4lru and the encoded units as the
+//                            bit-exact reference model);
+//   * SoaSlab<K, V, N>     - struct-of-arrays slab (soa_slab.hpp): all units'
+//                            keys in one contiguous key plane, values in a
+//                            value plane, packed state codes in a byte plane,
+//                            with a branch-free compare-mask key scan.
+//
+// Every operation is addressed by bucket index — the caller (ParallelCache)
+// hashes exactly once and passes the bucket through.  Storages also speak a
+// small first-touch protocol so the sharded replay engine can fault each
+// shard's slab sub-range in on the worker thread that will own it (the
+// precursor to full NUMA-aware placement; see ROADMAP.md).
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "p4lru/core/p4lru.hpp"
+
+namespace p4lru::core {
+
+/// Tag requesting deferred plane initialization: the storage allocates but
+/// does not touch its memory; first_touch(lo, hi) (from the thread that will
+/// own [lo, hi)) then mark_materialized() make it usable.  Storages with
+/// eagerly-initialized backing (AosStorage) accept the tag and ignore it.
+struct defer_init_t {
+    explicit defer_init_t() = default;
+};
+inline constexpr defer_init_t defer_init{};
+
+/// Storage model for a hash-indexed array of N-entry LRU units.  All
+/// mutating/readonly entry points take the owning bucket index; the
+/// first-touch trio (materialized / first_touch / mark_materialized) backs
+/// the replay engine's per-worker page placement.
+template <typename S>
+concept UnitStorage = requires(S s, const S& cs, std::size_t b,
+                               const typename S::key_type& k,
+                               const typename S::value_type& v) {
+    typename S::key_type;
+    typename S::value_type;
+    requires std::same_as<
+        typename S::Result,
+        UpdateResult<typename S::key_type, typename S::value_type>>;
+    { S::unit_capacity() } -> std::convertible_to<std::size_t>;
+    { S::layout_name() } -> std::convertible_to<const char*>;
+    { cs.unit_count() } -> std::convertible_to<std::size_t>;
+    { s.update_at(b, k, v) } -> std::same_as<typename S::Result>;
+    { s.update_at(b, k, v, ReplaceMerge{}) } -> std::same_as<typename S::Result>;
+    { s.touch_at(b, k, v) } -> std::same_as<bool>;
+    {
+        cs.find_at(b, k)
+    } -> std::same_as<std::optional<typename S::value_type>>;
+    {
+        s.insert_lru_at(b, k, v)
+    } -> std::same_as<std::optional<
+        std::pair<typename S::key_type, typename S::value_type>>>;
+    { cs.size_at(b) } -> std::convertible_to<std::size_t>;
+    { cs.prefetch(b) };
+    { cs.materialized() } -> std::same_as<bool>;
+    { s.first_touch(b, b) };
+    { s.mark_materialized() };
+    { cs.unit(b) };
+};
+
+/// Array-of-structs storage: one `Unit` object (keys + values + state,
+/// interleaved) per bucket.  This is the original ParallelCache layout, kept
+/// as the bit-exact reference model the SoA slab is tested against, and the
+/// only layout for unit types the slab cannot hold (encoded units with their
+/// own state machines, non-trivially-copyable keys, N > 4).
+template <typename Unit, typename Key, typename Value>
+class AosStorage {
+  public:
+    using unit_type = Unit;
+    using key_type = Key;
+    using value_type = Value;
+    using Result = UpdateResult<Key, Value>;
+
+    explicit AosStorage(std::size_t units) : units_(units) {}
+    /// AoS backing is a std::vector: construction already touches every
+    /// page, so deferred init degenerates to eager init.
+    AosStorage(std::size_t units, defer_init_t) : AosStorage(units) {}
+
+    [[nodiscard]] static constexpr std::size_t unit_capacity() noexcept {
+        return Unit::capacity();
+    }
+    [[nodiscard]] static constexpr const char* layout_name() noexcept {
+        return "aos";
+    }
+
+    [[nodiscard]] std::size_t unit_count() const noexcept {
+        return units_.size();
+    }
+
+    Result update_at(std::size_t b, const Key& k, const Value& v) {
+        return units_[b].update(k, v);
+    }
+    template <typename MergeFn>
+    Result update_at(std::size_t b, const Key& k, const Value& v,
+                     MergeFn&& merge) {
+        return units_[b].update(k, v, std::forward<MergeFn>(merge));
+    }
+
+    [[nodiscard]] std::optional<Value> find_at(std::size_t b,
+                                               const Key& k) const {
+        return units_[b].find(k);
+    }
+
+    bool touch_at(std::size_t b, const Key& k, const Value& v) {
+        return units_[b].touch(k, v);
+    }
+
+    std::optional<std::pair<Key, Value>> insert_lru_at(std::size_t b,
+                                                       const Key& k,
+                                                       const Value& v) {
+        return units_[b].insert_lru(k, v);
+    }
+
+    [[nodiscard]] std::size_t size_at(std::size_t b) const {
+        return units_[b].size();
+    }
+
+    /// Hint the unit object into cache (write intent).
+    void prefetch(std::size_t b) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+        const char* p = reinterpret_cast<const char*>(&units_[b]);
+        __builtin_prefetch(p, 1, 2);
+        if constexpr (sizeof(Unit) > 64) {
+            __builtin_prefetch(p + 64, 1, 2);
+        }
+#else
+        (void)b;
+#endif
+    }
+
+    // First-touch protocol: vector construction already committed the pages
+    // on the constructing thread, so AoS storage is always materialized.
+    [[nodiscard]] bool materialized() const noexcept { return true; }
+    void first_touch(std::size_t /*lo*/, std::size_t /*hi*/) noexcept {}
+    void mark_materialized() noexcept {}
+
+    /// Per-unit inspection handle (tests, for_each-style enumeration).
+    [[nodiscard]] const Unit& unit(std::size_t b) const {
+        return units_.at(b);
+    }
+
+  private:
+    std::vector<Unit> units_;
+};
+
+static_assert(
+    UnitStorage<AosStorage<P4lru<unsigned, unsigned, 3>, unsigned, unsigned>>);
+
+/// Storage selection trait: maps a unit type onto its default storage.  The
+/// primary template keeps everything on the AoS reference layout; the SoA
+/// slab registers itself (soa_slab.hpp) for behavioural P4lru units it can
+/// hold, which makes the slab the default for every ParallelCache consumer.
+template <typename Unit, typename Key, typename Value>
+struct default_storage {
+    using type = AosStorage<Unit, Key, Value>;
+};
+
+template <typename Unit, typename Key, typename Value>
+using default_storage_t = typename default_storage<Unit, Key, Value>::type;
+
+}  // namespace p4lru::core

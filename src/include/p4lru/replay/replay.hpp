@@ -14,6 +14,14 @@
 // kInline) the same dispatch/batch/prefetch structure runs on the calling
 // thread: batching still buys memory-level parallelism from the two-phase
 // prefetch-then-update pass, and determinism is unchanged.
+//
+// First-touch: when the cache was constructed with core::defer_init (its
+// storage planes are allocated but untouched), each threaded worker
+// initializes its own ShardPlan unit sub-range before draining batches, so
+// the slab pages backing a shard are faulted in — and, under a first-touch
+// NUMA policy, placed — by the thread that will own them.  The inline and
+// sequential paths materialize on the calling thread.  Results are
+// bit-identical either way.
 #pragma once
 
 #include <algorithm>
@@ -92,10 +100,12 @@ struct ShardedReport {
     bool threaded = false;   ///< workers spawned (vs inline fallback)
 };
 
-/// Reference replayer: one op at a time on the calling thread.
-template <typename Unit, typename Key, typename Value>
-ReplayStats replay_sequential(core::ParallelCache<Unit, Key, Value>& cache,
+/// Reference replayer: one op at a time on the calling thread.  `Cache` is
+/// any core::ParallelCache instantiation (either storage layout).
+template <typename Cache, typename Key, typename Value>
+ReplayStats replay_sequential(Cache& cache,
                               std::span<const ReplayOp<Key, Value>> ops) {
+    cache.materialize();  // no-op unless constructed with defer_init
     ReplayStats s;
     for (const auto& op : ops) {
         s.tally(cache.update(op.key, op.value));
@@ -113,14 +123,14 @@ struct RoutedOp {
     Value value{};
 };
 
-template <typename Unit, typename Key, typename Value>
-void prefetch_batch(const core::ParallelCache<Unit, Key, Value>& cache,
+template <typename Cache, typename Key, typename Value>
+void prefetch_batch(const Cache& cache,
                     const std::vector<RoutedOp<Key, Value>>& batch) {
     for (const auto& op : batch) cache.prefetch_unit(op.bucket);
 }
 
-template <typename Unit, typename Key, typename Value>
-void process_batch(core::ParallelCache<Unit, Key, Value>& cache,
+template <typename Cache, typename Key, typename Value>
+void process_batch(Cache& cache,
                    const std::vector<RoutedOp<Key, Value>>& batch,
                    ReplayStats& stats) {
     for (const auto& op : batch) {
@@ -132,8 +142,8 @@ void process_batch(core::ParallelCache<Unit, Key, Value>& cache,
 
 /// Sharded replay. Bit-identical statistics and final cache state to
 /// replay_sequential on the same (cache, ops) input, for any shard count.
-template <typename Unit, typename Key, typename Value>
-ShardedReport replay_sharded(core::ParallelCache<Unit, Key, Value>& cache,
+template <typename Cache, typename Key, typename Value>
+ShardedReport replay_sharded(Cache& cache,
                              std::span<const ReplayOp<Key, Value>> ops,
                              const ShardedConfig& cfg = {}) {
     using Routed = detail::RoutedOp<Key, Value>;
@@ -157,6 +167,11 @@ ShardedReport replay_sharded(core::ParallelCache<Unit, Key, Value>& cache,
         ReplayStats s;
     };
     std::vector<PaddedStats> results(W);
+
+    // Deferred-init caches: threaded workers first-touch their own shard's
+    // unit sub-range below; every other path materializes right here.
+    const bool first_touch = !cache.materialized() && threaded;
+    if (!first_touch) cache.materialize();
 
     if (!threaded) {
         // Inline path: batched dispatch on the calling thread. Ops stay in
@@ -194,7 +209,14 @@ ShardedReport replay_sharded(core::ParallelCache<Unit, Key, Value>& cache,
             std::vector<std::jthread> workers;
             workers.reserve(W);
             for (std::size_t s = 0; s < W; ++s) {
-                workers.emplace_back([&cache, &queues, &results, s] {
+                workers.emplace_back([&cache, &queues, &results, &plan,
+                                      first_touch, s] {
+                    if (first_touch) {
+                        // Fault this shard's slab sub-range in from the
+                        // thread that will own it (first-touch placement).
+                        const auto [lo, hi] = plan.range(s);
+                        cache.first_touch_range(lo, hi);
+                    }
                     ReplayStats local;
                     Batch pending;
                     Batch next;
@@ -233,6 +255,7 @@ ShardedReport replay_sharded(core::ParallelCache<Unit, Key, Value>& cache,
                 queues[s]->close();
             }
         }  // jthreads join here
+        if (first_touch) cache.mark_materialized();
     }
 
     for (std::size_t s = 0; s < W; ++s) {

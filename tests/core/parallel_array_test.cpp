@@ -97,6 +97,43 @@ TEST(ParallelCache, WorksWithEncodedUnits) {
     EXPECT_GT(present, 70u);
 }
 
+// Layout selection: behavioural P4lru units default to the SoA slab; pinning
+// AosStorage explicitly must keep every public operation working unchanged.
+TEST(ParallelCache, ExplicitAosStorageRoundTrip) {
+    static_assert(std::is_same_v<
+                  ParallelCache<Unit3, std::uint32_t, std::uint32_t>::
+                      storage_type,
+                  SoaSlab<std::uint32_t, std::uint32_t, 3>>);
+    AosParallelCache<Unit3, std::uint32_t, std::uint32_t> pc(64, 21);
+    static_assert(std::is_same_v<decltype(pc)::storage_type,
+                                 AosStorage<Unit3, std::uint32_t,
+                                            std::uint32_t>>);
+    for (std::uint32_t k = 1; k <= 150; ++k) pc.update(k, k + 1);
+    std::size_t present = 0;
+    for (std::uint32_t k = 1; k <= 150; ++k) {
+        if (const auto v = pc.find(k)) {
+            EXPECT_EQ(*v, k + 1);
+            ++present;
+        }
+    }
+    EXPECT_GT(present, 60u);
+    EXPECT_EQ(pc.size(), present);
+    EXPECT_TRUE(pc.materialized());  // AoS backing is always materialized
+}
+
+TEST(ParallelCache, UpdateAtMatchesUpdate) {
+    ParallelCache<Unit3, std::uint32_t, std::uint32_t> a(32, 19);
+    ParallelCache<Unit3, std::uint32_t, std::uint32_t> b(32, 19);
+    for (std::uint32_t k = 1; k <= 400; ++k) {
+        const auto ra = a.update(k % 90 + 1, k);
+        const auto rb = b.update_at(b.bucket(k % 90 + 1), k % 90 + 1, k);
+        EXPECT_EQ(ra.hit, rb.hit);
+        EXPECT_EQ(ra.hit_pos, rb.hit_pos);
+        EXPECT_EQ(ra.evicted, rb.evicted);
+    }
+    EXPECT_EQ(a.size(), b.size());
+}
+
 TEST(ParallelCache, TouchAndInsertLruDelegate) {
     ParallelCache<Unit3, std::uint32_t, std::uint32_t> pc(8, 13);
     pc.update(1, 10);

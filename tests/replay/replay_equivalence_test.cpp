@@ -24,11 +24,20 @@ using FlowCache =
 using KeyCache =
     core::ParallelCache<core::P4lru<std::uint64_t, std::uint64_t, 3>,
                         std::uint64_t, std::uint64_t>;
+// The same caches pinned to the AoS reference layout (cross-layout
+// equivalence: the slab and the unit array must agree bit for bit).
+using AosFlowCache =
+    core::AosParallelCache<core::P4lru<FlowKey, std::uint32_t, 3>, FlowKey,
+                           std::uint32_t>;
+using AosKeyCache =
+    core::AosParallelCache<core::P4lru<std::uint64_t, std::uint64_t, 3>,
+                           std::uint64_t, std::uint64_t>;
 
 /// Compare two parallel arrays unit by unit: occupancy, key order (LRU
-/// positions) and the value owned by each key.
-template <typename Cache>
-void expect_same_contents(const Cache& a, const Cache& b) {
+/// positions) and the value owned by each key.  The two caches may use
+/// different storage layouts; only the unit inspection vocabulary is shared.
+template <typename CacheA, typename CacheB>
+void expect_same_contents(const CacheA& a, const CacheB& b) {
     ASSERT_EQ(a.unit_count(), b.unit_count());
     for (std::size_t u = 0; u < a.unit_count(); ++u) {
         const auto& ua = a.unit(u);
@@ -125,6 +134,101 @@ TEST_P(ReplayEquivalence, DeterministicAcrossRuns) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Shards, ReplayEquivalence,
+                         ::testing::Values(1, 2, 8));
+
+/// Cross-layout: a slab cache replayed (sequentially or sharded) must match
+/// an AoS reference cache replayed sequentially — same stats, same final
+/// contents — on both trace families.
+class CrossLayoutEquivalence : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(CrossLayoutEquivalence, ZipfSoaMatchesAosReference) {
+    const auto ops = zipf_ops();
+    AosFlowCache aos(4096, 0xE1);
+    const auto ref = replay_sequential(
+        aos, std::span<const ReplayOp<FlowKey, std::uint32_t>>(ops));
+
+    FlowCache soa_seq(4096, 0xE1);
+    EXPECT_EQ(replay_sequential(
+                  soa_seq,
+                  std::span<const ReplayOp<FlowKey, std::uint32_t>>(ops)),
+              ref);
+    expect_same_contents(aos, soa_seq);
+
+    for (const Mode mode : {Mode::kInline, Mode::kThreaded}) {
+        FlowCache soa(4096, 0xE1);
+        ShardedConfig cfg;
+        cfg.shards = GetParam();
+        cfg.mode = mode;
+        const auto rep = replay_sharded(
+            soa, std::span<const ReplayOp<FlowKey, std::uint32_t>>(ops), cfg);
+        EXPECT_EQ(rep.stats, ref);
+        expect_same_contents(aos, soa);
+    }
+}
+
+TEST_P(CrossLayoutEquivalence, YcsbSoaMatchesAosReference) {
+    const auto ops = ycsb_ops();
+    AosKeyCache aos(2048, 0xF1);
+    const auto ref = replay_sequential(
+        aos, std::span<const ReplayOp<std::uint64_t, std::uint64_t>>(ops));
+
+    for (const Mode mode : {Mode::kInline, Mode::kThreaded}) {
+        KeyCache soa(2048, 0xF1);
+        ShardedConfig cfg;
+        cfg.shards = GetParam();
+        cfg.mode = mode;
+        const auto rep = replay_sharded(
+            soa, std::span<const ReplayOp<std::uint64_t, std::uint64_t>>(ops),
+            cfg);
+        EXPECT_EQ(rep.stats, ref);
+        expect_same_contents(aos, soa);
+    }
+}
+
+/// First-touch: a defer_init cache whose slab ranges are faulted in by the
+/// threaded workers must replay to the same stats and contents as an eager
+/// one.
+TEST_P(CrossLayoutEquivalence, DeferredFirstTouchMatchesEager) {
+    const auto ops = zipf_ops();
+    FlowCache eager(1024, 0x1F7);
+    const auto ref = replay_sequential(
+        eager, std::span<const ReplayOp<FlowKey, std::uint32_t>>(ops));
+
+    FlowCache deferred(1024, 0x1F7, core::defer_init);
+    EXPECT_FALSE(deferred.materialized());
+    ShardedConfig cfg;
+    cfg.shards = GetParam();
+    cfg.mode = Mode::kThreaded;
+    const auto rep = replay_sharded(
+        deferred, std::span<const ReplayOp<FlowKey, std::uint32_t>>(ops),
+        cfg);
+    EXPECT_TRUE(rep.threaded);
+    EXPECT_TRUE(deferred.materialized());
+    EXPECT_EQ(rep.stats, ref);
+    expect_same_contents(eager, deferred);
+}
+
+/// The inline fallback must materialize a deferred cache on the calling
+/// thread before processing.
+TEST(ReplayFirstTouch, InlineModeMaterializesDeferredCache) {
+    const auto ops = zipf_ops();
+    FlowCache eager(512, 0x2F8);
+    const auto ref = replay_sequential(
+        eager, std::span<const ReplayOp<FlowKey, std::uint32_t>>(ops));
+
+    FlowCache deferred(512, 0x2F8, core::defer_init);
+    ShardedConfig cfg;
+    cfg.mode = Mode::kInline;
+    const auto rep = replay_sharded(
+        deferred, std::span<const ReplayOp<FlowKey, std::uint32_t>>(ops),
+        cfg);
+    EXPECT_TRUE(deferred.materialized());
+    EXPECT_EQ(rep.stats, ref);
+    expect_same_contents(eager, deferred);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shards, CrossLayoutEquivalence,
                          ::testing::Values(1, 2, 8));
 
 TEST(Replay, StatsAreConsistent) {

@@ -35,9 +35,14 @@ int main() {
     cfg.mode = replay::Mode::kThreaded;
 
     for (int round = 0; round < 5; ++round) {
-        Cache cache(1024, 0x7A);
+        // Alternate eager and deferred-init rounds: the deferred ones also
+        // exercise the per-worker first-touch writes under the race detector
+        // (each worker initializes its own disjoint slab sub-range).
+        Cache cache = (round % 2 == 0)
+                          ? Cache(1024, 0x7A)
+                          : Cache(1024, 0x7A, core::defer_init);
         const auto rep = replay::replay_sharded(cache, span, cfg);
-        if (!(rep.stats == seq)) {
+        if (!(rep.stats == seq) || !cache.materialized()) {
             std::fprintf(stderr,
                          "round %d: sharded stats diverge from sequential "
                          "(ops %llu/%llu hits %llu/%llu)\n",
@@ -50,8 +55,9 @@ int main() {
         }
     }
     std::printf(
-        "replay_tsan_smoke: 5 threaded rounds, 8 shards, stats identical to "
-        "sequential (%llu ops, %llu hits, %llu evictions)\n",
+        "replay_tsan_smoke: 5 threaded rounds (eager + first-touch), 8 "
+        "shards, stats identical to sequential (%llu ops, %llu hits, %llu "
+        "evictions)\n",
         static_cast<unsigned long long>(seq.ops),
         static_cast<unsigned long long>(seq.hits),
         static_cast<unsigned long long>(seq.evictions));
