@@ -13,6 +13,7 @@
 
 #include <cstdio>
 #include <span>
+#include <tuple>
 #include <vector>
 
 #include "bench_common.hpp"
@@ -251,6 +252,62 @@ double run_layout_series(ReplaySpan span, std::size_t units,
     return seq_seconds;
 }
 
+/// Integrity-scrubber overhead: sequential replay with the scrubber off vs
+/// on a 64k-op cadence, same trace and units as the main series.  The stats
+/// must be identical (a clean cache scrubs to zero findings); the wall-time
+/// delta is the price of periodically revalidating every meta word.
+template <typename Cache>
+void run_scrubber_series(ReplaySpan span, std::size_t units,
+                         ConsoleTable& table,
+                         std::vector<bench::ReplayJsonSeries>& json) {
+    const char* layout = Cache::storage_type::layout_name();
+    constexpr int kReps = 3;
+    constexpr std::uint64_t kScrubEvery = 1u << 16;
+
+    double off_seconds = 0.0;
+    replay::ReplayStats off_stats;
+    for (int rep = 0; rep < kReps; ++rep) {
+        Cache cache(units, 0xE1);
+        bench::StopWatch w;
+        off_stats = replay::replay_sequential(cache, span);
+        const double secs = w.seconds();
+        if (rep == 0 || secs < off_seconds) off_seconds = secs;
+    }
+
+    double on_seconds = 0.0;
+    replay::ScrubbedReplay on_result;
+    for (int rep = 0; rep < kReps; ++rep) {
+        Cache cache(units, 0xE1);
+        bench::StopWatch w;
+        on_result =
+            replay::replay_sequential_scrubbed(cache, span, kScrubEvery);
+        const double secs = w.seconds();
+        if (rep == 0 || secs < on_seconds) on_seconds = secs;
+    }
+
+    for (const auto& [mode, secs, s] :
+         {std::tuple{"scrub_off", off_seconds, off_stats},
+          std::tuple{"scrub_on", on_seconds, on_result.stats}}) {
+        const stats::Throughput tp{s.ops, secs};
+        table.add_row({"scrubber", layout, "1", mode,
+                       ConsoleTable::num(secs, 3),
+                       ConsoleTable::num(tp.mops(), 2),
+                       ConsoleTable::num(off_seconds / secs, 2),
+                       bench::pct(s.hit_rate())});
+        json.push_back({"scrubber", layout, 0, mode, secs, tp.mops(), s.ops,
+                        s.hits, s.misses, s.evictions});
+    }
+
+    std::printf("scrubber (every %llu ops, %s layout): %.2f%% overhead, "
+                "%llu units scanned, %llu corrupt, stats %s\n",
+                static_cast<unsigned long long>(kScrubEvery), layout,
+                (on_seconds / off_seconds - 1.0) * 100.0,
+                static_cast<unsigned long long>(on_result.scrub.scanned),
+                static_cast<unsigned long long>(on_result.scrub.corrupt),
+                on_result.stats == off_stats ? "IDENTICAL"
+                                             : "DIVERGED (BUG)");
+}
+
 void run_replay_throughput() {
     using Unit = core::P4lru<FlowKey, std::uint32_t, 3>;
     using SoaCache = core::ParallelCache<Unit, FlowKey, std::uint32_t>;
@@ -272,6 +329,7 @@ void run_replay_throughput() {
         run_layout_series<AosCache>(span, units, table, json, &aos_stats);
     const double soa_seconds =
         run_layout_series<SoaCache>(span, units, table, json, &soa_stats);
+    run_scrubber_series<SoaCache>(span, units, table, json);
 
     table.print("Replay throughput: AoS reference vs SoA slab, sequential "
                 "vs sharded (" +

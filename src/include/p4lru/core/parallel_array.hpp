@@ -184,6 +184,16 @@ class ParallelCache {
         }
     }
 
+    // -- integrity (forwarded to the storage) ----------------------------
+
+    /// Validate-and-repair the state words of units [lo, hi); see
+    /// SoaSlab::scrub_range.  AoS storage reports a clean scan by
+    /// construction.
+    ScrubReport scrub(std::size_t lo, std::size_t hi) noexcept {
+        return storage_.scrub_range(lo, hi);
+    }
+    ScrubReport scrub_all() noexcept { return scrub(0, unit_count()); }
+
     [[nodiscard]] const Storage& storage() const noexcept { return storage_; }
     [[nodiscard]] Storage& storage() noexcept { return storage_; }
 

@@ -31,6 +31,7 @@
 // pinning builds on this).
 #pragma once
 
+#include <algorithm>
 #include <bit>
 #include <concepts>
 #include <cstddef>
@@ -39,8 +40,10 @@
 #include <memory>
 #include <new>
 #include <optional>
+#include <span>
 #include <type_traits>
 #include <utility>
+#include <vector>
 
 #include "p4lru/common/types.hpp"
 #include "p4lru/core/unit_storage.hpp"
@@ -171,6 +174,21 @@ class SoaSlab {
     /// Occupied-prefix length encoded in the meta word.
     [[nodiscard]] static constexpr std::size_t occupancy(MetaWord m) noexcept {
         return m >> kPermBits;
+    }
+
+    /// A meta word is a legal LruState encoding iff its N 2-bit fields are a
+    /// permutation of {0..N-1} and the occupancy does not exceed N.  (An
+    /// occupancy flip that stays within [0, N] is undetectable — the word is
+    /// still a legal encoding of *some* unit; see DESIGN.md §10.)
+    [[nodiscard]] static constexpr bool meta_valid(MetaWord m) noexcept {
+        if (occupancy(m) > N) return false;
+        unsigned seen = 0;
+        for (std::size_t j = 1; j <= N; ++j) {
+            const std::size_t slot = slot_of(m, j);  // 1-based, raw field + 1
+            if (slot > N) return false;
+            seen |= 1u << (slot - 1);
+        }
+        return seen == (1u << N) - 1u;
     }
 
     // -- bucket-addressed operations (mirror P4lru bit-for-bit) ----------
@@ -330,6 +348,76 @@ class SoaSlab {
 #else
         (void)b;
 #endif
+    }
+
+    // -- integrity: scrubbing and fault hooks ----------------------------
+
+    /// Validate units [lo, hi) against the legal LruState encodings and
+    /// repair every corrupt word in place: the permutation resets to
+    /// identity (an MRU-reset — the current key order is re-adopted as the
+    /// recency order and each position re-owns its same-index value slot)
+    /// and the occupancy is kept when still plausible, clamped to N when its
+    /// bits rotted out of range.  The repaired unit serves traffic again
+    /// immediately; subsequent hit/miss accounting for its keys may differ
+    /// from a corruption-free history, which is the graceful degradation the
+    /// caller opted into by continuing past corruption.
+    ScrubReport scrub_range(std::size_t lo, std::size_t hi) noexcept {
+        ScrubReport r;
+        for (std::size_t b = lo; b < hi; ++b) {
+            ++r.scanned;
+            const MetaWord m = meta_[b];
+            if (meta_valid(m)) continue;
+            ++r.corrupt;
+            const auto occ =
+                static_cast<unsigned>(std::min(occupancy(m), N));
+            meta_[b] =
+                static_cast<MetaWord>(identity_meta() | (occ << kPermBits));
+            ++r.repaired;
+        }
+        return r;
+    }
+
+    /// Fault-injection hooks (tests and the fault subsystem only): XOR a
+    /// mask into the raw planes, simulating a bit-flip in switch SRAM.
+    void corrupt_meta_at(std::size_t b, unsigned xor_mask) noexcept {
+        meta_[b] = static_cast<MetaWord>(meta_[b] ^ xor_mask);
+    }
+    void corrupt_key_at(std::size_t b, std::size_t byte_offset,
+                        std::uint8_t xor_mask) noexcept {
+        auto* row = reinterpret_cast<unsigned char*>(keys_.get() +
+                                                     b * kKeyStride);
+        row[byte_offset % (N * sizeof(Key))] ^= xor_mask;
+    }
+
+    // -- checkpoint ------------------------------------------------------
+
+    /// Snapshot the three planes (keys, values, meta, concatenated in that
+    /// order) as raw bytes.  With the op cursor this is a complete resume
+    /// point: restoring and replaying the remaining ops is bit-identical to
+    /// an uninterrupted run (replay/checkpoint.hpp).
+    void save_planes(std::vector<std::byte>& out) const {
+        const std::size_t kb = units_ * kKeyStride * sizeof(Key);
+        const std::size_t vb = units_ * N * sizeof(Value);
+        const std::size_t mb = units_ * sizeof(MetaWord);
+        out.resize(kb + vb + mb);
+        std::memcpy(out.data(), keys_.get(), kb);
+        std::memcpy(out.data() + kb, vals_.get(), vb);
+        std::memcpy(out.data() + kb + vb, meta_.get(), mb);
+    }
+
+    /// Restore planes saved by save_planes on a slab of the same geometry;
+    /// false (and no mutation) on a size mismatch.  The slab is materialized
+    /// afterwards — the restore is itself a full first touch.
+    [[nodiscard]] bool load_planes(std::span<const std::byte> in) {
+        const std::size_t kb = units_ * kKeyStride * sizeof(Key);
+        const std::size_t vb = units_ * N * sizeof(Value);
+        const std::size_t mb = units_ * sizeof(MetaWord);
+        if (in.size() != kb + vb + mb) return false;
+        std::memcpy(keys_.get(), in.data(), kb);
+        std::memcpy(vals_.get(), in.data() + kb, vb);
+        std::memcpy(meta_.get(), in.data() + kb + vb, mb);
+        materialized_ = true;
+        return true;
     }
 
     // -- first-touch protocol --------------------------------------------

@@ -1,0 +1,104 @@
+// Checkpoint/resume for deterministic replay (DESIGN.md §10).
+//
+// A replay over a fixed op stream is a pure function of (cache planes, op
+// cursor): snapshotting the storage's raw plane bytes plus the cursor and
+// the statistics accumulated so far is enough to resume later — on a fresh
+// cache object, even in a fresh process — and land on bit-identical final
+// state and statistics.  The snapshot is taken between ops on the owning
+// thread, so no synchronization is involved; both storage layouts expose
+// save_planes/load_planes (unit_storage.hpp, soa_slab.hpp) as flat byte
+// images whose size is a pure function of the unit count, which lets resume
+// reject a checkpoint taken from a differently-shaped cache with a typed
+// error instead of corrupting memory.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "p4lru/fault/status.hpp"
+#include "p4lru/replay/replay.hpp"
+
+namespace p4lru::replay {
+
+/// A resumable snapshot of an in-progress sequential replay.
+struct ReplayCheckpoint {
+    std::uint64_t cursor = 0;      ///< ops applied before the snapshot
+    ReplayStats stats{};           ///< statistics over ops [0, cursor)
+    std::size_t unit_count = 0;    ///< shape guard for resume
+    std::vector<std::byte> planes; ///< raw storage plane image
+};
+
+/// Snapshot a cache mid-replay.  `cursor`/`stats` describe how far the
+/// caller has replayed; the plane image captures everything else.
+template <typename Cache>
+[[nodiscard]] ReplayCheckpoint take_checkpoint(const Cache& cache,
+                                               std::uint64_t cursor,
+                                               const ReplayStats& stats) {
+    ReplayCheckpoint cp;
+    cp.cursor = cursor;
+    cp.stats = stats;
+    cp.unit_count = cache.unit_count();
+    cache.storage().save_planes(cp.planes);
+    return cp;
+}
+
+/// Restore `cp` into `cache` and replay the remaining ops [cp.cursor, end).
+/// Returns the final statistics — bit-identical to an uninterrupted
+/// replay_sequential over the full stream, for any checkpoint cursor.
+/// Fails with kInvalidState when the checkpoint does not fit the cache
+/// (different unit count / layout) or its cursor lies beyond the stream.
+template <typename Cache, typename Key, typename Value>
+[[nodiscard]] Expected<ReplayStats> resume_sequential(
+    Cache& cache, std::span<const ReplayOp<Key, Value>> ops,
+    const ReplayCheckpoint& cp) {
+    if (cp.unit_count != cache.unit_count()) {
+        return Status(ErrorCode::kInvalidState,
+                      "checkpoint unit count " +
+                          std::to_string(cp.unit_count) +
+                          " != cache unit count " +
+                          std::to_string(cache.unit_count()));
+    }
+    if (cp.cursor > ops.size()) {
+        return Status(ErrorCode::kInvalidState,
+                      "checkpoint cursor " + std::to_string(cp.cursor) +
+                          " beyond op stream of " +
+                          std::to_string(ops.size()));
+    }
+    cache.materialize();  // load_planes overwrites; planes must exist first
+    if (!cache.storage().load_planes(cp.planes)) {
+        return Status(ErrorCode::kInvalidState,
+                      "checkpoint plane image of " +
+                          std::to_string(cp.planes.size()) +
+                          " bytes does not match this storage layout");
+    }
+    ReplayStats s = cp.stats;
+    for (std::size_t i = cp.cursor; i < ops.size(); ++i) {
+        s.tally(cache.update(ops[i].key, ops[i].value));
+    }
+    return s;
+}
+
+/// Sequential replay that emits a checkpoint into `sink` every `every` ops
+/// (sink(ReplayCheckpoint&&)).  The statistics are bit-identical to
+/// replay_sequential; checkpointing only copies plane bytes between ops.
+template <typename Cache, typename Key, typename Value, typename Sink>
+ReplayStats replay_sequential_checkpointed(
+    Cache& cache, std::span<const ReplayOp<Key, Value>> ops,
+    std::uint64_t every, Sink&& sink) {
+    cache.materialize();
+    ReplayStats s;
+    std::uint64_t cursor = 0;
+    for (const auto& op : ops) {
+        s.tally(cache.update(op.key, op.value));
+        ++cursor;
+        if (every != 0 && cursor % every == 0 && cursor < ops.size()) {
+            sink(take_checkpoint(cache, cursor, s));
+        }
+    }
+    return s;
+}
+
+}  // namespace p4lru::replay

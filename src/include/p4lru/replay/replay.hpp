@@ -1,4 +1,4 @@
-// Sharded parallel trace-replay engine.
+// Sharded parallel trace-replay engine, hardened against worker failure.
 //
 // A ParallelCache's bucket hash partitions the key space into disjoint P4LRU
 // units, so replay is embarrassingly parallel across unit ranges: a
@@ -15,6 +15,20 @@
 // thread: batching still buys memory-level parallelism from the two-phase
 // prefetch-then-update pass, and determinism is unchanged.
 //
+// Failure model (DESIGN.md §10): the engine no longer assumes every worker
+// drains its queue.  Pushes use deadline-bounded backpressure
+// (SpscQueue::try_push_for); when a shard stops making progress past
+// RobustConfig::stall_timeout_us the dispatcher's watchdog asks the worker
+// to park (cooperative abandon), waits for the park acknowledgement, then
+// *drains the shard inline*: the queued batches are applied on the
+// dispatcher thread in FIFO order, followed by every later op routed to that
+// shard.  A worker parks only at a batch boundary after applying its
+// prefetched pending batch, so each batch is applied exactly once and each
+// unit still sees its ops in arrival order — the merged statistics stay
+// bit-identical to sequential replay even under injected stalls.  Fault
+// injection enters through the `Faults` template hook (fault_plan.hpp);
+// the default NoFaults instantiation folds every hook to nothing.
+//
 // First-touch: when the cache was constructed with core::defer_init (its
 // storage planes are allocated but untouched), each threaded worker
 // initializes its own ShardPlan unit sub-range before draining batches, so
@@ -25,6 +39,8 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -33,6 +49,7 @@
 
 #include "p4lru/common/types.hpp"
 #include "p4lru/core/parallel_array.hpp"
+#include "p4lru/fault/fault_plan.hpp"
 #include "p4lru/replay/shard_plan.hpp"
 #include "p4lru/replay/spsc_queue.hpp"
 
@@ -86,11 +103,33 @@ enum class Mode {
     kInline     ///< always run on the calling thread
 };
 
+/// Degradation-ladder knobs of the hardened runtime.  The defaults keep the
+/// fault-free fast path indistinguishable from the legacy engine (a push
+/// deadline only matters when the ring is actually full) while bounding how
+/// long a dead worker can wedge the dispatcher.
+struct RobustConfig {
+    /// Per-attempt bound on a blocked push before the dispatcher re-examines
+    /// the shard (spin → yield ladder inside SpscQueue::try_push_for).
+    std::uint32_t push_deadline_us = 500;
+    /// Continuous no-progress window after which the watchdog abandons the
+    /// shard's worker and drains the shard inline.
+    std::uint32_t stall_timeout_us = 50'000;
+    /// Master switch for the takeover path; with it off the dispatcher still
+    /// uses bounded pushes (and still recovers from a worker that parked on
+    /// its own) but never abandons a live worker.
+    bool watchdog = true;
+    /// Ops between integrity scrub passes (0 = off).  Sequential and inline
+    /// replay scrub the whole array on this cadence; threaded workers scrub
+    /// their own shard's unit range, so no scrub ever races an update.
+    std::uint64_t scrub_every = 0;
+};
+
 struct ShardedConfig {
     std::size_t shards = 0;         ///< worker count; 0 = default_shards()
     std::size_t batch_ops = 256;    ///< ops per dispatched batch
     std::size_t queue_batches = 64; ///< SPSC ring capacity, in batches
     Mode mode = Mode::kAuto;
+    RobustConfig robust{};          ///< backpressure/watchdog/scrub knobs
 };
 
 /// What a sharded replay actually ran, alongside the merged statistics.
@@ -98,6 +137,17 @@ struct ShardedReport {
     ReplayStats stats{};
     std::size_t shards = 0;  ///< shard count after clamping
     bool threaded = false;   ///< workers spawned (vs inline fallback)
+
+    // -- degradation telemetry (all zero on a healthy run) ---------------
+    std::uint64_t backpressure_waits = 0;  ///< push deadline expiries
+    std::size_t drained_inline = 0;   ///< shards the dispatcher took over
+    std::size_t abandoned_workers = 0;///< workers parked by the watchdog
+    core::ScrubReport scrub{};        ///< merged scrub counters (if enabled)
+
+    [[nodiscard]] bool degraded() const noexcept {
+        return drained_inline != 0 || abandoned_workers != 0 ||
+               scrub.corrupt != 0;
+    }
 };
 
 /// Reference replayer: one op at a time on the calling thread.  `Cache` is
@@ -111,6 +161,33 @@ ReplayStats replay_sequential(Cache& cache,
         s.tally(cache.update(op.key, op.value));
     }
     return s;
+}
+
+/// Sequential replay with the integrity scrubber on a fixed cadence: every
+/// `scrub_every` ops the whole unit array is validated and repaired.  On an
+/// uncorrupted cache the scrub finds nothing and the statistics are
+/// bit-identical to replay_sequential — the scrubber's cost (benchmarked in
+/// bench_micro_ops) is pure overhead, never behaviour.
+struct ScrubbedReplay {
+    ReplayStats stats{};
+    core::ScrubReport scrub{};
+};
+
+template <typename Cache, typename Key, typename Value>
+ScrubbedReplay replay_sequential_scrubbed(
+    Cache& cache, std::span<const ReplayOp<Key, Value>> ops,
+    std::uint64_t scrub_every) {
+    cache.materialize();
+    ScrubbedReplay r;
+    std::uint64_t until_scrub = scrub_every;
+    for (const auto& op : ops) {
+        r.stats.tally(cache.update(op.key, op.value));
+        if (scrub_every != 0 && --until_scrub == 0) {
+            r.scrub.merge(cache.scrub_all());
+            until_scrub = scrub_every;
+        }
+    }
+    return r;
 }
 
 namespace detail {
@@ -138,14 +215,34 @@ void process_batch(Cache& cache,
     }
 }
 
+/// Per-shard control block shared between a worker and the dispatcher's
+/// watchdog.  `progress` counts fully applied batches (release after each);
+/// `abandon` is the watchdog's cooperative park request; `parked` is the
+/// worker's acknowledgement that it has published its stats and will never
+/// touch the cache or its queue again — the release/acquire edge that makes
+/// the consumer-role handoff to the dispatcher safe.
+struct alignas(64) ShardCtl {
+    std::atomic<std::uint64_t> progress{0};
+    std::atomic<bool> abandon{false};
+    std::atomic<bool> parked{false};
+};
+
 }  // namespace detail
 
 /// Sharded replay. Bit-identical statistics and final cache state to
-/// replay_sequential on the same (cache, ops) input, for any shard count.
-template <typename Cache, typename Key, typename Value>
+/// replay_sequential on the same (cache, ops) input, for any shard count —
+/// including degraded runs where stalled workers were drained inline (the
+/// takeover preserves per-unit arrival order).  `Faults` is the injection
+/// hook set: fault::NoFaults (default) compiles every hook away;
+/// fault::InjectedFaults applies a FaultPlan (worker stalls/delays in
+/// threaded mode; plane/op corruption in inline mode, where a single thread
+/// owns the cache).
+template <typename Cache, typename Key, typename Value,
+          typename Faults = fault::NoFaults>
 ShardedReport replay_sharded(Cache& cache,
                              std::span<const ReplayOp<Key, Value>> ops,
-                             const ShardedConfig& cfg = {}) {
+                             const ShardedConfig& cfg = {},
+                             const Faults& faults = {}) {
     using Routed = detail::RoutedOp<Key, Value>;
     using Batch = std::vector<Routed>;
 
@@ -153,6 +250,7 @@ ShardedReport replay_sharded(Cache& cache,
     const ShardPlan plan = ShardPlan::make(cache.unit_count(), requested);
     const std::size_t W = plan.shards();
     const std::size_t batch_ops = cfg.batch_ops ? cfg.batch_ops : 256;
+    const std::uint64_t scrub_every = cfg.robust.scrub_every;
 
     const bool threaded =
         cfg.mode == Mode::kThreaded ||
@@ -165,6 +263,7 @@ ShardedReport replay_sharded(Cache& cache,
     // Cache-line-padded per-shard results (workers write concurrently).
     struct alignas(64) PaddedStats {
         ReplayStats s;
+        core::ScrubReport scrub;
     };
     std::vector<PaddedStats> results(W);
 
@@ -178,20 +277,36 @@ ShardedReport replay_sharded(Cache& cache,
         // arrival order (per-unit order is what equivalence needs), so no
         // per-shard scatter is paid; each block gets a two-phase
         // route-and-prefetch then update pass, overlapping the unit array's
-        // random-access latency with hashing of the following ops.
+        // random-access latency with hashing of the following ops.  Data
+        // faults (plane/op corruption) inject here, and the scrubber runs on
+        // its cadence between blocks — both on the single owning thread.
         Batch block;
         block.reserve(batch_ops);
+        std::uint64_t until_scrub = scrub_every;
         for (std::size_t base = 0; base < ops.size(); base += batch_ops) {
             const std::size_t n = std::min(batch_ops, ops.size() - base);
             block.clear();
             for (std::size_t i = 0; i < n; ++i) {
-                const auto& op = ops[base + i];
+                const std::uint64_t idx = base + i;
+                Key key = ops[idx].key;
+                if constexpr (Faults::kEnabled) {
+                    faults.corrupt_storage(idx, cache.storage());
+                    faults.mutate_key(idx, key);
+                }
                 const auto bucket =
-                    static_cast<std::uint32_t>(cache.bucket(op.key));
+                    static_cast<std::uint32_t>(cache.bucket(key));
                 cache.prefetch_unit(bucket);
-                block.push_back(Routed{bucket, op.key, op.value});
+                block.push_back(Routed{bucket, key, ops[idx].value});
             }
             detail::process_batch(cache, block, results[0].s);
+            if (scrub_every != 0) {
+                if (until_scrub <= n) {
+                    results[0].scrub.merge(cache.scrub_all());
+                    until_scrub = scrub_every;
+                } else {
+                    until_scrub -= n;
+                }
+            }
         }
     } else {
         // Per-shard batches under construction by the dispatcher.
@@ -205,38 +320,165 @@ ShardedReport replay_sharded(Cache& cache,
                 cfg.queue_batches ? cfg.queue_batches : 64));
         }
 
+        std::vector<detail::ShardCtl> ctl(W);
+        // Shards the dispatcher has taken over; their ops are applied on the
+        // dispatcher thread from the moment of takeover.
+        std::vector<char> inlined(W, 0);
+        // Dispatcher-side stats per shard (inline drains + takeover mode).
+        std::vector<ReplayStats> drained(W);
+
+        const auto push_deadline = std::chrono::microseconds(
+            cfg.robust.push_deadline_us ? cfg.robust.push_deadline_us : 500);
+        const auto stall_timeout = std::chrono::microseconds(
+            cfg.robust.stall_timeout_us ? cfg.robust.stall_timeout_us
+                                        : 50'000);
+
         {
             std::vector<std::jthread> workers;
             workers.reserve(W);
             for (std::size_t s = 0; s < W; ++s) {
-                workers.emplace_back([&cache, &queues, &results, &plan,
-                                      first_touch, s] {
+                workers.emplace_back([&cache, &queues, &results, &plan, &ctl,
+                                      &faults, first_touch, scrub_every, s] {
+                    (void)faults;
                     if (first_touch) {
                         // Fault this shard's slab sub-range in from the
                         // thread that will own it (first-touch placement).
                         const auto [lo, hi] = plan.range(s);
                         cache.first_touch_range(lo, hi);
                     }
+                    const auto [shard_lo, shard_hi] = plan.range(s);
                     ReplayStats local;
+                    core::ScrubReport scrub_local;
                     Batch pending;
                     Batch next;
                     bool have_pending = false;
-                    while (queues[s]->pop(next)) {
+                    bool parked = false;
+                    std::uint64_t popped = 0;
+                    std::uint64_t ops_since_scrub = 0;
+                    const auto finish_pending = [&] {
+                        if (!have_pending) return;
+                        detail::process_batch(cache, pending, local);
+                        ops_since_scrub += pending.size();
+                        have_pending = false;
+                        ctl[s].progress.fetch_add(1,
+                                                  std::memory_order_release);
+                        if (scrub_every != 0 &&
+                            ops_since_scrub >= scrub_every) {
+                            // Scrub only this shard's own unit range: no
+                            // other thread touches those units, so the
+                            // scrub never races an update.
+                            scrub_local.merge(
+                                cache.scrub(shard_lo, shard_hi));
+                            ops_since_scrub = 0;
+                        }
+                    };
+                    for (;;) {
+                        // Batch-boundary checks: cooperative abandon and
+                        // injected stalls.  Parking applies the prefetched
+                        // pending batch first, so every popped batch is
+                        // applied exactly once and the queue retains the
+                        // untouched suffix for the dispatcher.
+                        if (ctl[s].abandon.load(std::memory_order_acquire)) {
+                            parked = true;
+                            break;
+                        }
+                        if constexpr (Faults::kEnabled) {
+                            if (faults.worker_parks(s, popped)) {
+                                parked = true;
+                                break;
+                            }
+                        }
+                        if (!queues[s]->try_pop(next)) {
+                            if (queues[s]->closed()) {
+                                if (!queues[s]->try_pop(next)) break;
+                            } else {
+                                std::this_thread::yield();
+                                continue;
+                            }
+                        }
+                        if constexpr (Faults::kEnabled) {
+                            if (const auto us =
+                                    faults.batch_delay_us(s, popped)) {
+                                std::this_thread::sleep_for(
+                                    std::chrono::microseconds(us));
+                            }
+                        }
+                        ++popped;
                         // Warm the next batch's units, then drain the
                         // previous batch — prefetch one batch ahead.
                         detail::prefetch_batch(cache, next);
-                        if (have_pending) {
-                            detail::process_batch(cache, pending, local);
-                        }
+                        finish_pending();
                         pending = std::move(next);
                         have_pending = true;
                     }
-                    if (have_pending) {
-                        detail::process_batch(cache, pending, local);
-                    }
+                    finish_pending();
                     results[s].s = local;
+                    results[s].scrub = scrub_local;
+                    if (parked) {
+                        // Publish park *after* the stats: the dispatcher
+                        // acquires `parked` before assuming the consumer
+                        // role, which orders it after everything above.
+                        ctl[s].parked.store(true, std::memory_order_release);
+                    }
                 });
             }
+
+            // Drain a dead shard's queue on the dispatcher thread: batches
+            // come out in FIFO order, exactly the suffix the worker never
+            // applied, so per-unit arrival order is preserved.
+            const auto takeover = [&](std::size_t s) {
+                inlined[s] = 1;
+                ++report.drained_inline;
+                Batch b;
+                while (queues[s]->try_pop(b)) {
+                    detail::prefetch_batch(cache, b);
+                    detail::process_batch(cache, b, drained[s]);
+                }
+            };
+
+            // Deliver one full (or final partial) batch to shard s, walking
+            // the degradation ladder on sustained backpressure: bounded
+            // push → progress check → watchdog abandon → inline drain.
+            const auto deliver = [&](std::size_t s, Batch& b) {
+                if (!inlined[s]) {
+                    auto last_progress =
+                        ctl[s].progress.load(std::memory_order_acquire);
+                    auto stalled_since = std::chrono::steady_clock::now();
+                    for (;;) {
+                        if (queues[s]->try_push_for(b, push_deadline)) {
+                            return;
+                        }
+                        ++report.backpressure_waits;
+                        if (ctl[s].parked.load(std::memory_order_acquire)) {
+                            break;  // worker died on its own: recover now
+                        }
+                        const auto p =
+                            ctl[s].progress.load(std::memory_order_acquire);
+                        const auto now = std::chrono::steady_clock::now();
+                        if (p != last_progress) {
+                            last_progress = p;  // slow but alive: keep going
+                            stalled_since = now;
+                            continue;
+                        }
+                        if (cfg.robust.watchdog &&
+                            now - stalled_since >= stall_timeout) {
+                            ctl[s].abandon.store(true,
+                                                 std::memory_order_release);
+                            ++report.abandoned_workers;
+                            while (!ctl[s].parked.load(
+                                std::memory_order_acquire)) {
+                                std::this_thread::yield();
+                            }
+                            break;
+                        }
+                    }
+                    takeover(s);
+                }
+                // Inline mode: the dispatcher owns this shard; the queued
+                // suffix was drained first, so order still holds.
+                detail::prefetch_batch(cache, b);
+                detail::process_batch(cache, b, drained[s]);
+            };
 
             // Dispatch: hash, route, batch, push.
             for (const auto& op : ops) {
@@ -245,21 +487,39 @@ ShardedReport replay_sharded(Cache& cache,
                 const std::size_t s = plan.owner(bucket);
                 open[s].push_back(Routed{bucket, op.key, op.value});
                 if (open[s].size() == batch_ops) {
-                    queues[s]->push(std::move(open[s]));
-                    open[s] = Batch{};
-                    open[s].reserve(batch_ops);
+                    deliver(s, open[s]);
+                    open[s].clear();
                 }
             }
             for (std::size_t s = 0; s < W; ++s) {
-                if (!open[s].empty()) queues[s]->push(std::move(open[s]));
-                queues[s]->close();
+                if (!open[s].empty()) deliver(s, open[s]);
+                if (!inlined[s]) queues[s]->close();
             }
         }  // jthreads join here
+
+        // Post-join sweep: a worker that parked during the final drain (or
+        // one that died without ever filling its ring) left a queued suffix
+        // behind; apply it now, in order, on this thread.
+        for (std::size_t s = 0; s < W; ++s) {
+            Batch b;
+            bool leftovers = false;
+            while (queues[s]->try_pop(b)) {
+                leftovers = true;
+                detail::prefetch_batch(cache, b);
+                detail::process_batch(cache, b, drained[s]);
+            }
+            if (leftovers && !inlined[s]) ++report.drained_inline;
+        }
         if (first_touch) cache.mark_materialized();
+
+        for (std::size_t s = 0; s < W; ++s) {
+            report.stats.merge(drained[s]);
+        }
     }
 
     for (std::size_t s = 0; s < W; ++s) {
         report.stats.merge(results[s].s);
+        report.scrub.merge(results[s].scrub);
     }
     return report;
 }

@@ -10,6 +10,8 @@
 #include <cstddef>
 #include <utility>
 
+#include "p4lru/fault/status.hpp"
+
 namespace p4lru::replay {
 
 class ShardPlan {
@@ -17,6 +19,11 @@ class ShardPlan {
     /// Build a plan over `units` buckets with at most `shards_requested`
     /// shards (clamped to [1, units]). Throws on units == 0.
     static ShardPlan make(std::size_t units, std::size_t shards_requested);
+
+    /// Non-throwing variant: kInvalidArgument instead of an exception on
+    /// units == 0 (the typed-error path the hardened replay runtime uses).
+    static Expected<ShardPlan> try_make(std::size_t units,
+                                        std::size_t shards_requested);
 
     /// Owner shard of a bucket: floor(bucket * shards / units). The
     /// dispatcher pays this per op, so power-of-two unit counts (the common

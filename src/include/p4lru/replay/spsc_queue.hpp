@@ -2,12 +2,38 @@
 // engine: the dispatcher thread pushes batches of routed operations, one
 // worker per shard pops them. Lock-free ring buffer with acquire/release
 // head/tail counters; capacity is rounded up to a power of two so the ring
-// index is a mask. Producer-side push spins (with yields) when the ring is
-// full — backpressure, not loss. close() lets the consumer drain and exit.
+// index is a mask. close() lets the consumer drain and exit.
+//
+// Wraparound invariants (tested in spsc_queue_test.cpp):
+//   * head_ and tail_ are free-running u64 counters — they are never reduced
+//     modulo the capacity.  The ring slot is `counter & mask_`, so the index
+//     wraps around the buffer every `capacity()` operations while the
+//     counters keep growing.
+//   * occupancy is `tail_ - head_`, computed in unsigned arithmetic, which
+//     stays correct even across u64 overflow (mod-2^64 subtraction); the
+//     queue is FULL iff tail_ - head_ == capacity() and EMPTY iff
+//     tail_ == head_.  Because capacity() << 2^64, the two counters can
+//     never drift apart far enough to alias.
+//   * the producer owns tail_, the consumer owns head_; each side reads the
+//     other's counter with acquire and publishes its own with release, which
+//     orders the slot write/read against the counter movement.
+//
+// Backpressure: push() blocks (spin + yield) while the ring is full — the
+// legacy unbounded wait.  The hardened replay runtime uses try_push_for()
+// instead: a deadline-bounded spin → yield ladder that returns control to
+// the producer so it can detect a dead consumer (watchdog, replay.hpp)
+// rather than wedging forever.
+//
+// Consumer handoff: the consumer role may be transferred to another thread
+// only through a release/acquire edge after the original consumer has
+// stopped popping forever (the replay engine's parked-worker protocol); the
+// queue itself does not arbitrate between two live consumers.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -38,7 +64,8 @@ class SpscQueue {
         tail_.store(tail + 1, std::memory_order_release);
     }
 
-    /// Producer only. Returns false instead of blocking when full.
+    /// Producer only. Returns false instead of blocking when full; v is left
+    /// intact on failure.
     bool try_push(T& v) {
         const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
         if (tail - head_.load(std::memory_order_acquire) >= buf_.size()) {
@@ -47,6 +74,24 @@ class SpscQueue {
         buf_[tail & mask_] = std::move(v);
         tail_.store(tail + 1, std::memory_order_release);
         return true;
+    }
+
+    /// Producer only. Deadline-bounded push: a short spin, then yielding,
+    /// until the ring has room or `timeout` elapses.  Returns false on
+    /// timeout with v left intact — the caller decides whether to retry,
+    /// escalate to the watchdog, or drain the consumer's work itself.
+    bool try_push_for(T& v, std::chrono::microseconds timeout) {
+        // Cheap spin first: the common stall is the consumer being one batch
+        // behind, resolved within a few hundred cycles.
+        for (int spin = 0; spin < 64; ++spin) {
+            if (try_push(v)) return true;
+        }
+        const auto deadline = std::chrono::steady_clock::now() + timeout;
+        while (std::chrono::steady_clock::now() < deadline) {
+            if (try_push(v)) return true;
+            std::this_thread::yield();
+        }
+        return try_push(v);
     }
 
     /// Consumer only. Non-blocking; false when currently empty.

@@ -4,16 +4,33 @@
 // sublinear because index traversals contend on a serialized latch
 // (ServerCosts::index_lock_fraction) — which is also why index bypasses
 // (cache hits) buy more than their raw latency.
+//
+// Fault tolerance: a DriverConfig may carry a fault::FlakyService modelling
+// a db server that refuses some requests.  The driver then retries each
+// refused query with exponential backoff (RetryConfig) in simulated time;
+// queries that exhaust their attempts complete as failures and are counted
+// in DriverReport::failed_queries instead of wedging the closed loop.  With
+// no FlakyService attached the retry path is never entered and the report
+// matches the fault-free driver bit-for-bit.
 #pragma once
 
 #include <cstdint>
 
 #include "p4lru/common/types.hpp"
+#include "p4lru/fault/fault_plan.hpp"
 #include "p4lru/systems/lruindex/db_server.hpp"
 #include "p4lru/systems/lruindex/index_cache.hpp"
 #include "p4lru/trace/ycsb.hpp"
 
 namespace p4lru::systems::lruindex {
+
+/// Retry policy against a refusing server: attempt k (0-based) that fails is
+/// re-sent after backoff << k.  max_attempts counts total tries, so 4 means
+/// one original send plus up to three retries.
+struct RetryConfig {
+    std::uint32_t max_attempts = 4;
+    TimeNs backoff = 20 * kMicrosecond;  ///< doubles per attempt
+};
 
 struct DriverConfig {
     std::size_t threads = 8;
@@ -21,6 +38,8 @@ struct DriverConfig {
     TimeNs net_delay = 3 * kMicrosecond;      ///< one-way client<->server
     trace::YcsbConfig workload{};             ///< keys, skew
     bool use_cache = true;  ///< false = the paper's "Naive Solution"
+    const fault::FlakyService* flaky = nullptr;  ///< optional injected faults
+    RetryConfig retry{};    ///< consulted only when flaky != nullptr
 };
 
 struct DriverReport {
@@ -29,6 +48,8 @@ struct DriverReport {
     double avg_latency_us = 0.0;
     std::uint64_t queries = 0;
     std::uint64_t wrong_replies = 0;  ///< correctness check: must be 0
+    std::uint64_t retries = 0;        ///< re-sends after a server refusal
+    std::uint64_t failed_queries = 0; ///< gave up after max_attempts
 };
 
 /// Run the closed loop against `cache` (may be null when use_cache=false).

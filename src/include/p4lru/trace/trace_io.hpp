@@ -5,12 +5,19 @@
 //   magic "P4LRUTRC" (8 bytes) | version u32 | count u64 |
 //   count x { ts u64 | src_ip u32 | dst_ip u32 | src_port u16 | dst_port u16
 //             | proto u8 | pad u8[3] | len u32 }
+//
+// Reading is hardened against rotten files: read_trace_checked returns a
+// typed Status (kIoError / kCorrupt / kTruncated) carrying the byte offset
+// where parsing failed, and cross-checks the header's record count against
+// the file size before allocating — a corrupt count field cannot drive a
+// multi-gigabyte reserve.  read_trace is the throwing convenience wrapper.
 #pragma once
 
 #include <string>
 #include <vector>
 
 #include "p4lru/common/types.hpp"
+#include "p4lru/fault/status.hpp"
 
 namespace p4lru::trace {
 
@@ -18,8 +25,15 @@ namespace p4lru::trace {
 void write_trace(const std::string& path,
                  const std::vector<PacketRecord>& records);
 
-/// Read a trace from `path`. Throws std::runtime_error on IO failure, bad
-/// magic, unsupported version, or a truncated body.
+/// Read a trace from `path`; the typed-error path.  On failure the Status
+/// names the cause and, for corruption/truncation, the byte offset at which
+/// the file stopped making sense (Status::offset).
+[[nodiscard]] Expected<std::vector<PacketRecord>> read_trace_checked(
+    const std::string& path);
+
+/// Read a trace from `path`. Throws std::runtime_error (message includes
+/// the byte offset) on IO failure, bad magic, unsupported version, a record
+/// count that exceeds the file size, or a truncated body.
 [[nodiscard]] std::vector<PacketRecord> read_trace(const std::string& path);
 
 }  // namespace p4lru::trace

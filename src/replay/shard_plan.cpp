@@ -9,8 +9,18 @@
 namespace p4lru::replay {
 
 ShardPlan ShardPlan::make(std::size_t units, std::size_t shards_requested) {
+    auto plan = try_make(units, shards_requested);
+    if (!plan.is_ok()) {
+        throw std::invalid_argument("ShardPlan: " +
+                                    plan.status().to_string());
+    }
+    return std::move(plan).value();
+}
+
+Expected<ShardPlan> ShardPlan::try_make(std::size_t units,
+                                        std::size_t shards_requested) {
     if (units == 0) {
-        throw std::invalid_argument("ShardPlan: zero units");
+        return Status(ErrorCode::kInvalidArgument, "zero units");
     }
     const std::size_t shards =
         std::clamp<std::size_t>(shards_requested, 1, units);

@@ -1,5 +1,6 @@
 #include "p4lru/systems/lruindex/driver.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <stdexcept>
 #include <vector>
@@ -17,6 +18,9 @@ DriverReport run_driver(const DriverConfig& cfg, DbServer& server,
     if (cfg.use_cache && cache == nullptr) {
         throw std::invalid_argument("run_driver: cache required");
     }
+    if (cfg.flaky != nullptr && cfg.retry.max_attempts == 0) {
+        throw std::invalid_argument("run_driver: zero retry attempts");
+    }
 
     sim::EventQueue q;
     trace::YcsbWorkload workload(cfg.workload);
@@ -27,6 +31,8 @@ DriverReport run_driver(const DriverConfig& cfg, DbServer& server,
         std::uint64_t completed = 0;
         std::uint64_t misses = 0;
         std::uint64_t wrong = 0;
+        std::uint64_t retries = 0;
+        std::uint64_t failed = 0;
         TimeNs last_done = 0;
         TimeNs lock_free_at = 0;
         stats::Running latency_us;
@@ -46,49 +52,71 @@ DriverReport run_driver(const DriverConfig& cfg, DbServer& server,
 
         void issue(TimeNs now) {
             if (sh->issued >= cfg->queries) return;
-            ++sh->issued;
+            const std::uint64_t seq = sh->issued++;
             const DbKey key = workload->next().key;
             const TimeNs t0 = now;
             // Client -> switch.
-            q->schedule(now + half, [this, key, t0] {
+            q->schedule(now + half, [this, key, t0, seq] {
                 const TimeNs t_sw = q->now();
                 CacheHeader hdr;
                 if (cfg->use_cache) hdr = cache->query(key);
                 if (!hdr.hit()) ++sh->misses;
                 // Switch -> server.
-                q->schedule(t_sw + half, [this, key, t0, hdr] {
-                    const TimeNs arrive = q->now();
-                    const ServeResult res = server->serve(key, hdr);
-                    TimeNs done;
-                    if (res.used_index && res.lock_time > 0) {
-                        const TimeNs start =
-                            std::max(arrive, sh->lock_free_at);
-                        sh->lock_free_at = start + res.lock_time;
-                        done = start + res.lock_time + res.service_time;
+                serve_at(t_sw + half, key, t0, hdr, seq, 0);
+            });
+        }
+
+        /// One server attempt for query `seq`.  A refusal (flaky service)
+        /// re-sends after retry.backoff << attempt until max_attempts, then
+        /// the query completes as failed — the closed loop never wedges on a
+        /// dead dependency.
+        void serve_at(TimeNs when, DbKey key, TimeNs t0, CacheHeader hdr,
+                      std::uint64_t seq, std::uint32_t attempt) {
+            q->schedule(when, [this, key, t0, hdr, seq, attempt] {
+                const TimeNs arrive = q->now();
+                if (cfg->flaky != nullptr && cfg->flaky->fails(seq, attempt)) {
+                    if (attempt + 1 < cfg->retry.max_attempts) {
+                        ++sh->retries;
+                        const TimeNs backoff = cfg->retry.backoff << attempt;
+                        serve_at(arrive + backoff, key, t0, hdr, seq,
+                                 attempt + 1);
                     } else {
-                        done = arrive + res.service_time;
+                        ++sh->failed;
+                        complete(arrive + half, t0);
                     }
-                    if (!res.valid ||
-                        res.addr != server->address_of(key)) {
-                        ++sh->wrong;
+                    return;
+                }
+                const ServeResult res = server->serve(key, hdr);
+                TimeNs done;
+                if (res.used_index && res.lock_time > 0) {
+                    const TimeNs start = std::max(arrive, sh->lock_free_at);
+                    sh->lock_free_at = start + res.lock_time;
+                    done = start + res.lock_time + res.service_time;
+                } else {
+                    done = arrive + res.service_time;
+                }
+                if (!res.valid || res.addr != server->address_of(key)) {
+                    ++sh->wrong;
+                }
+                // Server -> switch (reply pass updates the cache).
+                q->schedule(done + half, [this, key, t0, hdr, res] {
+                    const TimeNs t_sw2 = q->now();
+                    if (cfg->use_cache) {
+                        cache->reply(key, res.addr, hdr, t_sw2);
                     }
-                    // Server -> switch (reply pass updates the cache).
-                    q->schedule(done + half, [this, key, t0, hdr, res] {
-                        const TimeNs t_sw2 = q->now();
-                        if (cfg->use_cache) {
-                            cache->reply(key, res.addr, hdr, t_sw2);
-                        }
-                        // Switch -> client; completion issues the next query.
-                        q->schedule(t_sw2 + half, [this, t0] {
-                            const TimeNs t_end = q->now();
-                            ++sh->completed;
-                            sh->last_done = std::max(sh->last_done, t_end);
-                            sh->latency_us.add(
-                                static_cast<double>(t_end - t0) / 1000.0);
-                            issue(t_end);
-                        });
-                    });
+                    complete(t_sw2 + half, t0);
                 });
+            });
+        }
+
+        /// Switch -> client; completion issues the next query.
+        void complete(TimeNs when, TimeNs t0) {
+            q->schedule(when, [this, t0] {
+                const TimeNs t_end = q->now();
+                ++sh->completed;
+                sh->last_done = std::max(sh->last_done, t_end);
+                sh->latency_us.add(static_cast<double>(t_end - t0) / 1000.0);
+                issue(t_end);
             });
         }
     };
@@ -107,6 +135,8 @@ DriverReport run_driver(const DriverConfig& cfg, DbServer& server,
                             static_cast<double>(shared->issued);
     r.avg_latency_us = shared->latency_us.mean();
     r.wrong_replies = shared->wrong;
+    r.retries = shared->retries;
+    r.failed_queries = shared->failed;
     if (shared->last_done > 0) {
         r.throughput_ktps = static_cast<double>(shared->completed) /
                             (static_cast<double>(shared->last_done) / 1e9) /

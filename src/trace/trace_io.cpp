@@ -12,6 +12,7 @@ constexpr std::array<char, 8> kMagic = {'P', '4', 'L', 'R', 'U',
                                         'T', 'R', 'C'};
 constexpr std::uint32_t kVersion = 1;
 constexpr std::size_t kRecordBytes = 8 + 4 + 4 + 2 + 2 + 1 + 3 + 4;
+constexpr std::size_t kHeaderBytes = 8 + 4 + 8;
 
 void put_record(std::ofstream& os, const PacketRecord& r) {
     std::array<std::uint8_t, kRecordBytes> buf{};
@@ -32,17 +33,11 @@ void put_record(std::ofstream& os, const PacketRecord& r) {
              static_cast<std::streamsize>(buf.size()));
 }
 
-PacketRecord get_record(std::ifstream& is) {
-    std::array<std::uint8_t, kRecordBytes> buf{};
-    is.read(reinterpret_cast<char*>(buf.data()),
-            static_cast<std::streamsize>(buf.size()));
-    if (is.gcount() != static_cast<std::streamsize>(buf.size())) {
-        throw std::runtime_error("read_trace: truncated record");
-    }
+PacketRecord parse_record(const std::uint8_t* buf) {
     PacketRecord r;
     std::size_t off = 0;
     const auto get = [&](void* p, std::size_t n) {
-        std::memcpy(p, buf.data() + off, n);
+        std::memcpy(p, buf + off, n);
         off += n;
     };
     get(&r.ts, 8);
@@ -70,27 +65,84 @@ void write_trace(const std::string& path,
     if (!os) throw std::runtime_error("write_trace: write failed: " + path);
 }
 
-std::vector<PacketRecord> read_trace(const std::string& path) {
-    std::ifstream is(path, std::ios::binary);
-    if (!is) throw std::runtime_error("read_trace: cannot open " + path);
+Expected<std::vector<PacketRecord>> read_trace_checked(
+    const std::string& path) {
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is) {
+        return Status(ErrorCode::kIoError, "cannot open " + path);
+    }
+    const auto file_size = static_cast<std::uint64_t>(is.tellg());
+    is.seekg(0);
+
+    if (file_size < kHeaderBytes) {
+        return Status(ErrorCode::kTruncated,
+                      "file of " + std::to_string(file_size) +
+                          " bytes is shorter than the header",
+                      file_size);
+    }
     std::array<char, 8> magic{};
     is.read(magic.data(), magic.size());
-    if (is.gcount() != static_cast<std::streamsize>(magic.size()) ||
-        magic != kMagic) {
-        throw std::runtime_error("read_trace: bad magic in " + path);
+    if (magic != kMagic) {
+        return Status(ErrorCode::kCorrupt, "bad magic in " + path, 0);
     }
     std::uint32_t version = 0;
     is.read(reinterpret_cast<char*>(&version), sizeof(version));
-    if (!is || version != kVersion) {
-        throw std::runtime_error("read_trace: unsupported version");
+    if (version != kVersion) {
+        return Status(ErrorCode::kCorrupt,
+                      "unsupported version " + std::to_string(version),
+                      magic.size());
     }
     std::uint64_t count = 0;
     is.read(reinterpret_cast<char*>(&count), sizeof(count));
-    if (!is) throw std::runtime_error("read_trace: truncated header");
+    if (!is) {
+        return Status(ErrorCode::kIoError, "header read failed: " + path,
+                      magic.size() + sizeof(version));
+    }
+    // Sanity-cap the count against the actual file size: a flipped bit in
+    // the count field must not drive a huge allocation or a long read loop.
+    const std::uint64_t body = file_size - kHeaderBytes;
+    if (count > body / kRecordBytes) {
+        return Status(ErrorCode::kCorrupt,
+                      "record count " + std::to_string(count) +
+                          " exceeds file body of " + std::to_string(body) +
+                          " bytes (" + std::to_string(body / kRecordBytes) +
+                          " records)",
+                      magic.size() + sizeof(version));
+    }
+    if (body != count * kRecordBytes) {
+        return Status(ErrorCode::kTruncated,
+                      "file body is " + std::to_string(body) +
+                          " bytes; header promises " +
+                          std::to_string(count * kRecordBytes),
+                      file_size);
+    }
+
     std::vector<PacketRecord> out;
     out.reserve(count);
-    for (std::uint64_t i = 0; i < count; ++i) out.push_back(get_record(is));
+    std::array<std::uint8_t, kRecordBytes> buf{};
+    for (std::uint64_t i = 0; i < count; ++i) {
+        is.read(reinterpret_cast<char*>(buf.data()),
+                static_cast<std::streamsize>(buf.size()));
+        if (is.gcount() != static_cast<std::streamsize>(buf.size())) {
+            return Status(
+                ErrorCode::kTruncated,
+                "record " + std::to_string(i) + " of " +
+                    std::to_string(count) + " cut short",
+                kHeaderBytes + i * kRecordBytes +
+                    static_cast<std::uint64_t>(is.gcount()));
+        }
+        out.push_back(parse_record(buf.data()));
+    }
     return out;
+}
+
+std::vector<PacketRecord> read_trace(const std::string& path) {
+    auto r = read_trace_checked(path);
+    if (!r.is_ok()) {
+        throw std::runtime_error("read_trace: " + r.status().to_string() +
+                                 " [" + path + "]");
+    }
+    return std::move(r).value();
 }
 
 }  // namespace p4lru::trace

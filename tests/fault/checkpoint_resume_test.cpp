@@ -1,0 +1,154 @@
+// Checkpoint/resume: killing a replay at an arbitrary cursor and resuming
+// from the snapshot — on a fresh cache object — must reproduce the exact
+// final statistics and cache contents of the uninterrupted run (ISSUE
+// acceptance: kill-and-resume at 3 random cursors, bit-identical stats).
+#include "p4lru/replay/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "p4lru/common/random.hpp"
+#include "p4lru/core/p4lru.hpp"
+#include "p4lru/trace/trace_gen.hpp"
+
+namespace p4lru::replay {
+namespace {
+
+using FlowCache =
+    core::ParallelCache<core::P4lru<FlowKey, std::uint32_t, 3>, FlowKey,
+                        std::uint32_t>;
+using AosFlowCache =
+    core::AosParallelCache<core::P4lru<FlowKey, std::uint32_t, 3>, FlowKey,
+                           std::uint32_t>;
+
+template <typename CacheA, typename CacheB>
+void expect_same_contents(const CacheA& a, const CacheB& b) {
+    ASSERT_EQ(a.unit_count(), b.unit_count());
+    for (std::size_t u = 0; u < a.unit_count(); ++u) {
+        const auto& ua = a.unit(u);
+        const auto& ub = b.unit(u);
+        ASSERT_EQ(ua.size(), ub.size()) << "unit " << u;
+        for (std::size_t i = 1; i <= ua.size(); ++i) {
+            EXPECT_EQ(ua.key_at(i), ub.key_at(i)) << "unit " << u;
+            EXPECT_EQ(ua.value_at(i), ub.value_at(i)) << "unit " << u;
+        }
+    }
+}
+
+std::vector<ReplayOp<FlowKey, std::uint32_t>> zipf_ops() {
+    trace::TraceConfig cfg;
+    cfg.seed = 55;
+    cfg.total_packets = 50'000;
+    return ops_from_packets(trace::generate_trace(cfg));
+}
+
+using Ops = std::span<const ReplayOp<FlowKey, std::uint32_t>>;
+
+/// Kill-and-resume at `cursor`: replay [0, cursor) on one cache, snapshot,
+/// restore the snapshot into a *fresh* cache (simulated process restart),
+/// replay the rest there, and compare against the uninterrupted run.
+template <typename Cache>
+void kill_and_resume_at(const std::vector<ReplayOp<FlowKey, std::uint32_t>>&
+                            ops,
+                        std::size_t cursor) {
+    Cache full(1024, 0x17);
+    const auto ref = replay_sequential(full, Ops(ops));
+
+    Cache first(1024, 0x17);
+    const auto head = replay_sequential(first, Ops(ops).subspan(0, cursor));
+    const auto cp = take_checkpoint(first, cursor, head);
+
+    Cache resumed(1024, 0x17);  // fresh object: nothing carried over
+    const auto r = resume_sequential(resumed, Ops(ops), cp);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    EXPECT_EQ(r.value(), ref) << "cursor " << cursor;
+    expect_same_contents(full, resumed);
+}
+
+TEST(CheckpointResume, ThreeRandomCursorsSoaLayout) {
+    const auto ops = zipf_ops();
+    rng::SplitMix64 rng(0xC4E);
+    for (int i = 0; i < 3; ++i) {
+        const auto cursor =
+            static_cast<std::size_t>(rng.next() % ops.size());
+        kill_and_resume_at<FlowCache>(ops, cursor);
+    }
+}
+
+TEST(CheckpointResume, ThreeRandomCursorsAosLayout) {
+    const auto ops = zipf_ops();
+    rng::SplitMix64 rng(0xA05);
+    for (int i = 0; i < 3; ++i) {
+        const auto cursor =
+            static_cast<std::size_t>(rng.next() % ops.size());
+        kill_and_resume_at<AosFlowCache>(ops, cursor);
+    }
+}
+
+TEST(CheckpointResume, BoundaryCursors) {
+    const auto ops = zipf_ops();
+    kill_and_resume_at<FlowCache>(ops, 0);           // nothing replayed yet
+    kill_and_resume_at<FlowCache>(ops, ops.size());  // everything replayed
+}
+
+TEST(CheckpointResume, CheckpointedRunEmitsSnapshotsAndMatches) {
+    const auto ops = zipf_ops();
+    FlowCache plain(512, 0x31);
+    const auto ref = replay_sequential(plain, Ops(ops));
+
+    FlowCache cache(512, 0x31);
+    std::vector<ReplayCheckpoint> cps;
+    const auto stats = replay_sequential_checkpointed(
+        cache, Ops(ops), /*every=*/10'000,
+        [&](ReplayCheckpoint&& cp) { cps.push_back(std::move(cp)); });
+    EXPECT_EQ(stats, ref);
+    ASSERT_EQ(cps.size(), (ops.size() - 1) / 10'000);
+    // Every emitted checkpoint is a valid resume point.
+    for (const auto& cp : cps) {
+        FlowCache resumed(512, 0x31);
+        const auto r = resume_sequential(resumed, Ops(ops), cp);
+        ASSERT_TRUE(r.is_ok());
+        EXPECT_EQ(r.value(), ref) << "cursor " << cp.cursor;
+        expect_same_contents(plain, resumed);
+    }
+}
+
+TEST(CheckpointResume, RejectsShapeMismatchWithTypedError) {
+    const auto ops = zipf_ops();
+    FlowCache small(256, 0x17);
+    const auto cp = take_checkpoint(small, 0, ReplayStats{});
+
+    FlowCache big(1024, 0x17);
+    const auto r = resume_sequential(big, Ops(ops), cp);
+    ASSERT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kInvalidState);
+}
+
+TEST(CheckpointResume, RejectsCursorBeyondStream) {
+    const auto ops = zipf_ops();
+    FlowCache cache(256, 0x17);
+    auto cp = take_checkpoint(cache, 0, ReplayStats{});
+    cp.cursor = ops.size() + 1;
+    const auto r = resume_sequential(cache, Ops(ops), cp);
+    ASSERT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kInvalidState);
+}
+
+TEST(CheckpointResume, RejectsCrossLayoutPlaneImage) {
+    // An AoS plane image has a different size than the slab's planes for
+    // the same geometry; load_planes must refuse rather than reinterpret.
+    const auto ops = zipf_ops();
+    AosFlowCache aos(1024, 0x17);
+    const auto cp = take_checkpoint(aos, 0, ReplayStats{});
+
+    FlowCache soa(1024, 0x17);
+    const auto r = resume_sequential(soa, Ops(ops), cp);
+    ASSERT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kInvalidState);
+}
+
+}  // namespace
+}  // namespace p4lru::replay

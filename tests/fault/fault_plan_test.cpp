@@ -1,0 +1,126 @@
+// FaultPlan: the deterministic fault vocabulary — builders, queries, seeded
+// chaos generation, and the zero-cost NoFaults contract.
+#include "p4lru/fault/fault_plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <type_traits>
+
+namespace p4lru::fault {
+namespace {
+
+TEST(FaultPlan, EmptyPlanInjectsNothing) {
+    const FaultPlan p;
+    EXPECT_TRUE(p.empty());
+    EXPECT_FALSE(p.worker_parks(0, 0));
+    EXPECT_EQ(p.batch_delay_us(0, 0), 0u);
+    EXPECT_TRUE(p.op_events().empty());
+}
+
+TEST(FaultPlan, StallParksFromItsBatchOnward) {
+    FaultPlan p;
+    p.stall_worker(/*shard=*/2, /*at_batch=*/5);
+    EXPECT_FALSE(p.worker_parks(2, 4));
+    EXPECT_TRUE(p.worker_parks(2, 5));
+    EXPECT_TRUE(p.worker_parks(2, 100));
+    EXPECT_FALSE(p.worker_parks(1, 100)) << "other shards unaffected";
+}
+
+TEST(FaultPlan, DelaysAccumulatePerBatch) {
+    FaultPlan p;
+    p.delay_batch(0, 3, 100).delay_batch(0, 3, 50).delay_batch(0, 4, 7);
+    EXPECT_EQ(p.batch_delay_us(0, 3), 150u);
+    EXPECT_EQ(p.batch_delay_us(0, 4), 7u);
+    EXPECT_EQ(p.batch_delay_us(0, 5), 0u);
+    EXPECT_EQ(p.batch_delay_us(1, 3), 0u);
+}
+
+TEST(FaultPlan, OpEventsStaySortedByIndex) {
+    FaultPlan p;
+    p.corrupt_meta(7, /*at_op=*/500, 0b01);
+    p.corrupt_op(/*at_op=*/100, 0xFF);
+    p.corrupt_key(3, /*at_op=*/300, 0x0101);
+    const auto& evs = p.op_events();
+    ASSERT_EQ(evs.size(), 3u);
+    EXPECT_EQ(evs[0].at, 100u);
+    EXPECT_EQ(evs[1].at, 300u);
+    EXPECT_EQ(evs[2].at, 500u);
+}
+
+TEST(FaultPlan, ChaosIsSeedDeterministic) {
+    ChaosSpec spec;
+    spec.stalls = 3;
+    spec.delays = 5;
+    const auto a = FaultPlan::chaos(42, spec);
+    const auto b = FaultPlan::chaos(42, spec);
+    EXPECT_EQ(a.worker_events(), b.worker_events());
+
+    const auto c = FaultPlan::chaos(43, spec);
+    EXPECT_NE(a.worker_events(), c.worker_events())
+        << "different seeds should explore different fault placements";
+    EXPECT_EQ(a.worker_events().size(), spec.stalls + spec.delays);
+}
+
+TEST(NoFaults, IsZeroCostByConstruction) {
+    static_assert(std::is_empty_v<NoFaults>);
+    static_assert(!NoFaults::kEnabled);
+    // All hooks are constexpr no-ops — usable in constant evaluation.
+    static_assert(!NoFaults::worker_parks(0, 0));
+    static_assert(NoFaults::batch_delay_us(0, 0) == 0);
+}
+
+TEST(InjectedFaults, MutateKeyFlipsExactlyTheScheduledOps) {
+    FaultPlan p;
+    p.corrupt_op(10, 0xFF00).corrupt_op(20, 0x1);
+    const InjectedFaults f(p);
+
+    std::uint64_t k = 0xABCD;
+    f.mutate_key(9, k);
+    EXPECT_EQ(k, 0xABCDu) << "unscheduled index untouched";
+    f.mutate_key(10, k);
+    EXPECT_EQ(k, 0xABCDu ^ 0xFF00u);
+    f.mutate_key(20, k);
+    EXPECT_EQ(k, (0xABCDu ^ 0xFF00u) ^ 0x1u);
+}
+
+TEST(InjectedFaults, MutateKeyIsInvolutionUnderSameMask) {
+    FaultPlan p;
+    p.corrupt_op(0, 0xDEADBEEF);
+    const InjectedFaults f(p);
+    std::uint32_t k = 1234;
+    f.mutate_key(0, k);
+    EXPECT_NE(k, 1234u);
+    f.mutate_key(0, k);
+    EXPECT_EQ(k, 1234u);
+}
+
+TEST(FlakyService, DeterministicAndBoundedFailures) {
+    const FlakyService svc(/*seed=*/7, /*period=*/10, /*fails=*/2);
+    std::size_t incidents = 0;
+    for (std::uint64_t seq = 0; seq < 10'000; ++seq) {
+        const bool first = svc.fails(seq, 0);
+        EXPECT_EQ(first, svc.fails(seq, 0)) << "must be pure";
+        EXPECT_EQ(first, svc.is_incident(seq));
+        if (first) {
+            ++incidents;
+            EXPECT_TRUE(svc.fails(seq, 1)) << "fails twice per incident";
+            EXPECT_FALSE(svc.fails(seq, 2)) << "third attempt succeeds";
+        } else {
+            EXPECT_FALSE(svc.fails(seq, 1));
+        }
+    }
+    // ~1/10 of requests are incidents; allow generous slack.
+    EXPECT_GT(incidents, 500u);
+    EXPECT_LT(incidents, 2000u);
+}
+
+TEST(FlakyService, ZeroPeriodNeverFails) {
+    const FlakyService svc(7, 0, 3);
+    for (std::uint64_t seq = 0; seq < 1'000; ++seq) {
+        EXPECT_FALSE(svc.fails(seq, 0));
+    }
+}
+
+}  // namespace
+}  // namespace p4lru::fault

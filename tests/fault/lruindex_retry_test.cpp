@@ -1,0 +1,118 @@
+// Driver retry-with-backoff against a fault-injected flaky db server: the
+// closed loop must absorb transient refusals via retries, give up cleanly
+// (counted, not wedged) on persistent ones, and — with no FlakyService
+// attached — reproduce the fault-free report bit for bit.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "p4lru/fault/fault_plan.hpp"
+#include "p4lru/systems/lruindex/db_server.hpp"
+#include "p4lru/systems/lruindex/driver.hpp"
+#include "p4lru/systems/lruindex/index_cache.hpp"
+
+namespace p4lru::systems::lruindex {
+namespace {
+
+DriverConfig base_config() {
+    DriverConfig cfg;
+    cfg.threads = 4;
+    cfg.queries = 8'000;
+    cfg.workload.items = 10'000;
+    cfg.workload.seed = 5;
+    return cfg;
+}
+
+TEST(DriverRetry, NoFlakyServiceMatchesLegacyDriverExactly) {
+    DbServer server_a(10'000, ServerCosts{});
+    SeriesIndexCache cache_a(4, 256, 0x21);
+    const auto a = run_driver(base_config(), server_a, &cache_a);
+
+    DbServer server_b(10'000, ServerCosts{});
+    SeriesIndexCache cache_b(4, 256, 0x21);
+    auto cfg = base_config();
+    cfg.retry.max_attempts = 2;  // retry knobs are inert without a service
+    const auto b = run_driver(cfg, server_b, &cache_b);
+
+    EXPECT_EQ(a.queries, b.queries);
+    EXPECT_EQ(a.wrong_replies, b.wrong_replies);
+    EXPECT_EQ(a.retries, 0u);
+    EXPECT_EQ(b.retries, 0u);
+    EXPECT_DOUBLE_EQ(a.throughput_ktps, b.throughput_ktps);
+    EXPECT_DOUBLE_EQ(a.avg_latency_us, b.avg_latency_us);
+}
+
+TEST(DriverRetry, TransientRefusalsAreRetriedToCompletion) {
+    // Each incident fails 2 attempts; with 4 allowed attempts every query
+    // eventually succeeds — zero failed queries, correctness intact.
+    const fault::FlakyService flaky(/*seed=*/11, /*period=*/8, /*fails=*/2);
+    DbServer server(10'000, ServerCosts{});
+    SeriesIndexCache cache(4, 256, 0x21);
+    auto cfg = base_config();
+    cfg.flaky = &flaky;
+    cfg.retry.max_attempts = 4;
+    const auto r = run_driver(cfg, server, &cache);
+
+    EXPECT_EQ(r.queries, cfg.queries);
+    EXPECT_EQ(r.failed_queries, 0u);
+    EXPECT_EQ(r.wrong_replies, 0u);
+    EXPECT_GT(r.retries, 0u) << "~1/8 of queries should have needed retries";
+    // Exactly 2 resends per incident.
+    std::uint64_t incidents = 0;
+    for (std::uint64_t seq = 0; seq < cfg.queries; ++seq) {
+        if (flaky.is_incident(seq)) ++incidents;
+    }
+    EXPECT_EQ(r.retries, incidents * 2);
+}
+
+TEST(DriverRetry, PersistentRefusalsFailCleanlyWithoutWedging) {
+    // Incidents fail 5 attempts but only 3 are allowed: those queries must
+    // complete as failures — the closed loop still finishes every query.
+    const fault::FlakyService flaky(/*seed=*/13, /*period=*/10, /*fails=*/5);
+    DbServer server(10'000, ServerCosts{});
+    SeriesIndexCache cache(4, 256, 0x21);
+    auto cfg = base_config();
+    cfg.flaky = &flaky;
+    cfg.retry.max_attempts = 3;
+    const auto r = run_driver(cfg, server, &cache);
+
+    std::uint64_t incidents = 0;
+    for (std::uint64_t seq = 0; seq < cfg.queries; ++seq) {
+        if (flaky.is_incident(seq)) ++incidents;
+    }
+    EXPECT_GT(incidents, 0u);
+    EXPECT_EQ(r.queries, cfg.queries) << "failed queries still complete";
+    EXPECT_EQ(r.failed_queries, incidents);
+    EXPECT_EQ(r.retries, incidents * 2) << "max_attempts-1 resends each";
+    EXPECT_EQ(r.wrong_replies, 0u) << "failures are not wrong answers";
+}
+
+TEST(DriverRetry, BackoffShowsUpInLatency) {
+    DbServer server_a(10'000, ServerCosts{});
+    SeriesIndexCache cache_a(4, 256, 0x21);
+    const auto clean = run_driver(base_config(), server_a, &cache_a);
+
+    const fault::FlakyService flaky(17, 4, 2);
+    DbServer server_b(10'000, ServerCosts{});
+    SeriesIndexCache cache_b(4, 256, 0x21);
+    auto cfg = base_config();
+    cfg.flaky = &flaky;
+    cfg.retry.backoff = 100 * kMicrosecond;
+    const auto flaky_run = run_driver(cfg, server_b, &cache_b);
+
+    EXPECT_GT(flaky_run.avg_latency_us, clean.avg_latency_us)
+        << "retried queries pay their backoff in simulated time";
+}
+
+TEST(DriverRetry, ZeroAttemptsRejected) {
+    const fault::FlakyService flaky(1, 2, 1);
+    DbServer server(100, ServerCosts{});
+    SeriesIndexCache cache(2, 64, 0x21);
+    auto cfg = base_config();
+    cfg.flaky = &flaky;
+    cfg.retry.max_attempts = 0;
+    EXPECT_THROW(run_driver(cfg, server, &cache), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p4lru::systems::lruindex

@@ -60,6 +60,88 @@ TEST(SpscQueue, TransfersEverythingAcrossThreads) {
     EXPECT_EQ(sum, kCount * (kCount + 1) / 2);
 }
 
+/// Full/empty boundary at the counter-wraparound seam: head_/tail_ are
+/// free-running u64s and occupancy is their mod-2^64 difference, so fill →
+/// drain cycles far past capacity() must keep reporting full and empty at
+/// exactly the right occupancies.
+TEST(SpscQueue, FullEmptyBoundaryHoldsAcrossManyWraps) {
+    SpscQueue<int> q(4);
+    ASSERT_EQ(q.capacity(), 4u);
+    int v = 0;
+    for (int cycle = 0; cycle < 1'000; ++cycle) {
+        EXPECT_EQ(q.size_approx(), 0u);
+        EXPECT_FALSE(q.try_pop(v)) << "cycle " << cycle << ": empty pops";
+        for (int i = 0; i < 4; ++i) {
+            int x = cycle * 4 + i;
+            EXPECT_TRUE(q.try_push(x));
+        }
+        EXPECT_EQ(q.size_approx(), 4u);
+        int rejected = -1;
+        EXPECT_FALSE(q.try_push(rejected)) << "cycle " << cycle
+                                           << ": full accepts";
+        EXPECT_EQ(rejected, -1) << "failed push must leave the value intact";
+        for (int i = 0; i < 4; ++i) {
+            ASSERT_TRUE(q.try_pop(v));
+            EXPECT_EQ(v, cycle * 4 + i) << "FIFO across the index wrap";
+        }
+    }
+}
+
+/// Partial-occupancy wraparound: keep one element resident while pushing and
+/// popping, so the ring indices cross the wrap point at every alignment.
+TEST(SpscQueue, FifoPreservedAtEveryWrapAlignment) {
+    SpscQueue<int> q(4);
+    int next_in = 0;
+    int next_out = 0;
+    q.push(next_in++);
+    for (int step = 0; step < 500; ++step) {
+        q.push(next_in++);
+        int v = -1;
+        ASSERT_TRUE(q.try_pop(v));
+        EXPECT_EQ(v, next_out++);
+    }
+}
+
+TEST(SpscQueue, TryPushForSucceedsImmediatelyWithRoom) {
+    SpscQueue<int> q(4);
+    int v = 7;
+    EXPECT_TRUE(q.try_push_for(v, std::chrono::microseconds(0)));
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, 7);
+}
+
+TEST(SpscQueue, TryPushForTimesOutAgainstFullRing) {
+    SpscQueue<int> q(2);
+    int a = 1, b = 2, c = 3;
+    ASSERT_TRUE(q.try_push(a));
+    ASSERT_TRUE(q.try_push(b));
+    const auto t0 = std::chrono::steady_clock::now();
+    EXPECT_FALSE(q.try_push_for(c, std::chrono::microseconds(2'000)));
+    const auto elapsed = std::chrono::steady_clock::now() - t0;
+    EXPECT_GE(elapsed, std::chrono::microseconds(2'000));
+    EXPECT_EQ(c, 3) << "timed-out push must leave the value intact";
+}
+
+TEST(SpscQueue, TryPushForRecoversWhenConsumerResumes) {
+    SpscQueue<int> q(2);
+    int a = 1, b = 2, c = 3;
+    ASSERT_TRUE(q.try_push(a));
+    ASSERT_TRUE(q.try_push(b));
+    std::thread consumer([&q] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        int v;
+        ASSERT_TRUE(q.try_pop(v));
+    });
+    // Generous deadline: the pop lands well inside it.
+    EXPECT_TRUE(q.try_push_for(c, std::chrono::seconds(10)));
+    consumer.join();
+    int v = 0;
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, 2);
+    ASSERT_TRUE(q.try_pop(v));
+    EXPECT_EQ(v, 3);
+}
+
 TEST(SpscQueue, MoveOnlyPayload) {
     SpscQueue<std::vector<int>> q(4);
     std::vector<int> batch(100);

@@ -80,5 +80,104 @@ TEST_F(TraceIoTest, WrongVersionRejected) {
     EXPECT_THROW(read_trace(path_), std::runtime_error);
 }
 
+// -- typed-error path (read_trace_checked) --------------------------------
+
+TEST_F(TraceIoTest, CheckedReadReturnsValueOnGoodFile) {
+    TraceConfig cfg;
+    cfg.total_packets = 100;
+    const auto trace = generate_trace(cfg);
+    write_trace(path_, trace);
+    const auto r = read_trace_checked(path_);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    EXPECT_EQ(r.value().size(), trace.size());
+}
+
+TEST_F(TraceIoTest, CheckedReadReportsMissingFileAsIoError) {
+    const auto r = read_trace_checked("/nonexistent/dir/x.bin");
+    ASSERT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kIoError);
+}
+
+TEST_F(TraceIoTest, CheckedReadReportsBadMagicAtOffsetZero) {
+    std::ofstream os(path_, std::ios::binary);
+    os << "XXXXXXXXyyyyzzzzzzzz";  // 20 bytes: a full-size but bogus header
+    os.close();
+    const auto r = read_trace_checked(path_);
+    ASSERT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kCorrupt);
+    ASSERT_TRUE(r.status().has_offset());
+    EXPECT_EQ(r.status().offset(), 0u);
+}
+
+TEST_F(TraceIoTest, CheckedReadReportsVersionMismatchAtOffsetEight) {
+    write_trace(path_, {});
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8);
+    const std::uint32_t bad = 2;
+    f.write(reinterpret_cast<const char*>(&bad), 4);
+    f.close();
+    const auto r = read_trace_checked(path_);
+    ASSERT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kCorrupt);
+    EXPECT_EQ(r.status().offset(), 8u);
+}
+
+TEST_F(TraceIoTest, CheckedReadRejectsLyingRecordCount) {
+    TraceConfig cfg;
+    cfg.total_packets = 10;
+    write_trace(path_, generate_trace(cfg));
+    // Inflate the count field (bytes 12..19) far past the file body: the
+    // reader must refuse up front instead of allocating for 2^40 records.
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(12);
+    const std::uint64_t lie = std::uint64_t{1} << 40;
+    f.write(reinterpret_cast<const char*>(&lie), 8);
+    f.close();
+    const auto r = read_trace_checked(path_);
+    ASSERT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kCorrupt);
+}
+
+/// Fuzz-ish truncation sweep: every strict prefix of a valid trace file must
+/// be rejected with a typed error — never parsed as success, never crash —
+/// and the reported byte offset must lie within the truncated file.
+TEST_F(TraceIoTest, EveryTruncationPrefixIsRejectedWithOffset) {
+    TraceConfig cfg;
+    cfg.total_packets = 8;  // 20-byte header + 8 * 28-byte records = 244
+    const auto trace = generate_trace(cfg);
+    write_trace(path_, trace);
+    const auto full = std::filesystem::file_size(path_);
+
+    for (std::uintmax_t cut = 0; cut < full; ++cut) {
+        write_trace(path_, trace);  // restore, then truncate to `cut` bytes
+        std::filesystem::resize_file(path_, cut);
+        const auto r = read_trace_checked(path_);
+        ASSERT_FALSE(r.is_ok()) << "prefix of " << cut << " bytes parsed";
+        const auto code = r.status().code();
+        EXPECT_TRUE(code == ErrorCode::kCorrupt ||
+                    code == ErrorCode::kTruncated)
+            << "prefix " << cut << ": " << r.status().to_string();
+        if (r.status().has_offset()) {
+            EXPECT_LE(r.status().offset(), cut)
+                << "offset must point inside the truncated file";
+        }
+    }
+}
+
+TEST_F(TraceIoTest, ThrownErrorCarriesByteOffsetMessage) {
+    TraceConfig cfg;
+    cfg.total_packets = 100;
+    write_trace(path_, generate_trace(cfg));
+    const auto full = std::filesystem::file_size(path_);
+    std::filesystem::resize_file(path_, full - 11);
+    try {
+        (void)read_trace(path_);
+        FAIL() << "expected a throw";
+    } catch (const std::runtime_error& e) {
+        EXPECT_NE(std::string(e.what()).find("@byte"), std::string::npos)
+            << "message should carry the failure offset: " << e.what();
+    }
+}
+
 }  // namespace
 }  // namespace p4lru::trace
