@@ -23,6 +23,7 @@
 #include "p4lru/core/p4lru_encoded.hpp"
 #include "p4lru/core/parallel_array.hpp"
 #include "p4lru/pipeline/p4lru3_program.hpp"
+#include "p4lru/replay/checkpoint.hpp"
 #include "p4lru/replay/replay.hpp"
 #include "p4lru/sketch/countmin.hpp"
 #include "p4lru/sketch/towersketch.hpp"
@@ -308,6 +309,71 @@ void run_scrubber_series(ReplaySpan span, std::size_t units,
                                              : "DIVERGED (BUG)");
 }
 
+/// Checkpoint-quiesce overhead: threaded sharded replay with checkpointing
+/// off vs on (snapshot every kEveryBatches delivered batches).  Each emit
+/// quiesces all workers at a batch boundary and copies the full plane image
+/// plus per-shard stats; the wall-time delta prices that pause, and the
+/// stats must stay bit-identical to the uncheckpointed run.
+template <typename Cache>
+void run_checkpoint_series(ReplaySpan span, std::size_t units,
+                           ConsoleTable& table,
+                           std::vector<bench::ReplayJsonSeries>& json) {
+    const char* layout = Cache::storage_type::layout_name();
+    constexpr int kReps = 3;
+    constexpr std::uint64_t kEveryBatches = 256;
+
+    replay::ShardedConfig cfg;
+    cfg.shards = 4;
+
+    double off_seconds = 0.0;
+    replay::ShardedReport off_rep;
+    for (int rep = 0; rep < kReps; ++rep) {
+        Cache cache(units, 0xE1);
+        bench::StopWatch w;
+        off_rep = replay::replay_sharded(cache, span, cfg);
+        const double secs = w.seconds();
+        if (rep == 0 || secs < off_seconds) off_seconds = secs;
+    }
+
+    double on_seconds = 0.0;
+    replay::ShardedReport on_rep;
+    std::size_t emitted = 0;
+    for (int rep = 0; rep < kReps; ++rep) {
+        Cache cache(units, 0xE1);
+        emitted = 0;
+        bench::StopWatch w;
+        on_rep = replay::replay_sharded_checkpointed(
+            cache, span, cfg, kEveryBatches,
+            [&](replay::ShardedCheckpoint&& cp) {
+                ++emitted;
+                benchmark::DoNotOptimize(cp.base.planes.data());
+            });
+        const double secs = w.seconds();
+        if (rep == 0 || secs < on_seconds) on_seconds = secs;
+    }
+
+    for (const auto& [mode, secs, s] :
+         {std::tuple{"ckpt_off", off_seconds, off_rep.stats},
+          std::tuple{"ckpt_on", on_seconds, on_rep.stats}}) {
+        const stats::Throughput tp{s.ops, secs};
+        table.add_row({"checkpoint", layout, std::to_string(cfg.shards),
+                       mode, ConsoleTable::num(secs, 3),
+                       ConsoleTable::num(tp.mops(), 2),
+                       ConsoleTable::num(off_seconds / secs, 2),
+                       bench::pct(s.hit_rate())});
+        json.push_back({"checkpoint", layout, cfg.shards, mode, secs,
+                        tp.mops(), s.ops, s.hits, s.misses, s.evictions});
+    }
+
+    std::printf("checkpoint (every %llu batches, %s layout, %zu shards): "
+                "%zu snapshots, %.2f%% overhead, stats %s\n",
+                static_cast<unsigned long long>(kEveryBatches), layout,
+                cfg.shards, emitted,
+                (on_seconds / off_seconds - 1.0) * 100.0,
+                on_rep.stats == off_rep.stats ? "IDENTICAL"
+                                              : "DIVERGED (BUG)");
+}
+
 void run_replay_throughput() {
     using Unit = core::P4lru<FlowKey, std::uint32_t, 3>;
     using SoaCache = core::ParallelCache<Unit, FlowKey, std::uint32_t>;
@@ -330,6 +396,7 @@ void run_replay_throughput() {
     const double soa_seconds =
         run_layout_series<SoaCache>(span, units, table, json, &soa_stats);
     run_scrubber_series<SoaCache>(span, units, table, json);
+    run_checkpoint_series<SoaCache>(span, units, table, json);
 
     table.print("Replay throughput: AoS reference vs SoA slab, sequential "
                 "vs sharded (" +

@@ -19,6 +19,13 @@ struct FlowKey {
     std::uint16_t src_port = 0;
     std::uint16_t dst_port = 0;
     std::uint8_t proto = 0;
+    /// Explicit tail padding, pinned to zero.  FlowKey objects are copied
+    /// whole into checkpointable storage planes (soa_slab key plane, AoS
+    /// unit image); compiler-copied implicit padding carries unspecified
+    /// stack bytes, which would make two behaviourally identical replays
+    /// produce plane images that differ in dead bytes — breaking the
+    /// bit-identical checkpoint round-trip guarantee (checkpoint.hpp).
+    std::uint8_t pad_[3] = {0, 0, 0};
 
     friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
 

@@ -138,6 +138,15 @@ class SoaSlab {
     [[nodiscard]] static constexpr const char* layout_name() noexcept {
         return "soa";
     }
+    [[nodiscard]] static constexpr std::uint32_t layout_id() noexcept {
+        return kSoaLayoutId;
+    }
+    /// Plane geometry: three flat planes whose shapes are fixed by the key /
+    /// value / meta element sizes, the lane count and the padded key stride.
+    [[nodiscard]] static constexpr std::uint64_t plane_fingerprint() noexcept {
+        return plane_fingerprint_mix({kSoaLayoutId, sizeof(Key), sizeof(Value),
+                                      N, kKeyStride, sizeof(MetaWord)});
+    }
 
     [[nodiscard]] std::size_t unit_count() const noexcept { return units_; }
 

@@ -24,6 +24,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
+#include <initializer_list>
 #include <optional>
 #include <span>
 #include <type_traits>
@@ -52,6 +53,28 @@ struct ScrubReport {
     }
 };
 
+/// Stable numeric ids for the storage layouts (checkpoint images carry one
+/// so a snapshot can never be restored into the wrong layout — two layouts
+/// of coincidentally equal plane-byte size would otherwise silently
+/// reinterpret each other's planes).
+inline constexpr std::uint32_t kAosLayoutId = 1;
+inline constexpr std::uint32_t kSoaLayoutId = 2;
+
+/// FNV-style mix of the quantities that define a storage's plane geometry
+/// (element sizes, lane counts, stride).  Two storages may exchange plane
+/// images only when both the layout id and this fingerprint agree; a bare
+/// byte-size compare is not enough.
+[[nodiscard]] constexpr std::uint64_t plane_fingerprint_mix(
+    std::initializer_list<std::uint64_t> dims) noexcept {
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (const std::uint64_t d : dims) {
+        h ^= d;
+        h *= 0x100000001b3ull;
+        h ^= h >> 29;
+    }
+    return h;
+}
+
 /// Tag requesting deferred plane initialization: the storage allocates but
 /// does not touch its memory; first_touch(lo, hi) (from the thread that will
 /// own [lo, hi)) then mark_materialized() make it usable.  Storages with
@@ -76,6 +99,8 @@ concept UnitStorage = requires(S s, const S& cs, std::size_t b,
         UpdateResult<typename S::key_type, typename S::value_type>>;
     { S::unit_capacity() } -> std::convertible_to<std::size_t>;
     { S::layout_name() } -> std::convertible_to<const char*>;
+    { S::layout_id() } -> std::convertible_to<std::uint32_t>;
+    { S::plane_fingerprint() } -> std::convertible_to<std::uint64_t>;
     { cs.unit_count() } -> std::convertible_to<std::size_t>;
     { s.update_at(b, k, v) } -> std::same_as<typename S::Result>;
     { s.update_at(b, k, v, ReplaceMerge{}) } -> std::same_as<typename S::Result>;
@@ -118,6 +143,16 @@ class AosStorage {
     }
     [[nodiscard]] static constexpr const char* layout_name() noexcept {
         return "aos";
+    }
+    [[nodiscard]] static constexpr std::uint32_t layout_id() noexcept {
+        return kAosLayoutId;
+    }
+    /// Plane geometry: one interleaved Unit object per bucket, so the unit's
+    /// size/alignment and entry capacity pin the image layout.
+    [[nodiscard]] static constexpr std::uint64_t plane_fingerprint() noexcept {
+        return plane_fingerprint_mix({kAosLayoutId, sizeof(Unit),
+                                      alignof(Unit), Unit::capacity(),
+                                      sizeof(Key), sizeof(Value)});
     }
 
     [[nodiscard]] std::size_t unit_count() const noexcept {

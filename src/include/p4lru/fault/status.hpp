@@ -88,6 +88,25 @@ class [[nodiscard]] Status {
     std::uint64_t offset_ = kNoOffset;
 };
 
+/// Shorthand factories for the dominant construction sites — the binary IO
+/// layers (trace_io, checkpoint_io) build dozens of parse-failure statuses,
+/// and spelling the enum every time buries the message.  Offsets carry the
+/// byte position where the input stopped making sense, as in Status itself.
+[[nodiscard]] inline Status io_error(std::string message) {
+    return Status(ErrorCode::kIoError, std::move(message));
+}
+[[nodiscard]] inline Status corrupt(std::string message,
+                                    std::uint64_t offset = Status::kNoOffset) {
+    return Status(ErrorCode::kCorrupt, std::move(message), offset);
+}
+[[nodiscard]] inline Status truncated(
+    std::string message, std::uint64_t offset = Status::kNoOffset) {
+    return Status(ErrorCode::kTruncated, std::move(message), offset);
+}
+[[nodiscard]] inline Status invalid_state(std::string message) {
+    return Status(ErrorCode::kInvalidState, std::move(message));
+}
+
 /// Value-or-Status. Constructing from a Status requires a non-ok status (an
 /// ok status with no value is a contract violation and is normalized to
 /// kInvalidState so downstream code never sees an "ok but empty" result).

@@ -4,18 +4,37 @@
 // cursor): snapshotting the storage's raw plane bytes plus the cursor and
 // the statistics accumulated so far is enough to resume later — on a fresh
 // cache object, even in a fresh process — and land on bit-identical final
-// state and statistics.  The snapshot is taken between ops on the owning
-// thread, so no synchronization is involved; both storage layouts expose
-// save_planes/load_planes (unit_storage.hpp, soa_slab.hpp) as flat byte
-// images whose size is a pure function of the unit count, which lets resume
-// reject a checkpoint taken from a differently-shaped cache with a typed
-// error instead of corrupting memory.
+// state and statistics.
+//
+// Sequential path: the snapshot is taken between ops on the owning thread,
+// so no synchronization is involved.
+//
+// Sharded path: replay_sharded_checkpointed rides the engine's quiesce
+// protocol (replay.hpp, ShardCtl::snap_*).  Every `every_batches` delivered
+// batches the dispatcher flushes its open partial batches — making the
+// applied set exactly the contiguous op prefix [0, cursor) — parks every
+// worker at a batch boundary, and hands a CheckpointCut to the sink.
+// Because each unit range has exactly one owner and every shard has applied
+// all of its ops below the cut, the cut is globally consistent, and
+// resume_sharded is simply "load planes, replay the suffix": the suffix
+// replay re-shards however the resume config says, and bit-exactness holds
+// because per-unit arrival order is all that matters.
+//
+// Every checkpoint carries the storage's layout id and plane-geometry
+// fingerprint (unit_storage.hpp) besides the unit count: two layouts of
+// coincidentally equal plane-byte size would otherwise pass the size guards
+// and silently reinterpret each other's planes.  Both storage layouts
+// expose save_planes/load_planes (unit_storage.hpp, soa_slab.hpp) as flat
+// byte images; checkpoint_io.hpp persists/restores the whole structure on
+// disk with the trace-IO typed-error vocabulary.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "p4lru/fault/status.hpp"
@@ -23,56 +42,102 @@
 
 namespace p4lru::replay {
 
-/// A resumable snapshot of an in-progress sequential replay.
+/// A resumable snapshot of an in-progress sequential replay (and the plane
+/// /cursor core of a sharded one).
 struct ReplayCheckpoint {
     std::uint64_t cursor = 0;      ///< ops applied before the snapshot
     ReplayStats stats{};           ///< statistics over ops [0, cursor)
     std::size_t unit_count = 0;    ///< shape guard for resume
+    std::uint32_t layout_id = 0;   ///< storage layout tag (kAos/kSoaLayoutId)
+    std::uint64_t plane_fingerprint = 0;  ///< storage plane-geometry hash
     std::vector<std::byte> planes; ///< raw storage plane image
 };
 
 /// Snapshot a cache mid-replay.  `cursor`/`stats` describe how far the
-/// caller has replayed; the plane image captures everything else.
+/// caller has replayed; the plane image captures everything else, and the
+/// layout tag + fingerprint pin which storage may restore it.
 template <typename Cache>
 [[nodiscard]] ReplayCheckpoint take_checkpoint(const Cache& cache,
                                                std::uint64_t cursor,
                                                const ReplayStats& stats) {
+    using Storage = std::remove_cvref_t<decltype(cache.storage())>;
     ReplayCheckpoint cp;
     cp.cursor = cursor;
     cp.stats = stats;
     cp.unit_count = cache.unit_count();
+    cp.layout_id = Storage::layout_id();
+    cp.plane_fingerprint = Storage::plane_fingerprint();
     cache.storage().save_planes(cp.planes);
     return cp;
 }
+
+namespace detail {
+
+/// Shared resume guard: the checkpoint must have been taken from a cache of
+/// this storage layout and geometry, with this unit count, and its cursor
+/// must lie inside the op stream.  Layout is checked first — a layout
+/// mismatch makes every other field meaningless.
+template <typename Cache>
+[[nodiscard]] Status check_checkpoint_fits(const Cache& cache,
+                                           std::size_t ops_size,
+                                           const ReplayCheckpoint& cp) {
+    using Storage = std::remove_cvref_t<decltype(cache.storage())>;
+    if (cp.layout_id != Storage::layout_id() ||
+        cp.plane_fingerprint != Storage::plane_fingerprint()) {
+        return invalid_state(
+            "checkpoint layout tag " + std::to_string(cp.layout_id) +
+            " / fingerprint " + std::to_string(cp.plane_fingerprint) +
+            " does not match this cache's storage layout '" +
+            Storage::layout_name() + "' (tag " +
+            std::to_string(Storage::layout_id()) + ", fingerprint " +
+            std::to_string(Storage::plane_fingerprint()) + ")");
+    }
+    if (cp.unit_count != cache.unit_count()) {
+        return invalid_state("checkpoint unit count " +
+                             std::to_string(cp.unit_count) +
+                             " != cache unit count " +
+                             std::to_string(cache.unit_count()));
+    }
+    if (cp.cursor > ops_size) {
+        return invalid_state("checkpoint cursor " +
+                             std::to_string(cp.cursor) +
+                             " beyond op stream of " +
+                             std::to_string(ops_size));
+    }
+    return Status::ok();
+}
+
+/// Restore a checkpoint's plane image into a (validated) cache.
+template <typename Cache>
+[[nodiscard]] Status load_checkpoint_planes(Cache& cache,
+                                            const ReplayCheckpoint& cp) {
+    cache.materialize();  // load_planes overwrites; planes must exist first
+    if (!cache.storage().load_planes(cp.planes)) {
+        return invalid_state("checkpoint plane image of " +
+                             std::to_string(cp.planes.size()) +
+                             " bytes does not match this storage layout");
+    }
+    return Status::ok();
+}
+
+}  // namespace detail
 
 /// Restore `cp` into `cache` and replay the remaining ops [cp.cursor, end).
 /// Returns the final statistics — bit-identical to an uninterrupted
 /// replay_sequential over the full stream, for any checkpoint cursor.
 /// Fails with kInvalidState when the checkpoint does not fit the cache
-/// (different unit count / layout) or its cursor lies beyond the stream.
+/// (different unit count / layout / geometry) or its cursor lies beyond the
+/// stream.
 template <typename Cache, typename Key, typename Value>
 [[nodiscard]] Expected<ReplayStats> resume_sequential(
     Cache& cache, std::span<const ReplayOp<Key, Value>> ops,
     const ReplayCheckpoint& cp) {
-    if (cp.unit_count != cache.unit_count()) {
-        return Status(ErrorCode::kInvalidState,
-                      "checkpoint unit count " +
-                          std::to_string(cp.unit_count) +
-                          " != cache unit count " +
-                          std::to_string(cache.unit_count()));
+    if (Status st = detail::check_checkpoint_fits(cache, ops.size(), cp);
+        !st.is_ok()) {
+        return st;
     }
-    if (cp.cursor > ops.size()) {
-        return Status(ErrorCode::kInvalidState,
-                      "checkpoint cursor " + std::to_string(cp.cursor) +
-                          " beyond op stream of " +
-                          std::to_string(ops.size()));
-    }
-    cache.materialize();  // load_planes overwrites; planes must exist first
-    if (!cache.storage().load_planes(cp.planes)) {
-        return Status(ErrorCode::kInvalidState,
-                      "checkpoint plane image of " +
-                          std::to_string(cp.planes.size()) +
-                          " bytes does not match this storage layout");
+    if (Status st = detail::load_checkpoint_planes(cache, cp); !st.is_ok()) {
+        return st;
     }
     ReplayStats s = cp.stats;
     for (std::size_t i = cp.cursor; i < ops.size(); ++i) {
@@ -99,6 +164,141 @@ ReplayStats replay_sequential_checkpointed(
         }
     }
     return s;
+}
+
+/// A resumable snapshot of an in-progress *sharded* replay: the sequential
+/// core (planes, cursor, merged stats) plus the per-shard split of the
+/// statistics — which doubles as the per-shard op cursors, since shard t
+/// has applied exactly shard_stats[t].ops ops at the cut — and the
+/// degradation telemetry accumulated so far, so a resumed run's report is
+/// continuous with the interrupted one.  Invariant (checked on resume):
+/// the shard_stats sum to base.stats, and base.stats.ops == base.cursor.
+struct ShardedCheckpoint {
+    ReplayCheckpoint base;
+    std::vector<ReplayStats> shard_stats;  ///< per-shard split of base.stats
+    std::uint64_t delivered_batches = 0;
+    std::uint64_t backpressure_waits = 0;
+    std::uint64_t park_wait_us = 0;
+    std::uint64_t drained_inline = 0;
+    std::uint64_t abandoned_workers = 0;
+    core::ScrubReport scrub{};
+};
+
+/// Materialize a quiesced dispatch cut (replay.hpp) into an owning
+/// checkpoint.  Runs on the dispatcher thread while every worker is parked
+/// at its batch boundary, so the plane read is race-free.
+template <typename Cache>
+[[nodiscard]] ShardedCheckpoint take_sharded_checkpoint(
+    const Cache& cache, const CheckpointCut& cut) {
+    ShardedCheckpoint cp;
+    cp.base = take_checkpoint(cache, cut.cursor, cut.stats);
+    cp.shard_stats.assign(cut.shard_stats.begin(), cut.shard_stats.end());
+    cp.delivered_batches = cut.delivered_batches;
+    cp.backpressure_waits = cut.backpressure_waits;
+    cp.park_wait_us = cut.park_wait_us;
+    cp.drained_inline = cut.drained_inline;
+    cp.abandoned_workers = cut.abandoned_workers;
+    cp.scrub = cut.scrub;
+    return cp;
+}
+
+namespace detail {
+
+/// The enabled counterpart of detail::NoCheckpoint (replay.hpp): trips the
+/// dispatch loop's trigger every `every` delivered batches and converts the
+/// quiesced cut into a ShardedCheckpoint for the sink.
+template <typename Cache, typename Sink>
+class DispatchCheckpointer {
+  public:
+    static constexpr bool kEnabled = true;
+
+    DispatchCheckpointer(Cache& cache, std::uint64_t every, Sink& sink)
+        : cache_(&cache), every_(every), next_(every), sink_(&sink) {}
+
+    [[nodiscard]] bool due(std::uint64_t delivered) const noexcept {
+        return every_ != 0 && delivered >= next_;
+    }
+
+    void emit(const CheckpointCut& cut) {
+        // Re-arm relative to the actual cut (flushing partial batches may
+        // have delivered past the nominal cadence point).
+        next_ = cut.delivered_batches + every_;
+        (*sink_)(take_sharded_checkpoint(*cache_, cut));
+    }
+
+  private:
+    Cache* cache_;
+    std::uint64_t every_;
+    std::uint64_t next_;
+    Sink* sink_;
+};
+
+}  // namespace detail
+
+/// Sharded replay that emits a ShardedCheckpoint into `sink` every
+/// `every_batches` delivered batches (sink(ShardedCheckpoint&&)); 0
+/// disables emission.  Statistics and final cache state stay bit-identical
+/// to replay_sharded — the quiesce only decides *when* work happens, never
+/// what — and the fault hooks compose: checkpoints are taken even while
+/// stalled workers are being abandoned and drained inline.
+template <typename Cache, typename Key, typename Value, typename Sink,
+          typename Faults = fault::NoFaults>
+ShardedReport replay_sharded_checkpointed(
+    Cache& cache, std::span<const ReplayOp<Key, Value>> ops,
+    const ShardedConfig& cfg, std::uint64_t every_batches, Sink&& sink,
+    const Faults& faults = {}) {
+    detail::DispatchCheckpointer<Cache, std::remove_reference_t<Sink>> ckpt(
+        cache, every_batches, sink);
+    return detail::replay_sharded_impl(cache, ops, cfg, faults, ckpt);
+}
+
+/// Restore a sharded checkpoint into `cache` and replay the remaining ops
+/// [cp.base.cursor, end) with `cfg` — the resume may use a different shard
+/// count, batch size or mode than the interrupted run; bit-exactness holds
+/// regardless because the cut is a clean op prefix.  The returned report
+/// merges the checkpoint's statistics and telemetry, so it reads as if the
+/// run had never been interrupted.  Fails with kInvalidState on any
+/// layout/shape mismatch or when the checkpoint is internally inconsistent
+/// (per-shard stats that do not sum to its totals).
+template <typename Cache, typename Key, typename Value,
+          typename Faults = fault::NoFaults>
+[[nodiscard]] Expected<ShardedReport> resume_sharded(
+    Cache& cache, std::span<const ReplayOp<Key, Value>> ops,
+    const ShardedCheckpoint& cp, const ShardedConfig& cfg = {},
+    const Faults& faults = {}) {
+    if (Status st = detail::check_checkpoint_fits(cache, ops.size(),
+                                                  cp.base);
+        !st.is_ok()) {
+        return st;
+    }
+    if (cp.base.stats.ops != cp.base.cursor) {
+        return invalid_state(
+            "sharded checkpoint stats cover " +
+            std::to_string(cp.base.stats.ops) + " ops but cursor is " +
+            std::to_string(cp.base.cursor));
+    }
+    if (!cp.shard_stats.empty()) {
+        ReplayStats sum;
+        for (const auto& s : cp.shard_stats) sum.merge(s);
+        if (!(sum == cp.base.stats)) {
+            return invalid_state(
+                "sharded checkpoint per-shard statistics do not sum to "
+                "its totals");
+        }
+    }
+    if (Status st = detail::load_checkpoint_planes(cache, cp.base);
+        !st.is_ok()) {
+        return st;
+    }
+    ShardedReport rep =
+        replay_sharded(cache, ops.subspan(cp.base.cursor), cfg, faults);
+    rep.stats.merge(cp.base.stats);
+    rep.backpressure_waits += cp.backpressure_waits;
+    rep.park_wait_us += cp.park_wait_us;
+    rep.drained_inline += static_cast<std::size_t>(cp.drained_inline);
+    rep.abandoned_workers += static_cast<std::size_t>(cp.abandoned_workers);
+    rep.scrub.merge(cp.scrub);
+    return rep;
 }
 
 }  // namespace p4lru::replay

@@ -1,0 +1,65 @@
+// On-disk persistence for replay checkpoints: the durable half of the
+// degradation ladder (DESIGN.md §10).  An in-memory ShardedCheckpoint only
+// survives the process; writing it through this layer makes a replay
+// restartable across a crash or a kill -9 (the chaos smoke exercises
+// exactly that).
+//
+// Format v1 (little-endian), offsets in bytes:
+//
+//   off  size  field
+//     0     8  magic "P4LRUCKP"
+//     8     4  version (u32, = 1)
+//    12     4  storage layout id (core::kAos/kSoaLayoutId)
+//    16     8  storage plane-geometry fingerprint
+//    24     8  unit count
+//    32     8  op cursor
+//    40    32  merged ReplayStats (ops, hits, misses, evictions; u64 each)
+//    72     8  delivered batches
+//    80     8  backpressure waits
+//    88     8  park wait (us)
+//    96     8  shards drained inline
+//   104     8  workers abandoned
+//   112    24  ScrubReport (scanned, corrupt, repaired; u64 each)
+//   136     8  shard count S
+//   144     8  plane image size P
+//   152  32*S  per-shard ReplayStats slices
+//   152+32*S P raw storage plane bytes
+//
+// Reading is hardened exactly like trace_io: read_checkpoint_checked
+// returns a typed Status (kIoError / kCorrupt / kTruncated) carrying the
+// byte offset where the file stopped making sense, and cross-checks both
+// the shard count and the plane size against the actual file size *before*
+// allocating, so a flipped bit in a count field cannot drive a huge
+// allocation.  Every strict prefix of a valid file is rejected (the
+// truncation sweep in checkpoint_io_test proves it).
+#pragma once
+
+#include <string>
+
+#include "p4lru/fault/status.hpp"
+#include "p4lru/replay/checkpoint.hpp"
+
+namespace p4lru::replay {
+
+/// Serialize `cp` to `path` (overwriting).  Returns kIoError on any
+/// open/write failure; the file is not guaranteed to be intact after a
+/// failed write (callers keep the previous checkpoint until this returns
+/// ok — write-to-temp-then-rename durability is the caller's policy).
+[[nodiscard]] Status write_checkpoint(const std::string& path,
+                                      const ShardedCheckpoint& cp);
+
+/// Convenience overload for a sequential checkpoint: persisted as a
+/// ShardedCheckpoint with zero shard slices and zero telemetry, so one
+/// reader handles both kinds (resume_sequential takes `.base`).
+[[nodiscard]] Status write_checkpoint(const std::string& path,
+                                      const ReplayCheckpoint& cp);
+
+/// Parse a checkpoint from `path`; the typed-error path.  On failure the
+/// Status names the cause and the byte offset at which the file stopped
+/// making sense.  Structural validation only — whether the checkpoint fits
+/// a particular cache (layout tag, fingerprint, unit count) is decided by
+/// resume_sequential / resume_sharded.
+[[nodiscard]] Expected<ShardedCheckpoint> read_checkpoint_checked(
+    const std::string& path);
+
+}  // namespace p4lru::replay

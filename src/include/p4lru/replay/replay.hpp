@@ -29,6 +29,27 @@
 // injection enters through the `Faults` template hook (fault_plan.hpp);
 // the default NoFaults instantiation folds every hook to nothing.
 //
+// Checkpointing (checkpoint.hpp): the dispatcher can cut a globally
+// consistent snapshot at any dispatch boundary.  It first flushes every
+// open partial batch, so the applied set is exactly the contiguous op
+// prefix [0, cursor), then raises a `snapshot` epoch on each live worker's
+// ShardCtl.  A worker observes the request at a batch boundary, drains its
+// queue to empty (the dispatcher stopped pushing before raising the epoch,
+// so "empty" means "everything up to the cut"), publishes its stats, acks,
+// and spin-waits for the matching release — parking at the boundary and
+// resuming, rather than abandoning.  Workers that are already parked or
+// that never ack (wedged mid-batch) fall back to the existing park/takeover
+// ladder, so a checkpoint can always complete.  Between ack and release no
+// worker writes the cache, which makes the dispatcher's plane reads safe.
+//
+// Cooperative-park assumption: both the watchdog and the snapshot protocol
+// rely on workers reaching a *batch boundary* to observe abandon/snapshot
+// flags.  A worker wedged inside process_batch (e.g. stuck on a poisoned
+// page) never acknowledges; the dispatcher's park-ack wait is a bounded
+// exponential-backoff sleep (telemetry: ShardedReport::park_wait_us) rather
+// than a busy spin, but it still waits forever — preemptive cancellation of
+// a thread that may hold the cache mid-write cannot preserve bit-exactness.
+//
 // First-touch: when the cache was constructed with core::defer_init (its
 // storage planes are allocated but untouched), each threaded worker
 // initializes its own ShardPlan unit sub-range before draining batches, so
@@ -140,6 +161,7 @@ struct ShardedReport {
 
     // -- degradation telemetry (all zero on a healthy run) ---------------
     std::uint64_t backpressure_waits = 0;  ///< push deadline expiries
+    std::uint64_t park_wait_us = 0;   ///< total us slept awaiting park acks
     std::size_t drained_inline = 0;   ///< shards the dispatcher took over
     std::size_t abandoned_workers = 0;///< workers parked by the watchdog
     core::ScrubReport scrub{};        ///< merged scrub counters (if enabled)
@@ -221,28 +243,71 @@ void process_batch(Cache& cache,
 /// worker's acknowledgement that it has published its stats and will never
 /// touch the cache or its queue again — the release/acquire edge that makes
 /// the consumer-role handoff to the dispatcher safe.
+///
+/// The snap_* trio is the checkpoint quiesce protocol (epochs, not flags,
+/// so a control block is reusable across many checkpoints): the dispatcher
+/// bumps `snap_req` after it has stopped pushing; the worker drains its
+/// queue, publishes stats, stores the epoch into `snap_ack` (release — the
+/// edge the dispatcher's plane reads ride on) and waits; the dispatcher
+/// stores the epoch into `snap_release` once the snapshot is taken, which
+/// resumes the worker.
 struct alignas(64) ShardCtl {
     std::atomic<std::uint64_t> progress{0};
     std::atomic<bool> abandon{false};
     std::atomic<bool> parked{false};
+    std::atomic<std::uint64_t> snap_req{0};
+    std::atomic<std::uint64_t> snap_ack{0};
+    std::atomic<std::uint64_t> snap_release{0};
 };
 
 }  // namespace detail
 
-/// Sharded replay. Bit-identical statistics and final cache state to
-/// replay_sequential on the same (cache, ops) input, for any shard count —
-/// including degraded runs where stalled workers were drained inline (the
-/// takeover preserves per-unit arrival order).  `Faults` is the injection
-/// hook set: fault::NoFaults (default) compiles every hook away;
-/// fault::InjectedFaults applies a FaultPlan (worker stalls/delays in
-/// threaded mode; plane/op corruption in inline mode, where a single thread
-/// owns the cache).
-template <typename Cache, typename Key, typename Value,
-          typename Faults = fault::NoFaults>
-ShardedReport replay_sharded(Cache& cache,
-                             std::span<const ReplayOp<Key, Value>> ops,
-                             const ShardedConfig& cfg = {},
-                             const Faults& faults = {}) {
+/// Everything a checkpoint sink needs to capture a consistent cut of a
+/// running sharded replay.  Invariant: the cache holds exactly the effects
+/// of the op prefix [0, cursor), `stats` is the merged outcome of that
+/// prefix (stats.ops == cursor), and `shard_stats[t]` is shard t's share —
+/// which doubles as shard t's op cursor, since every shard has applied all
+/// of its ops below the cut.  The span aliases dispatcher-owned scratch:
+/// copy it before returning from the sink.
+struct CheckpointCut {
+    std::uint64_t cursor = 0;             ///< ops applied (prefix length)
+    std::uint64_t delivered_batches = 0;  ///< dispatch batches so far
+    std::span<const ReplayStats> shard_stats;  ///< per-shard split of stats
+    ReplayStats stats{};
+    std::size_t shards = 0;
+    bool threaded = false;
+    std::uint64_t backpressure_waits = 0;
+    std::uint64_t park_wait_us = 0;
+    std::size_t drained_inline = 0;
+    std::size_t abandoned_workers = 0;
+    core::ScrubReport scrub{};
+};
+
+namespace detail {
+
+/// Disabled checkpoint hook: the default instantiation folds the trigger
+/// check and the quiesce machinery away entirely (if constexpr on
+/// kEnabled), so a plain replay_sharded pays nothing.  checkpoint.hpp's
+/// DispatchCheckpointer is the enabled counterpart.
+struct NoCheckpoint {
+    static constexpr bool kEnabled = false;
+    [[nodiscard]] bool due(std::uint64_t /*delivered*/) const noexcept {
+        return false;
+    }
+    void emit(const CheckpointCut& /*cut*/) const noexcept {}
+};
+
+/// Shared engine behind replay_sharded and replay_sharded_checkpointed
+/// (checkpoint.hpp).  `Ckpt` decides at compile time whether the dispatch
+/// loop carries checkpoint triggers; `ckpt.due(delivered)` is polled at
+/// dispatch boundaries and `ckpt.emit(cut)` runs with every worker
+/// quiesced.
+template <typename Cache, typename Key, typename Value, typename Faults,
+          typename Ckpt>
+ShardedReport replay_sharded_impl(Cache& cache,
+                                  std::span<const ReplayOp<Key, Value>> ops,
+                                  const ShardedConfig& cfg,
+                                  const Faults& faults, Ckpt& ckpt) {
     using Routed = detail::RoutedOp<Key, Value>;
     using Batch = std::vector<Routed>;
 
@@ -283,6 +348,7 @@ ShardedReport replay_sharded(Cache& cache,
         Batch block;
         block.reserve(batch_ops);
         std::uint64_t until_scrub = scrub_every;
+        std::uint64_t delivered = 0;
         for (std::size_t base = 0; base < ops.size(); base += batch_ops) {
             const std::size_t n = std::min(batch_ops, ops.size() - base);
             block.clear();
@@ -299,12 +365,33 @@ ShardedReport replay_sharded(Cache& cache,
                 block.push_back(Routed{bucket, key, ops[idx].value});
             }
             detail::process_batch(cache, block, results[0].s);
+            ++delivered;
             if (scrub_every != 0) {
-                if (until_scrub <= n) {
+                // Carry the op remainder across blocks so the scrub fires
+                // on exactly the same op counts as the sequential path: a
+                // block of n ops may cross the cadence boundary several
+                // times (scrub_every < n) or not at all, and the leftover
+                // distance counts against the next block.
+                std::uint64_t left = n;
+                while (left >= until_scrub) {
+                    left -= until_scrub;
                     results[0].scrub.merge(cache.scrub_all());
                     until_scrub = scrub_every;
-                } else {
-                    until_scrub -= n;
+                }
+                until_scrub -= left;
+            }
+            if constexpr (Ckpt::kEnabled) {
+                if (base + n < ops.size() && ckpt.due(delivered)) {
+                    CheckpointCut cut;
+                    cut.cursor = base + n;
+                    cut.delivered_batches = delivered;
+                    cut.shard_stats =
+                        std::span<const ReplayStats>(&results[0].s, 1);
+                    cut.stats = results[0].s;
+                    cut.shards = W;
+                    cut.threaded = false;
+                    cut.scrub = results[0].scrub;
+                    ckpt.emit(cut);
                 }
             }
         }
@@ -333,6 +420,13 @@ ShardedReport replay_sharded(Cache& cache,
             cfg.robust.stall_timeout_us ? cfg.robust.stall_timeout_us
                                         : 50'000);
 
+        // Checkpoint bookkeeping: delivered batch count (the cadence unit),
+        // the running snapshot epoch, and reusable per-shard scratch that
+        // CheckpointCut::shard_stats aliases during emit.
+        std::uint64_t delivered = 0;
+        [[maybe_unused]] std::uint64_t snap_epoch = 0;
+        [[maybe_unused]] std::vector<ReplayStats> cut_stats(W);
+
         {
             std::vector<std::jthread> workers;
             workers.reserve(W);
@@ -355,6 +449,7 @@ ShardedReport replay_sharded(Cache& cache,
                     bool parked = false;
                     std::uint64_t popped = 0;
                     std::uint64_t ops_since_scrub = 0;
+                    [[maybe_unused]] std::uint64_t snap_seen = 0;
                     const auto finish_pending = [&] {
                         if (!have_pending) return;
                         detail::process_batch(cache, pending, local);
@@ -386,6 +481,48 @@ ShardedReport replay_sharded(Cache& cache,
                             if (faults.worker_parks(s, popped)) {
                                 parked = true;
                                 break;
+                            }
+                        }
+                        if constexpr (Ckpt::kEnabled) {
+                            const auto req = ctl[s].snap_req.load(
+                                std::memory_order_acquire);
+                            if (req != snap_seen) {
+                                // Snapshot request.  The dispatcher stopped
+                                // pushing before raising the epoch, so an
+                                // empty queue means everything up to the
+                                // cut has been seen: drain fully (keeping
+                                // the prefetch pipeline), publish stats,
+                                // ack, and hold at this boundary until the
+                                // dispatcher releases the epoch.
+                                while (queues[s]->try_pop(next)) {
+                                    ++popped;
+                                    detail::prefetch_batch(cache, next);
+                                    finish_pending();
+                                    pending = std::move(next);
+                                    have_pending = true;
+                                }
+                                finish_pending();
+                                results[s].s = local;
+                                results[s].scrub = scrub_local;
+                                ctl[s].snap_ack.store(
+                                    req, std::memory_order_release);
+                                int spin = 0;
+                                while (ctl[s].snap_release.load(
+                                           std::memory_order_acquire) < req) {
+                                    if (ctl[s].abandon.load(
+                                            std::memory_order_acquire)) {
+                                        break;  // top of loop parks us
+                                    }
+                                    // Plane serialization can take a while:
+                                    // pause-spin briefly, then yield.
+                                    if (++spin <= 64) {
+                                        cpu_relax();
+                                    } else {
+                                        std::this_thread::yield();
+                                    }
+                                }
+                                snap_seen = req;
+                                continue;
                             }
                         }
                         if (!queues[s]->try_pop(next)) {
@@ -423,6 +560,22 @@ ShardedReport replay_sharded(Cache& cache,
                 });
             }
 
+            // Bounded-backoff wait for a worker's park acknowledgement:
+            // sleep 1us doubling to ~1ms instead of busy-yielding, and
+            // account the slept time (park_wait_us telemetry).  The wait is
+            // still unbounded in total — see the cooperative-park note in
+            // the file header — but it no longer burns a core while a slow
+            // worker finishes its in-flight batch.
+            const auto wait_for_park = [&](std::size_t s) {
+                std::uint32_t sleep_us = 1;
+                while (!ctl[s].parked.load(std::memory_order_acquire)) {
+                    std::this_thread::sleep_for(
+                        std::chrono::microseconds(sleep_us));
+                    report.park_wait_us += sleep_us;
+                    if (sleep_us < 1024) sleep_us <<= 1;
+                }
+            };
+
             // Drain a dead shard's queue on the dispatcher thread: batches
             // come out in FIFO order, exactly the suffix the worker never
             // applied, so per-unit arrival order is preserved.
@@ -440,6 +593,7 @@ ShardedReport replay_sharded(Cache& cache,
             // the degradation ladder on sustained backpressure: bounded
             // push → progress check → watchdog abandon → inline drain.
             const auto deliver = [&](std::size_t s, Batch& b) {
+                ++delivered;
                 if (!inlined[s]) {
                     auto last_progress =
                         ctl[s].progress.load(std::memory_order_acquire);
@@ -465,10 +619,7 @@ ShardedReport replay_sharded(Cache& cache,
                             ctl[s].abandon.store(true,
                                                  std::memory_order_release);
                             ++report.abandoned_workers;
-                            while (!ctl[s].parked.load(
-                                std::memory_order_acquire)) {
-                                std::this_thread::yield();
-                            }
+                            wait_for_park(s);
                             break;
                         }
                     }
@@ -481,7 +632,8 @@ ShardedReport replay_sharded(Cache& cache,
             };
 
             // Dispatch: hash, route, batch, push.
-            for (const auto& op : ops) {
+            for (std::size_t i = 0; i < ops.size(); ++i) {
+                const auto& op = ops[i];
                 const auto bucket =
                     static_cast<std::uint32_t>(cache.bucket(op.key));
                 const std::size_t s = plan.owner(bucket);
@@ -489,6 +641,97 @@ ShardedReport replay_sharded(Cache& cache,
                 if (open[s].size() == batch_ops) {
                     deliver(s, open[s]);
                     open[s].clear();
+                }
+                if constexpr (Ckpt::kEnabled) {
+                    if (i + 1 < ops.size() && ckpt.due(delivered)) {
+                        // Consistent cut.  Step 1: flush every open partial
+                        // batch so the delivered set is exactly the op
+                        // prefix [0, i+1) — batch sizes never affect stats
+                        // or final planes, only throughput.
+                        for (std::size_t t = 0; t < W; ++t) {
+                            if (!open[t].empty()) {
+                                deliver(t, open[t]);
+                                open[t].clear();
+                            }
+                        }
+                        // Step 2: quiesce each live worker.  The epoch is
+                        // raised only after the flush, so a worker's
+                        // "queue empty" means "cut reached".  A worker
+                        // that never acks is handled with the same ladder
+                        // as deliver: parked → takeover, or watchdog
+                        // abandon → park → takeover.
+                        const std::uint64_t epoch = ++snap_epoch;
+                        for (std::size_t t = 0; t < W; ++t) {
+                            if (!inlined[t]) {
+                                ctl[t].snap_req.store(
+                                    epoch, std::memory_order_release);
+                            }
+                        }
+                        for (std::size_t t = 0; t < W; ++t) {
+                            if (inlined[t]) continue;
+                            auto last_progress = ctl[t].progress.load(
+                                std::memory_order_acquire);
+                            auto stalled_since =
+                                std::chrono::steady_clock::now();
+                            for (;;) {
+                                if (ctl[t].snap_ack.load(
+                                        std::memory_order_acquire) ==
+                                    epoch) {
+                                    break;
+                                }
+                                if (ctl[t].parked.load(
+                                        std::memory_order_acquire)) {
+                                    takeover(t);
+                                    break;
+                                }
+                                const auto p = ctl[t].progress.load(
+                                    std::memory_order_acquire);
+                                const auto now =
+                                    std::chrono::steady_clock::now();
+                                if (p != last_progress) {
+                                    last_progress = p;  // draining: alive
+                                    stalled_since = now;
+                                    continue;
+                                }
+                                if (cfg.robust.watchdog &&
+                                    now - stalled_since >= stall_timeout) {
+                                    ctl[t].abandon.store(
+                                        true, std::memory_order_release);
+                                    ++report.abandoned_workers;
+                                    wait_for_park(t);
+                                    takeover(t);
+                                    break;
+                                }
+                                std::this_thread::yield();
+                            }
+                        }
+                        // Step 3: every shard is either ack-parked at its
+                        // boundary or dispatcher-owned; nobody writes the
+                        // cache until release, so the sink may serialize
+                        // the planes.
+                        CheckpointCut cut;
+                        cut.cursor = i + 1;
+                        cut.delivered_batches = delivered;
+                        for (std::size_t t = 0; t < W; ++t) {
+                            cut_stats[t] = results[t].s;
+                            cut_stats[t].merge(drained[t]);
+                            cut.stats.merge(cut_stats[t]);
+                            cut.scrub.merge(results[t].scrub);
+                        }
+                        cut.shard_stats = cut_stats;
+                        cut.shards = W;
+                        cut.threaded = true;
+                        cut.backpressure_waits = report.backpressure_waits;
+                        cut.park_wait_us = report.park_wait_us;
+                        cut.drained_inline = report.drained_inline;
+                        cut.abandoned_workers = report.abandoned_workers;
+                        ckpt.emit(cut);
+                        // Step 4: resume the quiesced workers.
+                        for (std::size_t t = 0; t < W; ++t) {
+                            ctl[t].snap_release.store(
+                                epoch, std::memory_order_release);
+                        }
+                    }
                 }
             }
             for (std::size_t s = 0; s < W; ++s) {
@@ -522,6 +765,27 @@ ShardedReport replay_sharded(Cache& cache,
         report.scrub.merge(results[s].scrub);
     }
     return report;
+}
+
+}  // namespace detail
+
+/// Sharded replay. Bit-identical statistics and final cache state to
+/// replay_sequential on the same (cache, ops) input, for any shard count —
+/// including degraded runs where stalled workers were drained inline (the
+/// takeover preserves per-unit arrival order).  `Faults` is the injection
+/// hook set: fault::NoFaults (default) compiles every hook away;
+/// fault::InjectedFaults applies a FaultPlan (worker stalls/delays in
+/// threaded mode; plane/op corruption in inline mode, where a single thread
+/// owns the cache).  For mid-run checkpoint emission use
+/// replay_sharded_checkpointed (checkpoint.hpp), which shares this engine.
+template <typename Cache, typename Key, typename Value,
+          typename Faults = fault::NoFaults>
+ShardedReport replay_sharded(Cache& cache,
+                             std::span<const ReplayOp<Key, Value>> ops,
+                             const ShardedConfig& cfg = {},
+                             const Faults& faults = {}) {
+    detail::NoCheckpoint no_ckpt;
+    return detail::replay_sharded_impl(cache, ops, cfg, faults, no_ckpt);
 }
 
 /// Adapter: a packet trace as replay operations (key = 5-tuple, value = wire

@@ -40,6 +40,22 @@
 
 namespace p4lru::replay {
 
+/// Hint the CPU that the caller is in a spin-wait: on x86 `pause` backs the
+/// hyper-twin off the execution ports and avoids the memory-order
+/// mis-speculation flush when the awaited line finally changes; on ARM
+/// `yield` is the architectural equivalent.  Elsewhere it degrades to a
+/// compiler barrier so the spin still re-reads memory.  Used by every hot
+/// spin in the replay engine (SpscQueue push paths, worker snapshot waits).
+inline void cpu_relax() noexcept {
+#if defined(__i386__) || defined(__x86_64__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+    asm volatile("yield" ::: "memory");
+#else
+    std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
 template <typename T>
 class SpscQueue {
   public:
@@ -54,11 +70,17 @@ class SpscQueue {
     SpscQueue(const SpscQueue&) = delete;
     SpscQueue& operator=(const SpscQueue&) = delete;
 
-    /// Producer only. Blocks (spin + yield) while the ring is full.
+    /// Producer only. Blocks (pause-hinted spin, then yield) while the ring
+    /// is full.
     void push(T v) {
         const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+        int spin = 0;
         while (tail - head_.load(std::memory_order_acquire) >= buf_.size()) {
-            std::this_thread::yield();
+            if (++spin <= kHotSpins) {
+                cpu_relax();
+            } else {
+                std::this_thread::yield();
+            }
         }
         buf_[tail & mask_] = std::move(v);
         tail_.store(tail + 1, std::memory_order_release);
@@ -82,9 +104,11 @@ class SpscQueue {
     /// escalate to the watchdog, or drain the consumer's work itself.
     bool try_push_for(T& v, std::chrono::microseconds timeout) {
         // Cheap spin first: the common stall is the consumer being one batch
-        // behind, resolved within a few hundred cycles.
-        for (int spin = 0; spin < 64; ++spin) {
+        // behind, resolved within a few hundred cycles.  The pause hint
+        // keeps the spin from saturating the core the consumer may share.
+        for (int spin = 0; spin < kHotSpins; ++spin) {
             if (try_push(v)) return true;
+            cpu_relax();
         }
         const auto deadline = std::chrono::steady_clock::now() + timeout;
         while (std::chrono::steady_clock::now() < deadline) {
@@ -133,6 +157,9 @@ class SpscQueue {
     [[nodiscard]] std::size_t capacity() const noexcept { return buf_.size(); }
 
   private:
+    /// Hot-spin iterations (with cpu_relax) before escalating to yield.
+    static constexpr int kHotSpins = 64;
+
     std::vector<T> buf_;
     std::size_t mask_ = 0;
     alignas(64) std::atomic<std::uint64_t> head_{0};

@@ -1,0 +1,209 @@
+#include "p4lru/replay/checkpoint_io.hpp"
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace p4lru::replay {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'P', '4', 'L', 'R', 'U',
+                                        'C', 'K', 'P'};
+constexpr std::uint32_t kVersion = 1;
+constexpr std::uint64_t kStatsBytes = 4 * 8;   // ops/hits/misses/evictions
+constexpr std::uint64_t kScrubBytes = 3 * 8;   // scanned/corrupt/repaired
+constexpr std::uint64_t kHeaderBytes = 152;
+constexpr std::uint64_t kShardSliceBytes = kStatsBytes;
+
+// Field offsets (documented in the header comment of checkpoint_io.hpp);
+// named so error offsets stay in sync with the layout.
+constexpr std::uint64_t kOffVersion = 8;
+constexpr std::uint64_t kOffShardCount = 136;
+
+void put_u32(std::vector<char>& out, std::uint32_t v) {
+    char b[4];
+    std::memcpy(b, &v, 4);
+    out.insert(out.end(), b, b + 4);
+}
+
+void put_u64(std::vector<char>& out, std::uint64_t v) {
+    char b[8];
+    std::memcpy(b, &v, 8);
+    out.insert(out.end(), b, b + 8);
+}
+
+void put_stats(std::vector<char>& out, const ReplayStats& s) {
+    put_u64(out, s.ops);
+    put_u64(out, s.hits);
+    put_u64(out, s.misses);
+    put_u64(out, s.evictions);
+}
+
+std::uint32_t get_u32(const char* p) {
+    std::uint32_t v = 0;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+std::uint64_t get_u64(const char* p) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+ReplayStats get_stats(const char* p) {
+    ReplayStats s;
+    s.ops = get_u64(p);
+    s.hits = get_u64(p + 8);
+    s.misses = get_u64(p + 16);
+    s.evictions = get_u64(p + 24);
+    return s;
+}
+
+}  // namespace
+
+Status write_checkpoint(const std::string& path,
+                        const ShardedCheckpoint& cp) {
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        return io_error("write_checkpoint: cannot open " + path);
+    }
+    std::vector<char> head;
+    head.reserve(kHeaderBytes + cp.shard_stats.size() * kShardSliceBytes);
+    head.insert(head.end(), kMagic.begin(), kMagic.end());
+    put_u32(head, kVersion);
+    put_u32(head, cp.base.layout_id);
+    put_u64(head, cp.base.plane_fingerprint);
+    put_u64(head, cp.base.unit_count);
+    put_u64(head, cp.base.cursor);
+    put_stats(head, cp.base.stats);
+    put_u64(head, cp.delivered_batches);
+    put_u64(head, cp.backpressure_waits);
+    put_u64(head, cp.park_wait_us);
+    put_u64(head, cp.drained_inline);
+    put_u64(head, cp.abandoned_workers);
+    put_u64(head, cp.scrub.scanned);
+    put_u64(head, cp.scrub.corrupt);
+    put_u64(head, cp.scrub.repaired);
+    put_u64(head, cp.shard_stats.size());
+    put_u64(head, cp.base.planes.size());
+    for (const auto& s : cp.shard_stats) put_stats(head, s);
+    os.write(head.data(), static_cast<std::streamsize>(head.size()));
+    if (!cp.base.planes.empty()) {
+        os.write(reinterpret_cast<const char*>(cp.base.planes.data()),
+                 static_cast<std::streamsize>(cp.base.planes.size()));
+    }
+    os.flush();
+    if (!os) {
+        return io_error("write_checkpoint: write failed: " + path);
+    }
+    return Status::ok();
+}
+
+Status write_checkpoint(const std::string& path, const ReplayCheckpoint& cp) {
+    ShardedCheckpoint wrapped;
+    wrapped.base = cp;
+    return write_checkpoint(path, wrapped);
+}
+
+Expected<ShardedCheckpoint> read_checkpoint_checked(const std::string& path) {
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is) {
+        return io_error("read_checkpoint: cannot open " + path);
+    }
+    const auto file_size = static_cast<std::uint64_t>(is.tellg());
+    is.seekg(0);
+
+    if (file_size < kHeaderBytes) {
+        return truncated("file of " + std::to_string(file_size) +
+                             " bytes is shorter than the checkpoint header",
+                         file_size);
+    }
+    std::array<char, kHeaderBytes> head{};
+    is.read(head.data(), head.size());
+    if (!is) {
+        return io_error("header read failed: " + path);
+    }
+    if (std::memcmp(head.data(), kMagic.data(), kMagic.size()) != 0) {
+        return corrupt("bad magic in " + path, 0);
+    }
+    const std::uint32_t version = get_u32(head.data() + kOffVersion);
+    if (version != kVersion) {
+        return corrupt("unsupported checkpoint version " +
+                           std::to_string(version),
+                       kOffVersion);
+    }
+
+    ShardedCheckpoint cp;
+    cp.base.layout_id = get_u32(head.data() + 12);
+    cp.base.plane_fingerprint = get_u64(head.data() + 16);
+    cp.base.unit_count = static_cast<std::size_t>(get_u64(head.data() + 24));
+    cp.base.cursor = get_u64(head.data() + 32);
+    cp.base.stats = get_stats(head.data() + 40);
+    cp.delivered_batches = get_u64(head.data() + 72);
+    cp.backpressure_waits = get_u64(head.data() + 80);
+    cp.park_wait_us = get_u64(head.data() + 88);
+    cp.drained_inline = get_u64(head.data() + 96);
+    cp.abandoned_workers = get_u64(head.data() + 104);
+    cp.scrub.scanned = get_u64(head.data() + 112);
+    cp.scrub.corrupt = get_u64(head.data() + 120);
+    cp.scrub.repaired = get_u64(head.data() + 128);
+    const std::uint64_t shard_count = get_u64(head.data() + kOffShardCount);
+    const std::uint64_t plane_bytes = get_u64(head.data() + 144);
+
+    // Cross-check both count fields against the actual file size before any
+    // allocation: a flipped bit must not drive a huge reserve or read loop.
+    const std::uint64_t body = file_size - kHeaderBytes;
+    if (shard_count > body / kShardSliceBytes) {
+        return corrupt("shard count " + std::to_string(shard_count) +
+                           " exceeds file body of " + std::to_string(body) +
+                           " bytes",
+                       kOffShardCount);
+    }
+    const std::uint64_t slices = shard_count * kShardSliceBytes;
+    if (plane_bytes > body - slices) {
+        return truncated("plane image of " + std::to_string(plane_bytes) +
+                             " bytes promised; only " +
+                             std::to_string(body - slices) +
+                             " bytes follow the shard slices",
+                         file_size);
+    }
+    const std::uint64_t expected = kHeaderBytes + slices + plane_bytes;
+    if (file_size > expected) {
+        return corrupt(std::to_string(file_size - expected) +
+                           " trailing bytes after the plane image",
+                       expected);
+    }
+
+    cp.shard_stats.reserve(static_cast<std::size_t>(shard_count));
+    std::array<char, kShardSliceBytes> slice{};
+    for (std::uint64_t i = 0; i < shard_count; ++i) {
+        is.read(slice.data(), slice.size());
+        if (is.gcount() != static_cast<std::streamsize>(slice.size())) {
+            return truncated(
+                "shard slice " + std::to_string(i) + " of " +
+                    std::to_string(shard_count) + " cut short",
+                kHeaderBytes + i * kShardSliceBytes +
+                    static_cast<std::uint64_t>(is.gcount()));
+        }
+        cp.shard_stats.push_back(get_stats(slice.data()));
+    }
+
+    cp.base.planes.resize(static_cast<std::size_t>(plane_bytes));
+    if (plane_bytes != 0) {
+        is.read(reinterpret_cast<char*>(cp.base.planes.data()),
+                static_cast<std::streamsize>(plane_bytes));
+        if (is.gcount() != static_cast<std::streamsize>(plane_bytes)) {
+            return truncated(
+                "plane image cut short",
+                kHeaderBytes + slices +
+                    static_cast<std::uint64_t>(is.gcount()));
+        }
+    }
+    return cp;
+}
+
+}  // namespace p4lru::replay

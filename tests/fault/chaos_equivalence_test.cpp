@@ -181,6 +181,10 @@ TEST(ChaosEquivalence, WatchdogAbandonsWorkerStalledMidSleep) {
 
     EXPECT_GE(rep.abandoned_workers, 1u);
     EXPECT_GE(rep.drained_inline, 1u);
+    // The park-ack wait is backoff sleeps now, not a busy spin, and the
+    // slept time is accounted: the worker was mid-50ms-sleep when the
+    // watchdog abandoned it, so the dispatcher must have waited.
+    EXPECT_GT(rep.park_wait_us, 0u);
     EXPECT_EQ(rep.stats, seq);
     expect_same_contents(seq_cache, cache);
 }

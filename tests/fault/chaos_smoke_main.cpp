@@ -5,15 +5,24 @@
 // to replay (`P4LRU_CHAOS_SEEDS=<s1>,<s2>,...` re-runs chosen seeds).
 // Built as its own binary (fault_chaos_smoke) so CI can run it nightly-style
 // with fresh entropy while the gtest suite stays deterministic.
+//
+// Each seed runs two rounds: the plain chaos-equivalence round, then a
+// kill-and-resume round — the same faulted replay with periodic checkpoint
+// emission, killed at a seed-chosen checkpoint, persisted to disk, read
+// back, and resumed on a fresh cache; the resumed run must land on the
+// sequential statistics and bit-identical plane bytes.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <random>
 #include <span>
+#include <string>
 #include <vector>
 
 #include "p4lru/core/p4lru.hpp"
 #include "p4lru/fault/fault_plan.hpp"
+#include "p4lru/replay/checkpoint_io.hpp"
 #include "p4lru/replay/replay.hpp"
 #include "p4lru/trace/trace_gen.hpp"
 
@@ -99,13 +108,90 @@ int main() {
             return 1;
         }
         if (rep.degraded()) ++degraded_rounds;
-        std::printf("ok (drained_inline=%zu abandoned=%zu waits=%llu)\n",
-                    rep.drained_inline, rep.abandoned_workers,
-                    static_cast<unsigned long long>(rep.backpressure_waits));
+
+        // Kill-and-resume round: same fault plan, but with periodic
+        // checkpoint emission.  Kill at a seed-chosen checkpoint, push it
+        // through the disk format, resume on a fresh cache, and demand the
+        // sequential statistics and plane bytes again.
+        std::vector<replay::ShardedCheckpoint> cps;
+        Cache ck_cache(1024, 0x7A);
+        const auto ck_rep = replay::replay_sharded_checkpointed(
+            ck_cache, span, cfg, /*every_batches=*/64 + seed % 96,
+            [&](replay::ShardedCheckpoint&& cp) {
+                cps.push_back(std::move(cp));
+            },
+            faults);
+        if (!(ck_rep.stats == seq) || cps.empty()) {
+            std::fprintf(stderr,
+                         "\nchaos seed %llu: checkpointed run diverged "
+                         "(ops %llu/%llu, %zu checkpoints); re-run with "
+                         "P4LRU_CHAOS_SEEDS=%llu\n",
+                         static_cast<unsigned long long>(seed),
+                         static_cast<unsigned long long>(ck_rep.stats.ops),
+                         static_cast<unsigned long long>(seq.ops), cps.size(),
+                         static_cast<unsigned long long>(seed));
+            return 1;
+        }
+        const auto& cp = cps[seed % cps.size()];
+        const auto path =
+            (std::filesystem::temp_directory_path() /
+             ("p4lru_chaos_ckpt_" + std::to_string(seed) + ".bin"))
+                .string();
+        if (const auto st = replay::write_checkpoint(path, cp); !st.is_ok()) {
+            std::fprintf(stderr, "\nchaos seed %llu: write_checkpoint: %s\n",
+                         static_cast<unsigned long long>(seed),
+                         st.to_string().c_str());
+            return 1;
+        }
+        auto rd = replay::read_checkpoint_checked(path);
+        std::filesystem::remove(path);
+        if (!rd.is_ok()) {
+            std::fprintf(stderr,
+                         "\nchaos seed %llu: read_checkpoint_checked: %s\n",
+                         static_cast<unsigned long long>(seed),
+                         rd.status().to_string().c_str());
+            return 1;
+        }
+        Cache resumed(1024, 0x7A);
+        const auto res =
+            replay::resume_sharded(resumed, span, rd.value(), cfg, faults);
+        if (!res.is_ok() || !(res.value().stats == seq)) {
+            std::fprintf(
+                stderr,
+                "\nchaos seed %llu: resume from disk checkpoint at cursor "
+                "%llu diverged (%s); re-run with P4LRU_CHAOS_SEEDS=%llu\n",
+                static_cast<unsigned long long>(seed),
+                static_cast<unsigned long long>(cp.base.cursor),
+                res.is_ok() ? "stats mismatch"
+                            : res.status().to_string().c_str(),
+                static_cast<unsigned long long>(seed));
+            return 1;
+        }
+        std::vector<std::byte> want, got;
+        seq_cache.materialize();
+        resumed.materialize();
+        seq_cache.storage().save_planes(want);
+        resumed.storage().save_planes(got);
+        if (want != got) {
+            std::fprintf(stderr,
+                         "\nchaos seed %llu: resumed plane bytes differ from "
+                         "sequential; re-run with P4LRU_CHAOS_SEEDS=%llu\n",
+                         static_cast<unsigned long long>(seed),
+                         static_cast<unsigned long long>(seed));
+            return 1;
+        }
+        std::printf(
+            "ok (drained_inline=%zu abandoned=%zu waits=%llu; resumed from "
+            "checkpoint %zu/%zu at cursor %llu)\n",
+            rep.drained_inline, rep.abandoned_workers,
+            static_cast<unsigned long long>(rep.backpressure_waits),
+            static_cast<std::size_t>(seed % cps.size()) + 1, cps.size(),
+            static_cast<unsigned long long>(cp.base.cursor));
     }
     std::printf(
         "fault_chaos_smoke: %zu seeds, %zu degraded rounds, all "
-        "bit-identical to sequential (%llu ops, %llu hits)\n",
+        "bit-identical to sequential incl. disk-checkpoint resume "
+        "(%llu ops, %llu hits)\n",
         seeds.size(), degraded_rounds,
         static_cast<unsigned long long>(seq.ops),
         static_cast<unsigned long long>(seq.hits));

@@ -1,0 +1,250 @@
+// On-disk checkpoint format hardening (mirrors trace_io_test): round-trip
+// fidelity for both checkpoint kinds, an exhaustive all-prefix truncation
+// sweep, count-field corruption that must not drive allocations, and the
+// cross-layout rejection the new layout tag exists for — a checkpoint
+// written from one storage layout must refuse to resume into the other
+// even when it reaches the cache through a byte-faithful disk round-trip.
+#include "p4lru/replay/checkpoint_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <vector>
+
+#include "p4lru/core/p4lru.hpp"
+#include "p4lru/replay/checkpoint.hpp"
+#include "p4lru/trace/trace_gen.hpp"
+
+namespace p4lru::replay {
+namespace {
+
+using FlowCache =
+    core::ParallelCache<core::P4lru<FlowKey, std::uint32_t, 3>, FlowKey,
+                        std::uint32_t>;
+using AosFlowCache =
+    core::AosParallelCache<core::P4lru<FlowKey, std::uint32_t, 3>, FlowKey,
+                           std::uint32_t>;
+using Ops = std::span<const ReplayOp<FlowKey, std::uint32_t>>;
+
+std::vector<ReplayOp<FlowKey, std::uint32_t>> small_ops() {
+    trace::TraceConfig cfg;
+    cfg.seed = 21;
+    cfg.total_packets = 20'000;
+    return ops_from_packets(trace::generate_trace(cfg));
+}
+
+class CheckpointIoTest : public ::testing::Test {
+  protected:
+    void SetUp() override {
+        path_ = (std::filesystem::temp_directory_path() /
+                 ("p4lru_ckpt_test_" + std::to_string(::getpid()) + ".bin"))
+                    .string();
+    }
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    /// A mid-run sharded checkpoint with non-trivial telemetry and several
+    /// shard slices, over a small cache so the sweep stays fast.
+    ShardedCheckpoint sample_checkpoint() {
+        const auto ops = small_ops();
+        FlowCache cache(64, 0x9D);
+        ShardedConfig cfg;
+        cfg.shards = 3;
+        cfg.batch_ops = 128;
+        cfg.mode = Mode::kThreaded;
+        std::vector<ShardedCheckpoint> cps;
+        (void)replay_sharded_checkpointed(
+            cache, Ops(ops), cfg, /*every_batches=*/24,
+            [&](ShardedCheckpoint&& cp) { cps.push_back(std::move(cp)); });
+        EXPECT_FALSE(cps.empty());
+        return cps.front();
+    }
+
+    std::string path_;
+};
+
+void expect_equal(const ShardedCheckpoint& a, const ShardedCheckpoint& b) {
+    EXPECT_EQ(a.base.cursor, b.base.cursor);
+    EXPECT_EQ(a.base.stats, b.base.stats);
+    EXPECT_EQ(a.base.unit_count, b.base.unit_count);
+    EXPECT_EQ(a.base.layout_id, b.base.layout_id);
+    EXPECT_EQ(a.base.plane_fingerprint, b.base.plane_fingerprint);
+    EXPECT_EQ(a.base.planes, b.base.planes);
+    EXPECT_EQ(a.shard_stats, b.shard_stats);
+    EXPECT_EQ(a.delivered_batches, b.delivered_batches);
+    EXPECT_EQ(a.backpressure_waits, b.backpressure_waits);
+    EXPECT_EQ(a.park_wait_us, b.park_wait_us);
+    EXPECT_EQ(a.drained_inline, b.drained_inline);
+    EXPECT_EQ(a.abandoned_workers, b.abandoned_workers);
+    EXPECT_EQ(a.scrub, b.scrub);
+}
+
+TEST_F(CheckpointIoTest, ShardedRoundTripPreservesEveryField) {
+    const auto cp = sample_checkpoint();
+    ASSERT_TRUE(write_checkpoint(path_, cp).is_ok());
+    const auto rd = read_checkpoint_checked(path_);
+    ASSERT_TRUE(rd.is_ok()) << rd.status().to_string();
+    expect_equal(cp, rd.value());
+}
+
+TEST_F(CheckpointIoTest, SequentialCheckpointRoundTripsThroughSameReader) {
+    const auto ops = small_ops();
+    FlowCache cache(64, 0x9D);
+    ReplayStats s = replay_sequential(cache, Ops(ops).first(10'000));
+    const auto cp = take_checkpoint(cache, 10'000, s);
+    ASSERT_TRUE(write_checkpoint(path_, cp).is_ok());
+    const auto rd = read_checkpoint_checked(path_);
+    ASSERT_TRUE(rd.is_ok()) << rd.status().to_string();
+    EXPECT_TRUE(rd.value().shard_stats.empty());
+    EXPECT_EQ(rd.value().base.planes, cp.planes);
+
+    FlowCache resumed(64, 0x9D);
+    const auto res = resume_sequential(resumed, Ops(ops), rd.value().base);
+    ASSERT_TRUE(res.is_ok()) << res.status().to_string();
+    FlowCache ref(64, 0x9D);
+    EXPECT_EQ(res.value(), replay_sequential(ref, Ops(ops)));
+}
+
+TEST_F(CheckpointIoTest, MissingFileIsIoError) {
+    const auto rd = read_checkpoint_checked("/nonexistent/dir/x.ckpt");
+    ASSERT_FALSE(rd.is_ok());
+    EXPECT_EQ(rd.status().code(), ErrorCode::kIoError);
+}
+
+TEST_F(CheckpointIoTest, BadMagicRejectedAtOffsetZero) {
+    std::ofstream os(path_, std::ios::binary);
+    os << std::string(200, 'x');
+    os.close();
+    const auto rd = read_checkpoint_checked(path_);
+    ASSERT_FALSE(rd.is_ok());
+    EXPECT_EQ(rd.status().code(), ErrorCode::kCorrupt);
+    EXPECT_EQ(rd.status().offset(), 0u);
+}
+
+TEST_F(CheckpointIoTest, WrongVersionRejected) {
+    ASSERT_TRUE(write_checkpoint(path_, sample_checkpoint()).is_ok());
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(8);
+    const std::uint32_t bad = 99;
+    f.write(reinterpret_cast<const char*>(&bad), 4);
+    f.close();
+    const auto rd = read_checkpoint_checked(path_);
+    ASSERT_FALSE(rd.is_ok());
+    EXPECT_EQ(rd.status().code(), ErrorCode::kCorrupt);
+    EXPECT_EQ(rd.status().offset(), 8u);
+}
+
+TEST_F(CheckpointIoTest, InsaneShardCountRejectedBeforeAllocating) {
+    ASSERT_TRUE(write_checkpoint(path_, sample_checkpoint()).is_ok());
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(136);  // shard count field
+    const std::uint64_t bad = ~std::uint64_t{0} / 2;
+    f.write(reinterpret_cast<const char*>(&bad), 8);
+    f.close();
+    const auto rd = read_checkpoint_checked(path_);
+    ASSERT_FALSE(rd.is_ok());
+    EXPECT_EQ(rd.status().code(), ErrorCode::kCorrupt);
+    EXPECT_EQ(rd.status().offset(), 136u);
+}
+
+TEST_F(CheckpointIoTest, OversizedPlanePromiseRejected) {
+    ASSERT_TRUE(write_checkpoint(path_, sample_checkpoint()).is_ok());
+    std::fstream f(path_, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(144);  // plane size field
+    const std::uint64_t bad = ~std::uint64_t{0} - 64;
+    f.write(reinterpret_cast<const char*>(&bad), 8);
+    f.close();
+    const auto rd = read_checkpoint_checked(path_);
+    ASSERT_FALSE(rd.is_ok());
+    EXPECT_EQ(rd.status().code(), ErrorCode::kTruncated);
+}
+
+TEST_F(CheckpointIoTest, TrailingGarbageRejected) {
+    ASSERT_TRUE(write_checkpoint(path_, sample_checkpoint()).is_ok());
+    const auto full = std::filesystem::file_size(path_);
+    std::ofstream os(path_, std::ios::binary | std::ios::app);
+    os << "junk";
+    os.close();
+    const auto rd = read_checkpoint_checked(path_);
+    ASSERT_FALSE(rd.is_ok());
+    EXPECT_EQ(rd.status().code(), ErrorCode::kCorrupt);
+    EXPECT_EQ(rd.status().offset(), full);
+}
+
+/// Mirror of trace_io_test's sweep: every strict prefix of a valid
+/// checkpoint file must be rejected with a typed error whose offset (when
+/// present) points inside the truncated file.  The sample cache is small
+/// (64 units) so the sweep covers header, shard slices and plane bytes in
+/// a few thousand iterations.
+TEST_F(CheckpointIoTest, EveryTruncationPrefixIsRejectedWithOffset) {
+    const auto cp = sample_checkpoint();
+    ASSERT_TRUE(write_checkpoint(path_, cp).is_ok());
+    const auto full = std::filesystem::file_size(path_);
+
+    for (std::uintmax_t cut = 0; cut < full; ++cut) {
+        ASSERT_TRUE(write_checkpoint(path_, cp).is_ok());  // restore
+        std::filesystem::resize_file(path_, cut);
+        const auto r = read_checkpoint_checked(path_);
+        ASSERT_FALSE(r.is_ok()) << "prefix of " << cut << " bytes parsed";
+        const auto code = r.status().code();
+        EXPECT_TRUE(code == ErrorCode::kCorrupt ||
+                    code == ErrorCode::kTruncated)
+            << "prefix " << cut << ": " << r.status().to_string();
+        if (r.status().has_offset()) {
+            EXPECT_LE(r.status().offset(), cut)
+                << "offset must point inside the truncated file";
+        }
+    }
+}
+
+/// The layout-tag satellite, end to end through disk: a checkpoint taken
+/// from the AoS layout must be rejected by a SoA cache (and vice versa)
+/// with kInvalidState — before any plane byte is interpreted — even though
+/// the file itself is perfectly well-formed.
+TEST_F(CheckpointIoTest, CrossLayoutResumeRejectedAfterDiskRoundTrip) {
+    const auto ops = small_ops();
+    AosFlowCache aos(64, 0x9D);
+    ReplayStats s = replay_sequential(aos, Ops(ops).first(5'000));
+    ASSERT_TRUE(
+        write_checkpoint(path_, take_checkpoint(aos, 5'000, s)).is_ok());
+    const auto rd = read_checkpoint_checked(path_);
+    ASSERT_TRUE(rd.is_ok()) << rd.status().to_string();
+
+    FlowCache soa(64, 0x9D);
+    const auto res = resume_sequential(soa, Ops(ops), rd.value().base);
+    ASSERT_FALSE(res.is_ok()) << "SoA cache accepted an AoS checkpoint";
+    EXPECT_EQ(res.status().code(), ErrorCode::kInvalidState);
+
+    const auto sharded = resume_sharded(soa, Ops(ops), rd.value());
+    ASSERT_FALSE(sharded.is_ok());
+    EXPECT_EQ(sharded.status().code(), ErrorCode::kInvalidState);
+
+    // Same-layout restore of the identical file stays accepted.
+    AosFlowCache back(64, 0x9D);
+    const auto ok = resume_sequential(back, Ops(ops), rd.value().base);
+    EXPECT_TRUE(ok.is_ok()) << ok.status().to_string();
+}
+
+/// Forged-but-plausible cross-layout image: even when an attacker-ish file
+/// carries plane bytes of exactly the size the target layout expects, the
+/// fingerprint check refuses it.
+TEST_F(CheckpointIoTest, MatchingSizeButWrongFingerprintRejected) {
+    FlowCache soa(64, 0x9D);
+    soa.materialize();
+    ReplayCheckpoint cp = take_checkpoint(soa, 0, {});
+    cp.plane_fingerprint ^= 1;  // geometry lie; layout id and size intact
+    ASSERT_TRUE(write_checkpoint(path_, cp).is_ok());
+    const auto rd = read_checkpoint_checked(path_);
+    ASSERT_TRUE(rd.is_ok());
+    const auto ops = small_ops();
+    FlowCache target(64, 0x9D);
+    const auto res = resume_sequential(target, Ops(ops), rd.value().base);
+    ASSERT_FALSE(res.is_ok());
+    EXPECT_EQ(res.status().code(), ErrorCode::kInvalidState);
+}
+
+}  // namespace
+}  // namespace p4lru::replay

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -135,6 +136,30 @@ TEST(CheckpointResume, RejectsCursorBeyondStream) {
     const auto r = resume_sequential(cache, Ops(ops), cp);
     ASSERT_FALSE(r.is_ok());
     EXPECT_EQ(r.status().code(), ErrorCode::kInvalidState);
+}
+
+TEST(CheckpointResume, RejectsForgedEqualSizeCrossLayoutImage) {
+    // The pre-tag guards were unit count + plane byte size only: an AoS
+    // checkpoint whose plane image happens (or is forged) to match the SoA
+    // plane size sailed through both and was silently reinterpreted.  The
+    // layout id + geometry fingerprint must refuse it before any plane
+    // byte is looked at.
+    const auto ops = zipf_ops();
+    AosFlowCache aos(1024, 0x17);
+    auto cp = take_checkpoint(aos, 0, ReplayStats{});
+
+    FlowCache soa(1024, 0x17);
+    soa.materialize();
+    std::vector<std::byte> soa_planes;
+    soa.storage().save_planes(soa_planes);
+    cp.planes.resize(soa_planes.size());  // defeat the size guard
+
+    const auto r = resume_sequential(soa, Ops(ops), cp);
+    ASSERT_FALSE(r.is_ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::kInvalidState);
+    EXPECT_NE(r.status().message().find("layout"), std::string::npos)
+        << "rejection must name the layout mismatch, got: "
+        << r.status().to_string();
 }
 
 TEST(CheckpointResume, RejectsCrossLayoutPlaneImage) {

@@ -176,6 +176,37 @@ TEST(Scrubber, ScrubbedSequentialReplayIsBitIdenticalWhenClean) {
     EXPECT_EQ(r.scrub.corrupt, 0u);
 }
 
+/// Scrub-cadence equivalence (ISSUE 4 satellite): the inline sharded path
+/// must fire its scrub on exactly the same op counts as the sequential
+/// path, for scrub cadences below, at, and above the dispatch block size.
+/// The old code scrubbed at most once per block and discarded the
+/// overshoot, so with scrub_every < batch_ops it under-scrubbed by up to
+/// batch_ops/scrub_every times; the remainder carry fixes that, and equal
+/// ScrubReport.scanned totals are the proof (each firing scans the whole
+/// unit array on both paths).
+TEST(Scrubber, InlineShardedScrubCadenceMatchesSequential) {
+    const auto ops = zipf_ops();
+    using Ops = std::span<const replay::ReplayOp<FlowKey, std::uint32_t>>;
+    const std::uint64_t cadences[] = {64, 100, 256, 1'000, 4'096};
+    for (const std::uint64_t scrub_every : cadences) {
+        FlowCache seq(512, 0x77);
+        const auto a =
+            replay::replay_sequential_scrubbed(seq, Ops(ops), scrub_every);
+
+        FlowCache inl(512, 0x77);
+        replay::ShardedConfig cfg;
+        cfg.mode = replay::Mode::kInline;
+        cfg.batch_ops = 256;  // cadences above span both < and > this
+        cfg.robust.scrub_every = scrub_every;
+        const auto rep = replay_sharded(inl, Ops(ops), cfg);
+
+        EXPECT_EQ(rep.scrub.scanned, a.scrub.scanned)
+            << "scrub_every=" << scrub_every;
+        EXPECT_EQ(rep.stats, a.stats) << "scrub_every=" << scrub_every;
+        EXPECT_EQ(rep.scrub.corrupt, 0u);
+    }
+}
+
 TEST(Scrubber, AosStorageScansCleanByConstruction) {
     AosParallelCache<P4lru<std::uint32_t, std::uint32_t, 3>, std::uint32_t,
                      std::uint32_t>

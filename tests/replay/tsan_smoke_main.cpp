@@ -4,10 +4,17 @@
 // own binary (replay_tsan_smoke) so a `cmake -DP4LRU_SANITIZE=thread` build
 // has a minimal, fast race-detector target; it also runs in plain builds as
 // a cheap determinism check.
+//
+// A second set of rounds runs with checkpoint emission on a tight cadence,
+// putting the snapshot quiesce protocol (snap_req/snap_ack/snap_release
+// epochs, dispatcher plane reads while workers are parked) under the race
+// detector.
 #include <cstdio>
 #include <span>
+#include <vector>
 
 #include "p4lru/core/p4lru.hpp"
+#include "p4lru/replay/checkpoint.hpp"
 #include "p4lru/replay/replay.hpp"
 #include "p4lru/trace/trace_gen.hpp"
 
@@ -54,11 +61,33 @@ int main() {
             return 1;
         }
     }
+    std::size_t snapshots = 0;
+    for (int round = 0; round < 3; ++round) {
+        Cache cache(1024, 0x7A);
+        std::vector<replay::ShardedCheckpoint> cps;
+        const auto rep = replay::replay_sharded_checkpointed(
+            cache, span, cfg, /*every_batches=*/64,
+            [&](replay::ShardedCheckpoint&& cp) {
+                cps.push_back(std::move(cp));
+            });
+        snapshots += cps.size();
+        if (!(rep.stats == seq) || cps.empty()) {
+            std::fprintf(stderr,
+                         "checkpointed round %d: diverged (ops %llu/%llu, "
+                         "%zu checkpoints)\n",
+                         round,
+                         static_cast<unsigned long long>(rep.stats.ops),
+                         static_cast<unsigned long long>(seq.ops),
+                         cps.size());
+            return 1;
+        }
+    }
+
     std::printf(
-        "replay_tsan_smoke: 5 threaded rounds (eager + first-touch), 8 "
-        "shards, stats identical to sequential (%llu ops, %llu hits, %llu "
-        "evictions)\n",
-        static_cast<unsigned long long>(seq.ops),
+        "replay_tsan_smoke: 5 threaded rounds (eager + first-touch) + 3 "
+        "checkpointed rounds (%zu quiesce snapshots), 8 shards, stats "
+        "identical to sequential (%llu ops, %llu hits, %llu evictions)\n",
+        snapshots, static_cast<unsigned long long>(seq.ops),
         static_cast<unsigned long long>(seq.hits),
         static_cast<unsigned long long>(seq.evictions));
     return 0;
