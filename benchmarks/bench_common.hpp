@@ -22,6 +22,8 @@
 #include "p4lru/common/stats.hpp"
 #include "p4lru/common/table.hpp"
 #include "p4lru/common/types.hpp"
+#include "p4lru/core/simd/scan_kernels.hpp"
+#include "p4lru/replay/affinity.hpp"
 #include "p4lru/trace/trace_gen.hpp"
 
 namespace p4lru::bench {
@@ -198,14 +200,17 @@ inline std::vector<SeriesResult> run_series(
 // ---------------------------------------------------------------------------
 // Machine-readable benchmark output (BENCH_*.json).
 
-/// One replay-throughput series of bench_micro_ops.  Schema 2 tags each
-/// series with the unit-storage layout so the AoS-vs-SoA speedup is tracked
-/// run over run.
+/// One replay-throughput series of bench_micro_ops.  Schema 3 tags each
+/// series with the unit-storage layout (AoS-vs-SoA speedup tracked run over
+/// run), the scan kernel that executed it, and the update path (per-op vs
+/// batched).
 struct ReplayJsonSeries {
-    std::string name;        ///< "sequential" / "sharded"
+    std::string name;        ///< "sequential" / "sharded" / "kernel" / ...
     std::string layout;      ///< "aos" / "soa" (UnitStorage::layout_name())
     std::size_t workers = 0; ///< shard count (0 for sequential)
-    std::string mode;        ///< "sequential" / "threaded" / "inline"
+    std::string mode;        ///< "sequential" / "threaded" / "inline" / ...
+    std::string kernel;      ///< scan kernel active for the series
+    std::string path;        ///< "per_op" / "batched"
     double wall_s = 0.0;
     double mops = 0.0;
     std::uint64_t ops = 0;
@@ -214,33 +219,50 @@ struct ReplayJsonSeries {
     std::uint64_t evictions = 0;
 };
 
+/// The number of hardware threads the process can actually use — the
+/// affinity-mask-aware count, not hardware_concurrency() (which ignores
+/// taskset/cgroup masks and may return 0).  Series interpretation depends
+/// on it: an N-worker "threaded" row on a 1-CPU machine measures scheduling
+/// overhead, not parallel speedup.
+inline std::size_t usable_hardware_threads() {
+    return replay::pinnable_cpus();
+}
+
 /// Emit the throughput baseline consumed by later PRs' perf tracking.
+/// Schema 3: top-level scan-kernel identity (dispatched kernel + CPU
+/// features) and per-series kernel/path tags.
 inline bool write_replay_json(const std::string& path, std::size_t packets,
                               std::size_t units, double scale_value,
                               const std::vector<ReplayJsonSeries>& series) {
     std::FILE* f = std::fopen(path.c_str(), "w");
     if (!f) return false;
+    const core::simd::CpuFeatures feat = core::simd::cpu_features();
     std::fprintf(f,
                  "{\n"
                  "  \"bench\": \"micro_ops_replay\",\n"
-                 "  \"schema\": 2,\n"
+                 "  \"schema\": 3,\n"
                  "  \"scale\": %.3f,\n"
                  "  \"packets\": %zu,\n"
                  "  \"units\": %zu,\n"
-                 "  \"hardware_threads\": %u,\n"
+                 "  \"hardware_threads\": %zu,\n"
+                 "  \"kernel\": \"%s\",\n"
+                 "  \"cpu_features\": {\"sse2\": %s, \"avx2\": %s, "
+                 "\"neon\": %s},\n"
                  "  \"series\": [\n",
-                 scale_value, packets, units,
-                 std::thread::hardware_concurrency());
+                 scale_value, packets, units, usable_hardware_threads(),
+                 core::simd::kernel_name(core::simd::dispatched_kernel()),
+                 feat.sse2 ? "true" : "false", feat.avx2 ? "true" : "false",
+                 feat.neon ? "true" : "false");
     for (std::size_t i = 0; i < series.size(); ++i) {
         const auto& s = series[i];
         std::fprintf(
             f,
             "    {\"name\": \"%s\", \"layout\": \"%s\", \"workers\": %zu, "
-            "\"mode\": \"%s\", "
+            "\"mode\": \"%s\", \"kernel\": \"%s\", \"path\": \"%s\", "
             "\"wall_s\": %.6f, \"mops\": %.3f, \"ops\": %llu, "
             "\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu}%s\n",
             s.name.c_str(), s.layout.c_str(), s.workers, s.mode.c_str(),
-            s.wall_s, s.mops,
+            s.kernel.c_str(), s.path.c_str(), s.wall_s, s.mops,
             static_cast<unsigned long long>(s.ops),
             static_cast<unsigned long long>(s.hits),
             static_cast<unsigned long long>(s.misses),

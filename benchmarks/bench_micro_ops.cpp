@@ -22,6 +22,7 @@
 #include "p4lru/core/p4lru.hpp"
 #include "p4lru/core/p4lru_encoded.hpp"
 #include "p4lru/core/parallel_array.hpp"
+#include "p4lru/core/simd/scan_kernels.hpp"
 #include "p4lru/pipeline/p4lru3_program.hpp"
 #include "p4lru/replay/checkpoint.hpp"
 #include "p4lru/replay/replay.hpp"
@@ -178,16 +179,26 @@ BENCHMARK(BM_Crc32FlowKey);
 
 using ReplaySpan = std::span<const replay::ReplayOp<FlowKey, std::uint32_t>>;
 
-/// Sequential + sharded{1,2,4,8} series for one cache layout.  Each series
-/// runs kReps times on a fresh cache; best wall time is reported (standard
-/// throughput practice — the floor is the signal).  Returns the layout's
-/// best sequential wall time; *stats_out receives the sequential stats.
+/// Scan kernel the next replay run will execute (override-aware).
+const char* active_kernel_name() {
+    return core::simd::kernel_name(core::simd::active_kernel());
+}
+
+/// Sequential (per-op and batched) + sharded{1,2,4,8} series for one cache
+/// layout.  Each series runs kReps times on a fresh cache; best wall time
+/// is reported (standard throughput practice — the floor is the signal).
+/// On a machine with one usable hardware thread the multi-worker sweep is
+/// skipped: those rows would measure queue overhead of an inline fallback,
+/// not parallel speedup, and have historically been mistaken for the
+/// latter.  Returns the layout's best per-op sequential wall time;
+/// *stats_out receives the sequential stats.
 template <typename Cache>
 double run_layout_series(ReplaySpan span, std::size_t units,
                          ConsoleTable& table,
                          std::vector<bench::ReplayJsonSeries>& json,
                          replay::ReplayStats* stats_out) {
     const char* layout = Cache::storage_type::layout_name();
+    const char* kernel = active_kernel_name();
     constexpr int kReps = 3;
 
     // Warmup: touch the trace and code paths once, off the clock.
@@ -210,17 +221,48 @@ double run_layout_series(ReplaySpan span, std::size_t units,
     }
     {
         const stats::Throughput tp{seq_stats.ops, seq_seconds};
-        table.add_row({"sequential", layout, "1", "sequential",
-                       ConsoleTable::num(seq_seconds, 3),
+        table.add_row({"sequential", layout, "1", "sequential", kernel,
+                       "per_op", ConsoleTable::num(seq_seconds, 3),
                        ConsoleTable::num(tp.mops(), 2), "1.00",
                        bench::pct(seq_stats.hit_rate())});
-        json.push_back({"sequential", layout, 0, "sequential", seq_seconds,
-                        tp.mops(), seq_stats.ops, seq_stats.hits,
-                        seq_stats.misses, seq_stats.evictions});
+        json.push_back({"sequential", layout, 0, "sequential", kernel,
+                        "per_op", seq_seconds, tp.mops(), seq_stats.ops,
+                        seq_stats.hits, seq_stats.misses,
+                        seq_stats.evictions});
+    }
+
+    // Batched sequential: same op order, hashing hoisted per 256-op chunk
+    // with the key-plane line of op i+8 prefetched while op i executes.
+    double batched_seconds = 0.0;
+    replay::ReplayStats batched_stats;
+    for (int rep = 0; rep < kReps; ++rep) {
+        Cache cache(units, 0xE1);
+        bench::StopWatch w;
+        batched_stats = replay::replay_sequential_batched(cache, span);
+        const double secs = w.seconds();
+        if (rep == 0 || secs < batched_seconds) batched_seconds = secs;
+    }
+    {
+        const stats::Throughput tp{batched_stats.ops, batched_seconds};
+        table.add_row({"sequential", layout, "1", "sequential", kernel,
+                       "batched", ConsoleTable::num(batched_seconds, 3),
+                       ConsoleTable::num(tp.mops(), 2),
+                       ConsoleTable::num(seq_seconds / batched_seconds, 2),
+                       bench::pct(batched_stats.hit_rate())});
+        json.push_back({"sequential", layout, 0, "sequential", kernel,
+                        "batched", batched_seconds, tp.mops(),
+                        batched_stats.ops, batched_stats.hits,
+                        batched_stats.misses, batched_stats.evictions});
+        if (!(batched_stats == seq_stats)) {
+            std::fprintf(stderr,
+                         "layout %s: batched stats DIVERGED (BUG)\n", layout);
+        }
     }
 
     bool all_identical = true;
+    const std::size_t hw = bench::usable_hardware_threads();
     for (const std::size_t workers : {1u, 2u, 4u, 8u}) {
+        if (workers > 1 && hw <= 1) continue;  // see function comment
         replay::ShardedConfig cfg;
         cfg.shards = workers;
         double best = 0.0;
@@ -236,13 +278,19 @@ double run_layout_series(ReplaySpan span, std::size_t units,
         const stats::Throughput tp{last.stats.ops, best};
         const char* mode = last.threaded ? "threaded" : "inline";
         table.add_row({"sharded", layout, std::to_string(last.shards), mode,
-                       ConsoleTable::num(best, 3),
+                       kernel, "batched", ConsoleTable::num(best, 3),
                        ConsoleTable::num(tp.mops(), 2),
                        ConsoleTable::num(seq_seconds / best, 2),
                        bench::pct(last.stats.hit_rate())});
-        json.push_back({"sharded", layout, last.shards, mode, best, tp.mops(),
-                        last.stats.ops, last.stats.hits, last.stats.misses,
+        json.push_back({"sharded", layout, last.shards, mode, kernel,
+                        "batched", best, tp.mops(), last.stats.ops,
+                        last.stats.hits, last.stats.misses,
                         last.stats.evictions});
+    }
+    if (hw <= 1) {
+        std::printf("layout %s: 1 usable hardware thread — multi-worker "
+                    "sharded sweep skipped\n",
+                    layout);
     }
 
     if (!all_identical) {
@@ -251,6 +299,109 @@ double run_layout_series(ReplaySpan span, std::size_t units,
     }
     *stats_out = seq_stats;
     return seq_seconds;
+}
+
+/// Scan-kernel head-to-head on the SoA layout: forced scalar vs the
+/// dispatched SIMD kernel, each via the per-op and the batched sequential
+/// path.  All four cells replay the same trace; stats must be identical
+/// (the kernels are bit-equivalent — only the wall time may move).
+template <typename Cache>
+void run_kernel_series(ReplaySpan span, std::size_t units,
+                       ConsoleTable& table,
+                       std::vector<bench::ReplayJsonSeries>& json) {
+    const char* layout = Cache::storage_type::layout_name();
+    constexpr int kReps = 3;
+
+    replay::ReplayStats first_stats;
+    bool have_first = false;
+    bool identical = true;
+    for (const bool force_scalar : {true, false}) {
+        if (force_scalar &&
+            !core::simd::set_kernel_override(core::simd::ScanKernel::kScalar))
+            continue;
+        if (!force_scalar) core::simd::clear_kernel_override();
+        const char* kernel = active_kernel_name();
+        for (const bool batched : {false, true}) {
+            double best = 0.0;
+            replay::ReplayStats s;
+            for (int rep = 0; rep < kReps; ++rep) {
+                Cache cache(units, 0xE1);
+                bench::StopWatch w;
+                s = batched ? replay::replay_sequential_batched(cache, span)
+                            : replay::replay_sequential(cache, span);
+                const double secs = w.seconds();
+                if (rep == 0 || secs < best) best = secs;
+            }
+            if (!have_first) {
+                first_stats = s;
+                have_first = true;
+            }
+            identical = identical && s == first_stats;
+            const stats::Throughput tp{s.ops, best};
+            const char* path = batched ? "batched" : "per_op";
+            table.add_row({"kernel", layout, "1", "sequential", kernel, path,
+                           ConsoleTable::num(best, 3),
+                           ConsoleTable::num(tp.mops(), 2), "-",
+                           bench::pct(s.hit_rate())});
+            json.push_back({"kernel", layout, 0, "sequential", kernel, path,
+                            best, tp.mops(), s.ops, s.hits, s.misses,
+                            s.evictions});
+        }
+    }
+    core::simd::clear_kernel_override();
+    std::printf("kernel series (%s layout): scalar vs %s stats %s\n", layout,
+                core::simd::kernel_name(core::simd::dispatched_kernel()),
+                identical ? "IDENTICAL" : "DIVERGED (BUG)");
+}
+
+/// Worker-pinning head-to-head: forced-threaded sharded replay with
+/// pin_workers off vs on.  On a multi-core box this prices what pinning
+/// buys (first-touch locality surviving migration); with one usable CPU it
+/// degenerates to the same core either way and the delta is noise — the
+/// rows stay labeled with the real thread count so they read correctly.
+template <typename Cache>
+void run_pinning_series(ReplaySpan span, std::size_t units,
+                        ConsoleTable& table,
+                        std::vector<bench::ReplayJsonSeries>& json) {
+    const char* layout = Cache::storage_type::layout_name();
+    const char* kernel = active_kernel_name();
+    constexpr int kReps = 3;
+
+    replay::ShardedConfig cfg;
+    cfg.shards = 4;
+    cfg.mode = replay::Mode::kThreaded;
+
+    double off_seconds = 0.0;
+    for (const bool pin : {false, true}) {
+        cfg.pin_workers = pin;
+        double best = 0.0;
+        replay::ShardedReport rep_out;
+        for (int rep = 0; rep < kReps; ++rep) {
+            Cache cache(units, 0xE1);
+            bench::StopWatch w;
+            rep_out = replay::replay_sharded(cache, span, cfg);
+            const double secs = w.seconds();
+            if (rep == 0 || secs < best) best = secs;
+        }
+        if (!pin) off_seconds = best;
+        const stats::Throughput tp{rep_out.stats.ops, best};
+        const char* mode = pin ? "pin_on" : "pin_off";
+        table.add_row({"pinning", layout, std::to_string(cfg.shards), mode,
+                       kernel, "batched", ConsoleTable::num(best, 3),
+                       ConsoleTable::num(tp.mops(), 2),
+                       ConsoleTable::num(off_seconds / best, 2),
+                       bench::pct(rep_out.stats.hit_rate())});
+        json.push_back({"pinning", layout, cfg.shards, mode, kernel,
+                        "batched", best, tp.mops(), rep_out.stats.ops,
+                        rep_out.stats.hits, rep_out.stats.misses,
+                        rep_out.stats.evictions});
+        if (pin) {
+            std::printf("pinning (%s layout, %zu shards, %zu usable cpus): "
+                        "%zu/%zu workers pinned\n",
+                        layout, cfg.shards, bench::usable_hardware_threads(),
+                        rep_out.pinned_workers, rep_out.shards);
+        }
+    }
 }
 
 /// Integrity-scrubber overhead: sequential replay with the scrubber off vs
@@ -290,13 +441,14 @@ void run_scrubber_series(ReplaySpan span, std::size_t units,
          {std::tuple{"scrub_off", off_seconds, off_stats},
           std::tuple{"scrub_on", on_seconds, on_result.stats}}) {
         const stats::Throughput tp{s.ops, secs};
-        table.add_row({"scrubber", layout, "1", mode,
-                       ConsoleTable::num(secs, 3),
+        table.add_row({"scrubber", layout, "1", mode, active_kernel_name(),
+                       "per_op", ConsoleTable::num(secs, 3),
                        ConsoleTable::num(tp.mops(), 2),
                        ConsoleTable::num(off_seconds / secs, 2),
                        bench::pct(s.hit_rate())});
-        json.push_back({"scrubber", layout, 0, mode, secs, tp.mops(), s.ops,
-                        s.hits, s.misses, s.evictions});
+        json.push_back({"scrubber", layout, 0, mode, active_kernel_name(),
+                        "per_op", secs, tp.mops(), s.ops, s.hits, s.misses,
+                        s.evictions});
     }
 
     std::printf("scrubber (every %llu ops, %s layout): %.2f%% overhead, "
@@ -357,12 +509,14 @@ void run_checkpoint_series(ReplaySpan span, std::size_t units,
           std::tuple{"ckpt_on", on_seconds, on_rep.stats}}) {
         const stats::Throughput tp{s.ops, secs};
         table.add_row({"checkpoint", layout, std::to_string(cfg.shards),
-                       mode, ConsoleTable::num(secs, 3),
+                       mode, active_kernel_name(), "batched",
+                       ConsoleTable::num(secs, 3),
                        ConsoleTable::num(tp.mops(), 2),
                        ConsoleTable::num(off_seconds / secs, 2),
                        bench::pct(s.hit_rate())});
-        json.push_back({"checkpoint", layout, cfg.shards, mode, secs,
-                        tp.mops(), s.ops, s.hits, s.misses, s.evictions});
+        json.push_back({"checkpoint", layout, cfg.shards, mode,
+                        active_kernel_name(), "batched", secs, tp.mops(),
+                        s.ops, s.hits, s.misses, s.evictions});
     }
 
     std::printf("checkpoint (every %llu batches, %s layout, %zu shards): "
@@ -387,14 +541,24 @@ void run_replay_throughput() {
     const ReplaySpan span(ops);
 
     std::vector<bench::ReplayJsonSeries> json;
-    ConsoleTable table({"series", "layout", "workers", "mode", "wall s",
-                        "Mops/s", "speedup", "hit %"});
+    ConsoleTable table({"series", "layout", "workers", "mode", "kernel",
+                        "path", "wall s", "Mops/s", "speedup", "hit %"});
+
+    std::printf("scan kernel: %s dispatched (sse2=%d avx2=%d neon=%d), "
+                "%zu usable hardware threads\n",
+                core::simd::kernel_name(core::simd::dispatched_kernel()),
+                core::simd::cpu_features().sse2,
+                core::simd::cpu_features().avx2,
+                core::simd::cpu_features().neon,
+                bench::usable_hardware_threads());
 
     replay::ReplayStats aos_stats, soa_stats;
     const double aos_seconds =
         run_layout_series<AosCache>(span, units, table, json, &aos_stats);
     const double soa_seconds =
         run_layout_series<SoaCache>(span, units, table, json, &soa_stats);
+    run_kernel_series<SoaCache>(span, units, table, json);
+    run_pinning_series<SoaCache>(span, units, table, json);
     run_scrubber_series<SoaCache>(span, units, table, json);
     run_checkpoint_series<SoaCache>(span, units, table, json);
 

@@ -28,6 +28,7 @@
 #include <list>
 #include <memory>
 #include <optional>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <unordered_map>
@@ -68,6 +69,25 @@ class ReplacementPolicy {
     virtual Access<Key, Value> fill(const Key& k, const Value& v,
                                     TimeNs now) = 0;
 
+    /// Batched write path: apply ops strictly in span order, invoking
+    /// sink(access) once per op.  Semantically identical to calling fill()
+    /// per op — the default does exactly that — but array-backed policies
+    /// override it with the cache's batched path (buckets hashed a chunk
+    /// ahead, units prefetched a fixed distance ahead), so batch callers
+    /// get the memory-level parallelism without a behaviour change.
+    virtual void fill_batch(
+        std::span<const core::CacheOp<Key, Value>> ops, TimeNs now,
+        const std::function<void(const Access<Key, Value>&)>& sink) {
+        for (const auto& op : ops) sink(fill(op.key, op.value, now));
+    }
+
+    /// Batched read path; the per-op equivalent of access().
+    virtual void access_batch(
+        std::span<const core::CacheOp<Key, Value>> ops, TimeNs now,
+        const std::function<void(const Access<Key, Value>&)>& sink) {
+        for (const auto& op : ops) sink(access(op.key, op.value, now));
+    }
+
     /// Non-mutating lookup.
     [[nodiscard]] virtual std::optional<Value> peek(const Key& k) const = 0;
 
@@ -99,6 +119,32 @@ class P4lruArrayPolicy final : public ReplacementPolicy<Key, Value> {
                             TimeNs /*now*/) override {
         const std::size_t b = array_.bucket(k);
         return convert(b, k, array_.update_at(b, k, v, Merge{}));
+    }
+
+    void fill_batch(std::span<const core::CacheOp<Key, Value>> ops,
+                    TimeNs /*now*/,
+                    const std::function<void(const Access<Key, Value>&)>&
+                        sink) override {
+        array_.update_batch(
+            ops,
+            [&](std::size_t i, std::size_t b,
+                const core::UpdateResult<Key, Value>& r) {
+                sink(convert(b, ops[i].key, r));
+            },
+            Merge{});
+    }
+
+    void access_batch(std::span<const core::CacheOp<Key, Value>> ops,
+                      TimeNs /*now*/,
+                      const std::function<void(const Access<Key, Value>&)>&
+                          sink) override {
+        array_.update_batch(
+            ops,
+            [&](std::size_t i, std::size_t b,
+                const core::UpdateResult<Key, Value>& r) {
+                sink(convert(b, ops[i].key, r));
+            },
+            core::KeepMerge{});
     }
 
     std::optional<Value> peek(const Key& k) const override {
@@ -161,6 +207,32 @@ class UnitArrayPolicy final : public ReplacementPolicy<Key, Value> {
                             TimeNs /*now*/) override {
         const std::size_t b = array_.bucket(k);
         return convert(b, k, array_.update_at(b, k, v, Merge{}));
+    }
+
+    void fill_batch(std::span<const core::CacheOp<Key, Value>> ops,
+                    TimeNs /*now*/,
+                    const std::function<void(const Access<Key, Value>&)>&
+                        sink) override {
+        array_.update_batch(
+            ops,
+            [&](std::size_t i, std::size_t b,
+                const core::UpdateResult<Key, Value>& r) {
+                sink(convert(b, ops[i].key, r));
+            },
+            Merge{});
+    }
+
+    void access_batch(std::span<const core::CacheOp<Key, Value>> ops,
+                      TimeNs /*now*/,
+                      const std::function<void(const Access<Key, Value>&)>&
+                          sink) override {
+        array_.update_batch(
+            ops,
+            [&](std::size_t i, std::size_t b,
+                const core::UpdateResult<Key, Value>& r) {
+                sink(convert(b, ops[i].key, r));
+            },
+            core::KeepMerge{});
     }
 
     std::optional<Value> peek(const Key& k) const override {

@@ -46,37 +46,10 @@
 #include <vector>
 
 #include "p4lru/common/types.hpp"
+#include "p4lru/core/simd/scan_kernels.hpp"  // detail::lane_eq + scan dispatch
 #include "p4lru/core/unit_storage.hpp"
 
 namespace p4lru::core {
-
-namespace detail {
-
-/// Lane equality for the compare-mask scan.  The generic form is the key's
-/// own operator==; FlowKey gets a fused branch-free compare — the 5-tuple's
-/// 13 defined bytes as one u64 + one u32 + the proto byte, AND-combined —
-/// instead of five short-circuiting member compares.
-template <typename K>
-[[nodiscard]] inline bool lane_eq(const K& a, const K& b) {
-    return a == b;
-}
-
-[[nodiscard]] inline bool lane_eq(const FlowKey& a, const FlowKey& b) {
-    static_assert(offsetof(FlowKey, src_port) == 8 &&
-                  offsetof(FlowKey, proto) == 12);
-    std::uint64_t a_ips, b_ips;
-    std::uint32_t a_ports, b_ports;
-    std::memcpy(&a_ips, &a, sizeof(a_ips));
-    std::memcpy(&b_ips, &b, sizeof(b_ips));
-    std::memcpy(&a_ports, reinterpret_cast<const char*>(&a) + 8,
-                sizeof(a_ports));
-    std::memcpy(&b_ports, reinterpret_cast<const char*>(&b) + 8,
-                sizeof(b_ports));
-    return ((a_ips == b_ips) & (a_ports == b_ports) &
-            (a.proto == b.proto)) != 0;
-}
-
-}  // namespace detail
 
 /// Struct-of-arrays storage for an array of behavioural P4LRU_N units.
 ///
@@ -512,14 +485,18 @@ class SoaSlab {
     }
 
     /// Bit j set iff lane j equals k.  Every lane is compared (no early
-    /// exit) so the loop vectorizes; callers mask with the occupancy.
+    /// exit); callers mask with the occupancy.  Multi-lane rows go through
+    /// the runtime-dispatched scan kernel (core/simd/scan_kernels.hpp) —
+    /// explicit SSE2/AVX2/NEON where available, the reference scalar loop
+    /// otherwise or under P4LRU_FORCE_SCALAR.  A single-lane row is one
+    /// compare; calling through a function pointer would only add overhead.
     [[nodiscard]] static unsigned match_mask(const Key* row,
                                              const Key& k) noexcept {
-        unsigned eq = 0;
-        for (std::size_t j = 0; j < N; ++j) {
-            eq |= static_cast<unsigned>(detail::lane_eq(row[j], k)) << j;
+        if constexpr (kKeyStride == 1) {
+            return static_cast<unsigned>(detail::lane_eq(row[0], k));
+        } else {
+            return simd::ScanDispatch<Key, kKeyStride, N>::run(row, k);
         }
-        return eq;
     }
 
     /// row[1..m] = row[0..m-1], row[0] = k — the Step-1 key rotation.

@@ -140,9 +140,13 @@ template <typename Cache, typename Key, typename Value>
         return st;
     }
     ReplayStats s = cp.stats;
-    for (std::size_t i = cp.cursor; i < ops.size(); ++i) {
-        s.tally(cache.update(ops[i].key, ops[i].value));
-    }
+    // The suffix goes through the batched path (hash-ahead + prefetch);
+    // per-op application order is unchanged, so the result stream is the
+    // one an uninterrupted per-op replay would have produced.
+    cache.update_batch(ops.subspan(cp.cursor),
+                       [&s](std::size_t, std::size_t, const auto& r) {
+                           s.tally(r);
+                       });
     return s;
 }
 
@@ -155,11 +159,25 @@ ReplayStats replay_sequential_checkpointed(
     std::uint64_t every, Sink&& sink) {
     cache.materialize();
     ReplayStats s;
+    const auto tally = [&s](std::size_t, std::size_t, const auto& r) {
+        s.tally(r);
+    };
     std::uint64_t cursor = 0;
-    for (const auto& op : ops) {
-        s.tally(cache.update(op.key, op.value));
-        ++cursor;
-        if (every != 0 && cursor % every == 0 && cursor < ops.size()) {
+    const std::uint64_t n = ops.size();
+    while (cursor < n) {
+        // Batched application, with each chunk clipped at the next cadence
+        // point: checkpoints land on exactly the op cursors the per-op loop
+        // used, and each snapshot still happens between ops.
+        std::uint64_t take = n - cursor;
+        if (every != 0) {
+            take = std::min<std::uint64_t>(take, every - cursor % every);
+        }
+        cache.update_batch(
+            ops.subspan(static_cast<std::size_t>(cursor),
+                        static_cast<std::size_t>(take)),
+            tally);
+        cursor += take;
+        if (every != 0 && cursor % every == 0 && cursor < n) {
             sink(take_checkpoint(cache, cursor, s));
         }
     }

@@ -71,6 +71,7 @@
 #include "p4lru/common/types.hpp"
 #include "p4lru/core/parallel_array.hpp"
 #include "p4lru/fault/fault_plan.hpp"
+#include "p4lru/replay/affinity.hpp"
 #include "p4lru/replay/shard_plan.hpp"
 #include "p4lru/replay/spsc_queue.hpp"
 
@@ -151,6 +152,12 @@ struct ShardedConfig {
     std::size_t queue_batches = 64; ///< SPSC ring capacity, in batches
     Mode mode = Mode::kAuto;
     RobustConfig robust{};          ///< backpressure/watchdog/scrub knobs
+    /// Pin worker s to the s-th allowed core (affinity.hpp) before it
+    /// first-touches its shard's pages, so first-touch placement survives
+    /// scheduler migration.  Linux-only; a silent no-op elsewhere.
+    /// Off by default: on an oversubscribed machine pinning removes the
+    /// scheduler's freedom to dodge a busy core.
+    bool pin_workers = false;
 };
 
 /// What a sharded replay actually ran, alongside the merged statistics.
@@ -164,6 +171,7 @@ struct ShardedReport {
     std::uint64_t park_wait_us = 0;   ///< total us slept awaiting park acks
     std::size_t drained_inline = 0;   ///< shards the dispatcher took over
     std::size_t abandoned_workers = 0;///< workers parked by the watchdog
+    std::size_t pinned_workers = 0;   ///< workers pinned (pin_workers set)
     core::ScrubReport scrub{};        ///< merged scrub counters (if enabled)
 
     [[nodiscard]] bool degraded() const noexcept {
@@ -182,6 +190,24 @@ ReplayStats replay_sequential(Cache& cache,
     for (const auto& op : ops) {
         s.tally(cache.update(op.key, op.value));
     }
+    return s;
+}
+
+/// Sequential replay through the cache's batched update path: buckets are
+/// hashed a chunk (256 ops) ahead and each op's unit is software-prefetched
+/// core::kBatchPrefetchDistance ops before use, so the unit array's
+/// random-access latency overlaps earlier updates.  Ops are still applied
+/// one at a time in order, so the UpdateResult stream — and therefore the
+/// statistics and the final cache state — is bit-identical to
+/// replay_sequential (tests/replay/batch_equivalence_test.cpp).
+template <typename Cache, typename Key, typename Value>
+ReplayStats replay_sequential_batched(
+    Cache& cache, std::span<const ReplayOp<Key, Value>> ops) {
+    cache.materialize();
+    ReplayStats s;
+    cache.update_batch(ops, [&](std::size_t, std::size_t, const auto& r) {
+        s.tally(r);
+    });
     return s;
 }
 
@@ -232,9 +258,16 @@ template <typename Cache, typename Key, typename Value>
 void process_batch(Cache& cache,
                    const std::vector<RoutedOp<Key, Value>>& batch,
                    ReplayStats& stats) {
-    for (const auto& op : batch) {
-        stats.tally(cache.update_at(op.bucket, op.key, op.value));
-    }
+    // The cache's routed-batch path: per-op application in arrival order
+    // (bit-exactness), with each op's unit prefetched a fixed distance
+    // ahead.  Workers additionally warm the *next* batch via
+    // prefetch_batch; the distance prefetch here is the near-window re-warm
+    // right before use.
+    cache.update_routed_batch(
+        std::span<const RoutedOp<Key, Value>>(batch),
+        [&stats](std::size_t, std::size_t, const auto& r) {
+            stats.tally(r);
+        });
 }
 
 /// Per-shard control block shared between a worker and the dispatcher's
@@ -329,6 +362,7 @@ ShardedReport replay_sharded_impl(Cache& cache,
     struct alignas(64) PaddedStats {
         ReplayStats s;
         core::ScrubReport scrub;
+        char pinned = 0;  ///< worker pinned itself to a core
     };
     std::vector<PaddedStats> results(W);
 
@@ -432,8 +466,16 @@ ShardedReport replay_sharded_impl(Cache& cache,
             workers.reserve(W);
             for (std::size_t s = 0; s < W; ++s) {
                 workers.emplace_back([&cache, &queues, &results, &plan, &ctl,
-                                      &faults, first_touch, scrub_every, s] {
+                                      &faults, first_touch, scrub_every,
+                                      pin = cfg.pin_workers, s] {
                     (void)faults;
+                    if (pin) {
+                        // Pin before the first touch below so the shard's
+                        // pages fault in on — and stay local to — the core
+                        // that will drain them.
+                        results[s].pinned =
+                            pin_current_thread(s) ? 1 : 0;
+                    }
                     if (first_touch) {
                         // Fault this shard's slab sub-range in from the
                         // thread that will own it (first-touch placement).
@@ -763,6 +805,7 @@ ShardedReport replay_sharded_impl(Cache& cache,
     for (std::size_t s = 0; s < W; ++s) {
         report.stats.merge(results[s].s);
         report.scrub.merge(results[s].scrub);
+        report.pinned_workers += static_cast<std::size_t>(results[s].pinned);
     }
     return report;
 }

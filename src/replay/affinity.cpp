@@ -1,0 +1,50 @@
+#include "p4lru/replay/affinity.hpp"
+
+#if defined(__linux__)
+#include <sched.h>
+#include <unistd.h>
+#endif
+
+namespace p4lru::replay {
+
+std::size_t pinnable_cpus() {
+#if defined(__linux__)
+    cpu_set_t allowed;
+    CPU_ZERO(&allowed);
+    if (sched_getaffinity(0, sizeof(allowed), &allowed) == 0) {
+        const int n = CPU_COUNT(&allowed);
+        if (n > 0) return static_cast<std::size_t>(n);
+    }
+    const long n = sysconf(_SC_NPROCESSORS_ONLN);
+    return n > 0 ? static_cast<std::size_t>(n) : 1;
+#else
+    return 1;
+#endif
+}
+
+bool pin_current_thread(std::size_t core) {
+#if defined(__linux__)
+    cpu_set_t allowed;
+    CPU_ZERO(&allowed);
+    // pid 0 = the calling thread for both affinity syscalls.
+    if (sched_getaffinity(0, sizeof(allowed), &allowed) != 0) return false;
+    const int count = CPU_COUNT(&allowed);
+    if (count <= 0) return false;
+    int want = static_cast<int>(core % static_cast<std::size_t>(count));
+    cpu_set_t target;
+    CPU_ZERO(&target);
+    for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu) {
+        if (!CPU_ISSET(cpu, &allowed)) continue;
+        if (want-- == 0) {
+            CPU_SET(cpu, &target);
+            return sched_setaffinity(0, sizeof(target), &target) == 0;
+        }
+    }
+    return false;
+#else
+    (void)core;
+    return false;
+#endif
+}
+
+}  // namespace p4lru::replay

@@ -1,0 +1,273 @@
+// Property suite for the batched update path: update_batch (and everything
+// layered on it — replay_sequential_batched, the checkpointed sequential
+// replay, the policy fill_batch/access_batch entry points, and the sharded
+// engine's routed batches) must emit a bit-identical UpdateResult stream to
+// per-op update on the same input.  Batching hoists only hashing and
+// prefetching; per-op application order is untouched, so this is checkable
+// result-for-result, on both storage layouts, under Zipf and YCSB traffic,
+// with checkpoints cut mid-stream.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "p4lru/cache/policy.hpp"
+#include "p4lru/core/p4lru.hpp"
+#include "p4lru/replay/checkpoint.hpp"
+#include "p4lru/replay/replay.hpp"
+#include "p4lru/trace/trace_gen.hpp"
+#include "p4lru/trace/ycsb.hpp"
+
+namespace p4lru::replay {
+namespace {
+
+using FlowCache =
+    core::ParallelCache<core::P4lru<FlowKey, std::uint32_t, 3>, FlowKey,
+                        std::uint32_t>;
+using AosFlowCache =
+    core::AosParallelCache<core::P4lru<FlowKey, std::uint32_t, 3>, FlowKey,
+                           std::uint32_t>;
+using KeyCache =
+    core::ParallelCache<core::P4lru<std::uint64_t, std::uint64_t, 3>,
+                        std::uint64_t, std::uint64_t>;
+using AosKeyCache =
+    core::AosParallelCache<core::P4lru<std::uint64_t, std::uint64_t, 3>,
+                           std::uint64_t, std::uint64_t>;
+
+std::vector<ReplayOp<FlowKey, std::uint32_t>> zipf_ops() {
+    trace::TraceConfig cfg;
+    cfg.seed = 77;
+    cfg.total_packets = 120'000;
+    cfg.segments = 4;
+    return ops_from_packets(trace::generate_trace(cfg));
+}
+
+std::vector<ReplayOp<std::uint64_t, std::uint64_t>> ycsb_ops() {
+    trace::YcsbConfig cfg;
+    cfg.seed = 99;
+    cfg.items = 200'000;
+    cfg.zipf_alpha = 0.9;
+    trace::YcsbWorkload wl(cfg);
+    std::vector<ReplayOp<std::uint64_t, std::uint64_t>> ops;
+    ops.reserve(80'000);
+    for (const auto& op : wl.generate(80'000)) {
+        ops.push_back({op.key, op.key * 2 + 1});
+    }
+    return ops;
+}
+
+template <typename CacheA, typename CacheB>
+void expect_same_contents(const CacheA& a, const CacheB& b) {
+    ASSERT_EQ(a.unit_count(), b.unit_count());
+    for (std::size_t u = 0; u < a.unit_count(); ++u) {
+        const auto& ua = a.unit(u);
+        const auto& ub = b.unit(u);
+        ASSERT_EQ(ua.size(), ub.size()) << "unit " << u;
+        for (std::size_t i = 1; i <= ua.size(); ++i) {
+            EXPECT_EQ(ua.key_at(i), ub.key_at(i)) << "unit " << u;
+            EXPECT_EQ(ua.value_at(i), ub.value_at(i)) << "unit " << u;
+        }
+    }
+}
+
+/// Field-by-field image of an UpdateResult, comparable across runs.
+template <typename Key, typename Value>
+struct ResultImage {
+    bool hit;
+    std::size_t hit_pos;
+    bool evicted;
+    Key evicted_key;
+    Value evicted_value;
+
+    explicit ResultImage(const core::UpdateResult<Key, Value>& r)
+        : hit(r.hit),
+          hit_pos(r.hit_pos),
+          evicted(r.evicted),
+          evicted_key(r.evicted_key),
+          evicted_value(r.evicted_value) {}
+
+    friend bool operator==(const ResultImage&, const ResultImage&) = default;
+};
+
+/// The property itself: per-op update vs update_batch over the same ops on
+/// fresh caches of the same seed — identical result streams, identical
+/// final contents.
+template <typename Cache, typename Key, typename Value>
+void check_batch_stream(std::span<const ReplayOp<Key, Value>> ops,
+                        std::size_t units, std::uint32_t seed) {
+    using Image = ResultImage<Key, Value>;
+    Cache per_op(units, seed);
+    std::vector<Image> ref;
+    ref.reserve(ops.size());
+    for (const auto& op : ops) {
+        ref.emplace_back(per_op.update(op.key, op.value));
+    }
+
+    Cache batched(units, seed);
+    std::vector<Image> got;
+    got.reserve(ops.size());
+    std::size_t expect_i = 0;
+    batched.update_batch(ops, [&](std::size_t i, std::size_t b,
+                                  const core::UpdateResult<Key, Value>& r) {
+        EXPECT_EQ(i, expect_i++);  // sink fires per op, in op order
+        EXPECT_EQ(b, batched.bucket(ops[i].key));
+        got.emplace_back(r);
+    });
+    ASSERT_EQ(got.size(), ref.size());
+    EXPECT_TRUE(got == ref);
+    expect_same_contents(per_op, batched);
+}
+
+TEST(BatchEquivalence, ZipfResultStreamIsBitIdenticalSoa) {
+    const auto ops = zipf_ops();
+    check_batch_stream<FlowCache, FlowKey, std::uint32_t>(ops, 4096, 0xE1);
+}
+
+TEST(BatchEquivalence, ZipfResultStreamIsBitIdenticalAos) {
+    const auto ops = zipf_ops();
+    check_batch_stream<AosFlowCache, FlowKey, std::uint32_t>(ops, 4096,
+                                                             0xE1);
+}
+
+TEST(BatchEquivalence, YcsbResultStreamIsBitIdenticalSoa) {
+    const auto ops = ycsb_ops();
+    check_batch_stream<KeyCache, std::uint64_t, std::uint64_t>(ops, 2048,
+                                                               0xF1);
+}
+
+TEST(BatchEquivalence, YcsbResultStreamIsBitIdenticalAos) {
+    const auto ops = ycsb_ops();
+    check_batch_stream<AosKeyCache, std::uint64_t, std::uint64_t>(ops, 2048,
+                                                                  0xF1);
+}
+
+TEST(BatchEquivalence, SequentialBatchedMatchesSequential) {
+    const auto ops = zipf_ops();
+    const std::span<const ReplayOp<FlowKey, std::uint32_t>> span(ops);
+    FlowCache a(4096, 0xE1);
+    FlowCache b(4096, 0xE1);
+    EXPECT_EQ(replay_sequential_batched(b, span), replay_sequential(a, span));
+    expect_same_contents(a, b);
+}
+
+/// Checkpoints cut mid-batch-stream: the batched checkpointed replay must
+/// emit snapshots at exactly the per-op cursors, with bit-identical stats
+/// and plane images, including cadences that do not divide the batch size.
+TEST(BatchEquivalence, CheckpointsMidStreamAreBitIdentical) {
+    const auto ops = zipf_ops();
+    const std::span<const ReplayOp<FlowKey, std::uint32_t>> span(ops);
+    for (const std::uint64_t every : {777u, 10'000u, 256u}) {
+        // Per-op reference: manual loop with take_checkpoint on cadence.
+        FlowCache ref_cache(1024, 0xCC);
+        std::vector<ReplayCheckpoint> ref;
+        ReplayStats ref_stats;
+        std::uint64_t cursor = 0;
+        for (const auto& op : ops) {
+            ref_stats.tally(ref_cache.update(op.key, op.value));
+            ++cursor;
+            if (cursor % every == 0 && cursor < ops.size()) {
+                ref.push_back(take_checkpoint(ref_cache, cursor, ref_stats));
+            }
+        }
+
+        FlowCache cache(1024, 0xCC);
+        std::vector<ReplayCheckpoint> got;
+        const auto stats = replay_sequential_checkpointed(
+            cache, span, every,
+            [&](ReplayCheckpoint&& cp) { got.push_back(std::move(cp)); });
+        EXPECT_EQ(stats, ref_stats) << "every=" << every;
+        ASSERT_EQ(got.size(), ref.size()) << "every=" << every;
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            EXPECT_EQ(got[i].cursor, ref[i].cursor);
+            EXPECT_EQ(got[i].stats, ref[i].stats);
+            EXPECT_EQ(got[i].planes, ref[i].planes) << "checkpoint " << i;
+        }
+        expect_same_contents(ref_cache, cache);
+
+        // And every emitted checkpoint resumes to the uninterrupted end
+        // state (the resume suffix also runs batched).
+        if (!got.empty()) {
+            FlowCache resumed(1024, 0xCC);
+            const auto r = resume_sequential(resumed, span, got.back());
+            ASSERT_TRUE(r.is_ok());
+            EXPECT_EQ(r.value(), ref_stats);
+            expect_same_contents(ref_cache, resumed);
+        }
+    }
+}
+
+/// The policy batch entry points ride the same machinery: Access streams
+/// from fill_batch/access_batch must match per-op fill/access.
+TEST(BatchEquivalence, PolicyBatchesMatchPerOp) {
+    const auto ops = zipf_ops();
+    std::vector<core::CacheOp<FlowKey, std::uint32_t>> batch_ops;
+    batch_ops.reserve(ops.size());
+    for (const auto& op : ops) batch_ops.push_back({op.key, op.value});
+
+    const auto image = [](const cache::Access<FlowKey, std::uint32_t>& a) {
+        return std::tuple(a.hit, a.inserted, a.evicted, a.evicted_key,
+                          a.evicted_value, a.value);
+    };
+    for (const bool write_path : {true, false}) {
+        cache::P4lruArrayPolicy<FlowKey, std::uint32_t, 3> per_op(12'288,
+                                                                  0xE1);
+        cache::P4lruArrayPolicy<FlowKey, std::uint32_t, 3> batched(12'288,
+                                                                   0xE1);
+        std::vector<decltype(image({}))> ref;
+        ref.reserve(ops.size());
+        for (const auto& op : ops) {
+            ref.push_back(image(write_path ? per_op.fill(op.key, op.value, 0)
+                                           : per_op.access(op.key, op.value,
+                                                           0)));
+        }
+        std::size_t i = 0;
+        const auto sink =
+            [&](const cache::Access<FlowKey, std::uint32_t>& a) {
+                ASSERT_LT(i, ref.size());
+                EXPECT_TRUE(image(a) == ref[i]) << "op " << i;
+                ++i;
+            };
+        if (write_path) {
+            batched.fill_batch(batch_ops, 0, sink);
+        } else {
+            batched.access_batch(batch_ops, 0, sink);
+        }
+        EXPECT_EQ(i, ref.size());
+    }
+}
+
+/// Pinned workers (ShardedConfig::pin_workers): same bits as sequential,
+/// and the report says how many workers actually pinned.
+TEST(BatchEquivalence, PinnedThreadedReplayMatchesSequential) {
+    const auto ops = zipf_ops();
+    const std::span<const ReplayOp<FlowKey, std::uint32_t>> span(ops);
+    FlowCache seq_cache(2048, 0xAB);
+    const auto seq = replay_sequential(seq_cache, span);
+
+    FlowCache cache(2048, 0xAB);
+    ShardedConfig cfg;
+    cfg.shards = 4;
+    cfg.mode = Mode::kThreaded;
+    cfg.pin_workers = true;
+    const auto rep = replay_sharded(cache, span, cfg);
+    EXPECT_EQ(rep.stats, seq);
+    expect_same_contents(seq_cache, cache);
+#if defined(__linux__)
+    EXPECT_EQ(rep.pinned_workers, rep.shards);
+#else
+    EXPECT_EQ(rep.pinned_workers, 0u);
+#endif
+
+    // Off by default, and inline runs never pin.
+    FlowCache plain(2048, 0xAB);
+    ShardedConfig off;
+    off.shards = 4;
+    off.mode = Mode::kThreaded;
+    const auto rep_off = replay_sharded(plain, span, off);
+    EXPECT_EQ(rep_off.pinned_workers, 0u);
+    EXPECT_EQ(rep_off.stats, seq);
+}
+
+}  // namespace
+}  // namespace p4lru::replay
