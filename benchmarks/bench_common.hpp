@@ -24,6 +24,7 @@
 #include "p4lru/common/types.hpp"
 #include "p4lru/core/simd/scan_kernels.hpp"
 #include "p4lru/replay/affinity.hpp"
+#include "p4lru/replay/replay.hpp"
 #include "p4lru/trace/trace_gen.hpp"
 
 namespace p4lru::bench {
@@ -198,6 +199,98 @@ inline std::vector<SeriesResult> run_series(
 }
 
 // ---------------------------------------------------------------------------
+// System-series engine harness (DESIGN.md §11): the fig09-11 testbed benches
+// drive their system ReplayTargets through the shared replay engine along an
+// engine-mode axis — the sequential reference first, then inline-batched and
+// threaded-sharded runs — instead of bespoke process() loops.  The engine
+// contract makes every axis point produce bit-identical statistics, which
+// each point cross-checks against the sequential reference.
+
+/// One point of the engine-mode axis.
+struct EngineMode {
+    std::string name;             ///< "sequential", "sharded_w4", ...
+    std::size_t workers = 0;      ///< 0 = sequential (reference) replay
+    replay::ShardedConfig cfg{};  ///< engine knobs when workers > 0
+};
+
+/// The sequential reference alone — for figure points that only need the
+/// report, where re-running the whole axis would bloat the suite's runtime.
+inline std::vector<EngineMode> sequential_axis() {
+    return {EngineMode{"sequential", 0, {}}};
+}
+
+/// Full axis: sequential reference, one-worker inline batching, and
+/// threaded-sharded runs at 2 and 4 workers.  Worker counts above the
+/// affinity-mask CPU count still run (and still agree bit for bit); their
+/// wall time then measures scheduling overhead rather than speedup, which
+/// the JSON's hardware_threads field lets consumers discount.
+inline std::vector<EngineMode> engine_mode_axis() {
+    std::vector<EngineMode> axis = sequential_axis();
+    for (const std::size_t w : {1u, 2u, 4u}) {
+        replay::ShardedConfig cfg;
+        cfg.shards = w;
+        cfg.mode = w == 1 ? replay::Mode::kInline : replay::Mode::kThreaded;
+        axis.push_back(
+            {"sharded_w" + std::to_string(w), w, cfg});
+    }
+    return axis;
+}
+
+/// One engine-axis measurement of a system target.
+template <typename Stats>
+struct SystemModePoint {
+    std::string mode;
+    std::size_t workers = 0;  ///< 0 for the sequential reference
+    Stats stats{};
+    double wall_s = 0.0;
+    double mops = 0.0;
+    /// Whether this point's statistics equal the axis' sequential reference
+    /// (vacuously true for the reference itself).  Anything but true is an
+    /// engine-equivalence violation worth flagging in the bench output.
+    bool matches_sequential = true;
+};
+
+/// Drive fresh `make()`-constructed targets over `ops`, once per axis
+/// entry.  Each entry owns its own target instance (identical seeds come
+/// from the factory), so the runs are independent and any statistics drift
+/// between modes is the engine's fault, not shared state's.
+template <typename TargetFactory, typename Op>
+auto run_system_series(TargetFactory&& make, const std::vector<Op>& ops,
+                       const std::vector<EngineMode>& axis) {
+    using Target = std::decay_t<std::invoke_result_t<TargetFactory&>>;
+    using Stats = typename Target::Stats;
+    std::vector<SystemModePoint<Stats>> out;
+    out.reserve(axis.size());
+    Stats reference{};
+    bool have_reference = false;
+    for (const auto& m : axis) {
+        Target target = make();
+        SystemModePoint<Stats> pt;
+        pt.mode = m.name;
+        pt.workers = m.workers;
+        const std::span<const Op> span(ops.data(), ops.size());
+        StopWatch w;
+        if (m.workers == 0) {
+            pt.stats = replay::replay_target_sequential(target, span);
+        } else {
+            pt.stats = replay::replay_target_sharded(target, span, m.cfg).stats;
+        }
+        pt.wall_s = w.seconds();
+        pt.mops = pt.wall_s > 0.0
+                      ? static_cast<double>(ops.size()) / pt.wall_s / 1e6
+                      : 0.0;
+        if (m.workers == 0 && !have_reference) {
+            reference = pt.stats;
+            have_reference = true;
+        } else if (have_reference) {
+            pt.matches_sequential = pt.stats == reference;
+        }
+        out.push_back(std::move(pt));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------------------
 // Machine-readable benchmark output (BENCH_*.json).
 
 /// One replay-throughput series of bench_micro_ops.  Schema 3 tags each
@@ -268,6 +361,75 @@ inline bool write_replay_json(const std::string& path, std::size_t packets,
             static_cast<unsigned long long>(s.misses),
             static_cast<unsigned long long>(s.evictions),
             i + 1 < series.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    return true;
+}
+
+/// One engine-mode row of a system testbed bench (BENCH_fig*.json): a
+/// figure series replayed under one engine mode, with the series' headline
+/// metric and the equivalence verdict against the sequential reference.
+struct SystemJsonSeries {
+    std::string series;       ///< figure series label, e.g. "CAIDA60/P4LRU3"
+    std::string mode;         ///< engine-axis entry name
+    std::size_t workers = 0;  ///< 0 for the sequential reference
+    std::uint64_t ops = 0;
+    double wall_s = 0.0;
+    double mops = 0.0;
+    bool matches_sequential = true;
+    std::string metric_name;  ///< e.g. "miss_rate", "upload_kpps"
+    double metric = 0.0;
+};
+
+/// Convert an engine-axis sweep into JSON rows under one series label.
+/// `metric` maps the (merged, mode-invariant) statistics to the figure's
+/// headline scalar, evaluated per point so a mismatch stays visible.
+template <typename Stats, typename MetricFn>
+void append_system_series(std::vector<SystemJsonSeries>& out,
+                          const std::string& label, std::uint64_t ops,
+                          const std::vector<SystemModePoint<Stats>>& points,
+                          const std::string& metric_name, MetricFn metric) {
+    for (const auto& p : points) {
+        SystemJsonSeries row;
+        row.series = label;
+        row.mode = p.mode;
+        row.workers = p.workers;
+        row.ops = ops;
+        row.wall_s = p.wall_s;
+        row.mops = p.mops;
+        row.matches_sequential = p.matches_sequential;
+        row.metric_name = metric_name;
+        row.metric = metric(p.stats);
+        out.push_back(std::move(row));
+    }
+}
+
+/// Emit a system testbed bench's engine-mode series (schema 1).
+inline bool write_system_json(const std::string& path,
+                              const std::string& bench,
+                              const std::vector<SystemJsonSeries>& series) {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return false;
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"schema\": 1,\n"
+                 "  \"scale\": %.3f,\n"
+                 "  \"hardware_threads\": %zu,\n"
+                 "  \"series\": [\n",
+                 bench.c_str(), scale(), usable_hardware_threads());
+    for (std::size_t i = 0; i < series.size(); ++i) {
+        const auto& s = series[i];
+        std::fprintf(
+            f,
+            "    {\"series\": \"%s\", \"mode\": \"%s\", \"workers\": %zu, "
+            "\"ops\": %llu, \"wall_s\": %.6f, \"mops\": %.3f, "
+            "\"matches_sequential\": %s, \"%s\": %.6f}%s\n",
+            s.series.c_str(), s.mode.c_str(), s.workers,
+            static_cast<unsigned long long>(s.ops), s.wall_s, s.mops,
+            s.matches_sequential ? "true" : "false", s.metric_name.c_str(),
+            s.metric, i + 1 < series.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

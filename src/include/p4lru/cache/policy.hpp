@@ -23,6 +23,7 @@
 // benches sweep them at equal memory.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -99,6 +100,21 @@ class ReplacementPolicy {
     [[nodiscard]] virtual std::size_t capacity_entries() const = 0;
 
     [[nodiscard]] virtual std::string name() const = 0;
+
+    /// Serialize the policy's full mutable state into `out` (appending),
+    /// for the checkpoint snapshot plane of the system replay targets.
+    /// Returns false when the policy does not support snapshotting (the
+    /// default); array-backed policies save their storage plane image.
+    [[nodiscard]] virtual bool save_state(
+        std::vector<std::byte>& /*out*/) const {
+        return false;
+    }
+
+    /// Restore state written by save_state() on an identically-configured
+    /// policy; false when unsupported or the image does not fit.
+    [[nodiscard]] virtual bool load_state(std::span<const std::byte> /*in*/) {
+        return false;
+    }
 };
 
 /// Parallel-connected P4LRU_N array: capacity_entries = units * N.
@@ -166,6 +182,17 @@ class P4lruArrayPolicy final : public ReplacementPolicy<Key, Value> {
     }
 
     [[nodiscard]] const auto& array() const noexcept { return array_; }
+
+    bool save_state(std::vector<std::byte>& out) const override {
+        std::vector<std::byte> planes;
+        array_.storage().save_planes(planes);
+        out.insert(out.end(), planes.begin(), planes.end());
+        return true;
+    }
+
+    bool load_state(std::span<const std::byte> in) override {
+        return array_.storage().load_planes(in);
+    }
 
   private:
     /// The bucket is computed once per access/fill and threaded through to
@@ -256,6 +283,17 @@ class UnitArrayPolicy final : public ReplacementPolicy<Key, Value> {
                 if (const auto value = unit.find(key)) fn(key, *value);
             }
         }
+    }
+
+    bool save_state(std::vector<std::byte>& out) const override {
+        std::vector<std::byte> planes;
+        array_.storage().save_planes(planes);
+        out.insert(out.end(), planes.begin(), planes.end());
+        return true;
+    }
+
+    bool load_state(std::span<const std::byte> in) override {
+        return array_.storage().load_planes(in);
     }
 
   private:

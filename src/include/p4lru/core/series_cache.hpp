@@ -160,6 +160,8 @@ class SeriesCache {
     [[nodiscard]] const Level& level(std::size_t i) const {
         return levels_.at(i);
     }
+    /// Mutable level access (checkpoint restore writes the storage planes).
+    [[nodiscard]] Level& level(std::size_t i) { return levels_.at(i); }
     [[nodiscard]] std::size_t capacity() const noexcept {
         return levels_.empty() ? 0 : levels_.size() * levels_[0].capacity();
     }

@@ -267,7 +267,8 @@ ShardedReport replay_sharded_checkpointed(
     const Faults& faults = {}) {
     detail::DispatchCheckpointer<Cache, std::remove_reference_t<Sink>> ckpt(
         cache, every_batches, sink);
-    return detail::replay_sharded_impl(cache, ops, cfg, faults, ckpt);
+    CacheReplayTarget<Cache, Key, Value> target(cache);
+    return detail::replay_sharded_impl(target, ops, cfg, faults, ckpt);
 }
 
 /// Restore a sharded checkpoint into `cache` and replay the remaining ops

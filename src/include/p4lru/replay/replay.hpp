@@ -1,14 +1,18 @@
 // Sharded parallel trace-replay engine, hardened against worker failure.
 //
-// A ParallelCache's bucket hash partitions the key space into disjoint P4LRU
-// units, so replay is embarrassingly parallel across unit ranges: a
-// dispatcher routes each operation to the shard owning its bucket (ShardPlan
-// carves [0, units) into contiguous ranges), batches of ~256 routed ops flow
-// through one SPSC queue per shard, and each worker prefetches the next
-// batch's unit cache lines before draining the previous batch. Because every
-// unit is touched by exactly one shard and each shard processes its ops in
-// arrival order, the final cache state and the merged hit/miss/eviction
-// statistics are bit-identical to sequential replay.
+// The engine drives any model of the ReplayTarget concept
+// (replay_target.hpp); `CacheReplayTarget` below — a bare
+// core::ParallelCache — is the first model, and the three paper systems
+// (systems/*/..._target.hpp) are the others.  A target's bucket hash
+// partitions its state into disjoint units, so replay is embarrassingly
+// parallel across unit ranges: a dispatcher routes each operation to the
+// shard owning its bucket (ShardPlan carves [0, units) into contiguous
+// ranges), batches of ~256 routed ops flow through one SPSC queue per
+// shard, and each worker prefetches the next batch's unit cache lines
+// before draining the previous batch. Because every unit is touched by
+// exactly one shard and each shard processes its ops in arrival order, the
+// final target state and the merged statistics are bit-identical to
+// sequential replay.
 //
 // On machines without spare hardware threads (or with ShardedConfig::mode =
 // kInline) the same dispatch/batch/prefetch structure runs on the calling
@@ -62,10 +66,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "p4lru/common/types.hpp"
@@ -161,8 +168,11 @@ struct ShardedConfig {
 };
 
 /// What a sharded replay actually ran, alongside the merged statistics.
-struct ShardedReport {
-    ReplayStats stats{};
+/// Generic over the target's mergeable statistics type; `ShardedReport` is
+/// the cache-replay instantiation.
+template <typename Stats>
+struct BasicShardedReport {
+    Stats stats{};
     std::size_t shards = 0;  ///< shard count after clamping
     bool threaded = false;   ///< workers spawned (vs inline fallback)
 
@@ -179,6 +189,8 @@ struct ShardedReport {
                scrub.corrupt != 0;
     }
 };
+
+using ShardedReport = BasicShardedReport<ReplayStats>;
 
 /// Reference replayer: one op at a time on the calling thread.  `Cache` is
 /// any core::ParallelCache instantiation (either storage layout).
@@ -248,28 +260,6 @@ struct RoutedOp {
     Value value{};
 };
 
-template <typename Cache, typename Key, typename Value>
-void prefetch_batch(const Cache& cache,
-                    const std::vector<RoutedOp<Key, Value>>& batch) {
-    for (const auto& op : batch) cache.prefetch_unit(op.bucket);
-}
-
-template <typename Cache, typename Key, typename Value>
-void process_batch(Cache& cache,
-                   const std::vector<RoutedOp<Key, Value>>& batch,
-                   ReplayStats& stats) {
-    // The cache's routed-batch path: per-op application in arrival order
-    // (bit-exactness), with each op's unit prefetched a fixed distance
-    // ahead.  Workers additionally warm the *next* batch via
-    // prefetch_batch; the distance prefetch here is the near-window re-warm
-    // right before use.
-    cache.update_routed_batch(
-        std::span<const RoutedOp<Key, Value>>(batch),
-        [&stats](std::size_t, std::size_t, const auto& r) {
-            stats.tally(r);
-        });
-}
-
 /// Per-shard control block shared between a worker and the dispatcher's
 /// watchdog.  `progress` counts fully applied batches (release after each);
 /// `abandon` is the watchdog's cooperative park request; `parked` is the
@@ -295,18 +285,114 @@ struct alignas(64) ShardCtl {
 
 }  // namespace detail
 
+/// The first model of the ReplayTarget concept (replay_target.hpp): drives
+/// a bare core::ParallelCache through the engine.  It is a thin, stateless
+/// view — routing hashes once via the cache's bucket hash, batches go
+/// through the cache's routed-batch update path, and the snapshot plane is
+/// the storage's raw plane image tagged with its layout id + geometry
+/// fingerprint.  Behavior is identical to the historical cache-wired
+/// engine: replay_sharded wraps the cache in this adapter.
+template <typename Cache, typename Key, typename Value>
+class CacheReplayTarget {
+  public:
+    using Op = ReplayOp<Key, Value>;
+    using Routed = detail::RoutedOp<Key, Value>;
+    using Stats = ReplayStats;
+
+    explicit CacheReplayTarget(Cache& cache) noexcept : cache_(&cache) {}
+
+    [[nodiscard]] std::size_t unit_count() const {
+        return cache_->unit_count();
+    }
+
+    /// Hash the op to its owning bucket — exactly once per op.
+    [[nodiscard]] Routed route(const Op& op) const {
+        return Routed{static_cast<std::uint32_t>(cache_->bucket(op.key)),
+                      op.key, op.value};
+    }
+
+    void prefetch_unit(std::uint32_t bucket) const {
+        cache_->prefetch_unit(bucket);
+    }
+    void prefetch_batch(std::span<const Routed> batch) const {
+        for (const auto& op : batch) cache_->prefetch_unit(op.bucket);
+    }
+
+    /// Apply a routed batch in arrival order (bit-exactness), each op's
+    /// unit prefetched a fixed distance ahead.  Workers additionally warm
+    /// the *next* batch via prefetch_batch; the distance prefetch inside
+    /// update_routed_batch is the near-window re-warm right before use.
+    void apply_batch(std::span<const Routed> batch, Stats& stats) {
+        cache_->update_routed_batch(
+            batch, [&stats](std::size_t, std::size_t, const auto& r) {
+                stats.tally(r);
+            });
+    }
+
+    // -- first-touch plane (deferred-init NUMA placement) ----------------
+    [[nodiscard]] bool materialized() const { return cache_->materialized(); }
+    void materialize() { cache_->materialize(); }
+    void first_touch_range(std::size_t lo, std::size_t hi) {
+        cache_->first_touch_range(lo, hi);
+    }
+    void mark_materialized() { cache_->mark_materialized(); }
+
+    // -- integrity plane -------------------------------------------------
+    core::ScrubReport scrub(std::size_t lo, std::size_t hi) {
+        return cache_->scrub(lo, hi);
+    }
+    core::ScrubReport scrub_all() { return cache_->scrub_all(); }
+
+    // -- snapshot plane (checkpoint cut) ---------------------------------
+    [[nodiscard]] static std::uint32_t state_id() {
+        return Storage::layout_id();
+    }
+    [[nodiscard]] static std::uint64_t state_fingerprint() {
+        return Storage::plane_fingerprint();
+    }
+    void save_state(std::vector<std::byte>& out) const {
+        cache_->storage().save_planes(out);
+    }
+    [[nodiscard]] bool load_state(std::span<const std::byte> in) {
+        cache_->materialize();  // load overwrites; planes must exist first
+        return cache_->storage().load_planes(in);
+    }
+
+    // -- fault hooks (fault_plan.hpp) ------------------------------------
+    // Data faults enter through the target so each target decides what "op
+    // corruption" and "storage corruption" mean for it.
+    template <typename Faults>
+    void inject_op_faults(const Faults& faults, std::uint64_t idx,
+                          Op& op) const {
+        faults.mutate_key(idx, op.key);
+    }
+    template <typename Faults>
+    void inject_storage_faults(const Faults& faults, std::uint64_t idx) {
+        faults.corrupt_storage(idx, cache_->storage());
+    }
+
+    [[nodiscard]] Cache& cache() const noexcept { return *cache_; }
+
+  private:
+    using Storage =
+        std::remove_cvref_t<decltype(std::declval<const Cache&>().storage())>;
+    Cache* cache_;
+};
+
 /// Everything a checkpoint sink needs to capture a consistent cut of a
-/// running sharded replay.  Invariant: the cache holds exactly the effects
+/// running sharded replay.  Invariant: the target holds exactly the effects
 /// of the op prefix [0, cursor), `stats` is the merged outcome of that
 /// prefix (stats.ops == cursor), and `shard_stats[t]` is shard t's share —
 /// which doubles as shard t's op cursor, since every shard has applied all
 /// of its ops below the cut.  The span aliases dispatcher-owned scratch:
-/// copy it before returning from the sink.
-struct CheckpointCut {
+/// copy it before returning from the sink.  Generic over the target's
+/// statistics type; `CheckpointCut` is the cache-replay instantiation.
+template <typename Stats>
+struct BasicCheckpointCut {
     std::uint64_t cursor = 0;             ///< ops applied (prefix length)
     std::uint64_t delivered_batches = 0;  ///< dispatch batches so far
-    std::span<const ReplayStats> shard_stats;  ///< per-shard split of stats
-    ReplayStats stats{};
+    std::span<const Stats> shard_stats;   ///< per-shard split of stats
+    Stats stats{};
     std::size_t shards = 0;
     bool threaded = false;
     std::uint64_t backpressure_waits = 0;
@@ -315,6 +401,8 @@ struct CheckpointCut {
     std::size_t abandoned_workers = 0;
     core::ScrubReport scrub{};
 };
+
+using CheckpointCut = BasicCheckpointCut<ReplayStats>;
 
 namespace detail {
 
@@ -327,25 +415,29 @@ struct NoCheckpoint {
     [[nodiscard]] bool due(std::uint64_t /*delivered*/) const noexcept {
         return false;
     }
-    void emit(const CheckpointCut& /*cut*/) const noexcept {}
+    template <typename Stats>
+    void emit(const BasicCheckpointCut<Stats>& /*cut*/) const noexcept {}
 };
 
-/// Shared engine behind replay_sharded and replay_sharded_checkpointed
-/// (checkpoint.hpp).  `Ckpt` decides at compile time whether the dispatch
-/// loop carries checkpoint triggers; `ckpt.due(delivered)` is polled at
-/// dispatch boundaries and `ckpt.emit(cut)` runs with every worker
-/// quiesced.
-template <typename Cache, typename Key, typename Value, typename Faults,
-          typename Ckpt>
-ShardedReport replay_sharded_impl(Cache& cache,
-                                  std::span<const ReplayOp<Key, Value>> ops,
-                                  const ShardedConfig& cfg,
-                                  const Faults& faults, Ckpt& ckpt) {
-    using Routed = detail::RoutedOp<Key, Value>;
+/// Shared engine behind replay_sharded, replay_sharded_checkpointed
+/// (checkpoint.hpp) and the system adapters (systems/*/..._target.hpp).
+/// `Target` is any model of the ReplayTarget concept (replay_target.hpp) —
+/// the engine only routes, batches, prefetches and applies; what an op
+/// *means* belongs to the target.  `Ckpt` decides at compile time whether
+/// the dispatch loop carries checkpoint triggers; `ckpt.due(delivered)` is
+/// polled at dispatch boundaries and `ckpt.emit(cut)` runs with every
+/// worker quiesced.
+template <typename Target, typename Faults, typename Ckpt>
+BasicShardedReport<typename Target::Stats> replay_sharded_impl(
+    Target& target, std::span<const typename Target::Op> ops,
+    const ShardedConfig& cfg, const Faults& faults, Ckpt& ckpt) {
+    using Op = typename Target::Op;
+    using Routed = typename Target::Routed;
+    using Stats = typename Target::Stats;
     using Batch = std::vector<Routed>;
 
     const std::size_t requested = cfg.shards ? cfg.shards : default_shards();
-    const ShardPlan plan = ShardPlan::make(cache.unit_count(), requested);
+    const ShardPlan plan = ShardPlan::make(target.unit_count(), requested);
     const std::size_t W = plan.shards();
     const std::size_t batch_ops = cfg.batch_ops ? cfg.batch_ops : 256;
     const std::uint64_t scrub_every = cfg.robust.scrub_every;
@@ -354,22 +446,22 @@ ShardedReport replay_sharded_impl(Cache& cache,
         cfg.mode == Mode::kThreaded ||
         (cfg.mode == Mode::kAuto && W > 1 && threads_profitable());
 
-    ShardedReport report;
+    BasicShardedReport<Stats> report;
     report.shards = W;
     report.threaded = threaded;
 
     // Cache-line-padded per-shard results (workers write concurrently).
     struct alignas(64) PaddedStats {
-        ReplayStats s;
+        Stats s{};
         core::ScrubReport scrub;
         char pinned = 0;  ///< worker pinned itself to a core
     };
     std::vector<PaddedStats> results(W);
 
-    // Deferred-init caches: threaded workers first-touch their own shard's
+    // Deferred-init targets: threaded workers first-touch their own shard's
     // unit sub-range below; every other path materializes right here.
-    const bool first_touch = !cache.materialized() && threaded;
-    if (!first_touch) cache.materialize();
+    const bool first_touch = !target.materialized() && threaded;
+    if (!first_touch) target.materialize();
 
     if (!threaded) {
         // Inline path: batched dispatch on the calling thread. Ops stay in
@@ -388,17 +480,20 @@ ShardedReport replay_sharded_impl(Cache& cache,
             block.clear();
             for (std::size_t i = 0; i < n; ++i) {
                 const std::uint64_t idx = base + i;
-                Key key = ops[idx].key;
                 if constexpr (Faults::kEnabled) {
-                    faults.corrupt_storage(idx, cache.storage());
-                    faults.mutate_key(idx, key);
+                    Op op = ops[idx];
+                    target.inject_storage_faults(faults, idx);
+                    target.inject_op_faults(faults, idx, op);
+                    const Routed r = target.route(op);
+                    target.prefetch_unit(r.bucket);
+                    block.push_back(r);
+                } else {
+                    const Routed r = target.route(ops[idx]);
+                    target.prefetch_unit(r.bucket);
+                    block.push_back(r);
                 }
-                const auto bucket =
-                    static_cast<std::uint32_t>(cache.bucket(key));
-                cache.prefetch_unit(bucket);
-                block.push_back(Routed{bucket, key, ops[idx].value});
             }
-            detail::process_batch(cache, block, results[0].s);
+            target.apply_batch(std::span<const Routed>(block), results[0].s);
             ++delivered;
             if (scrub_every != 0) {
                 // Carry the op remainder across blocks so the scrub fires
@@ -409,18 +504,18 @@ ShardedReport replay_sharded_impl(Cache& cache,
                 std::uint64_t left = n;
                 while (left >= until_scrub) {
                     left -= until_scrub;
-                    results[0].scrub.merge(cache.scrub_all());
+                    results[0].scrub.merge(target.scrub_all());
                     until_scrub = scrub_every;
                 }
                 until_scrub -= left;
             }
             if constexpr (Ckpt::kEnabled) {
                 if (base + n < ops.size() && ckpt.due(delivered)) {
-                    CheckpointCut cut;
+                    BasicCheckpointCut<Stats> cut;
                     cut.cursor = base + n;
                     cut.delivered_batches = delivered;
                     cut.shard_stats =
-                        std::span<const ReplayStats>(&results[0].s, 1);
+                        std::span<const Stats>(&results[0].s, 1);
                     cut.stats = results[0].s;
                     cut.shards = W;
                     cut.threaded = false;
@@ -446,7 +541,7 @@ ShardedReport replay_sharded_impl(Cache& cache,
         // dispatcher thread from the moment of takeover.
         std::vector<char> inlined(W, 0);
         // Dispatcher-side stats per shard (inline drains + takeover mode).
-        std::vector<ReplayStats> drained(W);
+        std::vector<Stats> drained(W);
 
         const auto push_deadline = std::chrono::microseconds(
             cfg.robust.push_deadline_us ? cfg.robust.push_deadline_us : 500);
@@ -459,14 +554,14 @@ ShardedReport replay_sharded_impl(Cache& cache,
         // CheckpointCut::shard_stats aliases during emit.
         std::uint64_t delivered = 0;
         [[maybe_unused]] std::uint64_t snap_epoch = 0;
-        [[maybe_unused]] std::vector<ReplayStats> cut_stats(W);
+        [[maybe_unused]] std::vector<Stats> cut_stats(W);
 
         {
             std::vector<std::jthread> workers;
             workers.reserve(W);
             for (std::size_t s = 0; s < W; ++s) {
-                workers.emplace_back([&cache, &queues, &results, &plan, &ctl,
-                                      &faults, first_touch, scrub_every,
+                workers.emplace_back([&target, &queues, &results, &plan,
+                                      &ctl, &faults, first_touch, scrub_every,
                                       pin = cfg.pin_workers, s] {
                     (void)faults;
                     if (pin) {
@@ -480,10 +575,10 @@ ShardedReport replay_sharded_impl(Cache& cache,
                         // Fault this shard's slab sub-range in from the
                         // thread that will own it (first-touch placement).
                         const auto [lo, hi] = plan.range(s);
-                        cache.first_touch_range(lo, hi);
+                        target.first_touch_range(lo, hi);
                     }
                     const auto [shard_lo, shard_hi] = plan.range(s);
-                    ReplayStats local;
+                    Stats local{};
                     core::ScrubReport scrub_local;
                     Batch pending;
                     Batch next;
@@ -494,7 +589,8 @@ ShardedReport replay_sharded_impl(Cache& cache,
                     [[maybe_unused]] std::uint64_t snap_seen = 0;
                     const auto finish_pending = [&] {
                         if (!have_pending) return;
-                        detail::process_batch(cache, pending, local);
+                        target.apply_batch(
+                            std::span<const Routed>(pending), local);
                         ops_since_scrub += pending.size();
                         have_pending = false;
                         ctl[s].progress.fetch_add(1,
@@ -505,7 +601,7 @@ ShardedReport replay_sharded_impl(Cache& cache,
                             // other thread touches those units, so the
                             // scrub never races an update.
                             scrub_local.merge(
-                                cache.scrub(shard_lo, shard_hi));
+                                target.scrub(shard_lo, shard_hi));
                             ops_since_scrub = 0;
                         }
                     };
@@ -538,7 +634,8 @@ ShardedReport replay_sharded_impl(Cache& cache,
                                 // dispatcher releases the epoch.
                                 while (queues[s]->try_pop(next)) {
                                     ++popped;
-                                    detail::prefetch_batch(cache, next);
+                                    target.prefetch_batch(
+                                        std::span<const Routed>(next));
                                     finish_pending();
                                     pending = std::move(next);
                                     have_pending = true;
@@ -585,7 +682,7 @@ ShardedReport replay_sharded_impl(Cache& cache,
                         ++popped;
                         // Warm the next batch's units, then drain the
                         // previous batch — prefetch one batch ahead.
-                        detail::prefetch_batch(cache, next);
+                        target.prefetch_batch(std::span<const Routed>(next));
                         finish_pending();
                         pending = std::move(next);
                         have_pending = true;
@@ -626,8 +723,9 @@ ShardedReport replay_sharded_impl(Cache& cache,
                 ++report.drained_inline;
                 Batch b;
                 while (queues[s]->try_pop(b)) {
-                    detail::prefetch_batch(cache, b);
-                    detail::process_batch(cache, b, drained[s]);
+                    target.prefetch_batch(std::span<const Routed>(b));
+                    target.apply_batch(std::span<const Routed>(b),
+                                       drained[s]);
                 }
             };
 
@@ -669,17 +767,15 @@ ShardedReport replay_sharded_impl(Cache& cache,
                 }
                 // Inline mode: the dispatcher owns this shard; the queued
                 // suffix was drained first, so order still holds.
-                detail::prefetch_batch(cache, b);
-                detail::process_batch(cache, b, drained[s]);
+                target.prefetch_batch(std::span<const Routed>(b));
+                target.apply_batch(std::span<const Routed>(b), drained[s]);
             };
 
             // Dispatch: hash, route, batch, push.
             for (std::size_t i = 0; i < ops.size(); ++i) {
-                const auto& op = ops[i];
-                const auto bucket =
-                    static_cast<std::uint32_t>(cache.bucket(op.key));
-                const std::size_t s = plan.owner(bucket);
-                open[s].push_back(Routed{bucket, op.key, op.value});
+                const Routed r = target.route(ops[i]);
+                const std::size_t s = plan.owner(r.bucket);
+                open[s].push_back(r);
                 if (open[s].size() == batch_ops) {
                     deliver(s, open[s]);
                     open[s].clear();
@@ -749,9 +845,9 @@ ShardedReport replay_sharded_impl(Cache& cache,
                         }
                         // Step 3: every shard is either ack-parked at its
                         // boundary or dispatcher-owned; nobody writes the
-                        // cache until release, so the sink may serialize
-                        // the planes.
-                        CheckpointCut cut;
+                        // target until release, so the sink may serialize
+                        // its state.
+                        BasicCheckpointCut<Stats> cut;
                         cut.cursor = i + 1;
                         cut.delivered_batches = delivered;
                         for (std::size_t t = 0; t < W; ++t) {
@@ -790,12 +886,12 @@ ShardedReport replay_sharded_impl(Cache& cache,
             bool leftovers = false;
             while (queues[s]->try_pop(b)) {
                 leftovers = true;
-                detail::prefetch_batch(cache, b);
-                detail::process_batch(cache, b, drained[s]);
+                target.prefetch_batch(std::span<const Routed>(b));
+                target.apply_batch(std::span<const Routed>(b), drained[s]);
             }
             if (leftovers && !inlined[s]) ++report.drained_inline;
         }
-        if (first_touch) cache.mark_materialized();
+        if (first_touch) target.mark_materialized();
 
         for (std::size_t s = 0; s < W; ++s) {
             report.stats.merge(drained[s]);
@@ -827,8 +923,38 @@ ShardedReport replay_sharded(Cache& cache,
                              std::span<const ReplayOp<Key, Value>> ops,
                              const ShardedConfig& cfg = {},
                              const Faults& faults = {}) {
+    CacheReplayTarget<Cache, Key, Value> target(cache);
     detail::NoCheckpoint no_ckpt;
-    return detail::replay_sharded_impl(cache, ops, cfg, faults, no_ckpt);
+    return detail::replay_sharded_impl(target, ops, cfg, faults, no_ckpt);
+}
+
+/// Sequential reference replay of any ReplayTarget: one op at a time on the
+/// calling thread, in arrival order.  This is the oracle the sharded modes
+/// are proven bit-identical against (tests/systems/).
+template <typename Target>
+typename Target::Stats replay_target_sequential(
+    Target& target, std::span<const typename Target::Op> ops) {
+    target.materialize();
+    typename Target::Stats stats{};
+    for (const auto& op : ops) {
+        const typename Target::Routed r = target.route(op);
+        target.apply_batch(
+            std::span<const typename Target::Routed>(&r, 1), stats);
+    }
+    return stats;
+}
+
+/// Sharded replay of any ReplayTarget through the shared engine: inline
+/// batched on one thread or threaded across shard workers per `cfg.mode`,
+/// with the full degradation ladder (backpressure, watchdog takeover,
+/// order-preserving inline drain) and fault hooks.  Statistics are
+/// bit-identical to replay_target_sequential for any shard geometry.
+template <typename Target, typename Faults = fault::NoFaults>
+BasicShardedReport<typename Target::Stats> replay_target_sharded(
+    Target& target, std::span<const typename Target::Op> ops,
+    const ShardedConfig& cfg = {}, const Faults& faults = {}) {
+    detail::NoCheckpoint no_ckpt;
+    return detail::replay_sharded_impl(target, ops, cfg, faults, no_ckpt);
 }
 
 /// Adapter: a packet trace as replay operations (key = 5-tuple, value = wire

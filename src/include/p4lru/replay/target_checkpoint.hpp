@@ -1,0 +1,417 @@
+// Checkpoint/resume for any ReplayTarget (DESIGN.md §11).
+//
+// The cache-specific checkpoint layer (checkpoint.hpp) snapshots storage
+// planes; this layer generalizes the same consistent-cut protocol to every
+// model of the ReplayTarget concept: the dispatcher quiesces the workers at
+// a dispatch boundary (replay.hpp, ShardCtl::snap_*), and the cut is
+// materialized through the target's snapshot plane — `save_state` for the
+// full mutable state, `state_id`/`state_fingerprint` as the shape guards
+// that stop a checkpoint from being restored into a differently-configured
+// target.  Resuming is "load state, replay the suffix": the suffix may use
+// any shard geometry, because a cut is a clean op prefix and per-bucket
+// arrival order is all that bit-exactness needs.
+//
+// On-disk format v1 (magic "P4LRUTGC", little-endian), offsets in bytes:
+//
+//   off  size  field
+//     0     8  magic "P4LRUTGC"
+//     8     4  version (u32, = 1)
+//    12     4  target state id (Target::state_id())
+//    16     8  target state fingerprint
+//    24     8  unit count
+//    32     8  op cursor
+//    40     8  delivered batches
+//    48     8  backpressure waits
+//    56     8  park wait (us)
+//    64     8  shards drained inline
+//    72     8  workers abandoned
+//    80    24  ScrubReport (scanned, corrupt, repaired; u64 each)
+//   104     4  stats record size R (u32, = sizeof(Stats))
+//   108     4  shard count S (u32)
+//   112     8  state image size P
+//   120     R  merged Stats record
+//   120+R  R*S per-shard Stats slices
+//   ...    P   raw target state bytes
+//
+// Stats records are raw memory images (the Stats type must be trivially
+// copyable, like the plane bytes in checkpoint_io); the record size field
+// plus the state id/fingerprint reject a file written by a different Stats
+// layout or target configuration.  Reading is hardened like trace_io /
+// checkpoint_io: read_target_checkpoint_checked returns a typed Status
+// carrying the byte offset where the file stopped making sense, and
+// cross-checks the shard count and state size against the actual file size
+// *before* allocating, so a flipped bit in a count field cannot drive a
+// huge allocation.  Every strict prefix of a valid file is rejected.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "p4lru/fault/status.hpp"
+#include "p4lru/replay/replay_target.hpp"
+
+namespace p4lru::replay {
+
+/// A resumable snapshot of an in-progress target replay.  Invariants
+/// (checked on resume): stats.ops == cursor, and the per-shard slices sum
+/// to the totals.
+template <typename Stats>
+struct TargetCheckpoint {
+    std::uint64_t cursor = 0;    ///< ops applied before the snapshot
+    Stats stats{};               ///< merged statistics over ops [0, cursor)
+    std::size_t unit_count = 0;  ///< shape guard for resume
+    std::uint32_t state_id = 0;  ///< Target::state_id() shape guard
+    std::uint64_t state_fingerprint = 0;  ///< Target::state_fingerprint()
+    std::vector<Stats> shard_stats;       ///< per-shard split of stats
+    std::uint64_t delivered_batches = 0;
+    std::uint64_t backpressure_waits = 0;
+    std::uint64_t park_wait_us = 0;
+    std::uint64_t drained_inline = 0;
+    std::uint64_t abandoned_workers = 0;
+    core::ScrubReport scrub{};
+    std::vector<std::byte> state;  ///< target.save_state() image
+};
+
+/// Materialize a quiesced dispatch cut into an owning checkpoint.  Runs on
+/// the dispatcher thread while every worker is parked at its batch
+/// boundary, so the state read is race-free.
+template <typename Target>
+[[nodiscard]] TargetCheckpoint<typename Target::Stats>
+take_target_checkpoint(const Target& target,
+                       const BasicCheckpointCut<typename Target::Stats>& cut) {
+    TargetCheckpoint<typename Target::Stats> cp;
+    cp.cursor = cut.cursor;
+    cp.stats = cut.stats;
+    cp.unit_count = target.unit_count();
+    cp.state_id = Target::state_id();
+    cp.state_fingerprint = Target::state_fingerprint();
+    cp.shard_stats.assign(cut.shard_stats.begin(), cut.shard_stats.end());
+    cp.delivered_batches = cut.delivered_batches;
+    cp.backpressure_waits = cut.backpressure_waits;
+    cp.park_wait_us = cut.park_wait_us;
+    cp.drained_inline = cut.drained_inline;
+    cp.abandoned_workers = cut.abandoned_workers;
+    cp.scrub = cut.scrub;
+    target.save_state(cp.state);
+    return cp;
+}
+
+namespace detail {
+
+/// The target-generic counterpart of DispatchCheckpointer (checkpoint.hpp):
+/// trips the dispatch loop's trigger every `every` delivered batches and
+/// converts the quiesced cut into a TargetCheckpoint for the sink.
+template <typename Target, typename Sink>
+class TargetDispatchCheckpointer {
+  public:
+    static constexpr bool kEnabled = true;
+
+    TargetDispatchCheckpointer(Target& target, std::uint64_t every,
+                               Sink& sink)
+        : target_(&target), every_(every), next_(every), sink_(&sink) {}
+
+    [[nodiscard]] bool due(std::uint64_t delivered) const noexcept {
+        return every_ != 0 && delivered >= next_;
+    }
+
+    void emit(const BasicCheckpointCut<typename Target::Stats>& cut) {
+        // Re-arm relative to the actual cut (flushing partial batches may
+        // have delivered past the nominal cadence point).
+        next_ = cut.delivered_batches + every_;
+        (*sink_)(take_target_checkpoint(*target_, cut));
+    }
+
+  private:
+    Target* target_;
+    std::uint64_t every_;
+    std::uint64_t next_;
+    Sink* sink_;
+};
+
+}  // namespace detail
+
+/// Sharded target replay that emits a TargetCheckpoint into `sink` every
+/// `every_batches` delivered batches (sink(TargetCheckpoint&&)); 0 disables
+/// emission.  Statistics and final target state stay bit-identical to
+/// replay_target_sharded — the quiesce only decides *when* work happens,
+/// never what — and the fault hooks compose.
+template <typename Target, typename Sink, typename Faults = fault::NoFaults>
+BasicShardedReport<typename Target::Stats> replay_target_checkpointed(
+    Target& target, std::span<const typename Target::Op> ops,
+    const ShardedConfig& cfg, std::uint64_t every_batches, Sink&& sink,
+    const Faults& faults = {}) {
+    detail::TargetDispatchCheckpointer<Target, std::remove_reference_t<Sink>>
+        ckpt(target, every_batches, sink);
+    return detail::replay_sharded_impl(target, ops, cfg, faults, ckpt);
+}
+
+/// Restore a target checkpoint into `target` and replay the remaining ops
+/// [cp.cursor, end) with `cfg` — the resume may use a different shard
+/// count, batch size or mode than the interrupted run.  The returned report
+/// merges the checkpoint's statistics and telemetry, so it reads as if the
+/// run had never been interrupted.  Fails with kInvalidState on any shape
+/// mismatch or when the checkpoint is internally inconsistent.
+template <typename Target, typename Faults = fault::NoFaults>
+[[nodiscard]] Expected<BasicShardedReport<typename Target::Stats>>
+resume_target_sharded(Target& target,
+                      std::span<const typename Target::Op> ops,
+                      const TargetCheckpoint<typename Target::Stats>& cp,
+                      const ShardedConfig& cfg = {},
+                      const Faults& faults = {}) {
+    using Stats = typename Target::Stats;
+    if (cp.state_id != Target::state_id() ||
+        cp.state_fingerprint != Target::state_fingerprint()) {
+        return invalid_state(
+            "target checkpoint state id " + std::to_string(cp.state_id) +
+            " / fingerprint " + std::to_string(cp.state_fingerprint) +
+            " does not match this target (id " +
+            std::to_string(Target::state_id()) + ", fingerprint " +
+            std::to_string(Target::state_fingerprint()) + ")");
+    }
+    if (cp.unit_count != target.unit_count()) {
+        return invalid_state("target checkpoint unit count " +
+                             std::to_string(cp.unit_count) +
+                             " != target unit count " +
+                             std::to_string(target.unit_count()));
+    }
+    if (cp.cursor > ops.size()) {
+        return invalid_state("target checkpoint cursor " +
+                             std::to_string(cp.cursor) +
+                             " beyond op stream of " +
+                             std::to_string(ops.size()));
+    }
+    if (static_cast<std::uint64_t>(cp.stats.ops) != cp.cursor) {
+        return invalid_state("target checkpoint stats cover " +
+                             std::to_string(cp.stats.ops) +
+                             " ops but cursor is " +
+                             std::to_string(cp.cursor));
+    }
+    if (!cp.shard_stats.empty()) {
+        Stats sum{};
+        for (const auto& s : cp.shard_stats) sum.merge(s);
+        if (!(sum == cp.stats)) {
+            return invalid_state(
+                "target checkpoint per-shard statistics do not sum to its "
+                "totals");
+        }
+    }
+    if (!target.load_state(cp.state)) {
+        return invalid_state("target checkpoint state image of " +
+                             std::to_string(cp.state.size()) +
+                             " bytes does not match this target's shape");
+    }
+    BasicShardedReport<Stats> rep =
+        replay_target_sharded(target, ops.subspan(cp.cursor), cfg, faults);
+    rep.stats.merge(cp.stats);
+    rep.backpressure_waits += cp.backpressure_waits;
+    rep.park_wait_us += cp.park_wait_us;
+    rep.drained_inline += static_cast<std::size_t>(cp.drained_inline);
+    rep.abandoned_workers += static_cast<std::size_t>(cp.abandoned_workers);
+    rep.scrub.merge(cp.scrub);
+    return rep;
+}
+
+// ---------------------------------------------------------------------------
+// Disk persistence (format in the file header).
+
+namespace detail {
+
+inline void tgc_put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+    }
+}
+
+inline void tgc_put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+    }
+}
+
+inline std::uint32_t tgc_get_u32(const std::byte* p) {
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[i]))
+             << (8 * i);
+    }
+    return v;
+}
+
+inline std::uint64_t tgc_get_u64(const std::byte* p) {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(std::to_integer<std::uint8_t>(p[i]))
+             << (8 * i);
+    }
+    return v;
+}
+
+inline constexpr char kTgcMagic[8] = {'P', '4', 'L', 'R',
+                                      'U', 'T', 'G', 'C'};
+inline constexpr std::uint32_t kTgcVersion = 1;
+inline constexpr std::size_t kTgcHeaderBytes = 120;
+
+}  // namespace detail
+
+/// Serialize `cp` to `path` (overwriting).  Returns kIoError on any
+/// open/write failure.  `Stats` must be trivially copyable — its records
+/// are stored as raw memory images guarded by the record-size field.
+template <typename Stats>
+    requires std::is_trivially_copyable_v<Stats>
+[[nodiscard]] Status write_target_checkpoint(
+    const std::string& path, const TargetCheckpoint<Stats>& cp) {
+    std::vector<std::byte> buf;
+    buf.reserve(detail::kTgcHeaderBytes +
+                sizeof(Stats) * (1 + cp.shard_stats.size()) +
+                cp.state.size());
+    for (char c : detail::kTgcMagic) {
+        buf.push_back(static_cast<std::byte>(c));
+    }
+    detail::tgc_put_u32(buf, detail::kTgcVersion);
+    detail::tgc_put_u32(buf, cp.state_id);
+    detail::tgc_put_u64(buf, cp.state_fingerprint);
+    detail::tgc_put_u64(buf, cp.unit_count);
+    detail::tgc_put_u64(buf, cp.cursor);
+    detail::tgc_put_u64(buf, cp.delivered_batches);
+    detail::tgc_put_u64(buf, cp.backpressure_waits);
+    detail::tgc_put_u64(buf, cp.park_wait_us);
+    detail::tgc_put_u64(buf, cp.drained_inline);
+    detail::tgc_put_u64(buf, cp.abandoned_workers);
+    detail::tgc_put_u64(buf, cp.scrub.scanned);
+    detail::tgc_put_u64(buf, cp.scrub.corrupt);
+    detail::tgc_put_u64(buf, cp.scrub.repaired);
+    detail::tgc_put_u32(buf, static_cast<std::uint32_t>(sizeof(Stats)));
+    detail::tgc_put_u32(buf,
+                        static_cast<std::uint32_t>(cp.shard_stats.size()));
+    detail::tgc_put_u64(buf, cp.state.size());
+    const auto append_stats = [&buf](const Stats& s) {
+        const std::size_t off = buf.size();
+        buf.resize(off + sizeof(Stats));
+        std::memcpy(buf.data() + off, &s, sizeof(Stats));
+    };
+    append_stats(cp.stats);
+    for (const auto& s : cp.shard_stats) append_stats(s);
+    buf.insert(buf.end(), cp.state.begin(), cp.state.end());
+
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (!f) return io_error("write_target_checkpoint: cannot open " + path);
+    const std::size_t written =
+        std::fwrite(buf.data(), 1, buf.size(), f);
+    const bool closed_ok = std::fclose(f) == 0;
+    if (written != buf.size() || !closed_ok) {
+        return io_error("write_target_checkpoint: short write to " + path);
+    }
+    return Status::ok();
+}
+
+/// Parse a target checkpoint from `path`; the typed-error path.  On failure
+/// the Status names the cause and the byte offset at which the file stopped
+/// making sense.  Structural validation only — whether the checkpoint fits
+/// a particular target (state id, fingerprint, unit count) is decided by
+/// resume_target_sharded.
+template <typename Stats>
+    requires std::is_trivially_copyable_v<Stats>
+[[nodiscard]] Expected<TargetCheckpoint<Stats>>
+read_target_checkpoint_checked(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        return io_error("read_target_checkpoint: cannot open " + path);
+    const std::unique_ptr<std::FILE, int (*)(std::FILE*)> closer(f,
+                                                                 &std::fclose);
+    if (std::fseek(f, 0, SEEK_END) != 0) {
+        return io_error("read_target_checkpoint: seek failed on " + path);
+    }
+    const long fsize = std::ftell(f);
+    if (fsize < 0) {
+        return io_error("read_target_checkpoint: tell failed on " + path);
+    }
+    std::rewind(f);
+    const std::uint64_t file_size = static_cast<std::uint64_t>(fsize);
+    if (file_size < detail::kTgcHeaderBytes) {
+        return truncated(
+            "read_target_checkpoint: file smaller than the 120-byte header",
+            file_size);
+    }
+    std::byte hdr[detail::kTgcHeaderBytes];
+    if (std::fread(hdr, 1, sizeof(hdr), f) != sizeof(hdr)) {
+        return io_error("read_target_checkpoint: header read failed");
+    }
+    if (std::memcmp(hdr, detail::kTgcMagic, sizeof(detail::kTgcMagic)) !=
+        0) {
+        return corrupt("read_target_checkpoint: bad magic", 0);
+    }
+    if (const auto version = detail::tgc_get_u32(hdr + 8);
+        version != detail::kTgcVersion) {
+        return corrupt("read_target_checkpoint: unsupported version " +
+                           std::to_string(version),
+                       8);
+    }
+    TargetCheckpoint<Stats> cp;
+    cp.state_id = detail::tgc_get_u32(hdr + 12);
+    cp.state_fingerprint = detail::tgc_get_u64(hdr + 16);
+    cp.unit_count = static_cast<std::size_t>(detail::tgc_get_u64(hdr + 24));
+    cp.cursor = detail::tgc_get_u64(hdr + 32);
+    cp.delivered_batches = detail::tgc_get_u64(hdr + 40);
+    cp.backpressure_waits = detail::tgc_get_u64(hdr + 48);
+    cp.park_wait_us = detail::tgc_get_u64(hdr + 56);
+    cp.drained_inline = detail::tgc_get_u64(hdr + 64);
+    cp.abandoned_workers = detail::tgc_get_u64(hdr + 72);
+    cp.scrub.scanned = detail::tgc_get_u64(hdr + 80);
+    cp.scrub.corrupt = detail::tgc_get_u64(hdr + 88);
+    cp.scrub.repaired = detail::tgc_get_u64(hdr + 96);
+    const std::uint32_t rec = detail::tgc_get_u32(hdr + 104);
+    const std::uint32_t shard_count = detail::tgc_get_u32(hdr + 108);
+    const std::uint64_t state_bytes = detail::tgc_get_u64(hdr + 112);
+    if (rec != sizeof(Stats)) {
+        return corrupt("read_target_checkpoint: stats record size " +
+                           std::to_string(rec) + " != expected " +
+                           std::to_string(sizeof(Stats)),
+                       104);
+    }
+    // Cross-check the counts against the actual file size *before*
+    // allocating anything: a flipped bit in a count field must not drive a
+    // huge allocation, and a strict prefix of a valid file must fail here.
+    const std::uint64_t need =
+        detail::kTgcHeaderBytes +
+        static_cast<std::uint64_t>(rec) * (1 + shard_count) + state_bytes;
+    if (file_size != need) {
+        return file_size < need
+                   ? truncated("read_target_checkpoint: file holds " +
+                                   std::to_string(file_size) +
+                                   " bytes but the header promises " +
+                                   std::to_string(need),
+                               file_size)
+                   : corrupt("read_target_checkpoint: " +
+                                 std::to_string(file_size - need) +
+                                 " trailing bytes past the promised size",
+                             need);
+    }
+    const auto read_stats = [f](Stats& s) {
+        return std::fread(&s, 1, sizeof(Stats), f) == sizeof(Stats);
+    };
+    if (!read_stats(cp.stats)) {
+        return io_error("read_target_checkpoint: stats read failed");
+    }
+    cp.shard_stats.resize(shard_count);
+    for (auto& s : cp.shard_stats) {
+        if (!read_stats(s)) {
+            return io_error(
+                "read_target_checkpoint: shard stats read failed");
+        }
+    }
+    cp.state.resize(static_cast<std::size_t>(state_bytes));
+    if (!cp.state.empty() &&
+        std::fread(cp.state.data(), 1, cp.state.size(), f) !=
+            cp.state.size()) {
+        return io_error("read_target_checkpoint: state read failed");
+    }
+    return cp;
+}
+
+}  // namespace p4lru::replay

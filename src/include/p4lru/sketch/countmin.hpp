@@ -9,6 +9,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "p4lru/common/byte_io.hpp"
 #include "p4lru/sketch/sketch_common.hpp"
 
 namespace p4lru::sketch {
@@ -57,6 +58,26 @@ class CountMin {
 
     void clear() {
         for (auto& row : rows_) std::fill(row.begin(), row.end(), Counter{0});
+    }
+
+    /// Append the counter rows to `w` (checkpoint snapshot plane).  Shape
+    /// (width/depth/seed) is construction-time configuration and is not
+    /// serialized; load() requires an identically-configured sketch.
+    void save(io::ByteWriter& w) const {
+        for (const auto& row : rows_) {
+            w.bytes(row.data(), row.size() * sizeof(Counter));
+        }
+    }
+
+    /// Restore counter rows written by save() on an identically-configured
+    /// sketch; false when the image is too short.
+    [[nodiscard]] bool load(io::ByteReader& r) {
+        for (auto& row : rows_) {
+            if (!r.bytes(row.data(), row.size() * sizeof(Counter))) {
+                return false;
+            }
+        }
+        return true;
     }
 
     [[nodiscard]] std::size_t width() const noexcept { return width_; }

@@ -12,6 +12,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "p4lru/common/byte_io.hpp"
 #include "p4lru/sketch/sketch_common.hpp"
 
 namespace p4lru::sketch {
@@ -90,6 +91,27 @@ class TowerSketch {
         for (auto& lvl : levels_) {
             std::fill(lvl.counters.begin(), lvl.counters.end(), 0u);
         }
+    }
+
+    /// Append the level counters to `w` (checkpoint snapshot plane); shape
+    /// is construction-time configuration, so load() requires an
+    /// identically-configured sketch.
+    void save(io::ByteWriter& w) const {
+        for (const auto& lvl : levels_) {
+            w.bytes(lvl.counters.data(),
+                    lvl.counters.size() * sizeof(std::uint32_t));
+        }
+    }
+
+    /// Restore counters written by save(); false when the image is short.
+    [[nodiscard]] bool load(io::ByteReader& r) {
+        for (auto& lvl : levels_) {
+            if (!r.bytes(lvl.counters.data(),
+                         lvl.counters.size() * sizeof(std::uint32_t))) {
+                return false;
+            }
+        }
+        return true;
     }
 
     [[nodiscard]] std::size_t level_count() const noexcept {

@@ -1,0 +1,290 @@
+// LruIndex as a ReplayTarget (DESIGN.md §11): the query-acceleration system
+// partitioned by DB key so the sharded replay engine can drive it in every
+// mode with bit-identical reports.
+//
+// This target models the *switch + server correctness protocol* of the
+// closed-loop driver (driver.hpp) as an open-loop op stream: each op is one
+// YCSB query, applied as query-pass (read-only cache consult) -> serve ->
+// reply-pass (single cache mutation).  The latency/throughput dimension of
+// the driver needs the global event clock and stays in run_driver; what the
+// target preserves is everything integer-countable — hits, misses, retries,
+// failed queries, wrong replies — which is exactly what the equivalence and
+// fault suites check.
+//
+// Partitioning: op -> partition mix64(key) % G; each partition owns an
+// independent series-connected P4LRU3 cache over the shared read-only
+// DbServer.  A flaky server is consulted as fails(op.seq, attempt) with the
+// sequence number baked into the op at generation time, so the refusal
+// pattern is a property of the op stream, not of scheduling — identical in
+// every engine mode.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "p4lru/common/byte_io.hpp"
+#include "p4lru/common/hash.hpp"
+#include "p4lru/common/types.hpp"
+#include "p4lru/core/unit_storage.hpp"
+#include "p4lru/fault/fault_plan.hpp"
+#include "p4lru/replay/replay_target.hpp"
+#include "p4lru/systems/lruindex/db_server.hpp"
+#include "p4lru/systems/lruindex/driver.hpp"
+#include "p4lru/systems/lruindex/index_cache.hpp"
+#include "p4lru/trace/ycsb.hpp"
+
+namespace p4lru::systems::lruindex {
+
+/// One YCSB query with its sequence number baked in at generation time
+/// (FlakyService keys its refusal pattern on it).
+struct LruIndexOp {
+    std::uint64_t seq = 0;
+    DbKey key = 0;
+};
+
+/// Generate `count` YCSB queries with sequence numbers 0..count-1.
+[[nodiscard]] inline std::vector<LruIndexOp> make_index_ops(
+    const trace::YcsbConfig& cfg, std::size_t count) {
+    trace::YcsbWorkload workload(cfg);
+    std::vector<LruIndexOp> ops;
+    ops.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        ops.push_back(LruIndexOp{i, workload.next().key});
+    }
+    return ops;
+}
+
+struct LruIndexRouted {
+    std::uint32_t bucket = 0;
+    std::uint64_t seq = 0;
+    DbKey key = 0;
+};
+
+/// Mergeable integer statistics of a LruIndex replay (trivially copyable
+/// for the raw-record checkpoint format).
+struct LruIndexStats {
+    std::uint64_t ops = 0;  ///< queries applied
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t retries = 0;
+    std::uint64_t failed_queries = 0;
+    std::uint64_t wrong_replies = 0;
+
+    void merge(const LruIndexStats& o) noexcept {
+        ops += o.ops;
+        hits += o.hits;
+        misses += o.misses;
+        retries += o.retries;
+        failed_queries += o.failed_queries;
+        wrong_replies += o.wrong_replies;
+    }
+
+    friend bool operator==(const LruIndexStats&,
+                           const LruIndexStats&) = default;
+};
+
+/// The correctness-protocol report derived from merged statistics.
+struct LruIndexReport {
+    std::uint64_t queries = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t misses = 0;
+    double miss_rate = 0.0;
+    std::uint64_t retries = 0;
+    std::uint64_t failed_queries = 0;
+    std::uint64_t wrong_replies = 0;  ///< must stay 0
+};
+
+class LruIndexTarget {
+  public:
+    using Op = LruIndexOp;
+    using Routed = LruIndexRouted;
+    using Stats = LruIndexStats;
+
+    struct Config {
+        std::size_t partitions = 8;
+        std::size_t levels = 3;           ///< series depth per partition
+        std::size_t units_per_level = 64; ///< P4LRU3 units per level
+        std::uint32_t seed = 0xC0FFEE;
+        const fault::FlakyService* flaky = nullptr;
+        RetryConfig retry{};  ///< consulted only when flaky != nullptr
+    };
+
+    LruIndexTarget(const DbServer& server, const Config& cfg)
+        : server_(&server), cfg_(cfg) {
+        if (cfg.partitions == 0) {
+            throw std::invalid_argument("LruIndexTarget: zero partitions");
+        }
+        if (cfg.flaky != nullptr && cfg.retry.max_attempts == 0) {
+            throw std::invalid_argument(
+                "LruIndexTarget: zero retry attempts");
+        }
+        parts_.reserve(cfg.partitions);
+        for (std::size_t p = 0; p < cfg.partitions; ++p) {
+            parts_.emplace_back(
+                cfg.levels, cfg.units_per_level,
+                cfg.seed + static_cast<std::uint32_t>(p) * 0x5bd1u);
+            // Materialize every level eagerly: the snapshot plane reads the
+            // level storage whether or not the partition saw traffic.
+            auto& series = parts_.back().series();
+            for (std::size_t i = 0; i < series.level_count(); ++i) {
+                series.level(i).materialize();
+            }
+        }
+    }
+
+    // -- routing ----------------------------------------------------------
+    [[nodiscard]] std::size_t unit_count() const noexcept {
+        return parts_.size();
+    }
+
+    [[nodiscard]] Routed route(const Op& op) const {
+        return Routed{
+            static_cast<std::uint32_t>(hash::mix64(op.key) % parts_.size()),
+            op.seq, op.key};
+    }
+
+    // -- apply ------------------------------------------------------------
+    void apply_batch(std::span<const Routed> batch, Stats& s) {
+        for (const auto& r : batch) apply_one(r, s);
+    }
+
+    void prefetch_unit(std::uint32_t) const noexcept {}
+    void prefetch_batch(std::span<const Routed>) const noexcept {}
+
+    // -- first-touch plane (materialized in the constructor) --------------
+    [[nodiscard]] bool materialized() const noexcept { return true; }
+    void materialize() noexcept {}
+    void first_touch_range(std::size_t, std::size_t) noexcept {}
+    void mark_materialized() noexcept {}
+
+    // -- integrity plane --------------------------------------------------
+    [[nodiscard]] core::ScrubReport scrub(std::size_t lo, std::size_t hi) {
+        core::ScrubReport rep;
+        for (std::size_t p = lo; p < hi && p < parts_.size(); ++p) {
+            auto& series = parts_[p].series();
+            for (std::size_t i = 0; i < series.level_count(); ++i) {
+                rep.merge(series.level(i).scrub_all());
+            }
+        }
+        return rep;
+    }
+    [[nodiscard]] core::ScrubReport scrub_all() {
+        return scrub(0, parts_.size());
+    }
+
+    // -- snapshot plane ---------------------------------------------------
+    [[nodiscard]] static constexpr std::uint32_t state_id() noexcept {
+        return 0x4C496478u;  // "LIdx"
+    }
+    [[nodiscard]] static constexpr std::uint64_t state_fingerprint() noexcept {
+        return hash::mix64(0x4C5255494458'0000ull ^ sizeof(Stats));
+    }
+
+    void save_state(std::vector<std::byte>& out) const {
+        io::ByteWriter w(out);
+        w.u64(parts_.size());
+        for (const auto& p : parts_) {
+            const auto& series = p.series();
+            w.u64(series.level_count());
+            for (std::size_t i = 0; i < series.level_count(); ++i) {
+                std::vector<std::byte> planes;
+                series.level(i).storage().save_planes(planes);
+                w.u64(planes.size());
+                w.bytes(planes.data(), planes.size());
+            }
+        }
+    }
+
+    [[nodiscard]] bool load_state(std::span<const std::byte> in) {
+        io::ByteReader r(in);
+        std::uint64_t n = 0;
+        if (!r.u64(n) || n != parts_.size()) return false;
+        for (auto& p : parts_) {
+            auto& series = p.series();
+            std::uint64_t levels = 0;
+            if (!r.u64(levels) || levels != series.level_count()) {
+                return false;
+            }
+            for (std::size_t i = 0; i < series.level_count(); ++i) {
+                std::span<const std::byte> planes;
+                if (!r.sub(planes)) return false;
+                if (!series.level(i).storage().load_planes(planes)) {
+                    return false;
+                }
+            }
+        }
+        return r.done();
+    }
+
+    // -- fault hooks ------------------------------------------------------
+    // The flaky-server refusal pattern is content-addressed through op.seq
+    // (always active, every mode); the byte-corruption hooks additionally
+    // let single-owner paths rot a query's key field.
+    template <typename Faults>
+    void inject_op_faults(const Faults& faults, std::uint64_t idx,
+                          Op& op) const {
+        faults.mutate_key(idx, op.key);
+    }
+    template <typename Faults>
+    void inject_storage_faults(const Faults&, std::uint64_t) const noexcept {}
+
+    // -- reporting --------------------------------------------------------
+    [[nodiscard]] LruIndexReport report(const Stats& s) const {
+        LruIndexReport r;
+        r.queries = s.ops;
+        r.cache_hits = s.hits;
+        r.misses = s.misses;
+        r.miss_rate = s.ops == 0 ? 0.0
+                                 : static_cast<double>(s.misses) /
+                                       static_cast<double>(s.ops);
+        r.retries = s.retries;
+        r.failed_queries = s.failed_queries;
+        r.wrong_replies = s.wrong_replies;
+        return r;
+    }
+
+    [[nodiscard]] const SeriesIndexCache& partition(std::size_t p) const {
+        return parts_.at(p);
+    }
+
+  private:
+    void apply_one(const Routed& r, Stats& s) {
+        SeriesIndexCache& cache = parts_[r.bucket];
+        ++s.ops;
+        const CacheHeader hdr = cache.query(r.key);
+        if (hdr.hit()) {
+            ++s.hits;
+        } else {
+            ++s.misses;
+        }
+        // Retry against a refusing server: attempt k that fails is re-sent
+        // until max_attempts, then the query completes as failed (the reply
+        // pass never runs, mirroring the driver's give-up path).
+        if (cfg_.flaky != nullptr) {
+            std::uint32_t attempt = 0;
+            while (cfg_.flaky->fails(r.seq, attempt)) {
+                if (attempt + 1 >= cfg_.retry.max_attempts) {
+                    ++s.failed_queries;
+                    return;
+                }
+                ++s.retries;
+                ++attempt;
+            }
+        }
+        const ServeResult res = server_->serve(r.key, hdr);
+        if (!res.valid || res.addr != server_->address_of(r.key)) {
+            ++s.wrong_replies;
+        }
+        cache.reply(r.key, res.addr, hdr, 0);
+    }
+
+    const DbServer* server_;
+    Config cfg_;
+    std::vector<SeriesIndexCache> parts_;
+};
+
+static_assert(replay::ReplayTarget<LruIndexTarget>);
+
+}  // namespace p4lru::systems::lruindex

@@ -4,9 +4,13 @@
 // their flows.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
+#include "p4lru/common/byte_io.hpp"
 #include "p4lru/common/types.hpp"
 
 namespace p4lru::systems::lrumon {
@@ -25,6 +29,13 @@ class Analyzer {
     /// Measured bytes of `flow` (0 if never seen).
     [[nodiscard]] std::uint64_t measured_bytes(const FlowKey& flow) const;
 
+    /// The flow a fingerprint currently maps to (nullptr if unknown); lets
+    /// report() credit still-cached entries without mutating the tables.
+    [[nodiscard]] const FlowKey* flow_of(std::uint32_t fp) const {
+        const auto it = fp_to_flow_.find(fp);
+        return it == fp_to_flow_.end() ? nullptr : &it->second;
+    }
+
     [[nodiscard]] std::uint64_t uploads() const noexcept { return uploads_; }
     [[nodiscard]] std::size_t known_flows() const noexcept {
         return t_len_.size();
@@ -33,6 +44,89 @@ class Analyzer {
     /// ordering artifacts); should stay ~0.
     [[nodiscard]] std::uint64_t unmatched() const noexcept {
         return unmatched_;
+    }
+
+    /// Append the analyzer's full state (tables + counters) to `w`; the
+    /// checkpoint snapshot plane of the LruMon replay target.  The tables
+    /// are serialized in sorted key order so the image is *canonical*:
+    /// identical logical state yields identical bytes, whatever insertion
+    /// history the hash maps went through (a restored-and-resumed replay
+    /// produces the same image as an uninterrupted one).
+    void save_state(io::ByteWriter& w) const {
+        w.u64(uploads_);
+        w.u64(unmatched_);
+        const auto flow_less = [](const FlowKey& a, const FlowKey& b) {
+            return a.bytes() < b.bytes();
+        };
+        {
+            std::vector<std::pair<FlowKey, std::uint32_t>> rows(
+                t_fp_.begin(), t_fp_.end());
+            std::sort(rows.begin(), rows.end(),
+                      [&](const auto& a, const auto& b) {
+                          return flow_less(a.first, b.first);
+                      });
+            w.u64(rows.size());
+            for (const auto& [flow, fp] : rows) {
+                w.pod(flow);
+                w.u32(fp);
+            }
+        }
+        {
+            std::vector<std::pair<FlowKey, std::uint64_t>> rows(
+                t_len_.begin(), t_len_.end());
+            std::sort(rows.begin(), rows.end(),
+                      [&](const auto& a, const auto& b) {
+                          return flow_less(a.first, b.first);
+                      });
+            w.u64(rows.size());
+            for (const auto& [flow, len] : rows) {
+                w.pod(flow);
+                w.u64(len);
+            }
+        }
+        {
+            std::vector<std::pair<std::uint32_t, FlowKey>> rows(
+                fp_to_flow_.begin(), fp_to_flow_.end());
+            std::sort(rows.begin(), rows.end(),
+                      [](const auto& a, const auto& b) {
+                          return a.first < b.first;
+                      });
+            w.u64(rows.size());
+            for (const auto& [fp, flow] : rows) {
+                w.u32(fp);
+                w.pod(flow);
+            }
+        }
+    }
+
+    /// Restore state written by save_state(); false on a short image.
+    [[nodiscard]] bool load_state(io::ByteReader& r) {
+        t_fp_.clear();
+        t_len_.clear();
+        fp_to_flow_.clear();
+        std::uint64_t n = 0;
+        if (!r.u64(uploads_) || !r.u64(unmatched_) || !r.u64(n)) return false;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            FlowKey flow{};
+            std::uint32_t fp = 0;
+            if (!r.pod(flow) || !r.u32(fp)) return false;
+            t_fp_.emplace(flow, fp);
+        }
+        if (!r.u64(n)) return false;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            FlowKey flow{};
+            std::uint64_t len = 0;
+            if (!r.pod(flow) || !r.u64(len)) return false;
+            t_len_.emplace(flow, len);
+        }
+        if (!r.u64(n)) return false;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            std::uint32_t fp = 0;
+            FlowKey flow{};
+            if (!r.u32(fp) || !r.pod(flow)) return false;
+            fp_to_flow_.emplace(fp, flow);
+        }
+        return true;
     }
 
   private:

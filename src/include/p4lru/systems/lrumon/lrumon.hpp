@@ -51,11 +51,15 @@ class LruMonSystem {
     /// Process one packet (timestamps non-decreasing).
     void process(const PacketRecord& pkt);
 
-    /// Teardown: flush entries still cached into the analyzer.
+    /// No-op, kept for API compatibility: report() finalizes on demand, so
+    /// there is no teardown step to forget.
     void finish();
 
-    /// Report over everything processed so far (call finish() first for
-    /// exact error accounting).
+    /// Report over everything processed so far.  Exact at any point:
+    /// entries still cached in the data plane are credited to their flows
+    /// through a non-destructive overlay (the analyzer tables are never
+    /// mutated), so calling report() mid-trace, twice, or after more
+    /// packets always yields the numbers a teardown flush would.
     [[nodiscard]] LruMonReport report() const;
 
     [[nodiscard]] const Analyzer& analyzer() const noexcept {
@@ -77,7 +81,6 @@ class LruMonSystem {
     std::uint64_t hits_ = 0;
     TimeNs first_ts_ = 0;
     TimeNs last_ts_ = 0;
-    bool finished_ = false;
 };
 
 }  // namespace p4lru::systems::lrumon

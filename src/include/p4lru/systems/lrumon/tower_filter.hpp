@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "p4lru/common/byte_io.hpp"
 #include "p4lru/common/types.hpp"
 #include "p4lru/sketch/countmin.hpp"
 #include "p4lru/sketch/towersketch.hpp"
@@ -30,6 +31,13 @@ class FlowFilter {
 
     [[nodiscard]] virtual std::string name() const = 0;
     [[nodiscard]] virtual std::size_t memory_bytes() const = 0;
+
+    /// Append the filter's mutable state (reset window + sketch counters)
+    /// to `w`; load_state restores it on an identically-configured filter
+    /// (false on a short or misshapen image).  Checkpoint snapshot plane of
+    /// the LruMon replay target.
+    virtual void save_state(io::ByteWriter& w) const = 0;
+    [[nodiscard]] virtual bool load_state(io::ByteReader& r) = 0;
 };
 
 struct FilterConfig {
@@ -57,6 +65,14 @@ class TowerFilter final : public FlowFilter {
     std::string name() const override { return "Tower"; }
     std::size_t memory_bytes() const override {
         return sketch_.memory_bytes();
+    }
+
+    void save_state(io::ByteWriter& w) const override {
+        w.u64(window_);
+        sketch_.save(w);
+    }
+    bool load_state(io::ByteReader& r) override {
+        return r.u64(window_) && sketch_.load(r);
     }
 
   private:
@@ -90,6 +106,14 @@ class CmFilter final : public FlowFilter {
         return sketch_.memory_bytes();
     }
 
+    void save_state(io::ByteWriter& w) const override {
+        w.u64(window_);
+        sketch_.save(w);
+    }
+    bool load_state(io::ByteReader& r) override {
+        return r.u64(window_) && sketch_.load(r);
+    }
+
   private:
     void roll_window(TimeNs ts) {
         const std::uint64_t w = ts / cfg_.reset_period;
@@ -119,6 +143,14 @@ class CuFilter final : public FlowFilter {
     std::string name() const override { return "CU"; }
     std::size_t memory_bytes() const override {
         return sketch_.memory_bytes();
+    }
+
+    void save_state(io::ByteWriter& w) const override {
+        w.u64(window_);
+        sketch_.save(w);
+    }
+    bool load_state(io::ByteReader& r) override {
+        return r.u64(window_) && sketch_.load(r);
     }
 
   private:

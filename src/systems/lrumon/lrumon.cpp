@@ -17,7 +17,6 @@ LruMonSystem::LruMonSystem(
 }
 
 void LruMonSystem::process(const PacketRecord& pkt) {
-    if (finished_) throw std::logic_error("LruMonSystem: already finished");
     if (packets_ == 0) first_ts_ = pkt.ts;
     last_ts_ = std::max(last_ts_, pkt.ts);
     ++packets_;
@@ -55,11 +54,8 @@ void LruMonSystem::process(const PacketRecord& pkt) {
 }
 
 void LruMonSystem::finish() {
-    if (finished_) return;
-    finished_ = true;
-    policy_->for_each([this](const std::uint32_t& fp, const FlowLen& len) {
-        analyzer_.on_flush(fp, len);
-    });
+    // Intentionally empty: report() credits still-cached entries through a
+    // non-destructive overlay, so there is no teardown state to flush.
 }
 
 LruMonReport LruMonSystem::report() const {
@@ -81,9 +77,22 @@ LruMonReport LruMonSystem::report() const {
                   static_cast<double>(elephants_);
 
     if (cfg_.track_ground_truth) {
+        // Finalize on demand: entries still cached in the data plane are
+        // credited to their flows through the analyzer's fp table without
+        // mutating it — u64 sums and maxes only, so the accounting is
+        // iteration-order-independent and report() is idempotent.
+        std::unordered_map<FlowKey, std::uint64_t> residual;
+        policy_->for_each([&](const std::uint32_t& fp, const FlowLen& len) {
+            if (const FlowKey* flow = analyzer_.flow_of(fp)) {
+                residual[*flow] += len;
+            }
+        });
         for (const auto& [flow, bytes] : true_bytes_) {
             r.total_bytes += bytes;
-            const std::uint64_t measured = analyzer_.measured_bytes(flow);
+            std::uint64_t measured = analyzer_.measured_bytes(flow);
+            if (const auto it = residual.find(flow); it != residual.end()) {
+                measured += it->second;
+            }
             if (measured > bytes) {
                 ++r.overestimated_flows;
             } else {

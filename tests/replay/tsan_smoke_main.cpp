@@ -9,13 +9,21 @@
 // putting the snapshot quiesce protocol (snap_req/snap_ack/snap_release
 // epochs, dispatcher plane reads while workers are parked) under the race
 // detector.
+//
+// A third set drives a *system* ReplayTarget (LruMonTarget: per-partition
+// sketch + policy + analyzer) through the same threaded engine, so the
+// generic-target worker loop — batch apply into partition-owned hash maps,
+// merged statistics, canonical state snapshots — is also raced.
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "p4lru/core/p4lru.hpp"
 #include "p4lru/replay/checkpoint.hpp"
 #include "p4lru/replay/replay.hpp"
+#include "p4lru/systems/lrumon/lrumon_target.hpp"
 #include "p4lru/trace/trace_gen.hpp"
 
 int main() {
@@ -83,11 +91,61 @@ int main() {
         }
     }
 
+    // --- system-target rounds (generic engine path) ----------------------
+    using systems::lrumon::LruMonTarget;
+    const auto make_target = [] {
+        systems::lrumon::LruMonConfig mcfg;
+        mcfg.threshold = 400;
+        return LruMonTarget(
+            6,
+            [](std::size_t p) {
+                systems::lrumon::FilterConfig fcfg;
+                fcfg.cm_width = 1u << 10;
+                fcfg.seed = 0x70EEE + p;
+                return systems::lrumon::make_filter(
+                    systems::lrumon::FilterKind::kCm, fcfg);
+            },
+            [](std::size_t p) -> LruMonTarget::PolicyPtr {
+                return std::make_unique<cache::P4lruArrayPolicy<
+                    std::uint32_t, systems::lrumon::FlowLen, 3,
+                    core::AddMerge>>(
+                    96, 0xF11 + static_cast<std::uint32_t>(p) * 0x9E37u);
+            },
+            mcfg);
+    };
+    const auto pkt_span = std::span<const PacketRecord>(trace);
+    LruMonTarget seq_target = make_target();
+    const auto seq_sys = replay::replay_target_sequential(seq_target, pkt_span);
+    std::vector<std::byte> seq_image;
+    seq_target.save_state(seq_image);
+    for (int round = 0; round < 3; ++round) {
+        LruMonTarget target = make_target();
+        const auto rep = replay::replay_target_sharded(target, pkt_span, cfg);
+        std::vector<std::byte> image;
+        target.save_state(image);
+        if (!(rep.stats == seq_sys) || image != seq_image) {
+            std::fprintf(stderr,
+                         "system round %d: threaded LruMonTarget diverged "
+                         "from sequential (ops %llu/%llu, uploads %llu/%llu, "
+                         "state %zu/%zu bytes)\n",
+                         round,
+                         static_cast<unsigned long long>(rep.stats.ops),
+                         static_cast<unsigned long long>(seq_sys.ops),
+                         static_cast<unsigned long long>(rep.stats.uploads),
+                         static_cast<unsigned long long>(seq_sys.uploads),
+                         image.size(), seq_image.size());
+            return 1;
+        }
+    }
+
     std::printf(
         "replay_tsan_smoke: 5 threaded rounds (eager + first-touch) + 3 "
-        "checkpointed rounds (%zu quiesce snapshots), 8 shards, stats "
-        "identical to sequential (%llu ops, %llu hits, %llu evictions)\n",
-        snapshots, static_cast<unsigned long long>(seq.ops),
+        "checkpointed rounds (%zu quiesce snapshots) + 3 system-target "
+        "rounds (LruMonTarget, %llu uploads, %zu-byte canonical state), 8 "
+        "shards, stats identical to sequential (%llu ops, %llu hits, %llu "
+        "evictions)\n",
+        snapshots, static_cast<unsigned long long>(seq_sys.uploads),
+        seq_image.size(), static_cast<unsigned long long>(seq.ops),
         static_cast<unsigned long long>(seq.hits),
         static_cast<unsigned long long>(seq.evictions));
     return 0;

@@ -137,14 +137,17 @@ TEST(LruMonSystem, EvictedBytesAreCreditedViaAnalyzer) {
     EXPECT_EQ(r.total_error_rate, 0.0);  // threshold 100 < every packet
 }
 
-TEST(LruMonSystem, FinishFlushesResidualEntries) {
+TEST(LruMonSystem, ReportFinalizesOnDemand) {
     LruMonConfig cfg;
     cfg.threshold = 100;
     LruMonSystem sys(tower(kSecond), p4lru3(300), cfg);
     sys.process(packet(1, 0, 5'000));
+    // The 5000 bytes are still cached in the data plane, yet report()
+    // credits them immediately — no finish() call required.
     const auto before = sys.report();
-    EXPECT_LT(before.measured_bytes, 5'000u);  // still cached
-    sys.finish();
+    EXPECT_EQ(before.measured_bytes, 5'000u);
+    EXPECT_EQ(before.total_error_rate, 0.0);
+    sys.finish();  // no-op alias, kept for API compatibility
     const auto after = sys.report();
     EXPECT_EQ(after.measured_bytes, 5'000u);
     EXPECT_EQ(after.total_error_rate, 0.0);
@@ -199,10 +202,20 @@ TEST(LruMonSystem, WindowResetForgetsOldTraffic) {
     EXPECT_EQ(sys.report().elephant_packets, 0u);
 }
 
-TEST(LruMonSystem, ProcessAfterFinishThrows) {
-    LruMonSystem sys(tower(), p4lru3(30), LruMonConfig{});
+TEST(LruMonSystem, ReportIsIdempotentAcrossFinishAndMoreTraffic) {
+    LruMonConfig cfg;
+    cfg.threshold = 100;
+    LruMonSystem sys(tower(kSecond), p4lru3(300), cfg);
+    sys.process(packet(1, 0, 5'000));
     sys.finish();
-    EXPECT_THROW(sys.process(packet(1, 0, 100)), std::logic_error);
+    // finish() is a no-op: processing continues and report() stays exact.
+    sys.process(packet(2, 1, 7'000));
+    const auto r1 = sys.report();
+    const auto r2 = sys.report();
+    EXPECT_EQ(r1.measured_bytes, 12'000u);
+    EXPECT_EQ(r1.measured_bytes, r2.measured_bytes);
+    EXPECT_EQ(r1.uploads, r2.uploads);
+    EXPECT_EQ(r1.total_error_rate, 0.0);
 }
 
 }  // namespace

@@ -1,0 +1,377 @@
+// The migration property suite (DESIGN.md §11): every system replay target
+// — LruMon, LruTable, LruIndex — produces bit-identical statistics AND
+// bit-identical final state images across
+//
+//   * sequential replay,
+//   * inline-batched sharded replay,
+//   * threaded-sharded replay over random shard geometry,
+//   * a mid-stream kill-and-resume through the generic target checkpoint
+//     (in-memory and via the on-disk "P4LRUTGC" round trip), and
+//   * threaded replay under injected worker stalls / batch delays.
+//
+// The properties hold because each target partitions its state into
+// disjoint units routed by content hash, the engine preserves per-unit
+// arrival order in every mode, and the statistics are integer sums (plus
+// min/max timestamps) that merge losslessly.  State images are compared as
+// byte vectors: save_state() is the strongest observable the targets have.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "p4lru/cache/policy.hpp"
+#include "p4lru/fault/fault_plan.hpp"
+#include "p4lru/replay/replay_target.hpp"
+#include "p4lru/replay/target_checkpoint.hpp"
+#include "p4lru/systems/lruindex/lruindex_target.hpp"
+#include "p4lru/systems/lrumon/lrumon_target.hpp"
+#include "p4lru/systems/lrutable/lrutable_target.hpp"
+#include "p4lru/trace/trace_gen.hpp"
+#include "p4lru/trace/ycsb.hpp"
+
+namespace p4lru {
+namespace {
+
+using replay::Mode;
+using replay::ShardedConfig;
+
+// ---------------------------------------------------------------------------
+// Fixtures: small-but-nontrivial op streams and target factories.
+
+std::vector<PacketRecord> zipf_trace(std::uint64_t seed,
+                                     std::size_t packets = 40'000) {
+    trace::TraceConfig cfg;
+    cfg.seed = seed;
+    cfg.total_packets = packets;
+    cfg.segments = 4;
+    return trace::generate_trace(cfg);
+}
+
+systems::lrumon::LruMonTarget make_lrumon(std::size_t partitions = 8) {
+    using namespace systems::lrumon;
+    LruMonConfig cfg;
+    cfg.threshold = 400;  // low enough that elephants exist at this scale
+    return LruMonTarget(
+        partitions,
+        [](std::size_t p) {
+            FilterConfig fc;
+            fc.cm_width = 1u << 12;
+            fc.cm_depth = 2;
+            fc.seed = 0x70EEE + p;
+            return std::make_unique<CmFilter>(fc);
+        },
+        [](std::size_t p) {
+            return std::make_unique<cache::P4lruArrayPolicy<
+                std::uint32_t, FlowLen, 3, core::AddMerge>>(
+                96, static_cast<std::uint32_t>(0xF11 + p * 0x9E37u));
+        },
+        cfg);
+}
+
+systems::lrutable::LruTableTarget make_lrutable(std::size_t partitions = 6) {
+    using namespace systems::lrutable;
+    return LruTableTarget(
+        partitions,
+        [](std::size_t p) {
+            return std::make_unique<cache::P4lruArrayPolicy<
+                VirtualAddress, std::uint32_t, 3>>(
+                120, static_cast<std::uint32_t>(0xAB + p * 0x5bd1u));
+        },
+        LruTableConfig{});
+}
+
+const systems::lruindex::DbServer& shared_db_server() {
+    static const systems::lruindex::DbServer server(
+        20'000, systems::lruindex::ServerCosts{});
+    return server;
+}
+
+systems::lruindex::LruIndexTarget make_lruindex(
+    const fault::FlakyService* flaky = nullptr) {
+    systems::lruindex::LruIndexTarget::Config cfg;
+    cfg.partitions = 5;
+    cfg.levels = 3;
+    cfg.units_per_level = 24;
+    cfg.flaky = flaky;
+    return systems::lruindex::LruIndexTarget(shared_db_server(), cfg);
+}
+
+std::vector<systems::lruindex::LruIndexOp> ycsb_ops(
+    std::size_t count = 30'000) {
+    trace::YcsbConfig cfg;
+    cfg.items = 20'000;
+    cfg.zipf_alpha = 0.9;
+    return systems::lruindex::make_index_ops(cfg, count);
+}
+
+template <typename Target>
+std::vector<std::byte> state_of(const Target& t) {
+    std::vector<std::byte> out;
+    t.save_state(out);
+    return out;
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: sequential == inline == threaded, over random shard geometry.
+
+template <typename Make, typename Op>
+void check_mode_equivalence(Make make, const std::vector<Op>& ops,
+                            std::uint32_t geometry_seed) {
+    auto seq_target = make();
+    using Target = decltype(seq_target);
+    using Stats = typename Target::Stats;
+    const Stats seq = replay::replay_target_sequential(
+        seq_target, std::span<const Op>(ops));
+    const std::vector<std::byte> seq_state = state_of(seq_target);
+    ASSERT_FALSE(seq_state.empty());
+
+    std::mt19937 rng(geometry_seed);
+    for (int trial = 0; trial < 6; ++trial) {
+        ShardedConfig cfg;
+        cfg.shards = 1 + rng() % 6;
+        cfg.batch_ops = std::size_t{16} << (rng() % 5);
+        cfg.queue_batches = 4 + rng() % 12;
+        cfg.mode = trial % 2 == 0 ? Mode::kInline : Mode::kThreaded;
+        auto t = make();
+        const auto rep =
+            replay::replay_target_sharded(t, std::span<const Op>(ops), cfg);
+        EXPECT_EQ(rep.stats, seq)
+            << "diverged at shards=" << cfg.shards
+            << " batch=" << cfg.batch_ops << " mode="
+            << (cfg.mode == Mode::kInline ? "inline" : "threaded");
+        EXPECT_EQ(state_of(t), seq_state)
+            << "state image diverged at shards=" << cfg.shards;
+    }
+}
+
+TEST(SystemEngineEquivalence, LruMonModesAgree) {
+    check_mode_equivalence([] { return make_lrumon(); }, zipf_trace(11),
+                           0xA1);
+}
+
+TEST(SystemEngineEquivalence, LruTableModesAgree) {
+    check_mode_equivalence([] { return make_lrutable(); }, zipf_trace(23),
+                           0xB2);
+}
+
+TEST(SystemEngineEquivalence, LruIndexModesAgree) {
+    check_mode_equivalence([] { return make_lruindex(); }, ycsb_ops(), 0xC3);
+}
+
+// ---------------------------------------------------------------------------
+// Property 2: a mid-stream kill-and-resume — fresh target, restored from a
+// checkpoint, replaying the suffix under a *different* geometry — converges
+// to the straight run, in memory and through the on-disk round trip.
+
+template <typename Make, typename Op>
+void check_kill_and_resume(Make make, const std::vector<Op>& ops,
+                           const std::string& disk_tag) {
+    auto seq_target = make();
+    using Target = decltype(seq_target);
+    using Stats = typename Target::Stats;
+    const Stats seq = replay::replay_target_sequential(
+        seq_target, std::span<const Op>(ops));
+    const std::vector<std::byte> seq_state = state_of(seq_target);
+
+    // Checkpointed run: capture cuts every 8 delivered batches.
+    auto live = make();
+    std::vector<replay::TargetCheckpoint<Stats>> cps;
+    auto sink = [&cps](replay::TargetCheckpoint<Stats>&& cp) {
+        cps.push_back(std::move(cp));
+    };
+    ShardedConfig run_cfg;
+    run_cfg.shards = 3;
+    run_cfg.batch_ops = 64;
+    run_cfg.mode = Mode::kThreaded;
+    const auto full = replay::replay_target_checkpointed(
+        live, std::span<const Op>(ops), run_cfg, 8, sink);
+    EXPECT_EQ(full.stats, seq) << "checkpointed run diverged";
+    ASSERT_FALSE(cps.empty());
+    const auto& cp = cps[cps.size() / 2];
+    ASSERT_GT(cp.cursor, 0u);
+    ASSERT_LT(cp.cursor, ops.size());
+
+    // "Kill": the live target is abandoned; a fresh one resumes the suffix
+    // under a different shard count, batch size and mode.
+    ShardedConfig resume_cfg;
+    resume_cfg.shards = 5;
+    resume_cfg.batch_ops = 32;
+    resume_cfg.mode = Mode::kInline;
+    auto resumed = make();
+    const auto res = replay::resume_target_sharded(
+        resumed, std::span<const Op>(ops), cp, resume_cfg);
+    ASSERT_TRUE(res.is_ok()) << res.status().to_string();
+    EXPECT_EQ(res.value().stats, seq) << "resumed run diverged";
+    EXPECT_EQ(state_of(resumed), seq_state) << "resumed state diverged";
+
+    // Disk round trip of the same cut.
+    const std::string path =
+        testing::TempDir() + "p4lru_tgc_" + disk_tag + ".bin";
+    ASSERT_TRUE(replay::write_target_checkpoint(path, cp).is_ok());
+    const auto rd = replay::read_target_checkpoint_checked<Stats>(path);
+    ASSERT_TRUE(rd.is_ok()) << rd.status().to_string();
+    std::remove(path.c_str());
+    auto from_disk = make();
+    resume_cfg.mode = Mode::kThreaded;
+    const auto res2 = replay::resume_target_sharded(
+        from_disk, std::span<const Op>(ops), rd.value(), resume_cfg);
+    ASSERT_TRUE(res2.is_ok()) << res2.status().to_string();
+    EXPECT_EQ(res2.value().stats, seq) << "disk-resumed run diverged";
+    EXPECT_EQ(state_of(from_disk), seq_state)
+        << "disk-resumed state diverged";
+}
+
+TEST(SystemEngineEquivalence, LruMonKillAndResume) {
+    check_kill_and_resume([] { return make_lrumon(); }, zipf_trace(31),
+                          "lrumon");
+}
+
+TEST(SystemEngineEquivalence, LruTableKillAndResume) {
+    check_kill_and_resume([] { return make_lrutable(); }, zipf_trace(37),
+                          "lrutable");
+}
+
+TEST(SystemEngineEquivalence, LruIndexKillAndResume) {
+    check_kill_and_resume([] { return make_lruindex(); }, ycsb_ops(),
+                          "lruindex");
+}
+
+// ---------------------------------------------------------------------------
+// Property 3: injected worker stalls and batch delays change *when* work
+// happens, never what — threaded replay under a misbehaving worker still
+// matches the sequential baseline, and the degradation ladder engaged.
+
+template <typename Make, typename Op>
+void check_stall_equivalence(Make make, const std::vector<Op>& ops) {
+    auto seq_target = make();
+    using Target = decltype(seq_target);
+    using Stats = typename Target::Stats;
+    const Stats seq = replay::replay_target_sequential(
+        seq_target, std::span<const Op>(ops));
+    const std::vector<std::byte> seq_state = state_of(seq_target);
+
+    fault::FaultPlan plan;
+    plan.stall_worker(0, 2).delay_batch(1, 3, 120).delay_batch(2, 1, 60);
+    const fault::InjectedFaults faults(plan);
+    ShardedConfig cfg;
+    cfg.shards = 4;
+    cfg.batch_ops = 32;
+    cfg.mode = Mode::kThreaded;
+    auto t = make();
+    const auto rep = replay::replay_target_sharded(
+        t, std::span<const Op>(ops), cfg, faults);
+    EXPECT_EQ(rep.stats, seq) << "stalled run diverged";
+    EXPECT_EQ(state_of(t), seq_state) << "stalled state diverged";
+    // The stalled worker must actually have been worked around.
+    EXPECT_GT(rep.drained_inline + rep.abandoned_workers, 0u);
+}
+
+TEST(SystemEngineEquivalence, LruMonWorkerStallsAreInvisible) {
+    check_stall_equivalence([] { return make_lrumon(); }, zipf_trace(41));
+}
+
+TEST(SystemEngineEquivalence, LruTableWorkerStallsAreInvisible) {
+    check_stall_equivalence([] { return make_lrutable(); }, zipf_trace(43));
+}
+
+TEST(SystemEngineEquivalence, LruIndexWorkerStallsAreInvisible) {
+    check_stall_equivalence([] { return make_lruindex(); }, ycsb_ops());
+}
+
+// ---------------------------------------------------------------------------
+// Property 4: data faults (op corruption) run on single-owner paths;
+// a corrupted key re-routes deterministically, so two inline geometries
+// still agree with each other.
+
+TEST(SystemEngineEquivalence, LruMonOpCorruptionIsGeometryInvariant) {
+    const auto ops = zipf_trace(47, 20'000);
+    fault::FaultPlan plan;
+    plan.corrupt_op(500, 0xDEADBEEF).corrupt_op(7'000, 0x42);
+    const fault::InjectedFaults faults(plan);
+
+    auto run = [&](std::size_t shards) {
+        auto t = make_lrumon();
+        ShardedConfig cfg;
+        cfg.shards = shards;
+        cfg.batch_ops = 48;
+        cfg.mode = Mode::kInline;
+        const auto rep = replay::replay_target_sharded(
+            t, std::span<const PacketRecord>(ops), cfg, faults);
+        return std::pair{rep.stats, state_of(t)};
+    };
+    const auto [s1, st1] = run(1);
+    const auto [s4, st4] = run(4);
+    EXPECT_EQ(s1, s4);
+    EXPECT_EQ(st1, st4);
+
+    // And the corruption was not a no-op: the fault-free run differs.
+    auto clean = make_lrumon();
+    const auto clean_stats = replay::replay_target_sequential(
+        clean, std::span<const PacketRecord>(ops));
+    EXPECT_NE(state_of(clean), st1);
+    (void)clean_stats;
+}
+
+// ---------------------------------------------------------------------------
+// Property 5: a flaky DB server is content-addressed through op.seq, so
+// retries and failures are identical in every engine mode.
+
+TEST(SystemEngineEquivalence, LruIndexFlakyServerIsModeInvariant) {
+    const auto ops = ycsb_ops(20'000);
+    const fault::FlakyService flaky(0xF1A6, 257, 2);
+
+    auto seq_target = make_lruindex(&flaky);
+    const auto seq = replay::replay_target_sequential(
+        seq_target, std::span<const systems::lruindex::LruIndexOp>(ops));
+    EXPECT_GT(seq.retries, 0u);
+    EXPECT_EQ(seq.wrong_replies, 0u);
+
+    ShardedConfig cfg;
+    cfg.shards = 4;
+    cfg.batch_ops = 64;
+    cfg.mode = Mode::kThreaded;
+    auto t = make_lruindex(&flaky);
+    const auto rep = replay::replay_target_sharded(
+        t, std::span<const systems::lruindex::LruIndexOp>(ops), cfg);
+    EXPECT_EQ(rep.stats, seq);
+    EXPECT_EQ(state_of(t), state_of(seq_target));
+
+    // Exhausting max_attempts completes queries as failures.
+    const fault::FlakyService stubborn(0xF1A6, 101, 64);
+    auto f = make_lruindex(&stubborn);
+    const auto failed = replay::replay_target_sequential(
+        f, std::span<const systems::lruindex::LruIndexOp>(ops));
+    EXPECT_GT(failed.failed_queries, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Reports derive from merged statistics only — equal stats, equal reports.
+
+TEST(SystemEngineEquivalence, ReportsDeriveFromMergedStats) {
+    const auto trace = zipf_trace(53, 20'000);
+    auto a = make_lrumon();
+    auto b = make_lrumon();
+    const auto sa = replay::replay_target_sequential(
+        a, std::span<const PacketRecord>(trace));
+    ShardedConfig cfg;
+    cfg.shards = 3;
+    cfg.mode = Mode::kThreaded;
+    const auto rb = replay::replay_target_sharded(
+        b, std::span<const PacketRecord>(trace), cfg);
+    ASSERT_EQ(sa, rb.stats);
+    const auto ra = a.report(sa);
+    const auto rbb = b.report(rb.stats);
+    EXPECT_EQ(ra.uploads, rbb.uploads);
+    EXPECT_EQ(ra.measured_bytes, rbb.measured_bytes);
+    EXPECT_EQ(ra.max_flow_error, rbb.max_flow_error);
+    EXPECT_EQ(ra.overestimated_flows, rbb.overestimated_flows);
+    EXPECT_EQ(ra.total_bytes, rbb.total_bytes);
+    EXPECT_EQ(ra.total_error_rate, rbb.total_error_rate);
+    EXPECT_EQ(ra.upload_kpps, rbb.upload_kpps);
+}
+
+}  // namespace
+}  // namespace p4lru
