@@ -55,6 +55,47 @@ struct FaultEvent {
     friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
 };
 
+/// Where a deterministic crash cuts a supervised run (supervisor.hpp /
+/// durable_store.hpp).  The first four model a process death inside the
+/// store's atomic-install protocol, ordered by how far the install got;
+/// the last two model a death outside it.  Every point is recoverable —
+/// that is what the crash-point sweep in supervisor_test proves.
+enum class CrashPoint : std::uint8_t {
+    kBeforeWrite,   ///< died before any byte hit disk; store unchanged
+    kTornTemp,      ///< died mid-write: a partial `.tmp` file remains
+    kTornInstall,   ///< a torn image landed at the *final* generation path
+                    ///< (models a non-atomic filesystem rename/overwrite)
+    kBeforeRename,  ///< full temp written + synced, never renamed in
+    kAfterInstall,  ///< generation installed; died before pruning old ones
+    kBetweenEpochs, ///< installed + pruned, died between dispatch epochs
+};
+
+[[nodiscard]] constexpr const char* crash_point_name(CrashPoint p) noexcept {
+    switch (p) {
+        case CrashPoint::kBeforeWrite: return "before_write";
+        case CrashPoint::kTornTemp: return "torn_temp";
+        case CrashPoint::kTornInstall: return "torn_install";
+        case CrashPoint::kBeforeRename: return "before_rename";
+        case CrashPoint::kAfterInstall: return "after_install";
+        case CrashPoint::kBetweenEpochs: return "between_epochs";
+    }
+    return "unknown";
+}
+
+/// A scheduled crash: fires at the `at`-th checkpoint-install attempt of a
+/// supervised run, counted cumulatively across recovery attempts (so a
+/// restarted run that re-reaches the same cadence point does NOT re-crash —
+/// each retry makes progress).  `arg` selects the section boundary the torn
+/// variants cut at (clamped to the image's section count): 0 = end of the
+/// fixed header, 1 = end of the stats/slice records, and so on.
+struct CrashEvent {
+    std::uint64_t at = 0;
+    CrashPoint point = CrashPoint::kBetweenEpochs;
+    std::uint64_t arg = 0;
+
+    friend bool operator==(const CrashEvent&, const CrashEvent&) = default;
+};
+
 /// Spec for FaultPlan::chaos — how much havoc a random plan wreaks.
 struct ChaosSpec {
     std::size_t shards = 8;           ///< shard-index range for worker faults
@@ -92,6 +133,14 @@ class FaultPlan {
     }
     FaultPlan& corrupt_op(std::uint64_t at_op, std::uint64_t xor_mask) {
         push_op({FaultKind::kCorruptOp, at_op, 0, 0, xor_mask});
+        return *this;
+    }
+    /// Crash at install ordinal `at_install` (0-based, cumulative across
+    /// recovery attempts); for the torn variants, `section` picks the byte
+    /// boundary the write is cut at.
+    FaultPlan& crash(std::uint64_t at_install, CrashPoint point,
+                     std::uint64_t section = 0) {
+        crashes_.push_back({at_install, point, section});
         return *this;
     }
 
@@ -154,8 +203,22 @@ class FaultPlan {
         const noexcept {
         return worker_;
     }
+    [[nodiscard]] const std::vector<CrashEvent>& crash_events()
+        const noexcept {
+        return crashes_;
+    }
+    /// The crash scheduled at install ordinal `ordinal`, or nullptr.  When
+    /// several events share an ordinal the first one wins (a plan normally
+    /// schedules at most one crash per ordinal — each crash kills the run).
+    [[nodiscard]] const CrashEvent* crash_at(
+        std::uint64_t ordinal) const noexcept {
+        for (const auto& c : crashes_) {
+            if (c.at == ordinal) return &c;
+        }
+        return nullptr;
+    }
     [[nodiscard]] bool empty() const noexcept {
-        return worker_.empty() && ops_.empty();
+        return worker_.empty() && ops_.empty() && crashes_.empty();
     }
 
   private:
@@ -170,6 +233,7 @@ class FaultPlan {
 
     std::vector<FaultEvent> worker_;
     std::vector<FaultEvent> ops_;  ///< sorted by .at
+    std::vector<CrashEvent> crashes_;
 };
 
 /// The disabled hook set: an empty type whose queries are constexpr no-ops.

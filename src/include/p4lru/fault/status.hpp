@@ -10,7 +10,9 @@
 // so an ignored failure is a compiler warning, not silent UB.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <stdexcept>
 #include <string>
 #include <utility>
@@ -105,6 +107,23 @@ class [[nodiscard]] Status {
 }
 [[nodiscard]] inline Status invalid_state(std::string message) {
     return Status(ErrorCode::kInvalidState, std::move(message));
+}
+
+/// IO failure with the OS-level cause attached: "<what> '<path>': <strerror>
+/// (errno N)".  Reads `errno` at call time, so call it immediately after the
+/// failed open/read/write/rename — every IO-failure Status in the binary
+/// format layers (trace_io, checkpoint_io, durable_store) goes through this
+/// so the offending file path and the syscall error are never lost.
+[[nodiscard]] inline Status io_error_errno(std::string what,
+                                           const std::string& path) {
+    const int err = errno;
+    std::string msg = std::move(what) + " '" + path + "'";
+    if (err != 0) {
+        msg += ": ";
+        msg += std::strerror(err);
+        msg += " (errno " + std::to_string(err) + ")";
+    }
+    return Status(ErrorCode::kIoError, std::move(msg));
 }
 
 /// Value-or-Status. Constructing from a Status requires a non-ok status (an

@@ -244,6 +244,14 @@ class DispatchCheckpointer {
         (*sink_)(take_sharded_checkpoint(*cache_, cut));
     }
 
+    [[nodiscard]] bool stop_requested() const {
+        if constexpr (requires(const Sink& s) { s.stop_requested(); }) {
+            return sink_->stop_requested();
+        } else {
+            return false;
+        }
+    }
+
   private:
     Cache* cache_;
     std::uint64_t every_;

@@ -1,14 +1,14 @@
 // On-disk persistence for replay checkpoints: the durable half of the
-// degradation ladder (DESIGN.md §10).  An in-memory ShardedCheckpoint only
-// survives the process; writing it through this layer makes a replay
+// degradation ladder (DESIGN.md §10, §12).  An in-memory ShardedCheckpoint
+// only survives the process; writing it through this layer makes a replay
 // restartable across a crash or a kill -9 (the chaos smoke exercises
 // exactly that).
 //
-// Format v1 (little-endian), offsets in bytes:
+// Format v2 (little-endian), offsets in bytes:
 //
 //   off  size  field
 //     0     8  magic "P4LRUCKP"
-//     8     4  version (u32, = 1)
+//     8     4  version (u32, = 2)
 //    12     4  storage layout id (core::kAos/kSoaLayoutId)
 //    16     8  storage plane-geometry fingerprint
 //    24     8  unit count
@@ -24,6 +24,19 @@
 //   144     8  plane image size P
 //   152  32*S  per-shard ReplayStats slices
 //   152+32*S P raw storage plane bytes
+//   ...then the 16-byte seal footer:
+//   +0      4  crc_header  (CRC32 over bytes [0, 152))
+//   +4      4  crc_slices  (CRC32 over the 32*S shard-slice bytes)
+//   +8      4  crc_planes  (CRC32 over the P plane bytes)
+//   +12     4  crc_footer  (CRC32 over the 12 preceding footer bytes)
+//
+// Version 1 is the same layout without the seal footer; the reader still
+// accepts it (files written before the durability PR), it just gets no CRC
+// protection beyond the structural size cross-checks.  Every byte of a v2
+// file is covered by exactly one check: magic/version by comparison, the
+// count fields by the size cross-check AND crc_header, everything else by
+// one of the four CRCs — so any single-bit flip anywhere is detected (the
+// fuzz sweep in durable_store_test proves it).
 //
 // Reading is hardened exactly like trace_io: read_checkpoint_checked
 // returns a typed Status (kIoError / kCorrupt / kTruncated) carrying the
@@ -31,20 +44,34 @@
 // the shard count and the plane size against the actual file size *before*
 // allocating, so a flipped bit in a count field cannot drive a huge
 // allocation.  Every strict prefix of a valid file is rejected (the
-// truncation sweep in checkpoint_io_test proves it).
+// truncation sweep in checkpoint_io_test proves it).  IO-level failures
+// carry the offending path and the OS error (strerror/errno).
+//
+// write_checkpoint itself is NOT atomic (a crash mid-write leaves a torn
+// file — which the CRCs will reject on read); for crash-safe installs go
+// through durable_store.hpp, which writes via temp-file + fsync + atomic
+// rename into a generational store directory.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "p4lru/fault/status.hpp"
 #include "p4lru/replay/checkpoint.hpp"
+#include "p4lru/replay/serialized_image.hpp"
 
 namespace p4lru::replay {
 
-/// Serialize `cp` to `path` (overwriting).  Returns kIoError on any
-/// open/write failure; the file is not guaranteed to be intact after a
-/// failed write (callers keep the previous checkpoint until this returns
-/// ok — write-to-temp-then-rename durability is the caller's policy).
+/// Render `cp` to its sealed v2 on-disk image in memory.
+[[nodiscard]] SerializedCheckpoint serialize_checkpoint(
+    const ShardedCheckpoint& cp);
+
+/// Serialize `cp` to `path` (overwriting, sealed v2 format).  Returns
+/// kIoError (with path + errno detail) on any open/write failure; the file
+/// is not guaranteed to be intact after a failed write.  For atomic
+/// installs use durable_store.hpp.
 [[nodiscard]] Status write_checkpoint(const std::string& path,
                                       const ShardedCheckpoint& cp);
 
@@ -54,12 +81,19 @@ namespace p4lru::replay {
 [[nodiscard]] Status write_checkpoint(const std::string& path,
                                       const ReplayCheckpoint& cp);
 
-/// Parse a checkpoint from `path`; the typed-error path.  On failure the
-/// Status names the cause and the byte offset at which the file stopped
-/// making sense.  Structural validation only — whether the checkpoint fits
-/// a particular cache (layout tag, fingerprint, unit count) is decided by
-/// resume_sequential / resume_sharded.
+/// Parse a checkpoint from `path`; the typed-error path.  Accepts sealed v2
+/// files (CRC-verified per section) and legacy v1 files (structural checks
+/// only).  On failure the Status names the cause and the byte offset at
+/// which the file stopped making sense.  Structural validation only —
+/// whether the checkpoint fits a particular cache (layout tag, fingerprint,
+/// unit count) is decided by resume_sequential / resume_sharded.
 [[nodiscard]] Expected<ShardedCheckpoint> read_checkpoint_checked(
     const std::string& path);
+
+/// Parse a checkpoint from an in-memory image (the reader behind
+/// read_checkpoint_checked; durable_store's recovery scan and the
+/// p4lru_ckpt tool share it).  `origin` names the image in error messages.
+[[nodiscard]] Expected<ShardedCheckpoint> parse_checkpoint(
+    const std::vector<std::byte>& image, const std::string& origin);
 
 }  // namespace p4lru::replay

@@ -417,6 +417,9 @@ struct NoCheckpoint {
     }
     template <typename Stats>
     void emit(const BasicCheckpointCut<Stats>& /*cut*/) const noexcept {}
+    [[nodiscard]] static constexpr bool stop_requested() noexcept {
+        return false;
+    }
 };
 
 /// Shared engine behind replay_sharded, replay_sharded_checkpointed
@@ -521,6 +524,10 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
                     cut.threaded = false;
                     cut.scrub = results[0].scrub;
                     ckpt.emit(cut);
+                    // Cooperative early stop (crash injection / supervisor
+                    // shutdown): end the run at the cut just emitted, so
+                    // the report covers exactly the checkpointed prefix.
+                    if (ckpt.stop_requested()) break;
                 }
             }
         }
@@ -869,6 +876,17 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
                             ctl[t].snap_release.store(
                                 epoch, std::memory_order_release);
                         }
+                        // Cooperative early stop (crash injection /
+                        // supervisor shutdown).  Every open batch was
+                        // flushed and every queue drained to the cut
+                        // before the emit, so breaking here — never
+                        // throwing, which would deadlock the parked
+                        // workers against the jthread join — ends the run
+                        // with a report covering exactly the checkpointed
+                        // prefix [0, i+1): the close below wakes the
+                        // workers into an empty, closed queue and they
+                        // exit cleanly.
+                        if (ckpt.stop_requested()) break;
                     }
                 }
             }

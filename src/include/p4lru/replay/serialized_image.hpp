@@ -1,0 +1,25 @@
+// The common currency between the two checkpoint serializers
+// (checkpoint_io for P4LRUCKP, target_checkpoint for P4LRUTGC) and the
+// durable store: a checkpoint rendered to its exact on-disk byte image,
+// together with the offsets at which each section ends.  Keeping it in its
+// own header lets the generic target layer and the store share the type
+// without the target layer inheriting the cache-specific checkpoint types.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace p4lru::replay {
+
+/// A checkpoint rendered to its sealed on-disk byte image, plus the offsets
+/// at which each section ends — header, stats records, state/plane bytes,
+/// seal footer.  The section ends are what the deterministic crash injector
+/// (fault::CrashPoint) cuts at: "a crash between section writes" is a
+/// prefix of `bytes` ending at one of them.
+struct SerializedCheckpoint {
+    std::vector<std::byte> bytes;
+    std::vector<std::uint64_t> section_ends;  ///< ascending; back()==size
+};
+
+}  // namespace p4lru::replay

@@ -1,4 +1,4 @@
-// Checkpoint/resume for any ReplayTarget (DESIGN.md §11).
+// Checkpoint/resume for any ReplayTarget (DESIGN.md §11, §12).
 //
 // The cache-specific checkpoint layer (checkpoint.hpp) snapshots storage
 // planes; this layer generalizes the same consistent-cut protocol to every
@@ -11,11 +11,11 @@
 // any shard geometry, because a cut is a clean op prefix and per-bucket
 // arrival order is all that bit-exactness needs.
 //
-// On-disk format v1 (magic "P4LRUTGC", little-endian), offsets in bytes:
+// On-disk format v2 (magic "P4LRUTGC", little-endian), offsets in bytes:
 //
 //   off  size  field
 //     0     8  magic "P4LRUTGC"
-//     8     4  version (u32, = 1)
+//     8     4  version (u32, = 2)
 //    12     4  target state id (Target::state_id())
 //    16     8  target state fingerprint
 //    24     8  unit count
@@ -32,18 +32,34 @@
 //   120     R  merged Stats record
 //   120+R  R*S per-shard Stats slices
 //   ...    P   raw target state bytes
+//   ...then the 16-byte seal footer:
+//   +0      4  crc_header (CRC32 over bytes [0, 120))
+//   +4      4  crc_stats  (CRC32 over the (1+S)*R stats-record bytes)
+//   +8      4  crc_state  (CRC32 over the P state bytes)
+//   +12     4  crc_footer (CRC32 over the 12 preceding footer bytes)
 //
-// Stats records are raw memory images (the Stats type must be trivially
-// copyable, like the plane bytes in checkpoint_io); the record size field
-// plus the state id/fingerprint reject a file written by a different Stats
-// layout or target configuration.  Reading is hardened like trace_io /
-// checkpoint_io: read_target_checkpoint_checked returns a typed Status
-// carrying the byte offset where the file stopped making sense, and
-// cross-checks the shard count and state size against the actual file size
-// *before* allocating, so a flipped bit in a count field cannot drive a
-// huge allocation.  Every strict prefix of a valid file is rejected.
+// Version 1 is the same layout without the seal footer; the reader still
+// accepts it, with structural checks only.  Stats records are raw memory
+// images (the Stats type must be trivially copyable, like the plane bytes
+// in checkpoint_io); the record size field plus the state id/fingerprint
+// reject a file written by a different Stats layout or target
+// configuration.  Reading is hardened like trace_io / checkpoint_io:
+// read_target_checkpoint_checked returns a typed Status carrying the byte
+// offset where the file stopped making sense, and cross-checks the shard
+// count and state size against the actual file size *before* allocating,
+// so a flipped bit in a count field cannot drive a huge allocation.  Every
+// strict prefix of a valid file is rejected, and in a v2 file any
+// single-bit flip trips exactly one of magic/version compare, the size
+// cross-check, or one of the four CRCs (durable_store_test proves both by
+// sweep).  IO failures carry the offending path plus errno/strerror.
+//
+// write_target_checkpoint itself is NOT atomic; for crash-safe installs go
+// through durable_store.hpp (temp file + fsync + atomic rename into a
+// generational store directory), and for automatic restart-from-newest-
+// valid-generation use supervisor.hpp.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
@@ -51,16 +67,21 @@
 #include <span>
 #include <string>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "p4lru/common/hash.hpp"
 #include "p4lru/fault/status.hpp"
 #include "p4lru/replay/replay_target.hpp"
+#include "p4lru/replay/serialized_image.hpp"
 
 namespace p4lru::replay {
 
 /// A resumable snapshot of an in-progress target replay.  Invariants
-/// (checked on resume): stats.ops == cursor, and the per-shard slices sum
-/// to the totals.
+/// (checked on resume): stats.ops == cursor, and the per-shard slices —
+/// when present — sum to the totals (a checkpoint rebased across a resume
+/// carries no slices, because the suffix split cannot be combined with the
+/// prefix's).
 template <typename Stats>
 struct TargetCheckpoint {
     std::uint64_t cursor = 0;    ///< ops applied before the snapshot
@@ -106,7 +127,11 @@ namespace detail {
 
 /// The target-generic counterpart of DispatchCheckpointer (checkpoint.hpp):
 /// trips the dispatch loop's trigger every `every` delivered batches and
-/// converts the quiesced cut into a TargetCheckpoint for the sink.
+/// converts the quiesced cut into a TargetCheckpoint for the sink.  If the
+/// sink exposes `stop_requested()`, the dispatch loop polls it after every
+/// emitted checkpoint and winds down cooperatively — that is how the crash
+/// injector (fault::CrashPoint) and the supervisor stop a run at a cut
+/// without unwinding through the worker join.
 template <typename Target, typename Sink>
 class TargetDispatchCheckpointer {
   public:
@@ -127,6 +152,14 @@ class TargetDispatchCheckpointer {
         (*sink_)(take_target_checkpoint(*target_, cut));
     }
 
+    [[nodiscard]] bool stop_requested() const {
+        if constexpr (requires(const Sink& s) { s.stop_requested(); }) {
+            return sink_->stop_requested();
+        } else {
+            return false;
+        }
+    }
+
   private:
     Target* target_;
     std::uint64_t every_;
@@ -140,7 +173,10 @@ class TargetDispatchCheckpointer {
 /// `every_batches` delivered batches (sink(TargetCheckpoint&&)); 0 disables
 /// emission.  Statistics and final target state stay bit-identical to
 /// replay_target_sharded — the quiesce only decides *when* work happens,
-/// never what — and the fault hooks compose.
+/// never what — and the fault hooks compose.  A sink exposing a
+/// `stop_requested()` member can end the run early at a cut boundary; the
+/// returned report then covers the prefix up to the last emitted cut plus
+/// any batches already in flight.
 template <typename Target, typename Sink, typename Faults = fault::NoFaults>
 BasicShardedReport<typename Target::Stats> replay_target_checkpointed(
     Target& target, std::span<const typename Target::Op> ops,
@@ -151,19 +187,13 @@ BasicShardedReport<typename Target::Stats> replay_target_checkpointed(
     return detail::replay_sharded_impl(target, ops, cfg, faults, ckpt);
 }
 
-/// Restore a target checkpoint into `target` and replay the remaining ops
-/// [cp.cursor, end) with `cfg` — the resume may use a different shard
-/// count, batch size or mode than the interrupted run.  The returned report
-/// merges the checkpoint's statistics and telemetry, so it reads as if the
-/// run had never been interrupted.  Fails with kInvalidState on any shape
-/// mismatch or when the checkpoint is internally inconsistent.
-template <typename Target, typename Faults = fault::NoFaults>
-[[nodiscard]] Expected<BasicShardedReport<typename Target::Stats>>
-resume_target_sharded(Target& target,
-                      std::span<const typename Target::Op> ops,
-                      const TargetCheckpoint<typename Target::Stats>& cp,
-                      const ShardedConfig& cfg = {},
-                      const Faults& faults = {}) {
+/// Shape/consistency validation shared by the resume entry points and the
+/// supervisor's recovery scan: does `cp` describe a run of THIS target over
+/// a stream of `op_count` ops?  kInvalidState on any mismatch.
+template <typename Target>
+[[nodiscard]] Status validate_target_checkpoint(
+    const Target& target, std::size_t op_count,
+    const TargetCheckpoint<typename Target::Stats>& cp) {
     using Stats = typename Target::Stats;
     if (cp.state_id != Target::state_id() ||
         cp.state_fingerprint != Target::state_fingerprint()) {
@@ -180,11 +210,11 @@ resume_target_sharded(Target& target,
                              " != target unit count " +
                              std::to_string(target.unit_count()));
     }
-    if (cp.cursor > ops.size()) {
+    if (cp.cursor > op_count) {
         return invalid_state("target checkpoint cursor " +
                              std::to_string(cp.cursor) +
                              " beyond op stream of " +
-                             std::to_string(ops.size()));
+                             std::to_string(op_count));
     }
     if (static_cast<std::uint64_t>(cp.stats.ops) != cp.cursor) {
         return invalid_state("target checkpoint stats cover " +
@@ -201,6 +231,27 @@ resume_target_sharded(Target& target,
                 "totals");
         }
     }
+    return Status::ok();
+}
+
+/// Restore a target checkpoint into `target` and replay the remaining ops
+/// [cp.cursor, end) with `cfg` — the resume may use a different shard
+/// count, batch size or mode than the interrupted run.  The returned report
+/// merges the checkpoint's statistics and telemetry, so it reads as if the
+/// run had never been interrupted.  Fails with kInvalidState on any shape
+/// mismatch or when the checkpoint is internally inconsistent.
+template <typename Target, typename Faults = fault::NoFaults>
+[[nodiscard]] Expected<BasicShardedReport<typename Target::Stats>>
+resume_target_sharded(Target& target,
+                      std::span<const typename Target::Op> ops,
+                      const TargetCheckpoint<typename Target::Stats>& cp,
+                      const ShardedConfig& cfg = {},
+                      const Faults& faults = {}) {
+    using Stats = typename Target::Stats;
+    if (Status st = validate_target_checkpoint(target, ops.size(), cp);
+        !st.is_ok()) {
+        return st;
+    }
     if (!target.load_state(cp.state)) {
         return invalid_state("target checkpoint state image of " +
                              std::to_string(cp.state.size()) +
@@ -208,6 +259,88 @@ resume_target_sharded(Target& target,
     }
     BasicShardedReport<Stats> rep =
         replay_target_sharded(target, ops.subspan(cp.cursor), cfg, faults);
+    rep.stats.merge(cp.stats);
+    rep.backpressure_waits += cp.backpressure_waits;
+    rep.park_wait_us += cp.park_wait_us;
+    rep.drained_inline += static_cast<std::size_t>(cp.drained_inline);
+    rep.abandoned_workers += static_cast<std::size_t>(cp.abandoned_workers);
+    rep.scrub.merge(cp.scrub);
+    return rep;
+}
+
+namespace detail {
+
+/// Wraps a user sink for a *resumed* checkpointed replay: checkpoints
+/// emitted during the suffix describe ops [0, k) of the suffix, so before
+/// handing them on, rebase to absolute run coordinates — cursor shifted by
+/// the prefix cursor, stats/telemetry merged with the prefix's.  The shard
+/// slices are dropped (suffix-relative splits cannot be combined with the
+/// prefix's; validate_target_checkpoint skips the slice-sum check when
+/// empty), which keeps every rebased checkpoint itself resumable.
+template <typename Stats, typename Sink>
+class RebasedTargetSink {
+  public:
+    RebasedTargetSink(const TargetCheckpoint<Stats>& prefix, Sink& sink)
+        : prefix_(&prefix), sink_(&sink) {}
+
+    void operator()(TargetCheckpoint<Stats>&& cp) {
+        cp.cursor += prefix_->cursor;
+        cp.stats.merge(prefix_->stats);
+        cp.shard_stats.clear();
+        cp.delivered_batches += prefix_->delivered_batches;
+        cp.backpressure_waits += prefix_->backpressure_waits;
+        cp.park_wait_us += prefix_->park_wait_us;
+        cp.drained_inline += prefix_->drained_inline;
+        cp.abandoned_workers += prefix_->abandoned_workers;
+        cp.scrub.merge(prefix_->scrub);
+        (*sink_)(std::move(cp));
+    }
+
+    [[nodiscard]] bool stop_requested() const {
+        if constexpr (requires(const Sink& s) { s.stop_requested(); }) {
+            return sink_->stop_requested();
+        } else {
+            return false;
+        }
+    }
+
+  private:
+    const TargetCheckpoint<Stats>* prefix_;
+    Sink* sink_;
+};
+
+}  // namespace detail
+
+/// resume_target_sharded + continued checkpoint emission: restore `cp`,
+/// replay the suffix, and keep emitting checkpoints into `sink` every
+/// `every_batches` delivered batches.  Emitted checkpoints are rebased to
+/// absolute run coordinates (see RebasedTargetSink), so each one is itself
+/// a valid resume point — this is what lets the supervisor chain an
+/// arbitrary number of crash/recover cycles.  A sink `stop_requested()`
+/// ends the suffix early at a cut, exactly as in
+/// replay_target_checkpointed.
+template <typename Target, typename Sink, typename Faults = fault::NoFaults>
+[[nodiscard]] Expected<BasicShardedReport<typename Target::Stats>>
+resume_target_checkpointed(Target& target,
+                           std::span<const typename Target::Op> ops,
+                           const TargetCheckpoint<typename Target::Stats>& cp,
+                           const ShardedConfig& cfg,
+                           std::uint64_t every_batches, Sink&& sink,
+                           const Faults& faults = {}) {
+    using Stats = typename Target::Stats;
+    if (Status st = validate_target_checkpoint(target, ops.size(), cp);
+        !st.is_ok()) {
+        return st;
+    }
+    if (!target.load_state(cp.state)) {
+        return invalid_state("target checkpoint state image of " +
+                             std::to_string(cp.state.size()) +
+                             " bytes does not match this target's shape");
+    }
+    detail::RebasedTargetSink<Stats, std::remove_reference_t<Sink>> rebased(
+        cp, sink);
+    BasicShardedReport<Stats> rep = replay_target_checkpointed(
+        target, ops.subspan(cp.cursor), cfg, every_batches, rebased, faults);
     rep.stats.merge(cp.stats);
     rep.backpressure_waits += cp.backpressure_waits;
     rep.park_wait_us += cp.park_wait_us;
@@ -252,28 +385,38 @@ inline std::uint64_t tgc_get_u64(const std::byte* p) {
     return v;
 }
 
+inline std::uint32_t tgc_crc(const std::byte* p, std::uint64_t n) {
+    return hash::crc32(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(p),
+        static_cast<std::size_t>(n)));
+}
+
 inline constexpr char kTgcMagic[8] = {'P', '4', 'L', 'R',
                                       'U', 'T', 'G', 'C'};
-inline constexpr std::uint32_t kTgcVersion = 1;
+inline constexpr std::uint32_t kTgcVersionLegacy = 1;  // no seal footer
+inline constexpr std::uint32_t kTgcVersionSealed = 2;  // CRC32 footer
 inline constexpr std::size_t kTgcHeaderBytes = 120;
+inline constexpr std::size_t kTgcSealBytes = 16;
 
 }  // namespace detail
 
-/// Serialize `cp` to `path` (overwriting).  Returns kIoError on any
-/// open/write failure.  `Stats` must be trivially copyable — its records
-/// are stored as raw memory images guarded by the record-size field.
+/// Render `cp` to its sealed v2 on-disk image in memory.  `Stats` must be
+/// trivially copyable — its records are stored as raw memory images guarded
+/// by the record-size header field and the stats-section CRC.
 template <typename Stats>
     requires std::is_trivially_copyable_v<Stats>
-[[nodiscard]] Status write_target_checkpoint(
-    const std::string& path, const TargetCheckpoint<Stats>& cp) {
-    std::vector<std::byte> buf;
-    buf.reserve(detail::kTgcHeaderBytes +
-                sizeof(Stats) * (1 + cp.shard_stats.size()) +
-                cp.state.size());
+[[nodiscard]] SerializedCheckpoint serialize_target_checkpoint(
+    const TargetCheckpoint<Stats>& cp) {
+    SerializedCheckpoint out;
+    auto& buf = out.bytes;
+    const std::uint64_t stats_bytes =
+        sizeof(Stats) * (1 + cp.shard_stats.size());
+    buf.reserve(detail::kTgcHeaderBytes + stats_bytes + cp.state.size() +
+                detail::kTgcSealBytes);
     for (char c : detail::kTgcMagic) {
         buf.push_back(static_cast<std::byte>(c));
     }
-    detail::tgc_put_u32(buf, detail::kTgcVersion);
+    detail::tgc_put_u32(buf, detail::kTgcVersionSealed);
     detail::tgc_put_u32(buf, cp.state_id);
     detail::tgc_put_u64(buf, cp.state_fingerprint);
     detail::tgc_put_u64(buf, cp.unit_count);
@@ -290,6 +433,7 @@ template <typename Stats>
     detail::tgc_put_u32(buf,
                         static_cast<std::uint32_t>(cp.shard_stats.size()));
     detail::tgc_put_u64(buf, cp.state.size());
+    out.section_ends.push_back(buf.size());  // header
     const auto append_stats = [&buf](const Stats& s) {
         const std::size_t off = buf.size();
         buf.resize(off + sizeof(Stats));
@@ -297,61 +441,86 @@ template <typename Stats>
     };
     append_stats(cp.stats);
     for (const auto& s : cp.shard_stats) append_stats(s);
+    out.section_ends.push_back(buf.size());  // stats records
     buf.insert(buf.end(), cp.state.begin(), cp.state.end());
+    out.section_ends.push_back(buf.size());  // state image
 
+    const std::uint32_t crc_header =
+        detail::tgc_crc(buf.data(), detail::kTgcHeaderBytes);
+    const std::uint32_t crc_stats =
+        detail::tgc_crc(buf.data() + detail::kTgcHeaderBytes, stats_bytes);
+    const std::uint32_t crc_state = detail::tgc_crc(
+        buf.data() + detail::kTgcHeaderBytes + stats_bytes, cp.state.size());
+    const std::size_t seal_off = buf.size();
+    detail::tgc_put_u32(buf, crc_header);
+    detail::tgc_put_u32(buf, crc_stats);
+    detail::tgc_put_u32(buf, crc_state);
+    detail::tgc_put_u32(buf, detail::tgc_crc(buf.data() + seal_off, 12));
+    out.section_ends.push_back(buf.size());  // footer == total
+    return out;
+}
+
+/// Serialize `cp` to `path` (overwriting, sealed v2 format).  Returns
+/// kIoError (with path + errno detail) on any open/write failure.  Not
+/// atomic — for crash-safe installs use durable_store.hpp.
+template <typename Stats>
+    requires std::is_trivially_copyable_v<Stats>
+[[nodiscard]] Status write_target_checkpoint(
+    const std::string& path, const TargetCheckpoint<Stats>& cp) {
+    const SerializedCheckpoint image = serialize_target_checkpoint(cp);
+    errno = 0;
     std::FILE* f = std::fopen(path.c_str(), "wb");
-    if (!f) return io_error("write_target_checkpoint: cannot open " + path);
+    if (!f) {
+        return io_error_errno("write_target_checkpoint: cannot open", path);
+    }
+    errno = 0;
     const std::size_t written =
-        std::fwrite(buf.data(), 1, buf.size(), f);
-    const bool closed_ok = std::fclose(f) == 0;
-    if (written != buf.size() || !closed_ok) {
-        return io_error("write_target_checkpoint: short write to " + path);
+        std::fwrite(image.bytes.data(), 1, image.bytes.size(), f);
+    const bool write_ok = written == image.bytes.size();
+    if (!write_ok) {
+        const Status st =
+            io_error_errno("write_target_checkpoint: short write to", path);
+        std::fclose(f);
+        return st;
+    }
+    errno = 0;
+    if (std::fclose(f) != 0) {
+        return io_error_errno("write_target_checkpoint: close failed on",
+                              path);
     }
     return Status::ok();
 }
 
-/// Parse a target checkpoint from `path`; the typed-error path.  On failure
-/// the Status names the cause and the byte offset at which the file stopped
-/// making sense.  Structural validation only — whether the checkpoint fits
-/// a particular target (state id, fingerprint, unit count) is decided by
-/// resume_target_sharded.
+/// Parse a target checkpoint from an in-memory image; the reader behind
+/// read_target_checkpoint_checked (durable_store's recovery scan shares
+/// it).  Accepts sealed v2 images (CRC-verified per section) and legacy v1
+/// images (structural checks only).  `origin` names the image in errors.
 template <typename Stats>
     requires std::is_trivially_copyable_v<Stats>
-[[nodiscard]] Expected<TargetCheckpoint<Stats>>
-read_target_checkpoint_checked(const std::string& path) {
-    std::FILE* f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return io_error("read_target_checkpoint: cannot open " + path);
-    const std::unique_ptr<std::FILE, int (*)(std::FILE*)> closer(f,
-                                                                 &std::fclose);
-    if (std::fseek(f, 0, SEEK_END) != 0) {
-        return io_error("read_target_checkpoint: seek failed on " + path);
-    }
-    const long fsize = std::ftell(f);
-    if (fsize < 0) {
-        return io_error("read_target_checkpoint: tell failed on " + path);
-    }
-    std::rewind(f);
-    const std::uint64_t file_size = static_cast<std::uint64_t>(fsize);
+[[nodiscard]] Expected<TargetCheckpoint<Stats>> parse_target_checkpoint(
+    const std::vector<std::byte>& image, const std::string& origin) {
+    const std::uint64_t file_size = image.size();
     if (file_size < detail::kTgcHeaderBytes) {
-        return truncated(
-            "read_target_checkpoint: file smaller than the 120-byte header",
-            file_size);
+        return truncated("target checkpoint image of " +
+                             std::to_string(file_size) + " bytes from '" +
+                             origin +
+                             "' is smaller than the 120-byte header",
+                         file_size);
     }
-    std::byte hdr[detail::kTgcHeaderBytes];
-    if (std::fread(hdr, 1, sizeof(hdr), f) != sizeof(hdr)) {
-        return io_error("read_target_checkpoint: header read failed");
-    }
+    const std::byte* hdr = image.data();
     if (std::memcmp(hdr, detail::kTgcMagic, sizeof(detail::kTgcMagic)) !=
         0) {
-        return corrupt("read_target_checkpoint: bad magic", 0);
+        return corrupt("read_target_checkpoint: bad magic in " + origin, 0);
     }
-    if (const auto version = detail::tgc_get_u32(hdr + 8);
-        version != detail::kTgcVersion) {
+    const std::uint32_t version = detail::tgc_get_u32(hdr + 8);
+    if (version != detail::kTgcVersionLegacy &&
+        version != detail::kTgcVersionSealed) {
         return corrupt("read_target_checkpoint: unsupported version " +
-                           std::to_string(version),
+                           std::to_string(version) + " in " + origin,
                        8);
     }
+    const bool sealed = version == detail::kTgcVersionSealed;
+    const std::uint64_t seal = sealed ? detail::kTgcSealBytes : 0;
     TargetCheckpoint<Stats> cp;
     cp.state_id = detail::tgc_get_u32(hdr + 12);
     cp.state_fingerprint = detail::tgc_get_u64(hdr + 16);
@@ -379,7 +548,8 @@ read_target_checkpoint_checked(const std::string& path) {
     // huge allocation, and a strict prefix of a valid file must fail here.
     const std::uint64_t need =
         detail::kTgcHeaderBytes +
-        static_cast<std::uint64_t>(rec) * (1 + shard_count) + state_bytes;
+        static_cast<std::uint64_t>(rec) * (1 + shard_count) + state_bytes +
+        seal;
     if (file_size != need) {
         return file_size < need
                    ? truncated("read_target_checkpoint: file holds " +
@@ -392,26 +562,94 @@ read_target_checkpoint_checked(const std::string& path) {
                                  " trailing bytes past the promised size",
                              need);
     }
-    const auto read_stats = [f](Stats& s) {
-        return std::fread(&s, 1, sizeof(Stats), f) == sizeof(Stats);
-    };
-    if (!read_stats(cp.stats)) {
-        return io_error("read_target_checkpoint: stats read failed");
-    }
-    cp.shard_stats.resize(shard_count);
-    for (auto& s : cp.shard_stats) {
-        if (!read_stats(s)) {
-            return io_error(
-                "read_target_checkpoint: shard stats read failed");
+    const std::uint64_t stats_bytes =
+        static_cast<std::uint64_t>(rec) * (1 + shard_count);
+    if (sealed) {
+        const std::byte* footer =
+            hdr + detail::kTgcHeaderBytes + stats_bytes + state_bytes;
+        const auto check = [&](std::uint64_t off, std::uint64_t len,
+                               int which, const char* name) -> Status {
+            const std::uint32_t stored =
+                detail::tgc_get_u32(footer + 4 * which);
+            const std::uint32_t computed = detail::tgc_crc(hdr + off, len);
+            if (stored != computed) {
+                return corrupt(std::string(name) + " CRC mismatch in " +
+                                   origin + ": stored " +
+                                   std::to_string(stored) + ", computed " +
+                                   std::to_string(computed),
+                               off);
+            }
+            return Status::ok();
+        };
+        if (Status st =
+                check(detail::kTgcHeaderBytes + stats_bytes + state_bytes,
+                      12, 3, "seal footer");
+            !st.is_ok()) {
+            return st;
+        }
+        if (Status st = check(0, detail::kTgcHeaderBytes, 0, "header");
+            !st.is_ok()) {
+            return st;
+        }
+        if (Status st = check(detail::kTgcHeaderBytes, stats_bytes, 1,
+                              "stats record");
+            !st.is_ok()) {
+            return st;
+        }
+        if (Status st = check(detail::kTgcHeaderBytes + stats_bytes,
+                              state_bytes, 2, "state image");
+            !st.is_ok()) {
+            return st;
         }
     }
-    cp.state.resize(static_cast<std::size_t>(state_bytes));
-    if (!cp.state.empty() &&
-        std::fread(cp.state.data(), 1, cp.state.size(), f) !=
-            cp.state.size()) {
-        return io_error("read_target_checkpoint: state read failed");
+    const std::byte* records = hdr + detail::kTgcHeaderBytes;
+    std::memcpy(&cp.stats, records, sizeof(Stats));
+    cp.shard_stats.resize(shard_count);
+    for (std::uint32_t i = 0; i < shard_count; ++i) {
+        std::memcpy(&cp.shard_stats[i],
+                    records + sizeof(Stats) * (1 + std::size_t{i}),
+                    sizeof(Stats));
     }
+    const std::byte* state = records + stats_bytes;
+    cp.state.assign(state, state + state_bytes);
     return cp;
+}
+
+/// Parse a target checkpoint from `path`; the typed-error path.  On failure
+/// the Status names the cause, the offending path, and the byte offset at
+/// which the file stopped making sense.  Structural validation only —
+/// whether the checkpoint fits a particular target (state id, fingerprint,
+/// unit count) is decided by validate_target_checkpoint / the resume entry
+/// points.
+template <typename Stats>
+    requires std::is_trivially_copyable_v<Stats>
+[[nodiscard]] Expected<TargetCheckpoint<Stats>>
+read_target_checkpoint_checked(const std::string& path) {
+    errno = 0;
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (!f) {
+        return io_error_errno("read_target_checkpoint: cannot open", path);
+    }
+    const std::unique_ptr<std::FILE, int (*)(std::FILE*)> closer(f,
+                                                                 &std::fclose);
+    if (std::fseek(f, 0, SEEK_END) != 0) {
+        return io_error_errno("read_target_checkpoint: seek failed on",
+                              path);
+    }
+    const long fsize = std::ftell(f);
+    if (fsize < 0) {
+        return io_error_errno("read_target_checkpoint: tell failed on",
+                              path);
+    }
+    std::rewind(f);
+    std::vector<std::byte> image(static_cast<std::size_t>(fsize));
+    errno = 0;
+    if (!image.empty() &&
+        std::fread(image.data(), 1, image.size(), f) != image.size()) {
+        return io_error_errno("read_target_checkpoint: read failed on",
+                              path);
+    }
+    return parse_target_checkpoint<Stats>(image, path);
 }
 
 }  // namespace p4lru::replay

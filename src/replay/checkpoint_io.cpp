@@ -1,60 +1,64 @@
 #include "p4lru/replay/checkpoint_io.hpp"
 
 #include <array>
+#include <cerrno>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <vector>
 
+#include "p4lru/common/hash.hpp"
+
 namespace p4lru::replay {
 namespace {
 
 constexpr std::array<char, 8> kMagic = {'P', '4', 'L', 'R', 'U',
                                         'C', 'K', 'P'};
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersionLegacy = 1;  // no seal footer
+constexpr std::uint32_t kVersionSealed = 2;  // per-section CRC32 footer
 constexpr std::uint64_t kStatsBytes = 4 * 8;   // ops/hits/misses/evictions
-constexpr std::uint64_t kScrubBytes = 3 * 8;   // scanned/corrupt/repaired
 constexpr std::uint64_t kHeaderBytes = 152;
 constexpr std::uint64_t kShardSliceBytes = kStatsBytes;
+constexpr std::uint64_t kSealBytes = 16;  // 4 x CRC32
 
 // Field offsets (documented in the header comment of checkpoint_io.hpp);
 // named so error offsets stay in sync with the layout.
 constexpr std::uint64_t kOffVersion = 8;
 constexpr std::uint64_t kOffShardCount = 136;
 
-void put_u32(std::vector<char>& out, std::uint32_t v) {
-    char b[4];
-    std::memcpy(b, &v, 4);
-    out.insert(out.end(), b, b + 4);
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+        out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+    }
 }
 
-void put_u64(std::vector<char>& out, std::uint64_t v) {
-    char b[8];
-    std::memcpy(b, &v, 8);
-    out.insert(out.end(), b, b + 8);
+void put_u64(std::vector<std::byte>& out, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+        out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xFF));
+    }
 }
 
-void put_stats(std::vector<char>& out, const ReplayStats& s) {
+void put_stats(std::vector<std::byte>& out, const ReplayStats& s) {
     put_u64(out, s.ops);
     put_u64(out, s.hits);
     put_u64(out, s.misses);
     put_u64(out, s.evictions);
 }
 
-std::uint32_t get_u32(const char* p) {
+std::uint32_t get_u32(const std::byte* p) {
     std::uint32_t v = 0;
     std::memcpy(&v, p, 4);
     return v;
 }
 
-std::uint64_t get_u64(const char* p) {
+std::uint64_t get_u64(const std::byte* p) {
     std::uint64_t v = 0;
     std::memcpy(&v, p, 8);
     return v;
 }
 
-ReplayStats get_stats(const char* p) {
+ReplayStats get_stats(const std::byte* p) {
     ReplayStats s;
     s.ops = get_u64(p);
     s.hits = get_u64(p + 8);
@@ -63,42 +67,72 @@ ReplayStats get_stats(const char* p) {
     return s;
 }
 
+std::uint32_t crc_over(const std::byte* p, std::uint64_t n) {
+    return hash::crc32(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(p),
+        static_cast<std::size_t>(n)));
+}
+
 }  // namespace
+
+SerializedCheckpoint serialize_checkpoint(const ShardedCheckpoint& cp) {
+    SerializedCheckpoint out;
+    auto& buf = out.bytes;
+    const std::uint64_t slices = cp.shard_stats.size() * kShardSliceBytes;
+    buf.reserve(static_cast<std::size_t>(kHeaderBytes + slices +
+                                         cp.base.planes.size() + kSealBytes));
+    for (char c : kMagic) buf.push_back(static_cast<std::byte>(c));
+    put_u32(buf, kVersionSealed);
+    put_u32(buf, cp.base.layout_id);
+    put_u64(buf, cp.base.plane_fingerprint);
+    put_u64(buf, cp.base.unit_count);
+    put_u64(buf, cp.base.cursor);
+    put_stats(buf, cp.base.stats);
+    put_u64(buf, cp.delivered_batches);
+    put_u64(buf, cp.backpressure_waits);
+    put_u64(buf, cp.park_wait_us);
+    put_u64(buf, cp.drained_inline);
+    put_u64(buf, cp.abandoned_workers);
+    put_u64(buf, cp.scrub.scanned);
+    put_u64(buf, cp.scrub.corrupt);
+    put_u64(buf, cp.scrub.repaired);
+    put_u64(buf, cp.shard_stats.size());
+    put_u64(buf, cp.base.planes.size());
+    out.section_ends.push_back(buf.size());  // header
+    for (const auto& s : cp.shard_stats) put_stats(buf, s);
+    out.section_ends.push_back(buf.size());  // shard slices
+    buf.insert(buf.end(), cp.base.planes.begin(), cp.base.planes.end());
+    out.section_ends.push_back(buf.size());  // plane image
+
+    // Seal footer: one CRC per section, then a CRC over the three CRCs so a
+    // flipped bit inside the footer itself is also caught.
+    const std::uint32_t crc_header = crc_over(buf.data(), kHeaderBytes);
+    const std::uint32_t crc_slices =
+        crc_over(buf.data() + kHeaderBytes, slices);
+    const std::uint32_t crc_planes = crc_over(
+        buf.data() + kHeaderBytes + slices, cp.base.planes.size());
+    const std::size_t seal_off = buf.size();
+    put_u32(buf, crc_header);
+    put_u32(buf, crc_slices);
+    put_u32(buf, crc_planes);
+    put_u32(buf, crc_over(buf.data() + seal_off, 12));
+    out.section_ends.push_back(buf.size());  // footer == total
+    return out;
+}
 
 Status write_checkpoint(const std::string& path,
                         const ShardedCheckpoint& cp) {
+    const SerializedCheckpoint image = serialize_checkpoint(cp);
+    errno = 0;
     std::ofstream os(path, std::ios::binary | std::ios::trunc);
     if (!os) {
-        return io_error("write_checkpoint: cannot open " + path);
+        return io_error_errno("write_checkpoint: cannot open", path);
     }
-    std::vector<char> head;
-    head.reserve(kHeaderBytes + cp.shard_stats.size() * kShardSliceBytes);
-    head.insert(head.end(), kMagic.begin(), kMagic.end());
-    put_u32(head, kVersion);
-    put_u32(head, cp.base.layout_id);
-    put_u64(head, cp.base.plane_fingerprint);
-    put_u64(head, cp.base.unit_count);
-    put_u64(head, cp.base.cursor);
-    put_stats(head, cp.base.stats);
-    put_u64(head, cp.delivered_batches);
-    put_u64(head, cp.backpressure_waits);
-    put_u64(head, cp.park_wait_us);
-    put_u64(head, cp.drained_inline);
-    put_u64(head, cp.abandoned_workers);
-    put_u64(head, cp.scrub.scanned);
-    put_u64(head, cp.scrub.corrupt);
-    put_u64(head, cp.scrub.repaired);
-    put_u64(head, cp.shard_stats.size());
-    put_u64(head, cp.base.planes.size());
-    for (const auto& s : cp.shard_stats) put_stats(head, s);
-    os.write(head.data(), static_cast<std::streamsize>(head.size()));
-    if (!cp.base.planes.empty()) {
-        os.write(reinterpret_cast<const char*>(cp.base.planes.data()),
-                 static_cast<std::streamsize>(cp.base.planes.size()));
-    }
+    os.write(reinterpret_cast<const char*>(image.bytes.data()),
+             static_cast<std::streamsize>(image.bytes.size()));
     os.flush();
     if (!os) {
-        return io_error("write_checkpoint: write failed: " + path);
+        return io_error_errno("write_checkpoint: write failed to", path);
     }
     return Status::ok();
 }
@@ -109,54 +143,53 @@ Status write_checkpoint(const std::string& path, const ReplayCheckpoint& cp) {
     return write_checkpoint(path, wrapped);
 }
 
-Expected<ShardedCheckpoint> read_checkpoint_checked(const std::string& path) {
-    std::ifstream is(path, std::ios::binary | std::ios::ate);
-    if (!is) {
-        return io_error("read_checkpoint: cannot open " + path);
-    }
-    const auto file_size = static_cast<std::uint64_t>(is.tellg());
-    is.seekg(0);
-
+Expected<ShardedCheckpoint> parse_checkpoint(
+    const std::vector<std::byte>& image, const std::string& origin) {
+    const std::uint64_t file_size = image.size();
     if (file_size < kHeaderBytes) {
-        return truncated("file of " + std::to_string(file_size) +
-                             " bytes is shorter than the checkpoint header",
+        return truncated("checkpoint image of " + std::to_string(file_size) +
+                             " bytes from '" + origin +
+                             "' is shorter than the checkpoint header",
                          file_size);
     }
-    std::array<char, kHeaderBytes> head{};
-    is.read(head.data(), head.size());
-    if (!is) {
-        return io_error("header read failed: " + path);
+    const std::byte* head = image.data();
+    if (std::memcmp(head, kMagic.data(), kMagic.size()) != 0) {
+        return corrupt("bad magic in " + origin, 0);
     }
-    if (std::memcmp(head.data(), kMagic.data(), kMagic.size()) != 0) {
-        return corrupt("bad magic in " + path, 0);
-    }
-    const std::uint32_t version = get_u32(head.data() + kOffVersion);
-    if (version != kVersion) {
+    const std::uint32_t version = get_u32(head + kOffVersion);
+    if (version != kVersionLegacy && version != kVersionSealed) {
         return corrupt("unsupported checkpoint version " +
-                           std::to_string(version),
+                           std::to_string(version) + " in " + origin,
                        kOffVersion);
     }
+    const bool sealed = version == kVersionSealed;
+    const std::uint64_t seal = sealed ? kSealBytes : 0;
 
     ShardedCheckpoint cp;
-    cp.base.layout_id = get_u32(head.data() + 12);
-    cp.base.plane_fingerprint = get_u64(head.data() + 16);
-    cp.base.unit_count = static_cast<std::size_t>(get_u64(head.data() + 24));
-    cp.base.cursor = get_u64(head.data() + 32);
-    cp.base.stats = get_stats(head.data() + 40);
-    cp.delivered_batches = get_u64(head.data() + 72);
-    cp.backpressure_waits = get_u64(head.data() + 80);
-    cp.park_wait_us = get_u64(head.data() + 88);
-    cp.drained_inline = get_u64(head.data() + 96);
-    cp.abandoned_workers = get_u64(head.data() + 104);
-    cp.scrub.scanned = get_u64(head.data() + 112);
-    cp.scrub.corrupt = get_u64(head.data() + 120);
-    cp.scrub.repaired = get_u64(head.data() + 128);
-    const std::uint64_t shard_count = get_u64(head.data() + kOffShardCount);
-    const std::uint64_t plane_bytes = get_u64(head.data() + 144);
+    cp.base.layout_id = get_u32(head + 12);
+    cp.base.plane_fingerprint = get_u64(head + 16);
+    cp.base.unit_count = static_cast<std::size_t>(get_u64(head + 24));
+    cp.base.cursor = get_u64(head + 32);
+    cp.base.stats = get_stats(head + 40);
+    cp.delivered_batches = get_u64(head + 72);
+    cp.backpressure_waits = get_u64(head + 80);
+    cp.park_wait_us = get_u64(head + 88);
+    cp.drained_inline = get_u64(head + 96);
+    cp.abandoned_workers = get_u64(head + 104);
+    cp.scrub.scanned = get_u64(head + 112);
+    cp.scrub.corrupt = get_u64(head + 120);
+    cp.scrub.repaired = get_u64(head + 128);
+    const std::uint64_t shard_count = get_u64(head + kOffShardCount);
+    const std::uint64_t plane_bytes = get_u64(head + 144);
 
-    // Cross-check both count fields against the actual file size before any
+    // Cross-check both count fields against the actual image size before any
     // allocation: a flipped bit must not drive a huge reserve or read loop.
-    const std::uint64_t body = file_size - kHeaderBytes;
+    if (file_size < kHeaderBytes + seal) {
+        return truncated("file of " + std::to_string(file_size) +
+                             " bytes is shorter than header + seal footer",
+                         file_size);
+    }
+    const std::uint64_t body = file_size - kHeaderBytes - seal;
     if (shard_count > body / kShardSliceBytes) {
         return corrupt("shard count " + std::to_string(shard_count) +
                            " exceeds file body of " + std::to_string(body) +
@@ -171,39 +204,83 @@ Expected<ShardedCheckpoint> read_checkpoint_checked(const std::string& path) {
                              " bytes follow the shard slices",
                          file_size);
     }
-    const std::uint64_t expected = kHeaderBytes + slices + plane_bytes;
+    const std::uint64_t expected =
+        kHeaderBytes + slices + plane_bytes + seal;
     if (file_size > expected) {
         return corrupt(std::to_string(file_size - expected) +
-                           " trailing bytes after the plane image",
+                           " trailing bytes after the " +
+                           (sealed ? "seal footer" : "plane image"),
                        expected);
     }
 
-    cp.shard_stats.reserve(static_cast<std::size_t>(shard_count));
-    std::array<char, kShardSliceBytes> slice{};
-    for (std::uint64_t i = 0; i < shard_count; ++i) {
-        is.read(slice.data(), slice.size());
-        if (is.gcount() != static_cast<std::streamsize>(slice.size())) {
-            return truncated(
-                "shard slice " + std::to_string(i) + " of " +
-                    std::to_string(shard_count) + " cut short",
-                kHeaderBytes + i * kShardSliceBytes +
-                    static_cast<std::uint64_t>(is.gcount()));
+    if (sealed) {
+        // Verify every section's CRC before trusting any byte beyond the
+        // structural checks; the reported offset points at the start of the
+        // rotten section.
+        const std::byte* p = image.data();
+        const std::byte* footer = p + kHeaderBytes + slices + plane_bytes;
+        const auto check = [&](std::uint64_t off, std::uint64_t len,
+                               int which, const char* name) -> Status {
+            const std::uint32_t stored = get_u32(footer + 4 * which);
+            const std::uint32_t computed = crc_over(p + off, len);
+            if (stored != computed) {
+                return corrupt(std::string(name) + " CRC mismatch in " +
+                                   origin + ": stored " +
+                                   std::to_string(stored) + ", computed " +
+                                   std::to_string(computed),
+                               off);
+            }
+            return Status::ok();
+        };
+        if (Status st = check(kHeaderBytes + slices + plane_bytes, 12, 3,
+                              "seal footer");
+            !st.is_ok()) {
+            return st;
         }
-        cp.shard_stats.push_back(get_stats(slice.data()));
+        if (Status st = check(0, kHeaderBytes, 0, "header"); !st.is_ok()) {
+            return st;
+        }
+        if (Status st = check(kHeaderBytes, slices, 1, "shard slice");
+            !st.is_ok()) {
+            return st;
+        }
+        if (Status st = check(kHeaderBytes + slices, plane_bytes, 2,
+                              "plane image");
+            !st.is_ok()) {
+            return st;
+        }
     }
 
-    cp.base.planes.resize(static_cast<std::size_t>(plane_bytes));
-    if (plane_bytes != 0) {
-        is.read(reinterpret_cast<char*>(cp.base.planes.data()),
-                static_cast<std::streamsize>(plane_bytes));
-        if (is.gcount() != static_cast<std::streamsize>(plane_bytes)) {
-            return truncated(
-                "plane image cut short",
-                kHeaderBytes + slices +
-                    static_cast<std::uint64_t>(is.gcount()));
+    cp.shard_stats.reserve(static_cast<std::size_t>(shard_count));
+    for (std::uint64_t i = 0; i < shard_count; ++i) {
+        cp.shard_stats.push_back(
+            get_stats(image.data() + kHeaderBytes + i * kShardSliceBytes));
+    }
+    cp.base.planes.assign(
+        image.begin() + static_cast<std::ptrdiff_t>(kHeaderBytes + slices),
+        image.begin() +
+            static_cast<std::ptrdiff_t>(kHeaderBytes + slices + plane_bytes));
+    return cp;
+}
+
+Expected<ShardedCheckpoint> read_checkpoint_checked(const std::string& path) {
+    errno = 0;
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is) {
+        return io_error_errno("read_checkpoint: cannot open", path);
+    }
+    const auto file_size = static_cast<std::uint64_t>(is.tellg());
+    is.seekg(0);
+    std::vector<std::byte> image(static_cast<std::size_t>(file_size));
+    if (file_size != 0) {
+        errno = 0;
+        is.read(reinterpret_cast<char*>(image.data()),
+                static_cast<std::streamsize>(image.size()));
+        if (is.gcount() != static_cast<std::streamsize>(image.size())) {
+            return io_error_errno("read_checkpoint: read failed on", path);
         }
     }
-    return cp;
+    return parse_checkpoint(image, path);
 }
 
 }  // namespace p4lru::replay

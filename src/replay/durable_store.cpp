@@ -1,0 +1,567 @@
+#include "p4lru/replay/durable_store.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <system_error>
+
+#include "p4lru/common/hash.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#define P4LRU_POSIX_IO 1
+#endif
+
+namespace p4lru::replay {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kGenPrefix[] = "gen-";
+constexpr char kGenSuffix[] = ".ckpt";
+constexpr char kTmpSuffix[] = ".tmp";
+constexpr std::uint64_t kSealBytes = 16;
+
+// Raw header geometry of the two formats (documented in checkpoint_io.hpp
+// and target_checkpoint.hpp; the typed readers are the source of truth —
+// the raw path only mirrors their framing so the store and the CLI can
+// judge validity without knowing the Stats type).
+constexpr char kCkpMagic[8] = {'P', '4', 'L', 'R', 'U', 'C', 'K', 'P'};
+constexpr char kTgcMagic[8] = {'P', '4', 'L', 'R', 'U', 'T', 'G', 'C'};
+constexpr std::uint64_t kCkpHeaderBytes = 152;
+constexpr std::uint64_t kTgcHeaderBytes = 120;
+
+std::uint32_t get_u32(const std::byte* p) {
+    std::uint32_t v = 0;
+    std::memcpy(&v, p, 4);
+    return v;
+}
+
+std::uint64_t get_u64(const std::byte* p) {
+    std::uint64_t v = 0;
+    std::memcpy(&v, p, 8);
+    return v;
+}
+
+std::uint32_t crc_over(const std::byte* p, std::uint64_t n) {
+    return hash::crc32(std::span<const std::uint8_t>(
+        reinterpret_cast<const std::uint8_t*>(p),
+        static_cast<std::size_t>(n)));
+}
+
+/// Format-agnostic framing of an image: everything needed to locate the
+/// sections and the seal without a Stats type.
+struct RawLayout {
+    const char* format = "";
+    std::uint64_t header_bytes = 0;
+    std::uint32_t version = 0;
+    bool sealed = false;
+    std::uint32_t id = 0;
+    std::uint64_t fingerprint = 0;
+    std::uint64_t unit_count = 0;
+    std::uint64_t cursor = 0;
+    std::uint64_t shard_count = 0;
+    std::uint64_t record_bytes = 0;
+    std::uint64_t records_bytes = 0;  ///< total stats/slice section size
+    std::uint64_t payload_bytes = 0;  ///< plane / state image size
+};
+
+/// Parse the framing of either format, applying the same structural size
+/// cross-checks as the typed readers (every strict prefix rejected, counts
+/// checked against the image size before anything is trusted).
+Expected<RawLayout> parse_raw(const std::vector<std::byte>& image,
+                              const std::string& origin) {
+    const std::uint64_t file_size = image.size();
+    if (file_size < sizeof(kCkpMagic)) {
+        return truncated("image of " + std::to_string(file_size) +
+                             " bytes from '" + origin +
+                             "' is too short for a format magic",
+                         file_size);
+    }
+    const std::byte* p = image.data();
+    RawLayout raw;
+    if (std::memcmp(p, kCkpMagic, sizeof(kCkpMagic)) == 0) {
+        raw.format = "P4LRUCKP";
+        raw.header_bytes = kCkpHeaderBytes;
+    } else if (std::memcmp(p, kTgcMagic, sizeof(kTgcMagic)) == 0) {
+        raw.format = "P4LRUTGC";
+        raw.header_bytes = kTgcHeaderBytes;
+    } else {
+        return corrupt("unknown checkpoint magic in " + origin, 0);
+    }
+    if (file_size < raw.header_bytes) {
+        return truncated("image of " + std::to_string(file_size) +
+                             " bytes from '" + origin +
+                             "' is shorter than the " + raw.format +
+                             " header",
+                         file_size);
+    }
+    raw.version = get_u32(p + 8);
+    if (raw.version != 1 && raw.version != 2) {
+        return corrupt("unsupported " + std::string(raw.format) +
+                           " version " + std::to_string(raw.version) +
+                           " in " + origin,
+                       8);
+    }
+    raw.sealed = raw.version == 2;
+    raw.id = get_u32(p + 12);
+    raw.fingerprint = get_u64(p + 16);
+    raw.unit_count = get_u64(p + 24);
+    raw.cursor = get_u64(p + 32);
+    const std::uint64_t seal = raw.sealed ? kSealBytes : 0;
+    if (file_size < raw.header_bytes + seal) {
+        return truncated("image of " + std::to_string(file_size) +
+                             " bytes from '" + origin +
+                             "' is shorter than header + seal footer",
+                         file_size);
+    }
+    const std::uint64_t body = file_size - raw.header_bytes - seal;
+    if (raw.header_bytes == kCkpHeaderBytes) {
+        raw.record_bytes = 32;  // one ReplayStats slice
+        raw.shard_count = get_u64(p + 136);
+        raw.payload_bytes = get_u64(p + 144);
+        if (raw.shard_count > body / raw.record_bytes) {
+            return corrupt("shard count " +
+                               std::to_string(raw.shard_count) +
+                               " exceeds file body of " +
+                               std::to_string(body) + " bytes",
+                           136);
+        }
+        raw.records_bytes = raw.shard_count * raw.record_bytes;
+        if (raw.payload_bytes > body - raw.records_bytes) {
+            return truncated(
+                "plane image of " + std::to_string(raw.payload_bytes) +
+                    " bytes promised; only " +
+                    std::to_string(body - raw.records_bytes) +
+                    " bytes follow the shard slices",
+                file_size);
+        }
+    } else {
+        raw.record_bytes = get_u32(p + 104);
+        raw.shard_count = get_u32(p + 108);
+        raw.payload_bytes = get_u64(p + 112);
+        raw.records_bytes = raw.record_bytes * (1 + raw.shard_count);
+        if (raw.record_bytes == 0 || raw.records_bytes > body ||
+            raw.payload_bytes > body - raw.records_bytes) {
+            return truncated(
+                "stats records of " + std::to_string(raw.records_bytes) +
+                    " bytes + state image of " +
+                    std::to_string(raw.payload_bytes) +
+                    " bytes promised; file body holds " +
+                    std::to_string(body) + " bytes",
+                file_size);
+        }
+    }
+    const std::uint64_t expected =
+        raw.header_bytes + raw.records_bytes + raw.payload_bytes + seal;
+    if (file_size > expected) {
+        return corrupt(std::to_string(file_size - expected) +
+                           " trailing bytes past the promised size",
+                       expected);
+    }
+    return raw;
+}
+
+/// The two record-section names differ between formats only in wording.
+const char* records_name(const RawLayout& raw) {
+    return raw.header_bytes == kCkpHeaderBytes ? "shard slices"
+                                               : "stats records";
+}
+const char* payload_name(const RawLayout& raw) {
+    return raw.header_bytes == kCkpHeaderBytes ? "plane image"
+                                               : "state image";
+}
+
+#ifdef P4LRU_POSIX_IO
+Status fsync_path(const std::string& path, bool directory) {
+    errno = 0;
+    const int fd =
+        ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
+    if (fd < 0) {
+        return io_error_errno("atomic_write_file: cannot open for fsync",
+                              path);
+    }
+    errno = 0;
+    const int rc = ::fsync(fd);
+    ::close(fd);
+    if (rc != 0) {
+        return io_error_errno("atomic_write_file: fsync failed on", path);
+    }
+    return Status::ok();
+}
+#endif
+
+/// Write bytes to `path` (plain, non-atomic) — the torn-crash injector's
+/// tool and atomic_write_file's first phase.
+Status write_bytes_plain(const std::string& path,
+                         const std::vector<std::byte>& bytes, bool sync) {
+#ifdef P4LRU_POSIX_IO
+    errno = 0;
+    const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd < 0) {
+        return io_error_errno("durable_store: cannot open for write", path);
+    }
+    const std::byte* p = bytes.data();
+    std::size_t left = bytes.size();
+    while (left > 0) {
+        errno = 0;
+        const ssize_t n = ::write(fd, p, left);
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            const Status st =
+                io_error_errno("durable_store: write failed to", path);
+            ::close(fd);
+            return st;
+        }
+        p += n;
+        left -= static_cast<std::size_t>(n);
+    }
+    if (sync) {
+        errno = 0;
+        if (::fsync(fd) != 0) {
+            const Status st =
+                io_error_errno("durable_store: fsync failed on", path);
+            ::close(fd);
+            return st;
+        }
+    }
+    errno = 0;
+    if (::close(fd) != 0) {
+        return io_error_errno("durable_store: close failed on", path);
+    }
+    return Status::ok();
+#else
+    errno = 0;
+    std::ofstream os(path, std::ios::binary | std::ios::trunc);
+    if (!os) {
+        return io_error_errno("durable_store: cannot open for write", path);
+    }
+    os.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+    os.flush();
+    if (!os) {
+        return io_error_errno("durable_store: write failed to", path);
+    }
+    (void)sync;  // no portable fsync without POSIX
+    return Status::ok();
+#endif
+}
+
+std::string gen_filename(std::uint64_t seq) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%s%06llu%s", kGenPrefix,
+                  static_cast<unsigned long long>(seq), kGenSuffix);
+    return buf;
+}
+
+/// gen-000123.ckpt -> 123; anything else (including .tmp leftovers) -> 0.
+std::uint64_t parse_gen_seq(const std::string& name) {
+    const std::size_t prefix = sizeof(kGenPrefix) - 1;
+    const std::size_t suffix = sizeof(kGenSuffix) - 1;
+    if (name.size() <= prefix + suffix) return 0;
+    if (name.compare(0, prefix, kGenPrefix) != 0) return 0;
+    if (name.compare(name.size() - suffix, suffix, kGenSuffix) != 0) {
+        return 0;
+    }
+    std::uint64_t seq = 0;
+    for (std::size_t i = prefix; i < name.size() - suffix; ++i) {
+        const char c = name[i];
+        if (c < '0' || c > '9') return 0;
+        seq = seq * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return seq;
+}
+
+/// The byte boundary a torn crash cuts the image at: one of the section
+/// ends strictly before the file end, selected by the event's arg.
+std::uint64_t torn_cut(const SerializedCheckpoint& image,
+                       std::uint64_t section) {
+    if (image.section_ends.size() < 2) {
+        return image.bytes.size() / 2;
+    }
+    const std::size_t cuts = image.section_ends.size() - 1;  // strict only
+    return image.section_ends[static_cast<std::size_t>(section % cuts)];
+}
+
+}  // namespace
+
+Expected<std::vector<std::byte>> read_file_bytes(const std::string& path) {
+    errno = 0;
+    std::ifstream is(path, std::ios::binary | std::ios::ate);
+    if (!is) {
+        return io_error_errno("read_file_bytes: cannot open", path);
+    }
+    const auto size = static_cast<std::uint64_t>(is.tellg());
+    is.seekg(0);
+    std::vector<std::byte> bytes(static_cast<std::size_t>(size));
+    if (size != 0) {
+        errno = 0;
+        is.read(reinterpret_cast<char*>(bytes.data()),
+                static_cast<std::streamsize>(bytes.size()));
+        if (is.gcount() != static_cast<std::streamsize>(bytes.size())) {
+            return io_error_errno("read_file_bytes: read failed on", path);
+        }
+    }
+    return bytes;
+}
+
+Status atomic_write_file(const std::string& path,
+                         const std::vector<std::byte>& bytes, bool sync) {
+    const std::string tmp = path + kTmpSuffix;
+    if (Status st = write_bytes_plain(tmp, bytes, sync); !st.is_ok()) {
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return st;
+    }
+    errno = 0;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+        const Status st = io_error_errno(
+            "atomic_write_file: rename to '" + path + "' failed from", tmp);
+        std::error_code ec;
+        fs::remove(tmp, ec);
+        return st;
+    }
+#ifdef P4LRU_POSIX_IO
+    if (sync) {
+        // Durability of the *name*: the rename is only on disk once the
+        // directory entry is.  Failure here is reported but the install
+        // itself already happened.
+        const std::string dir = fs::path(path).parent_path().string();
+        if (Status st = fsync_path(dir.empty() ? "." : dir, true);
+            !st.is_ok()) {
+            return st;
+        }
+    }
+#endif
+    return Status::ok();
+}
+
+Status verify_checkpoint_image(const std::vector<std::byte>& image,
+                               const std::string& origin) {
+    Expected<RawLayout> raw = parse_raw(image, origin);
+    if (!raw.is_ok()) return raw.status();
+    const RawLayout& r = raw.value();
+    if (!r.sealed) return Status::ok();  // v1: structural checks only
+    const std::byte* p = image.data();
+    const std::uint64_t footer_off =
+        r.header_bytes + r.records_bytes + r.payload_bytes;
+    const std::byte* footer = p + footer_off;
+    const auto check = [&](std::uint64_t off, std::uint64_t len, int which,
+                           const char* name) -> Status {
+        const std::uint32_t stored = get_u32(footer + 4 * which);
+        const std::uint32_t computed = crc_over(p + off, len);
+        if (stored != computed) {
+            return corrupt(std::string(name) + " CRC mismatch in " + origin,
+                           off);
+        }
+        return Status::ok();
+    };
+    if (Status st = check(footer_off, 12, 3, "seal footer"); !st.is_ok()) {
+        return st;
+    }
+    if (Status st = check(0, r.header_bytes, 0, "header"); !st.is_ok()) {
+        return st;
+    }
+    if (Status st =
+            check(r.header_bytes, r.records_bytes, 1, records_name(r));
+        !st.is_ok()) {
+        return st;
+    }
+    if (Status st = check(r.header_bytes + r.records_bytes, r.payload_bytes,
+                          2, payload_name(r));
+        !st.is_ok()) {
+        return st;
+    }
+    return Status::ok();
+}
+
+Expected<ImageInfo> describe_checkpoint_image(
+    const std::vector<std::byte>& image, const std::string& origin) {
+    Expected<RawLayout> raw = parse_raw(image, origin);
+    if (!raw.is_ok()) {
+        // Header unreadable or framing broken: describe what we can only
+        // if the magic resolved; otherwise propagate.
+        return raw.status();
+    }
+    const RawLayout& r = raw.value();
+    ImageInfo info;
+    info.format = r.format;
+    info.version = r.version;
+    info.sealed = r.sealed;
+    info.id = r.id;
+    info.fingerprint = r.fingerprint;
+    info.unit_count = r.unit_count;
+    info.cursor = r.cursor;
+    info.shard_count = r.shard_count;
+    info.record_bytes = r.record_bytes;
+    info.payload_bytes = r.payload_bytes;
+    info.file_bytes = image.size();
+    if (r.sealed) {
+        const std::byte* p = image.data();
+        const std::uint64_t footer_off =
+            r.header_bytes + r.records_bytes + r.payload_bytes;
+        const std::byte* footer = p + footer_off;
+        const auto add = [&](const char* name, std::uint64_t begin,
+                             std::uint64_t len, int which) {
+            SectionCheck sc;
+            sc.name = name;
+            sc.begin = begin;
+            sc.end = begin + len;
+            sc.stored = get_u32(footer + 4 * which);
+            sc.computed = crc_over(p + begin, len);
+            sc.ok = sc.stored == sc.computed;
+            info.sections.push_back(std::move(sc));
+        };
+        add("header", 0, r.header_bytes, 0);
+        add(records_name(r), r.header_bytes, r.records_bytes, 1);
+        add(payload_name(r), r.header_bytes + r.records_bytes,
+            r.payload_bytes, 2);
+        add("seal footer", footer_off, 12, 3);
+    }
+    info.verdict = verify_checkpoint_image(image, origin);
+    return info;
+}
+
+Status DurableStore::ensure_dir() const {
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec) {
+        return io_error("durable_store: cannot create directory '" + dir_ +
+                        "': " + ec.message());
+    }
+    return Status::ok();
+}
+
+std::vector<GenerationInfo> DurableStore::list() const {
+    std::vector<GenerationInfo> gens;
+    std::error_code ec;
+    fs::directory_iterator it(dir_, ec);
+    if (ec) return gens;  // missing directory == empty store
+    for (const auto& entry : it) {
+        if (!entry.is_regular_file(ec)) continue;
+        const std::string name = entry.path().filename().string();
+        const std::uint64_t seq = parse_gen_seq(name);
+        if (seq == 0) continue;  // .tmp leftovers, foreign files
+        gens.push_back({seq, entry.path().string()});
+    }
+    std::sort(gens.begin(), gens.end(),
+              [](const GenerationInfo& a, const GenerationInfo& b) {
+                  return a.seq < b.seq;
+              });
+    return gens;
+}
+
+Expected<GenerationInfo> DurableStore::install(
+    const SerializedCheckpoint& image) {
+    Expected<InstallOutcome> out = install_with_crash(image, nullptr);
+    if (!out.is_ok()) return out.status();
+    return out.value().gen;
+}
+
+Expected<InstallOutcome> DurableStore::install_with_crash(
+    const SerializedCheckpoint& image, const fault::CrashEvent* crash) {
+    if (Status st = ensure_dir(); !st.is_ok()) return st;
+    std::uint64_t seq = 0;
+    for (const auto& g : list()) seq = std::max(seq, g.seq);
+    ++seq;
+    const std::string final_path =
+        (fs::path(dir_) / gen_filename(seq)).string();
+    InstallOutcome out;
+    out.gen = {seq, final_path};
+    if (crash != nullptr) {
+        out.crashed = true;
+        using fault::CrashPoint;
+        switch (crash->point) {
+            case CrashPoint::kBeforeWrite:
+                return out;  // died before any byte hit disk
+            case CrashPoint::kTornTemp:
+            case CrashPoint::kTornInstall: {
+                // Died mid-write: a strict prefix of the image, cut at a
+                // section boundary, remains — at the temp name (normal
+                // protocol) or at the final name (a filesystem whose
+                // rename/overwrite is not atomic).  Either way the next
+                // recovery must skip it.
+                const std::uint64_t cut = torn_cut(image, crash->arg);
+                std::vector<std::byte> prefix(
+                    image.bytes.begin(),
+                    image.bytes.begin() + static_cast<std::ptrdiff_t>(cut));
+                const std::string where =
+                    crash->point == CrashPoint::kTornTemp
+                        ? final_path + kTmpSuffix
+                        : final_path;
+                if (Status st = write_bytes_plain(where, prefix, false);
+                    !st.is_ok()) {
+                    return st;
+                }
+                return out;
+            }
+            case CrashPoint::kBeforeRename: {
+                // Full temp written and synced; the rename never happened.
+                if (Status st = write_bytes_plain(final_path + kTmpSuffix,
+                                                  image.bytes, cfg_.sync);
+                    !st.is_ok()) {
+                    return st;
+                }
+                return out;
+            }
+            case CrashPoint::kAfterInstall: {
+                // Generation installed; died before pruning.
+                if (Status st = atomic_write_file(final_path, image.bytes,
+                                                  cfg_.sync);
+                    !st.is_ok()) {
+                    return st;
+                }
+                out.installed = true;
+                return out;
+            }
+            case CrashPoint::kBetweenEpochs:
+                // The install itself completes; the crash fires later,
+                // between dispatch epochs (handled by the supervisor).
+                break;
+        }
+    }
+    if (Status st = atomic_write_file(final_path, image.bytes, cfg_.sync);
+        !st.is_ok()) {
+        return st;
+    }
+    out.installed = true;
+    if (Status st = prune(); !st.is_ok()) return st;
+    return out;
+}
+
+Status DurableStore::prune() const {
+    std::vector<GenerationInfo> gens = list();
+    if (gens.size() <= cfg_.retain) return Status::ok();
+    // The newest generation that actually verifies is immune: a burst of
+    // torn installs above it must never push the last recoverable state
+    // out of the window.
+    std::uint64_t newest_valid = 0;
+    for (auto it = gens.rbegin(); it != gens.rend(); ++it) {
+        Expected<std::vector<std::byte>> image = read_file_bytes(it->path);
+        if (image.is_ok() &&
+            verify_checkpoint_image(image.value(), it->path).is_ok()) {
+            newest_valid = it->seq;
+            break;
+        }
+    }
+    Status first_error = Status::ok();
+    const std::size_t drop = gens.size() - cfg_.retain;
+    for (std::size_t i = 0; i < drop; ++i) {
+        if (gens[i].seq == newest_valid) continue;
+        std::error_code ec;
+        fs::remove(gens[i].path, ec);
+        if (ec && first_error.is_ok()) {
+            first_error =
+                io_error("durable_store: cannot remove old generation '" +
+                         gens[i].path + "': " + ec.message());
+        }
+    }
+    return first_error;
+}
+
+}  // namespace p4lru::replay

@@ -1,0 +1,25 @@
+#include "p4lru/replay/supervisor.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace p4lru::replay {
+
+std::uint64_t backoff_delay_us(const SupervisorConfig& cfg,
+                               std::size_t attempt) {
+    if (attempt == 0) return 0;
+    const std::size_t shift = attempt - 1;
+    // Saturate the shift itself before it can overflow the u64.
+    if (shift >= 63) return cfg.backoff_cap_us;
+    const std::uint64_t delay = cfg.backoff_base_us << shift;
+    return delay < cfg.backoff_base_us  // shifted past 2^64
+               ? cfg.backoff_cap_us
+               : std::min(delay, cfg.backoff_cap_us);
+}
+
+void sleep_us(std::uint64_t us) {
+    if (us == 0) return;
+    std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
+}  // namespace p4lru::replay

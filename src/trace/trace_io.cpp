@@ -1,6 +1,7 @@
 #include "p4lru/trace/trace_io.hpp"
 
 #include <array>
+#include <cerrno>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
@@ -55,21 +56,31 @@ PacketRecord parse_record(const std::uint8_t* buf) {
 
 void write_trace(const std::string& path,
                  const std::vector<PacketRecord>& records) {
+    errno = 0;
     std::ofstream os(path, std::ios::binary | std::ios::trunc);
-    if (!os) throw std::runtime_error("write_trace: cannot open " + path);
+    if (!os) {
+        throw std::runtime_error(
+            io_error_errno("write_trace: cannot open", path).to_string());
+    }
     os.write(kMagic.data(), kMagic.size());
     os.write(reinterpret_cast<const char*>(&kVersion), sizeof(kVersion));
     const std::uint64_t count = records.size();
     os.write(reinterpret_cast<const char*>(&count), sizeof(count));
     for (const auto& r : records) put_record(os, r);
-    if (!os) throw std::runtime_error("write_trace: write failed: " + path);
+    os.flush();
+    if (!os) {
+        throw std::runtime_error(
+            io_error_errno("write_trace: write failed to", path)
+                .to_string());
+    }
 }
 
 Expected<std::vector<PacketRecord>> read_trace_checked(
     const std::string& path) {
+    errno = 0;
     std::ifstream is(path, std::ios::binary | std::ios::ate);
     if (!is) {
-        return Status(ErrorCode::kIoError, "cannot open " + path);
+        return io_error_errno("read_trace: cannot open", path);
     }
     const auto file_size = static_cast<std::uint64_t>(is.tellg());
     is.seekg(0);
@@ -93,10 +104,10 @@ Expected<std::vector<PacketRecord>> read_trace_checked(
                       magic.size());
     }
     std::uint64_t count = 0;
+    errno = 0;
     is.read(reinterpret_cast<char*>(&count), sizeof(count));
     if (!is) {
-        return Status(ErrorCode::kIoError, "header read failed: " + path,
-                      magic.size() + sizeof(version));
+        return io_error_errno("read_trace: header read failed on", path);
     }
     // Sanity-cap the count against the actual file size: a flipped bit in
     // the count field must not drive a huge allocation or a long read loop.

@@ -6,14 +6,24 @@
 // Built as its own binary (fault_chaos_smoke) so CI can run it nightly-style
 // with fresh entropy while the gtest suite stays deterministic.
 //
-// Each seed runs two rounds: the plain chaos-equivalence round, then a
+// Each seed runs three rounds: the plain chaos-equivalence round, a
 // kill-and-resume round — the same faulted replay with periodic checkpoint
 // emission, killed at a seed-chosen checkpoint, persisted to disk, read
-// back, and resumed on a fresh cache; the resumed run must land on the
-// sequential statistics and bit-identical plane bytes.
+// back, and resumed on a fresh cache — and a supervised crash-recovery
+// round: the replay driven through a DurableStore-backed supervisor with
+// three deterministic crashes (torn temp, torn install, lost rename)
+// injected mid-stream, which must restart from the newest valid generation
+// each time and still finish bit-identical to sequential.
+//
+// All disk traffic stays inside a per-run mkdtemp scratch directory, so
+// parallel smoke invocations never collide.  Set P4LRU_CHAOS_STORE_DIR to
+// keep each seed's generational store (under <dir>/seed-<seed>) after
+// exit — CI points the p4lru_ckpt CLI smoke at those remains.
+#include <array>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <deque>
 #include <filesystem>
 #include <random>
 #include <span>
@@ -23,8 +33,11 @@
 #include "p4lru/core/p4lru.hpp"
 #include "p4lru/fault/fault_plan.hpp"
 #include "p4lru/replay/checkpoint_io.hpp"
+#include "p4lru/replay/durable_store.hpp"
 #include "p4lru/replay/replay.hpp"
+#include "p4lru/replay/supervisor.hpp"
 #include "p4lru/trace/trace_gen.hpp"
+#include "../test_util.hpp"
 
 namespace {
 
@@ -83,8 +96,13 @@ int main() {
     spec.delays = 4;
     spec.max_delay_us = 500;
 
+    testutil::ScopedTempDir scratch{"p4lru_chaos"};
+    const char* store_env = std::getenv("P4LRU_CHAOS_STORE_DIR");
+    const std::string store_base = store_env != nullptr ? store_env : "";
+
     const auto seeds = pick_seeds();
     std::size_t degraded_rounds = 0;
+    std::size_t crashes_survived = 0;
     for (const auto seed : seeds) {
         std::printf("chaos seed %llu ... ",
                     static_cast<unsigned long long>(seed));
@@ -133,10 +151,8 @@ int main() {
             return 1;
         }
         const auto& cp = cps[seed % cps.size()];
-        const auto path =
-            (std::filesystem::temp_directory_path() /
-             ("p4lru_chaos_ckpt_" + std::to_string(seed) + ".bin"))
-                .string();
+        const auto path = scratch.file("p4lru_chaos_ckpt_" +
+                                       std::to_string(seed) + ".bin");
         if (const auto st = replay::write_checkpoint(path, cp); !st.is_ok()) {
             std::fprintf(stderr, "\nchaos seed %llu: write_checkpoint: %s\n",
                          static_cast<unsigned long long>(seed),
@@ -144,7 +160,6 @@ int main() {
             return 1;
         }
         auto rd = replay::read_checkpoint_checked(path);
-        std::filesystem::remove(path);
         if (!rd.is_ok()) {
             std::fprintf(stderr,
                          "\nchaos seed %llu: read_checkpoint_checked: %s\n",
@@ -180,19 +195,104 @@ int main() {
                          static_cast<unsigned long long>(seed));
             return 1;
         }
+
+        // Supervised crash-recovery round: same ops, same engine faults,
+        // but driven through the durable store with three deterministic
+        // crashes.  Every crash abandons the run's in-memory cache; the
+        // supervisor must restore from the newest valid generation and the
+        // final stats + plane bytes must still be bit-identical.
+        const std::string store_dir =
+            store_base.empty()
+                ? scratch.file("store-" + std::to_string(seed))
+                : store_base + "/seed-" + std::to_string(seed);
+        if (!store_base.empty()) {
+            std::error_code ec;
+            std::filesystem::create_directories(store_base, ec);
+        }
+        replay::DurableStoreConfig store_cfg;
+        store_cfg.retain = 3;
+        store_cfg.sync = false;  // smoke: correctness, not disk endurance
+        replay::DurableStore store(store_dir, store_cfg);
+
+        constexpr std::array kPoints = {fault::CrashPoint::kTornTemp,
+                                        fault::CrashPoint::kTornInstall,
+                                        fault::CrashPoint::kBeforeRename};
+        fault::FaultPlan crash_plan;
+        std::uint64_t at = 1 + seed % 3;
+        for (std::size_t i = 0; i < kPoints.size(); ++i) {
+            crash_plan.crash(at, kPoints[(seed + i) % kPoints.size()],
+                             /*section=*/(seed >> i) % 3);
+            at += 2 + (seed >> (8 + 4 * i)) % 4;
+        }
+
+        std::deque<Cache> lives;  // one cache per supervisor attempt
+        auto factory = [&lives] {
+            lives.emplace_back(1024, 0x7A);
+            return replay::CacheReplayTarget<Cache, FlowKey, std::uint32_t>(
+                lives.back());
+        };
+        replay::SupervisorConfig sup;
+        sup.every_batches = 16 + seed % 17;
+        sup.max_attempts = 8;
+        const auto sv = replay::run_supervised(factory, span, cfg, store,
+                                               sup, crash_plan, faults);
+        if (!sv.is_ok() || !(sv.value().report.stats == seq)) {
+            std::fprintf(
+                stderr,
+                "\nchaos seed %llu: supervised run %s; re-run with "
+                "P4LRU_CHAOS_SEEDS=%llu\n",
+                static_cast<unsigned long long>(seed),
+                sv.is_ok() ? "stats diverge from sequential"
+                           : sv.status().to_string().c_str(),
+                static_cast<unsigned long long>(seed));
+            return 1;
+        }
+        if (sv.value().crashes != kPoints.size() ||
+            sv.value().resumed_from_gen == 0) {
+            std::fprintf(
+                stderr,
+                "\nchaos seed %llu: supervisor survived %zu/%zu crashes, "
+                "resumed from gen %llu — crash plan did not exercise "
+                "recovery; re-run with P4LRU_CHAOS_SEEDS=%llu\n",
+                static_cast<unsigned long long>(seed), sv.value().crashes,
+                kPoints.size(),
+                static_cast<unsigned long long>(sv.value().resumed_from_gen),
+                static_cast<unsigned long long>(seed));
+            return 1;
+        }
+        Cache& survivor = lives.back();
+        survivor.materialize();
+        got.clear();
+        survivor.storage().save_planes(got);
+        if (want != got) {
+            std::fprintf(stderr,
+                         "\nchaos seed %llu: supervised plane bytes differ "
+                         "from sequential; re-run with "
+                         "P4LRU_CHAOS_SEEDS=%llu\n",
+                         static_cast<unsigned long long>(seed),
+                         static_cast<unsigned long long>(seed));
+            return 1;
+        }
+        crashes_survived += sv.value().crashes;
+
         std::printf(
             "ok (drained_inline=%zu abandoned=%zu waits=%llu; resumed from "
-            "checkpoint %zu/%zu at cursor %llu)\n",
+            "checkpoint %zu/%zu at cursor %llu; supervised: %zu attempts, "
+            "%zu crashes, %llu installs, gen %llu restored)\n",
             rep.drained_inline, rep.abandoned_workers,
             static_cast<unsigned long long>(rep.backpressure_waits),
             static_cast<std::size_t>(seed % cps.size()) + 1, cps.size(),
-            static_cast<unsigned long long>(cp.base.cursor));
+            static_cast<unsigned long long>(cp.base.cursor),
+            sv.value().attempts, sv.value().crashes,
+            static_cast<unsigned long long>(sv.value().installs),
+            static_cast<unsigned long long>(sv.value().resumed_from_gen));
     }
     std::printf(
-        "fault_chaos_smoke: %zu seeds, %zu degraded rounds, all "
-        "bit-identical to sequential incl. disk-checkpoint resume "
+        "fault_chaos_smoke: %zu seeds, %zu degraded rounds, %zu injected "
+        "crashes survived, all bit-identical to sequential incl. "
+        "disk-checkpoint resume and supervised crash recovery "
         "(%llu ops, %llu hits)\n",
-        seeds.size(), degraded_rounds,
+        seeds.size(), degraded_rounds, crashes_survived,
         static_cast<unsigned long long>(seq.ops),
         static_cast<unsigned long long>(seq.hits));
     return 0;

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <span>
@@ -18,6 +19,7 @@
 #include "p4lru/core/p4lru.hpp"
 #include "p4lru/replay/checkpoint.hpp"
 #include "p4lru/trace/trace_gen.hpp"
+#include "../test_util.hpp"
 
 namespace p4lru::replay {
 namespace {
@@ -39,12 +41,7 @@ std::vector<ReplayOp<FlowKey, std::uint32_t>> small_ops() {
 
 class CheckpointIoTest : public ::testing::Test {
   protected:
-    void SetUp() override {
-        path_ = (std::filesystem::temp_directory_path() /
-                 ("p4lru_ckpt_test_" + std::to_string(::getpid()) + ".bin"))
-                    .string();
-    }
-    void TearDown() override { std::remove(path_.c_str()); }
+    void SetUp() override { path_ = dir_.file("ckpt.bin"); }
 
     /// A mid-run sharded checkpoint with non-trivial telemetry and several
     /// shard slices, over a small cache so the sweep stays fast.
@@ -63,6 +60,7 @@ class CheckpointIoTest : public ::testing::Test {
         return cps.front();
     }
 
+    testutil::ScopedTempDir dir_{"p4lru_ckpt_io"};
     std::string path_;
 };
 
@@ -108,10 +106,17 @@ TEST_F(CheckpointIoTest, SequentialCheckpointRoundTripsThroughSameReader) {
     EXPECT_EQ(res.value(), replay_sequential(ref, Ops(ops)));
 }
 
-TEST_F(CheckpointIoTest, MissingFileIsIoError) {
+TEST_F(CheckpointIoTest, MissingFileIsIoErrorWithPathAndErrno) {
     const auto rd = read_checkpoint_checked("/nonexistent/dir/x.ckpt");
     ASSERT_FALSE(rd.is_ok());
     EXPECT_EQ(rd.status().code(), ErrorCode::kIoError);
+    // The errno satellite: the message must carry the offending path and
+    // the OS-level cause, not just "cannot open".
+    EXPECT_NE(rd.status().message().find("/nonexistent/dir/x.ckpt"),
+              std::string::npos)
+        << rd.status().to_string();
+    EXPECT_NE(rd.status().message().find("errno"), std::string::npos)
+        << rd.status().to_string();
 }
 
 TEST_F(CheckpointIoTest, BadMagicRejectedAtOffsetZero) {
@@ -226,6 +231,55 @@ TEST_F(CheckpointIoTest, CrossLayoutResumeRejectedAfterDiskRoundTrip) {
     AosFlowCache back(64, 0x9D);
     const auto ok = resume_sequential(back, Ops(ops), rd.value().base);
     EXPECT_TRUE(ok.is_ok()) << ok.status().to_string();
+}
+
+/// Backward compatibility: a v1 file (same layout, no seal footer) — what
+/// every pre-durability PR wrote — must still parse, field for field.
+TEST_F(CheckpointIoTest, LegacyV1FileWithoutSealStillAccepted) {
+    const auto cp = sample_checkpoint();
+    const SerializedCheckpoint image = serialize_checkpoint(cp);
+    std::vector<std::byte> v1(image.bytes.begin(), image.bytes.end() - 16);
+    const std::uint32_t version1 = 1;
+    std::memcpy(v1.data() + 8, &version1, 4);
+    std::ofstream os(path_, std::ios::binary);
+    os.write(reinterpret_cast<const char*>(v1.data()),
+             static_cast<std::streamsize>(v1.size()));
+    os.close();
+    const auto rd = read_checkpoint_checked(path_);
+    ASSERT_TRUE(rd.is_ok()) << rd.status().to_string();
+    expect_equal(cp, rd.value());
+}
+
+/// The seal at work: one flipped byte in each section must be caught by
+/// that section's CRC, with the error offset naming the section start.
+/// (The exhaustive every-bit sweep lives in durable_store_test; this is
+/// the targeted per-section smoke.)
+TEST_F(CheckpointIoTest, FlippedByteInEachSectionCaughtBySectionCrc) {
+    const auto cp = sample_checkpoint();
+    const SerializedCheckpoint image = serialize_checkpoint(cp);
+    ASSERT_EQ(image.section_ends.size(), 4u);
+    const std::uint64_t slices_begin = image.section_ends[0];   // 152
+    const std::uint64_t planes_begin = image.section_ends[1];
+    const std::uint64_t footer_begin = image.section_ends[2];
+    struct Case {
+        std::uint64_t flip_at;
+        std::uint64_t expect_offset;
+    };
+    const Case cases[] = {
+        {slices_begin + 3, slices_begin},  // shard-slice byte
+        {planes_begin + 7, planes_begin},  // plane byte
+        {footer_begin + 1, footer_begin},  // a stored CRC itself
+    };
+    for (const auto& c : cases) {
+        std::vector<std::byte> bad = image.bytes;
+        bad[static_cast<std::size_t>(c.flip_at)] ^= std::byte{0x10};
+        const auto rd = parse_checkpoint(bad, "flip@" +
+                                                  std::to_string(c.flip_at));
+        ASSERT_FALSE(rd.is_ok()) << "flip at " << c.flip_at << " accepted";
+        EXPECT_EQ(rd.status().code(), ErrorCode::kCorrupt);
+        EXPECT_EQ(rd.status().offset(), c.expect_offset)
+            << rd.status().to_string();
+    }
 }
 
 /// Forged-but-plausible cross-layout image: even when an attacker-ish file

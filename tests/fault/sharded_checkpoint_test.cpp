@@ -22,6 +22,7 @@
 #include "p4lru/replay/checkpoint.hpp"
 #include "p4lru/trace/trace_gen.hpp"
 #include "p4lru/trace/ycsb.hpp"
+#include "../test_util.hpp"
 
 namespace p4lru::replay {
 namespace {
@@ -122,11 +123,10 @@ void run_trial(const Cache& ref, const ReplayStats& seq,
     const auto& cp = cps[rng() % cps.size()];
     EXPECT_EQ(cp.base.stats.ops, cp.base.cursor)
         << "cut statistics must cover exactly the op prefix";
-    const std::string path = testing::TempDir() + "p4lru_prop_ckpt_" +
-                             std::to_string(rng()) + ".bin";
+    testutil::ScopedTempDir tmp{"p4lru_prop_ckpt"};
+    const std::string path = tmp.file("cut.ckpt");
     ASSERT_TRUE(write_checkpoint(path, cp).is_ok());
     auto rd = read_checkpoint_checked(path);
-    std::remove(path.c_str());
     ASSERT_TRUE(rd.is_ok()) << rd.status().to_string();
 
     ShardedConfig rcfg;

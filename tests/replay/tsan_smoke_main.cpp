@@ -14,17 +14,29 @@
 // sketch + policy + analyzer) through the same threaded engine, so the
 // generic-target worker loop — batch apply into partition-owned hash maps,
 // merged statistics, canonical state snapshots — is also raced.
+//
+// A final round runs the crash-recovery supervisor over the threaded
+// engine: an injected mid-run crash stops the dispatch loop cooperatively
+// (stop_requested polling while workers are parked at a quiesce), the
+// durable store installs generations from the dispatcher thread, and the
+// retry re-enters the whole threaded machinery — racing the supervisor's
+// stop/restart seams that the plain rounds never reach.
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <memory>
 #include <span>
 #include <vector>
 
 #include "p4lru/core/p4lru.hpp"
+#include "p4lru/fault/fault_plan.hpp"
 #include "p4lru/replay/checkpoint.hpp"
+#include "p4lru/replay/durable_store.hpp"
 #include "p4lru/replay/replay.hpp"
+#include "p4lru/replay/supervisor.hpp"
 #include "p4lru/systems/lrumon/lrumon_target.hpp"
 #include "p4lru/trace/trace_gen.hpp"
+#include "../test_util.hpp"
 
 int main() {
     using namespace p4lru;
@@ -138,14 +150,48 @@ int main() {
         }
     }
 
+    // --- supervised crash-recovery round (threaded engine) ----------------
+    testutil::ScopedTempDir scratch{"p4lru_tsan"};
+    replay::DurableStoreConfig store_cfg;
+    store_cfg.retain = 3;
+    store_cfg.sync = false;
+    replay::DurableStore store(scratch.file("store"), store_cfg);
+    fault::FaultPlan crash_plan;
+    crash_plan.crash(3, fault::CrashPoint::kTornInstall, /*section=*/2)
+        .crash(7, fault::CrashPoint::kBeforeRename);
+    std::deque<Cache> lives;
+    auto factory = [&lives] {
+        lives.emplace_back(1024, 0x7A);
+        return replay::CacheReplayTarget<Cache, FlowKey, std::uint32_t>(
+            lives.back());
+    };
+    replay::SupervisorConfig sup;
+    sup.every_batches = 32;
+    sup.max_attempts = 4;
+    const auto sv = replay::run_supervised(factory, span, cfg, store, sup,
+                                           crash_plan);
+    if (!sv.is_ok() || !(sv.value().report.stats == seq) ||
+        sv.value().crashes != 2) {
+        std::fprintf(
+            stderr,
+            "supervised round: %s (crashes %zu/2)\n",
+            sv.is_ok() ? "stats diverge from sequential"
+                       : sv.status().to_string().c_str(),
+            sv.is_ok() ? sv.value().crashes : 0);
+        return 1;
+    }
+
     std::printf(
         "replay_tsan_smoke: 5 threaded rounds (eager + first-touch) + 3 "
         "checkpointed rounds (%zu quiesce snapshots) + 3 system-target "
-        "rounds (LruMonTarget, %llu uploads, %zu-byte canonical state), 8 "
+        "rounds (LruMonTarget, %llu uploads, %zu-byte canonical state) + 1 "
+        "supervised crash-recovery round (%zu attempts, %llu installs), 8 "
         "shards, stats identical to sequential (%llu ops, %llu hits, %llu "
         "evictions)\n",
         snapshots, static_cast<unsigned long long>(seq_sys.uploads),
-        seq_image.size(), static_cast<unsigned long long>(seq.ops),
+        seq_image.size(), sv.value().attempts,
+        static_cast<unsigned long long>(sv.value().installs),
+        static_cast<unsigned long long>(seq.ops),
         static_cast<unsigned long long>(seq.hits),
         static_cast<unsigned long long>(seq.evictions));
     return 0;

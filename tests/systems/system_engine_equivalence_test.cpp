@@ -31,6 +31,7 @@
 #include "p4lru/systems/lrutable/lrutable_target.hpp"
 #include "p4lru/trace/trace_gen.hpp"
 #include "p4lru/trace/ycsb.hpp"
+#include "../test_util.hpp"
 
 namespace p4lru {
 namespace {
@@ -208,12 +209,11 @@ void check_kill_and_resume(Make make, const std::vector<Op>& ops,
     EXPECT_EQ(state_of(resumed), seq_state) << "resumed state diverged";
 
     // Disk round trip of the same cut.
-    const std::string path =
-        testing::TempDir() + "p4lru_tgc_" + disk_tag + ".bin";
+    testutil::ScopedTempDir tmp{"p4lru_tgc_" + disk_tag};
+    const std::string path = tmp.file("cut.tgc");
     ASSERT_TRUE(replay::write_target_checkpoint(path, cp).is_ok());
     const auto rd = replay::read_target_checkpoint_checked<Stats>(path);
     ASSERT_TRUE(rd.is_ok()) << rd.status().to_string();
-    std::remove(path.c_str());
     auto from_disk = make();
     resume_cfg.mode = Mode::kThreaded;
     const auto res2 = replay::resume_target_sharded(

@@ -3,15 +3,65 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <deque>
+#include <filesystem>
 #include <optional>
+#include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
 #include "p4lru/common/random.hpp"
 #include "p4lru/common/types.hpp"
 
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
 namespace p4lru::testutil {
+
+/// A unique per-test scratch directory, removed (recursively) on scope
+/// exit.  Every test that touches disk goes through one of these so a
+/// parallel `ctest -j` run can never collide on a shared /tmp path — each
+/// instance mkdtemp()s its own directory under TMPDIR (default /tmp).
+class ScopedTempDir {
+  public:
+    explicit ScopedTempDir(const std::string& tag = "p4lru_test") {
+        namespace fs = std::filesystem;
+        std::error_code ec;
+        fs::path base = fs::temp_directory_path(ec);
+        if (ec) base = "/tmp";
+        std::string tmpl = (base / (tag + ".XXXXXX")).string();
+        // mkdtemp mutates its argument in place and creates the directory
+        // with mode 0700 — unique even across concurrent processes.
+        if (::mkdtemp(tmpl.data()) != nullptr) {
+            path_ = tmpl;
+        } else {
+            // Fall back to a pid-qualified name; tests still run.
+            path_ = (base / (tag + "." + std::to_string(::getpid()))).string();
+            fs::create_directories(path_, ec);
+        }
+    }
+
+    ScopedTempDir(const ScopedTempDir&) = delete;
+    ScopedTempDir& operator=(const ScopedTempDir&) = delete;
+
+    ~ScopedTempDir() {
+        std::error_code ec;
+        std::filesystem::remove_all(path_, ec);
+    }
+
+    [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+    /// A file (or subdirectory) path inside the directory.
+    [[nodiscard]] std::string file(const std::string& name) const {
+        return (std::filesystem::path(path_) / name).string();
+    }
+
+  private:
+    std::string path_;
+};
 
 /// Reference strict-LRU cache, written in the most obvious way possible
 /// (MRU-ordered vector, linear scans): the oracle the pipeline-friendly

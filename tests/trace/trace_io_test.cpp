@@ -7,19 +7,15 @@
 #include <fstream>
 
 #include "p4lru/trace/trace_gen.hpp"
+#include "../test_util.hpp"
 
 namespace p4lru::trace {
 namespace {
 
 class TraceIoTest : public ::testing::Test {
   protected:
-    void SetUp() override {
-        path_ = (std::filesystem::temp_directory_path() /
-                 ("p4lru_trace_test_" +
-                  std::to_string(::getpid()) + ".bin"))
-                    .string();
-    }
-    void TearDown() override { std::remove(path_.c_str()); }
+    void SetUp() override { path_ = dir_.file("trace.bin"); }
+    testutil::ScopedTempDir dir_{"p4lru_trace_io"};
     std::string path_;
 };
 
