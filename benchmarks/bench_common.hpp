@@ -29,6 +29,36 @@
 
 namespace p4lru::bench {
 
+/// Escape a string for embedding inside a JSON string literal.  The bench
+/// writers emit JSON via raw fprintf, so every %s-substituted field must go
+/// through here — a kernel name or series label containing `"` or `\` (or a
+/// control byte from a corrupted env var) would otherwise produce a file no
+/// JSON parser accepts.
+inline std::string json_escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (const char c : in) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof(buf), "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
 /// Global scale knob from the environment (default 1.0).
 inline double scale() {
     if (const char* s = std::getenv("P4LRU_SCALE")) {
@@ -343,7 +373,9 @@ inline bool write_replay_json(const std::string& path, std::size_t packets,
                  "\"neon\": %s},\n"
                  "  \"series\": [\n",
                  scale_value, packets, units, usable_hardware_threads(),
-                 core::simd::kernel_name(core::simd::dispatched_kernel()),
+                 json_escape(core::simd::kernel_name(
+                                 core::simd::dispatched_kernel()))
+                     .c_str(),
                  feat.sse2 ? "true" : "false", feat.avx2 ? "true" : "false",
                  feat.neon ? "true" : "false");
     for (std::size_t i = 0; i < series.size(); ++i) {
@@ -354,8 +386,10 @@ inline bool write_replay_json(const std::string& path, std::size_t packets,
             "\"mode\": \"%s\", \"kernel\": \"%s\", \"path\": \"%s\", "
             "\"wall_s\": %.6f, \"mops\": %.3f, \"ops\": %llu, "
             "\"hits\": %llu, \"misses\": %llu, \"evictions\": %llu}%s\n",
-            s.name.c_str(), s.layout.c_str(), s.workers, s.mode.c_str(),
-            s.kernel.c_str(), s.path.c_str(), s.wall_s, s.mops,
+            json_escape(s.name).c_str(), json_escape(s.layout).c_str(),
+            s.workers, json_escape(s.mode).c_str(),
+            json_escape(s.kernel).c_str(), json_escape(s.path).c_str(),
+            s.wall_s, s.mops,
             static_cast<unsigned long long>(s.ops),
             static_cast<unsigned long long>(s.hits),
             static_cast<unsigned long long>(s.misses),
@@ -418,7 +452,8 @@ inline bool write_system_json(const std::string& path,
                  "  \"scale\": %.3f,\n"
                  "  \"hardware_threads\": %zu,\n"
                  "  \"series\": [\n",
-                 bench.c_str(), scale(), usable_hardware_threads());
+                 json_escape(bench).c_str(), scale(),
+                 usable_hardware_threads());
     for (std::size_t i = 0; i < series.size(); ++i) {
         const auto& s = series[i];
         std::fprintf(
@@ -426,10 +461,11 @@ inline bool write_system_json(const std::string& path,
             "    {\"series\": \"%s\", \"mode\": \"%s\", \"workers\": %zu, "
             "\"ops\": %llu, \"wall_s\": %.6f, \"mops\": %.3f, "
             "\"matches_sequential\": %s, \"%s\": %.6f}%s\n",
-            s.series.c_str(), s.mode.c_str(), s.workers,
-            static_cast<unsigned long long>(s.ops), s.wall_s, s.mops,
-            s.matches_sequential ? "true" : "false", s.metric_name.c_str(),
-            s.metric, i + 1 < series.size() ? "," : "");
+            json_escape(s.series).c_str(), json_escape(s.mode).c_str(),
+            s.workers, static_cast<unsigned long long>(s.ops), s.wall_s,
+            s.mops, s.matches_sequential ? "true" : "false",
+            json_escape(s.metric_name).c_str(), s.metric,
+            i + 1 < series.size() ? "," : "");
     }
     std::fprintf(f, "  ]\n}\n");
     std::fclose(f);

@@ -23,6 +23,7 @@
 #include "p4lru/core/p4lru_encoded.hpp"
 #include "p4lru/core/parallel_array.hpp"
 #include "p4lru/core/simd/scan_kernels.hpp"
+#include "p4lru/obs/metrics.hpp"
 #include "p4lru/pipeline/p4lru3_program.hpp"
 #include "p4lru/replay/checkpoint.hpp"
 #include "p4lru/replay/replay.hpp"
@@ -528,6 +529,69 @@ void run_checkpoint_series(ReplaySpan span, std::size_t units,
                                               : "DIVERGED (BUG)");
 }
 
+/// Observability overhead: the same sharded replay with no Registry (the
+/// default — obs entirely compiled around via null-pointer guards) vs with
+/// a live Registry attached (batch-apply timing, per-shard depth gauges,
+/// degradation counters).  The acceptance bar is twofold: obs-off is the
+/// pre-obs engine bit for bit, and obs-on prices its fetch_adds explicitly
+/// in the committed JSON.
+template <typename Cache>
+void run_obs_series(ReplaySpan span, std::size_t units, ConsoleTable& table,
+                    std::vector<bench::ReplayJsonSeries>& json) {
+    const char* layout = Cache::storage_type::layout_name();
+    constexpr int kReps = 3;
+
+    replay::ShardedConfig cfg;
+    cfg.shards = 4;
+
+    double off_seconds = 0.0;
+    replay::ShardedReport off_rep;
+    for (int rep = 0; rep < kReps; ++rep) {
+        Cache cache(units, 0xF2);
+        bench::StopWatch w;
+        off_rep = replay::replay_sharded(cache, span, cfg);
+        const double secs = w.seconds();
+        if (rep == 0 || secs < off_seconds) off_seconds = secs;
+    }
+
+    double on_seconds = 0.0;
+    replay::ShardedReport on_rep;
+    obs::Registry reg;
+    cfg.metrics = &reg;
+    for (int rep = 0; rep < kReps; ++rep) {
+        Cache cache(units, 0xF2);
+        bench::StopWatch w;
+        on_rep = replay::replay_sharded(cache, span, cfg);
+        const double secs = w.seconds();
+        if (rep == 0 || secs < on_seconds) on_seconds = secs;
+    }
+
+    for (const auto& [mode, secs, s] :
+         {std::tuple{"obs_off", off_seconds, off_rep.stats},
+          std::tuple{"obs_on", on_seconds, on_rep.stats}}) {
+        const stats::Throughput tp{s.ops, secs};
+        table.add_row({"obs", layout, std::to_string(cfg.shards), mode,
+                       active_kernel_name(), "batched",
+                       ConsoleTable::num(secs, 3),
+                       ConsoleTable::num(tp.mops(), 2),
+                       ConsoleTable::num(off_seconds / secs, 2),
+                       bench::pct(s.hit_rate())});
+        json.push_back({"obs", layout, cfg.shards, mode,
+                        active_kernel_name(), "batched", secs, tp.mops(),
+                        s.ops, s.hits, s.misses, s.evictions});
+    }
+
+    const auto snap = reg.snapshot();
+    const std::uint64_t* batches = snap.counter("replay_batches_applied");
+    std::printf("obs (%s layout, %zu shards): %.2f%% overhead, "
+                "%llu batches instrumented, stats %s\n",
+                layout, cfg.shards,
+                (on_seconds / off_seconds - 1.0) * 100.0,
+                static_cast<unsigned long long>(batches ? *batches : 0),
+                on_rep.stats == off_rep.stats ? "IDENTICAL"
+                                              : "DIVERGED (BUG)");
+}
+
 void run_replay_throughput() {
     using Unit = core::P4lru<FlowKey, std::uint32_t, 3>;
     using SoaCache = core::ParallelCache<Unit, FlowKey, std::uint32_t>;
@@ -561,6 +625,7 @@ void run_replay_throughput() {
     run_pinning_series<SoaCache>(span, units, table, json);
     run_scrubber_series<SoaCache>(span, units, table, json);
     run_checkpoint_series<SoaCache>(span, units, table, json);
+    run_obs_series<SoaCache>(span, units, table, json);
 
     table.print("Replay throughput: AoS reference vs SoA slab, sequential "
                 "vs sharded (" +

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <vector>
 
+#include "p4lru/obs/metrics.hpp"
+
 namespace p4lru::core::simd {
 
 const char* kernel_name(ScanKernel k) noexcept {
@@ -93,6 +95,14 @@ ScanKernel active_kernel_locked() noexcept {
     return o >= 0 ? static_cast<ScanKernel>(o) : dispatched_kernel();
 }
 
+// Kernel-selection gauge on the process-wide registry: every (re)bind —
+// first resolve, override, override clear — publishes the enum value, so a
+// sampler snapshot names the kernel actually driving the scans.
+void publish_kernel_gauge(ScanKernel k) noexcept {
+    obs::set_global_gauge("simd_active_kernel",
+                          static_cast<std::int64_t>(k));
+}
+
 }  // namespace
 
 ScanKernel dispatched_kernel() noexcept {
@@ -110,6 +120,7 @@ bool set_kernel_override(ScanKernel k) {
     std::lock_guard<std::mutex> lock(registry_mutex());
     g_override.store(static_cast<int>(k), std::memory_order_release);
     for (detail::RebindFn f : registry()) f(k);
+    publish_kernel_gauge(k);
     return true;
 }
 
@@ -118,6 +129,7 @@ void clear_kernel_override() {
     g_override.store(-1, std::memory_order_release);
     const ScanKernel k = dispatched_kernel();
     for (detail::RebindFn f : registry()) f(k);
+    publish_kernel_gauge(k);
 }
 
 namespace detail {
@@ -128,7 +140,9 @@ void register_and_bind(RebindFn f) {
     bool seen = false;
     for (RebindFn g : r) seen |= (g == f);
     if (!seen) r.push_back(f);
-    f(active_kernel_locked());
+    const ScanKernel k = active_kernel_locked();
+    f(k);
+    publish_kernel_gauge(k);
 }
 
 }  // namespace detail

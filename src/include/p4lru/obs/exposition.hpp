@@ -1,0 +1,44 @@
+// Rendering and parsing of obs::Snapshot (DESIGN.md §13).
+//
+// Two render formats:
+//   * Prometheus text exposition — counters/gauges verbatim, histograms as
+//     cumulative `_bucket{le="..."}` series (le = inclusive upper bound of
+//     each log2 bucket, `+Inf` last) plus `_sum`/`_count`.
+//   * JSON — one object per snapshot; `to_json_line` emits it on a single
+//     line, which is the sampler's JSONL record format.
+//
+// `parse_snapshot_json` is the inverse of `to_json_line`: a minimal
+// recursive-descent parser for exactly the JSON this module emits (plus
+// insignificant whitespace).  It exists so the sampler round-trip tests,
+// the chaos smoke's self-verification, and the p4lru_metrics CLI all agree
+// on one reader, not so the repo grows a general JSON library.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "p4lru/fault/status.hpp"
+#include "p4lru/obs/metrics.hpp"
+
+namespace p4lru::obs {
+
+/// Escape a string for embedding inside a JSON string literal (quotes not
+/// included).  Escapes `"`/`\`, the common control shorthands, and any
+/// other byte < 0x20 as \u00XX.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// Sanitize a metric name for the Prometheus exposition format
+/// ([a-zA-Z_:][a-zA-Z0-9_:]* — offending bytes become '_').
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+/// Render a snapshot in the Prometheus text exposition format.
+[[nodiscard]] std::string to_prometheus(const Snapshot& snap);
+
+/// Render a snapshot as one JSON object on a single line (no trailing
+/// newline) — the sampler's JSONL record.
+[[nodiscard]] std::string to_json_line(const Snapshot& snap);
+
+/// Parse one `to_json_line` record back into a Snapshot.
+[[nodiscard]] Expected<Snapshot> parse_snapshot_json(std::string_view line);
+
+}  // namespace p4lru::obs

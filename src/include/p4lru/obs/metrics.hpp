@@ -1,0 +1,275 @@
+// Low-overhead runtime metrics (DESIGN.md §13).
+//
+// A Registry is a process-lifetime set of named instruments:
+//
+//   * Counter — monotone u64.  Hot-path `add` is one relaxed fetch_add on a
+//     cache-line-padded per-stripe cell (the stripe is picked per thread, so
+//     concurrent writers almost never share a line); `value()` merges the
+//     stripes on read.  Totals are exact: every fetch_add lands in exactly
+//     one stripe and the read-side sum loses nothing.
+//   * Gauge — a last-write-wins i64 (`set`/`add`).  One atomic word: gauges
+//     are written from one place at a time (queue depth by the dispatcher,
+//     backoff by the supervisor), so striping would only blur "current
+//     value" semantics.
+//   * Histogram — log2-bucketed value distribution.  Bucket 0 holds zeros;
+//     bucket i >= 1 holds [2^(i-1), 2^i - 1]; the last bucket saturates.
+//     `record` is three relaxed fetch_adds (bucket, sum, count) on the
+//     thread's stripe block, so tails survive merging exactly: the merged
+//     bucket counts are the sums of what each thread observed.
+//
+// Everything is relaxed atomics — instruments never order anything, they
+// only count — which keeps ThreadSanitizer silent and the hot path at one
+// uncontended RMW.  Instrument pointers returned by the registry are stable
+// for the registry's lifetime; resolve them once at setup (names are looked
+// up under a mutex) and hammer the pointers from any thread.
+//
+// The disabled path: every instrumented layer takes an `obs::Registry*`
+// that defaults to nullptr, resolves its instrument pointers only when the
+// registry is present, and guards each hot-path touch with a pointer test —
+// the NoFaults idea at runtime granularity, one predictable branch instead
+// of a template parameter, because the instrumented sites are batch-level
+// (hundreds of ops per touch), not op-level.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace p4lru::obs {
+
+/// Histogram bucket count: bucket 0 = {0}, bucket i = [2^(i-1), 2^i - 1],
+/// bucket 63 additionally absorbs everything above 2^62 - 1.
+inline constexpr std::size_t kHistBuckets = 64;
+
+/// Writer stripes per instrument.  Power of two; eight lines bound the
+/// footprint (a counter is 512 bytes) while keeping the common 2-8-thread
+/// replay fleet collision-free.
+inline constexpr std::size_t kStripes = 8;
+
+/// log2 bucket index of a recorded value (see kHistBuckets).
+[[nodiscard]] constexpr std::size_t bucket_index(std::uint64_t v) noexcept {
+    if (v == 0) return 0;
+    const std::size_t w = static_cast<std::size_t>(std::bit_width(v));
+    return w < kHistBuckets ? w : kHistBuckets - 1;
+}
+
+/// Inclusive upper bound of a bucket (the Prometheus `le` label); the last
+/// bucket is unbounded and exposes +Inf instead.
+[[nodiscard]] constexpr std::uint64_t bucket_upper_bound(
+    std::size_t bucket) noexcept {
+    return bucket == 0 ? 0 : (std::uint64_t{1} << bucket) - 1;
+}
+
+namespace detail {
+
+/// The stripe this thread writes.  Assigned round-robin on first use so
+/// thread fleets spread across stripes deterministically enough.
+[[nodiscard]] inline std::size_t my_stripe() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t mine =
+        next.fetch_add(1, std::memory_order_relaxed) % kStripes;
+    return mine;
+}
+
+struct alignas(64) PaddedU64 {
+    std::atomic<std::uint64_t> v{0};
+};
+
+}  // namespace detail
+
+class Counter {
+  public:
+    void add(std::uint64_t n = 1) noexcept {
+        cells_[detail::my_stripe()].v.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    /// Merged total (exact; see file header).
+    [[nodiscard]] std::uint64_t value() const noexcept {
+        std::uint64_t sum = 0;
+        for (const auto& c : cells_) {
+            sum += c.v.load(std::memory_order_relaxed);
+        }
+        return sum;
+    }
+
+  private:
+    std::array<detail::PaddedU64, kStripes> cells_;
+};
+
+class Gauge {
+  public:
+    void set(std::int64_t v) noexcept {
+        v_.store(v, std::memory_order_relaxed);
+    }
+    void add(std::int64_t d) noexcept {
+        v_.fetch_add(d, std::memory_order_relaxed);
+    }
+    [[nodiscard]] std::int64_t value() const noexcept {
+        return v_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::int64_t> v_{0};
+};
+
+/// Merged read-side view of a histogram.
+struct HistogramSnapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::array<std::uint64_t, kHistBuckets> buckets{};
+
+    [[nodiscard]] double mean() const noexcept {
+        return count == 0 ? 0.0
+                          : static_cast<double>(sum) /
+                                static_cast<double>(count);
+    }
+};
+
+class Histogram {
+  public:
+    void record(std::uint64_t v) noexcept {
+        Stripe& s = stripes_[detail::my_stripe()];
+        s.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+        s.sum.fetch_add(v, std::memory_order_relaxed);
+        s.count.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    [[nodiscard]] HistogramSnapshot snapshot() const noexcept {
+        HistogramSnapshot out;
+        for (const auto& s : stripes_) {
+            out.count += s.count.load(std::memory_order_relaxed);
+            out.sum += s.sum.load(std::memory_order_relaxed);
+            for (std::size_t b = 0; b < kHistBuckets; ++b) {
+                out.buckets[b] +=
+                    s.buckets[b].load(std::memory_order_relaxed);
+            }
+        }
+        return out;
+    }
+
+  private:
+    /// One writer stripe: the whole block is line-aligned; the buckets
+    /// inside share lines deliberately (a thread only races itself).
+    struct alignas(64) Stripe {
+        std::array<std::atomic<std::uint64_t>, kHistBuckets> buckets{};
+        std::atomic<std::uint64_t> sum{0};
+        std::atomic<std::uint64_t> count{0};
+    };
+    std::array<Stripe, kStripes> stripes_;
+};
+
+/// Read-side image of every instrument in a registry, taken under the
+/// registration mutex (instrument *values* keep moving — a snapshot is a
+/// consistent name set, not a consistent cut across instruments).
+struct Snapshot {
+    std::uint64_t seq = 0;       ///< stamped by the sampler (0 = ad hoc)
+    std::uint64_t unix_us = 0;   ///< wall-clock stamp (sampler)
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::int64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+    [[nodiscard]] const std::uint64_t* counter(
+        const std::string& name) const noexcept {
+        for (const auto& [n, v] : counters) {
+            if (n == name) return &v;
+        }
+        return nullptr;
+    }
+    [[nodiscard]] const std::int64_t* gauge(
+        const std::string& name) const noexcept {
+        for (const auto& [n, v] : gauges) {
+            if (n == name) return &v;
+        }
+        return nullptr;
+    }
+    [[nodiscard]] const HistogramSnapshot* histogram(
+        const std::string& name) const noexcept {
+        for (const auto& [n, v] : histograms) {
+            if (n == name) return &v;
+        }
+        return nullptr;
+    }
+};
+
+/// Named-instrument registry.  get-or-create under a mutex; returned
+/// pointers are stable for the registry's lifetime (instruments are
+/// node-allocated and never erased).
+class Registry {
+  public:
+    Registry() = default;
+    Registry(const Registry&) = delete;
+    Registry& operator=(const Registry&) = delete;
+
+    [[nodiscard]] Counter* counter(const std::string& name) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto& slot = counters_[name];
+        if (!slot) slot = std::make_unique<Counter>();
+        return slot.get();
+    }
+
+    [[nodiscard]] Gauge* gauge(const std::string& name) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto& slot = gauges_[name];
+        if (!slot) slot = std::make_unique<Gauge>();
+        return slot.get();
+    }
+
+    [[nodiscard]] Histogram* histogram(const std::string& name) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto& slot = histograms_[name];
+        if (!slot) slot = std::make_unique<Histogram>();
+        return slot.get();
+    }
+
+    /// Merged values of every instrument, names sorted (std::map order) so
+    /// exposition output is deterministic.
+    [[nodiscard]] Snapshot snapshot() const {
+        Snapshot out;
+        std::lock_guard<std::mutex> lock(mu_);
+        out.counters.reserve(counters_.size());
+        for (const auto& [name, c] : counters_) {
+            out.counters.emplace_back(name, c->value());
+        }
+        out.gauges.reserve(gauges_.size());
+        for (const auto& [name, g] : gauges_) {
+            out.gauges.emplace_back(name, g->value());
+        }
+        out.histograms.reserve(histograms_.size());
+        for (const auto& [name, h] : histograms_) {
+            out.histograms.emplace_back(name, h->snapshot());
+        }
+        return out;
+    }
+
+    /// The process-wide registry (the SIMD dispatch gauge and ad-hoc tools
+    /// publish here; instrumented subsystems take an explicit Registry*).
+    [[nodiscard]] static Registry& global() {
+        static Registry r;
+        return r;
+    }
+
+  private:
+    mutable std::mutex mu_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+/// Set a gauge on the process-wide registry, swallowing allocation failure —
+/// for noexcept publishers (the SIMD dispatch layer) where metrics must
+/// never take the process down.
+inline void set_global_gauge(const char* name, std::int64_t v) noexcept {
+    try {
+        Registry::global().gauge(name)->set(v);
+    } catch (...) {
+        // Metrics are best-effort; a failed publish is not an error.
+    }
+}
+
+}  // namespace p4lru::obs

@@ -1,0 +1,131 @@
+// Background snapshotter (DESIGN.md §13).
+//
+// A Sampler owns one thread that snapshots a Registry every `period_ms`
+// into a bounded in-memory ring (newest `ring_capacity` snapshots) and,
+// when `jsonl_path` is set, appends each snapshot as one `to_json_line`
+// record to that file (flushed per line, so a crash loses at most the
+// record being written — the append-only-JSONL analogue of the durable
+// store's install discipline; a torn tail line simply fails to parse and
+// readers treat it like a torn temp file).
+//
+// `sample_now()` takes a snapshot synchronously on the caller's thread
+// (same ring/file path), which is what deterministic tests and one-shot
+// tools use; a Sampler constructed with `start_thread = false` is exactly
+// that manual mode.  stop() (idempotent, run by the destructor) joins the
+// thread and closes the file, so the last line is always whole on clean
+// shutdown.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "p4lru/obs/exposition.hpp"
+#include "p4lru/obs/metrics.hpp"
+
+namespace p4lru::obs {
+
+struct SamplerConfig {
+    std::uint64_t period_ms = 1000;  ///< cadence of the background thread
+    std::size_t ring_capacity = 120; ///< newest snapshots kept in memory
+    std::string jsonl_path;          ///< append-only JSONL sink ("" = none)
+};
+
+class Sampler {
+  public:
+    explicit Sampler(Registry& reg, SamplerConfig cfg,
+                     bool start_thread = true)
+        : reg_(&reg), cfg_(std::move(cfg)) {
+        if (!cfg_.jsonl_path.empty()) {
+            file_ = std::fopen(cfg_.jsonl_path.c_str(), "ab");
+            // A sink that failed to open degrades to ring-only sampling:
+            // metrics must never take the workload down.
+        }
+        if (start_thread && cfg_.period_ms > 0) {
+            thread_ = std::jthread([this](std::stop_token st) { run(st); });
+        }
+    }
+
+    ~Sampler() { stop(); }
+    Sampler(const Sampler&) = delete;
+    Sampler& operator=(const Sampler&) = delete;
+
+    /// Join the background thread (taking one final snapshot so the tail
+    /// of a run is never lost to cadence) and close the JSONL sink.
+    void stop() {
+        if (thread_.joinable()) {
+            thread_.request_stop();
+            cv_.notify_all();
+            thread_.join();
+            sample_now();
+        }
+        std::lock_guard<std::mutex> lock(mu_);
+        if (file_ != nullptr) {
+            std::fclose(file_);
+            file_ = nullptr;
+        }
+    }
+
+    /// Snapshot the registry right now on the calling thread; the snapshot
+    /// is stamped, ringed, appended to the JSONL sink, and returned.
+    Snapshot sample_now() {
+        Snapshot snap = reg_->snapshot();
+        std::lock_guard<std::mutex> lock(mu_);
+        snap.seq = ++seq_;
+        snap.unix_us = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+        ring_.push_back(snap);
+        while (ring_.size() > cfg_.ring_capacity) {
+            ring_.pop_front();
+        }
+        if (file_ != nullptr) {
+            const std::string line = to_json_line(snap);
+            std::fwrite(line.data(), 1, line.size(), file_);
+            std::fputc('\n', file_);
+            std::fflush(file_);
+        }
+        return snap;
+    }
+
+    /// Ring contents, oldest first.
+    [[nodiscard]] std::vector<Snapshot> ring() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return {ring_.begin(), ring_.end()};
+    }
+
+    [[nodiscard]] std::uint64_t samples_taken() const {
+        std::lock_guard<std::mutex> lock(mu_);
+        return seq_;
+    }
+
+  private:
+    void run(std::stop_token st) {
+        std::mutex sleep_mu;
+        std::unique_lock<std::mutex> lk(sleep_mu);
+        while (!st.stop_requested()) {
+            cv_.wait_for(lk, st, std::chrono::milliseconds(cfg_.period_ms),
+                         [] { return false; });
+            if (st.stop_requested()) break;
+            sample_now();
+        }
+    }
+
+    Registry* reg_;
+    SamplerConfig cfg_;
+    mutable std::mutex mu_;
+    std::deque<Snapshot> ring_;
+    std::uint64_t seq_ = 0;
+    std::FILE* file_ = nullptr;
+    std::condition_variable_any cv_;
+    std::jthread thread_;
+};
+
+}  // namespace p4lru::obs

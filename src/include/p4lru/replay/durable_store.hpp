@@ -48,6 +48,7 @@
 
 #include "p4lru/fault/fault_plan.hpp"
 #include "p4lru/fault/status.hpp"
+#include "p4lru/obs/metrics.hpp"
 #include "p4lru/replay/serialized_image.hpp"
 
 namespace p4lru::replay {
@@ -55,6 +56,10 @@ namespace p4lru::replay {
 struct DurableStoreConfig {
     std::size_t retain = 4;  ///< generations kept after each install (>= 1)
     bool sync = true;        ///< fsync file + directory on install (POSIX)
+    /// Live metrics sink (obs/metrics.hpp); null = no instrumentation.
+    /// Histograms store_install_ns (whole atomic install) and
+    /// store_fsync_ns (file + directory fsync within it).
+    obs::Registry* metrics = nullptr;
 };
 
 /// One installed generation file.
@@ -115,10 +120,12 @@ struct ImageInfo {
 
 /// Write `bytes` to `path` atomically: temp file + (optional) fsync +
 /// rename + directory fsync.  On failure the temp file is removed and the
-/// final path is untouched.
+/// final path is untouched.  A non-null `metrics` records the fsync time
+/// (file + directory) into histogram store_fsync_ns.
 [[nodiscard]] Status atomic_write_file(const std::string& path,
                                        const std::vector<std::byte>& bytes,
-                                       bool sync = true);
+                                       bool sync = true,
+                                       obs::Registry* metrics = nullptr);
 
 /// Structural + CRC verification of a checkpoint image in either on-disk
 /// format, from the header alone (no Stats type needed).  Ok iff a typed

@@ -78,6 +78,7 @@
 #include "p4lru/common/types.hpp"
 #include "p4lru/core/parallel_array.hpp"
 #include "p4lru/fault/fault_plan.hpp"
+#include "p4lru/obs/metrics.hpp"
 #include "p4lru/replay/affinity.hpp"
 #include "p4lru/replay/shard_plan.hpp"
 #include "p4lru/replay/spsc_queue.hpp"
@@ -165,6 +166,12 @@ struct ShardedConfig {
     /// Off by default: on an oversubscribed machine pinning removes the
     /// scheduler's freedom to dodge a busy core.
     bool pin_workers = false;
+    /// Live metrics sink (obs/metrics.hpp).  Null (the default) disables
+    /// instrumentation entirely: instrument handles are never resolved and
+    /// the hot paths pay one predicted pointer test per *batch*, so the
+    /// disabled run stays bit-identical and within noise of pre-obs builds
+    /// (priced by the obs on/off series in bench_micro_ops).
+    obs::Registry* metrics = nullptr;
 };
 
 /// What a sharded replay actually ran, alongside the merged statistics.
@@ -453,6 +460,46 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
     report.shards = W;
     report.threaded = threaded;
 
+    // Obs instruments (null registry = fully disabled).  Handles are
+    // resolved once here; the hot paths below test one pointer per batch.
+    // Timing (steady_clock reads around apply_batch) only happens when the
+    // histogram handle is live, so the disabled run does no clock calls.
+    obs::Counter* obs_batches = nullptr;
+    obs::Histogram* obs_batch_ns = nullptr;
+    obs::Counter* obs_backpressure = nullptr;
+    obs::Counter* obs_park_us = nullptr;
+    obs::Counter* obs_drained = nullptr;
+    obs::Counter* obs_abandoned = nullptr;
+    std::vector<obs::Gauge*> obs_depth;  ///< per-shard queue depth
+    if (cfg.metrics != nullptr) {
+        obs_batches = cfg.metrics->counter("replay_batches_applied");
+        obs_batch_ns = cfg.metrics->histogram("replay_batch_apply_ns");
+        obs_backpressure = cfg.metrics->counter("replay_backpressure_waits");
+        obs_park_us = cfg.metrics->counter("replay_park_wait_us");
+        obs_drained = cfg.metrics->counter("replay_drained_inline");
+        obs_abandoned = cfg.metrics->counter("replay_abandoned_workers");
+        obs_depth.resize(W);
+        for (std::size_t s = 0; s < W; ++s) {
+            obs_depth[s] = cfg.metrics->gauge(
+                "replay_shard" + std::to_string(s) + "_queue_depth");
+        }
+    }
+    // One timed apply shared by every path (worker, takeover, inline).
+    const auto apply_timed = [&target, obs_batches, obs_batch_ns](
+                                 std::span<const Routed> batch, Stats& into) {
+        if (obs_batch_ns != nullptr) {
+            const auto t0 = std::chrono::steady_clock::now();
+            target.apply_batch(batch, into);
+            obs_batch_ns->record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
+            obs_batches->add(1);
+        } else {
+            target.apply_batch(batch, into);
+        }
+    };
+
     // Cache-line-padded per-shard results (workers write concurrently).
     struct alignas(64) PaddedStats {
         Stats s{};
@@ -496,7 +543,7 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
                     block.push_back(r);
                 }
             }
-            target.apply_batch(std::span<const Routed>(block), results[0].s);
+            apply_timed(std::span<const Routed>(block), results[0].s);
             ++delivered;
             if (scrub_every != 0) {
                 // Carry the op remainder across blocks so the scrub fires
@@ -568,7 +615,8 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
             workers.reserve(W);
             for (std::size_t s = 0; s < W; ++s) {
                 workers.emplace_back([&target, &queues, &results, &plan,
-                                      &ctl, &faults, first_touch, scrub_every,
+                                      &ctl, &faults, &apply_timed,
+                                      first_touch, scrub_every,
                                       pin = cfg.pin_workers, s] {
                     (void)faults;
                     if (pin) {
@@ -596,8 +644,7 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
                     [[maybe_unused]] std::uint64_t snap_seen = 0;
                     const auto finish_pending = [&] {
                         if (!have_pending) return;
-                        target.apply_batch(
-                            std::span<const Routed>(pending), local);
+                        apply_timed(std::span<const Routed>(pending), local);
                         ops_since_scrub += pending.size();
                         have_pending = false;
                         ctl[s].progress.fetch_add(1,
@@ -718,6 +765,7 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
                     std::this_thread::sleep_for(
                         std::chrono::microseconds(sleep_us));
                     report.park_wait_us += sleep_us;
+                    if (obs_park_us != nullptr) obs_park_us->add(sleep_us);
                     if (sleep_us < 1024) sleep_us <<= 1;
                 }
             };
@@ -728,11 +776,11 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
             const auto takeover = [&](std::size_t s) {
                 inlined[s] = 1;
                 ++report.drained_inline;
+                if (obs_drained != nullptr) obs_drained->add(1);
                 Batch b;
                 while (queues[s]->try_pop(b)) {
                     target.prefetch_batch(std::span<const Routed>(b));
-                    target.apply_batch(std::span<const Routed>(b),
-                                       drained[s]);
+                    apply_timed(std::span<const Routed>(b), drained[s]);
                 }
             };
 
@@ -747,9 +795,16 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
                     auto stalled_since = std::chrono::steady_clock::now();
                     for (;;) {
                         if (queues[s]->try_push_for(b, push_deadline)) {
+                            if (!obs_depth.empty()) {
+                                obs_depth[s]->set(static_cast<std::int64_t>(
+                                    queues[s]->size_approx()));
+                            }
                             return;
                         }
                         ++report.backpressure_waits;
+                        if (obs_backpressure != nullptr) {
+                            obs_backpressure->add(1);
+                        }
                         if (ctl[s].parked.load(std::memory_order_acquire)) {
                             break;  // worker died on its own: recover now
                         }
@@ -766,6 +821,9 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
                             ctl[s].abandon.store(true,
                                                  std::memory_order_release);
                             ++report.abandoned_workers;
+                            if (obs_abandoned != nullptr) {
+                                obs_abandoned->add(1);
+                            }
                             wait_for_park(s);
                             break;
                         }
@@ -775,7 +833,7 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
                 // Inline mode: the dispatcher owns this shard; the queued
                 // suffix was drained first, so order still holds.
                 target.prefetch_batch(std::span<const Routed>(b));
-                target.apply_batch(std::span<const Routed>(b), drained[s]);
+                apply_timed(std::span<const Routed>(b), drained[s]);
             };
 
             // Dispatch: hash, route, batch, push.
@@ -843,6 +901,9 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
                                     ctl[t].abandon.store(
                                         true, std::memory_order_release);
                                     ++report.abandoned_workers;
+                                    if (obs_abandoned != nullptr) {
+                                        obs_abandoned->add(1);
+                                    }
                                     wait_for_park(t);
                                     takeover(t);
                                     break;
@@ -905,9 +966,12 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
             while (queues[s]->try_pop(b)) {
                 leftovers = true;
                 target.prefetch_batch(std::span<const Routed>(b));
-                target.apply_batch(std::span<const Routed>(b), drained[s]);
+                apply_timed(std::span<const Routed>(b), drained[s]);
             }
-            if (leftovers && !inlined[s]) ++report.drained_inline;
+            if (leftovers && !inlined[s]) {
+                ++report.drained_inline;
+                if (obs_drained != nullptr) obs_drained->add(1);
+            }
         }
         if (first_touch) target.mark_materialized();
 

@@ -28,6 +28,7 @@
 // progress and a plan with N crashes needs at most N+1 attempts.
 #pragma once
 
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <span>
@@ -38,6 +39,7 @@
 
 #include "p4lru/fault/fault_plan.hpp"
 #include "p4lru/fault/status.hpp"
+#include "p4lru/obs/metrics.hpp"
 #include "p4lru/replay/durable_store.hpp"
 #include "p4lru/replay/target_checkpoint.hpp"
 
@@ -49,6 +51,14 @@ struct SupervisorConfig {
     std::uint64_t backoff_base_us = 100;
     std::uint64_t backoff_cap_us = 10'000;
     bool sleep_backoff = false;  ///< actually sleep (tests only account)
+    /// Live metrics sink (obs/metrics.hpp); null = no instrumentation.
+    /// Counters supervisor_attempts/crashes/installs, gauge
+    /// supervisor_backoff_us (latest delay), histogram
+    /// supervisor_serialize_ns (checkpoint image serialization).  Passed
+    /// through neither to the engine nor the store — set their own hooks
+    /// (ShardedConfig::metrics, DurableStoreConfig::metrics) to the same
+    /// registry for the full picture.
+    obs::Registry* metrics = nullptr;
 };
 
 /// Backoff before retry attempt `attempt` (1-based): min(base << (attempt-1),
@@ -82,14 +92,26 @@ template <typename Stats>
 class CrashingStoreSink {
   public:
     CrashingStoreSink(DurableStore& store, const fault::FaultPlan* plan,
-                      std::uint64_t& ordinal)
-        : store_(&store), plan_(plan), ordinal_(&ordinal) {}
+                      std::uint64_t& ordinal,
+                      obs::Histogram* serialize_ns = nullptr)
+        : store_(&store), plan_(plan), ordinal_(&ordinal),
+          serialize_ns_(serialize_ns) {}
 
     void operator()(TargetCheckpoint<Stats>&& cp) {
         const std::uint64_t ordinal = (*ordinal_)++;
         const fault::CrashEvent* crash =
             plan_ != nullptr ? plan_->crash_at(ordinal) : nullptr;
-        const SerializedCheckpoint image = serialize_target_checkpoint(cp);
+        SerializedCheckpoint image;
+        if (serialize_ns_ != nullptr) {
+            const auto t0 = std::chrono::steady_clock::now();
+            image = serialize_target_checkpoint(cp);
+            serialize_ns_->record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count()));
+        } else {
+            image = serialize_target_checkpoint(cp);
+        }
         Expected<InstallOutcome> out =
             store_->install_with_crash(image, crash);
         if (!out.is_ok()) {
@@ -111,6 +133,7 @@ class CrashingStoreSink {
     DurableStore* store_;
     const fault::FaultPlan* plan_;
     std::uint64_t* ordinal_;
+    obs::Histogram* serialize_ns_ = nullptr;
     bool stop_ = false;
     bool crashed_ = false;
     Status error_ = Status::ok();
@@ -149,13 +172,30 @@ template <typename TargetFactory, typename Op,
     Status last_failure = Status::ok();
     const std::size_t max_attempts = sup.max_attempts ? sup.max_attempts : 1;
 
+    obs::Counter* obs_attempts = nullptr;
+    obs::Counter* obs_crashes = nullptr;
+    obs::Counter* obs_installs = nullptr;
+    obs::Gauge* obs_backoff = nullptr;
+    obs::Histogram* obs_serialize = nullptr;
+    if (sup.metrics != nullptr) {
+        obs_attempts = sup.metrics->counter("supervisor_attempts");
+        obs_crashes = sup.metrics->counter("supervisor_crashes");
+        obs_installs = sup.metrics->counter("supervisor_installs");
+        obs_backoff = sup.metrics->gauge("supervisor_backoff_us");
+        obs_serialize = sup.metrics->histogram("supervisor_serialize_ns");
+    }
+
     while (out.attempts < max_attempts) {
         if (out.attempts > 0) {
             const std::uint64_t delay = backoff_delay_us(sup, out.attempts);
             out.backoff_us += delay;
+            if (obs_backoff != nullptr) {
+                obs_backoff->set(static_cast<std::int64_t>(delay));
+            }
             if (sup.sleep_backoff) sleep_us(delay);
         }
         ++out.attempts;
+        if (obs_attempts != nullptr) obs_attempts->add(1);
 
         decltype(auto) target_holder = make_target();
         Target& target = target_holder;
@@ -182,7 +222,8 @@ template <typename TargetFactory, typename Op,
             out.rejected.push_back(std::move(r));
         }
 
-        detail::CrashingStoreSink<Stats> sink(store, &plan, install_ordinal);
+        detail::CrashingStoreSink<Stats> sink(store, &plan, install_ordinal,
+                                              obs_serialize);
         const std::uint64_t before = install_ordinal;
         BasicShardedReport<Stats> rep;
         if (recovery.found) {
@@ -198,6 +239,9 @@ template <typename TargetFactory, typename Op,
                 // out of the ladder via fresher installs.
                 last_failure = resumed.status();
                 out.installs += install_ordinal - before;
+                if (obs_installs != nullptr) {
+                    obs_installs->add(install_ordinal - before);
+                }
                 continue;
             }
             rep = std::move(resumed).value();
@@ -207,6 +251,9 @@ template <typename TargetFactory, typename Op,
                                              faults);
         }
         out.installs += install_ordinal - before;
+        if (obs_installs != nullptr) {
+            obs_installs->add(install_ordinal - before);
+        }
 
         if (!sink.error().is_ok()) {
             last_failure = sink.error();
@@ -214,6 +261,7 @@ template <typename TargetFactory, typename Op,
         }
         if (sink.crashed()) {
             ++out.crashes;
+            if (obs_crashes != nullptr) obs_crashes->add(1);
             last_failure =
                 Status(ErrorCode::kUnavailable,
                        "supervised run crashed at install ordinal " +

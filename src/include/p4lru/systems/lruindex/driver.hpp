@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 
 #include "p4lru/common/types.hpp"
 #include "p4lru/fault/fault_plan.hpp"
@@ -25,12 +26,39 @@
 namespace p4lru::systems::lruindex {
 
 /// Retry policy against a refusing server: attempt k (0-based) that fails is
-/// re-sent after backoff << k.  max_attempts counts total tries, so 4 means
-/// one original send plus up to three retries.
+/// re-sent after min(backoff << k, max_backoff).  max_attempts counts total
+/// tries, so 4 means one original send plus up to three retries.
 struct RetryConfig {
     std::uint32_t max_attempts = 4;
-    TimeNs backoff = 20 * kMicrosecond;  ///< doubles per attempt
+    TimeNs backoff = 20 * kMicrosecond;  ///< doubles per attempt...
+    /// ...up to this ceiling.  The doubling must saturate: an uncapped
+    /// `backoff << k` is outright UB once k reaches the width of TimeNs
+    /// (a large max_attempts against a persistently refusing server) and
+    /// wraps to garbage delays long before that, wrecking the
+    /// simulated-time latency sums.  0 means "no explicit ceiling", which
+    /// still saturates at the largest representable doubling instead of
+    /// wrapping.
+    TimeNs max_backoff = 10 * kMillisecond;
 };
+
+/// The delay before re-sending attempt `attempt` (0-based, the attempt that
+/// just failed): backoff << attempt, saturating at cfg.max_backoff (or at
+/// the largest representable doubling when no ceiling is set).  Never
+/// wraps or shifts past the type width for any attempt/backoff combination.
+[[nodiscard]] constexpr TimeNs retry_backoff(const RetryConfig& cfg,
+                                             std::uint32_t attempt) noexcept {
+    const TimeNs base = cfg.backoff;
+    if (base == 0) return 0;
+    const TimeNs cap = cfg.max_backoff != 0
+                           ? cfg.max_backoff
+                           : std::numeric_limits<TimeNs>::max();
+    if (base >= cap) return cap;
+    // base << attempt would exceed cap (or the type) iff base > cap >> attempt;
+    // comparing in the shifted-down domain never wraps, and the attempt
+    // guard keeps both shifts below the width of TimeNs.
+    if (attempt >= 63 || base > (cap >> attempt)) return cap;
+    return base << attempt;
+}
 
 struct DriverConfig {
     std::size_t threads = 8;

@@ -29,6 +29,7 @@
 #include "p4lru/common/types.hpp"
 #include "p4lru/core/unit_storage.hpp"
 #include "p4lru/fault/fault_plan.hpp"
+#include "p4lru/obs/metrics.hpp"
 #include "p4lru/replay/replay_target.hpp"
 #include "p4lru/systems/lruindex/db_server.hpp"
 #include "p4lru/systems/lruindex/driver.hpp"
@@ -132,6 +133,18 @@ class LruIndexTarget {
                 series.level(i).materialize();
             }
         }
+    }
+
+    /// Attach live metrics (obs/metrics.hpp): counters
+    /// lruindex_hits/misses/retries/failed_queries.  Null detaches (the
+    /// default, zero overhead).
+    void set_metrics(obs::Registry* reg) {
+        m_ = {};
+        if (reg == nullptr) return;
+        m_.hits = reg->counter("lruindex_hits");
+        m_.misses = reg->counter("lruindex_misses");
+        m_.retries = reg->counter("lruindex_retries");
+        m_.failed = reg->counter("lruindex_failed_queries");
     }
 
     // -- routing ----------------------------------------------------------
@@ -256,8 +269,10 @@ class LruIndexTarget {
         const CacheHeader hdr = cache.query(r.key);
         if (hdr.hit()) {
             ++s.hits;
+            if (m_.hits != nullptr) m_.hits->add(1);
         } else {
             ++s.misses;
+            if (m_.misses != nullptr) m_.misses->add(1);
         }
         // Retry against a refusing server: attempt k that fails is re-sent
         // until max_attempts, then the query completes as failed (the reply
@@ -267,9 +282,11 @@ class LruIndexTarget {
             while (cfg_.flaky->fails(r.seq, attempt)) {
                 if (attempt + 1 >= cfg_.retry.max_attempts) {
                     ++s.failed_queries;
+                    if (m_.failed != nullptr) m_.failed->add(1);
                     return;
                 }
                 ++s.retries;
+                if (m_.retries != nullptr) m_.retries->add(1);
                 ++attempt;
             }
         }
@@ -280,9 +297,17 @@ class LruIndexTarget {
         cache.reply(r.key, res.addr, hdr, 0);
     }
 
+    struct ObsHooks {
+        obs::Counter* hits = nullptr;
+        obs::Counter* misses = nullptr;
+        obs::Counter* retries = nullptr;
+        obs::Counter* failed = nullptr;
+    };
+
     const DbServer* server_;
     Config cfg_;
     std::vector<SeriesIndexCache> parts_;
+    ObsHooks m_{};
 };
 
 static_assert(replay::ReplayTarget<LruIndexTarget>);

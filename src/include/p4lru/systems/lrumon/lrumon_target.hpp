@@ -36,6 +36,7 @@
 #include "p4lru/common/hash.hpp"
 #include "p4lru/common/types.hpp"
 #include "p4lru/core/unit_storage.hpp"
+#include "p4lru/obs/metrics.hpp"
 #include "p4lru/replay/replay_target.hpp"
 #include "p4lru/systems/lrumon/analyzer.hpp"
 #include "p4lru/systems/lrumon/lrumon.hpp"
@@ -106,6 +107,18 @@ class LruMonTarget {
             }
             parts_.push_back(std::move(part));
         }
+    }
+
+    /// Attach live metrics (obs/metrics.hpp): counters
+    /// lrumon_filtered/elephants/hits/uploads.  Null detaches (the default,
+    /// zero overhead).
+    void set_metrics(obs::Registry* reg) {
+        m_ = {};
+        if (reg == nullptr) return;
+        m_.filtered = reg->counter("lrumon_filtered");
+        m_.elephants = reg->counter("lrumon_elephants");
+        m_.hits = reg->counter("lrumon_hits");
+        m_.uploads = reg->counter("lrumon_uploads");
     }
 
     // -- routing ----------------------------------------------------------
@@ -290,15 +303,19 @@ class LruMonTarget {
             p.filter->add_and_estimate(r.fp, r.pkt.len, r.pkt.ts);
         if (est < cfg_.threshold) {
             ++s.filtered;
+            if (m_.filtered != nullptr) m_.filtered->add(1);
             return;
         }
         ++s.elephants;
+        if (m_.elephants != nullptr) m_.elephants->add(1);
         const auto a = p.policy->fill(r.fp, r.pkt.len, r.pkt.ts);
         if (a.hit) {
             ++s.hits;
+            if (m_.hits != nullptr) m_.hits->add(1);
             return;
         }
         ++s.uploads;
+        if (m_.uploads != nullptr) m_.uploads->add(1);
         if (a.inserted) {
             p.analyzer.on_upload(r.pkt.flow, r.fp,
                                  a.evicted ? a.evicted_key : 0,
@@ -308,8 +325,16 @@ class LruMonTarget {
         }
     }
 
+    struct ObsHooks {
+        obs::Counter* filtered = nullptr;
+        obs::Counter* elephants = nullptr;
+        obs::Counter* hits = nullptr;
+        obs::Counter* uploads = nullptr;
+    };
+
     LruMonConfig cfg_;
     std::vector<Partition> parts_;
+    ObsHooks m_{};
 };
 
 static_assert(replay::ReplayTarget<LruMonTarget>);

@@ -19,6 +19,7 @@
 // preserve; the constructor rejects it rather than report a wrong number.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -32,6 +33,7 @@
 #include "p4lru/common/hash.hpp"
 #include "p4lru/common/types.hpp"
 #include "p4lru/core/unit_storage.hpp"
+#include "p4lru/obs/metrics.hpp"
 #include "p4lru/replay/replay_target.hpp"
 #include "p4lru/systems/lrutable/lrutable.hpp"
 
@@ -102,6 +104,24 @@ class LruTableTarget {
             }
             parts_.push_back(std::move(part));
         }
+    }
+
+    /// Attach live metrics (obs/metrics.hpp): counters
+    /// lrutable_fast_path/placeholder_hits/misses/pending_fills and per-op
+    /// latency histograms lrutable_fast_path_ns / lrutable_slow_path_ns
+    /// around the policy access.  Null detaches (the default — zero
+    /// overhead, no clock reads).  Call before handing the target to the
+    /// engine; instruments are striped-atomic, so threaded shards may
+    /// hammer them concurrently.
+    void set_metrics(obs::Registry* reg) {
+        m_ = {};
+        if (reg == nullptr) return;
+        m_.fast = reg->counter("lrutable_fast_path");
+        m_.placeholder = reg->counter("lrutable_placeholder_hits");
+        m_.miss = reg->counter("lrutable_misses");
+        m_.pending = reg->counter("lrutable_pending_fills");
+        m_.fast_ns = reg->histogram("lrutable_fast_path_ns");
+        m_.slow_ns = reg->histogram("lrutable_slow_path_ns");
     }
 
     // -- routing ----------------------------------------------------------
@@ -236,27 +256,56 @@ class LruTableTarget {
         Partition& p = parts_[r.bucket];
         apply_fills(p, r.ts);
         ++s.ops;
+        // Per-op timing only when a registry is attached (one branch, no
+        // clock reads otherwise); the observed value covers the policy
+        // access — the path whose fast/slow split the paper's LRU
+        // promotion protects.
+        const bool observe = m_.fast_ns != nullptr;
+        std::chrono::steady_clock::time_point t0;
+        if (observe) t0 = std::chrono::steady_clock::now();
         const auto a = p.policy->access(r.va, kPlaceholder, r.ts);
+        const bool fast = a.hit && a.value != kPlaceholder;
+        if (observe) {
+            const auto ns = static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count());
+            (fast ? m_.fast_ns : m_.slow_ns)->record(ns);
+        }
         TimeNs added = 0;
-        if (a.hit && a.value != kPlaceholder) {
+        if (fast) {
             ++s.fast_path;
+            if (m_.fast != nullptr) m_.fast->add(1);
         } else if (a.hit) {
             ++s.placeholder_hits;
+            if (m_.placeholder != nullptr) m_.placeholder->add(1);
             added = cfg_.slow_path_delay;
         } else {
             ++s.misses;
+            if (m_.miss != nullptr) m_.miss->add(1);
             added = cfg_.slow_path_delay;
             if (a.inserted) {
                 p.pending.push_back(TargetPendingFill{
                     r.ts + cfg_.slow_path_delay, r.va, nat_.lookup(r.va)});
+                if (m_.pending != nullptr) m_.pending->add(1);
             }
         }
         s.added_latency_ns += added;
     }
 
+    struct ObsHooks {
+        obs::Counter* fast = nullptr;
+        obs::Counter* placeholder = nullptr;
+        obs::Counter* miss = nullptr;
+        obs::Counter* pending = nullptr;
+        obs::Histogram* fast_ns = nullptr;
+        obs::Histogram* slow_ns = nullptr;
+    };
+
     LruTableConfig cfg_;
     NatTable nat_;
     std::vector<Partition> parts_;
+    ObsHooks m_{};
 };
 
 static_assert(replay::ReplayTarget<LruTableTarget>);

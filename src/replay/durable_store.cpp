@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -177,8 +178,33 @@ const char* payload_name(const RawLayout& raw) {
                                                : "state image";
 }
 
+/// Record elapsed ns since `t0` into `hist` (null = no-op); shared by every
+/// timed IO site below.
+class [[nodiscard]] ScopedNsTimer {
+  public:
+    explicit ScopedNsTimer(obs::Histogram* hist)
+        : hist_(hist),
+          t0_(hist != nullptr ? std::chrono::steady_clock::now()
+                              : std::chrono::steady_clock::time_point{}) {}
+    ~ScopedNsTimer() {
+        if (hist_ != nullptr) {
+            hist_->record(static_cast<std::uint64_t>(
+                std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    std::chrono::steady_clock::now() - t0_)
+                    .count()));
+        }
+    }
+    ScopedNsTimer(const ScopedNsTimer&) = delete;
+    ScopedNsTimer& operator=(const ScopedNsTimer&) = delete;
+
+  private:
+    obs::Histogram* hist_;
+    std::chrono::steady_clock::time_point t0_;
+};
+
 #ifdef P4LRU_POSIX_IO
-Status fsync_path(const std::string& path, bool directory) {
+Status fsync_path(const std::string& path, bool directory,
+                  obs::Histogram* fsync_ns = nullptr) {
     errno = 0;
     const int fd =
         ::open(path.c_str(), directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY);
@@ -187,7 +213,11 @@ Status fsync_path(const std::string& path, bool directory) {
                               path);
     }
     errno = 0;
-    const int rc = ::fsync(fd);
+    int rc = 0;
+    {
+        ScopedNsTimer timer(fsync_ns);
+        rc = ::fsync(fd);
+    }
     ::close(fd);
     if (rc != 0) {
         return io_error_errno("atomic_write_file: fsync failed on", path);
@@ -199,7 +229,8 @@ Status fsync_path(const std::string& path, bool directory) {
 /// Write bytes to `path` (plain, non-atomic) — the torn-crash injector's
 /// tool and atomic_write_file's first phase.
 Status write_bytes_plain(const std::string& path,
-                         const std::vector<std::byte>& bytes, bool sync) {
+                         const std::vector<std::byte>& bytes, bool sync,
+                         obs::Histogram* fsync_ns = nullptr) {
 #ifdef P4LRU_POSIX_IO
     errno = 0;
     const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
@@ -223,7 +254,12 @@ Status write_bytes_plain(const std::string& path,
     }
     if (sync) {
         errno = 0;
-        if (::fsync(fd) != 0) {
+        int rc = 0;
+        {
+            ScopedNsTimer timer(fsync_ns);
+            rc = ::fsync(fd);
+        }
+        if (rc != 0) {
             const Status st =
                 io_error_errno("durable_store: fsync failed on", path);
             ::close(fd);
@@ -248,6 +284,7 @@ Status write_bytes_plain(const std::string& path,
         return io_error_errno("durable_store: write failed to", path);
     }
     (void)sync;  // no portable fsync without POSIX
+    (void)fsync_ns;
     return Status::ok();
 #endif
 }
@@ -311,9 +348,13 @@ Expected<std::vector<std::byte>> read_file_bytes(const std::string& path) {
 }
 
 Status atomic_write_file(const std::string& path,
-                         const std::vector<std::byte>& bytes, bool sync) {
+                         const std::vector<std::byte>& bytes, bool sync,
+                         obs::Registry* metrics) {
+    obs::Histogram* fsync_ns =
+        metrics != nullptr ? metrics->histogram("store_fsync_ns") : nullptr;
     const std::string tmp = path + kTmpSuffix;
-    if (Status st = write_bytes_plain(tmp, bytes, sync); !st.is_ok()) {
+    if (Status st = write_bytes_plain(tmp, bytes, sync, fsync_ns);
+        !st.is_ok()) {
         std::error_code ec;
         fs::remove(tmp, ec);
         return st;
@@ -332,7 +373,7 @@ Status atomic_write_file(const std::string& path,
         // directory entry is.  Failure here is reported but the install
         // itself already happened.
         const std::string dir = fs::path(path).parent_path().string();
-        if (Status st = fsync_path(dir.empty() ? "." : dir, true);
+        if (Status st = fsync_path(dir.empty() ? "." : dir, true, fsync_ns);
             !st.is_ok()) {
             return st;
         }
@@ -465,6 +506,10 @@ Expected<GenerationInfo> DurableStore::install(
 
 Expected<InstallOutcome> DurableStore::install_with_crash(
     const SerializedCheckpoint& image, const fault::CrashEvent* crash) {
+    obs::Histogram* install_ns =
+        cfg_.metrics != nullptr ? cfg_.metrics->histogram("store_install_ns")
+                                : nullptr;
+    ScopedNsTimer install_timer(install_ns);
     if (Status st = ensure_dir(); !st.is_ok()) return st;
     std::uint64_t seq = 0;
     for (const auto& g : list()) seq = std::max(seq, g.seq);
@@ -512,7 +557,7 @@ Expected<InstallOutcome> DurableStore::install_with_crash(
             case CrashPoint::kAfterInstall: {
                 // Generation installed; died before pruning.
                 if (Status st = atomic_write_file(final_path, image.bytes,
-                                                  cfg_.sync);
+                                                  cfg_.sync, cfg_.metrics);
                     !st.is_ok()) {
                     return st;
                 }
@@ -525,7 +570,8 @@ Expected<InstallOutcome> DurableStore::install_with_crash(
                 break;
         }
     }
-    if (Status st = atomic_write_file(final_path, image.bytes, cfg_.sync);
+    if (Status st = atomic_write_file(final_path, image.bytes, cfg_.sync,
+                                      cfg_.metrics);
         !st.is_ok()) {
         return st;
     }

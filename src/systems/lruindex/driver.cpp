@@ -67,8 +67,9 @@ DriverReport run_driver(const DriverConfig& cfg, DbServer& server,
         }
 
         /// One server attempt for query `seq`.  A refusal (flaky service)
-        /// re-sends after retry.backoff << attempt until max_attempts, then
-        /// the query completes as failed — the closed loop never wedges on a
+        /// re-sends after retry_backoff(retry, attempt) — exponential,
+        /// clamped at retry.max_backoff — until max_attempts, then the
+        /// query completes as failed — the closed loop never wedges on a
         /// dead dependency.
         void serve_at(TimeNs when, DbKey key, TimeNs t0, CacheHeader hdr,
                       std::uint64_t seq, std::uint32_t attempt) {
@@ -77,7 +78,8 @@ DriverReport run_driver(const DriverConfig& cfg, DbServer& server,
                 if (cfg->flaky != nullptr && cfg->flaky->fails(seq, attempt)) {
                     if (attempt + 1 < cfg->retry.max_attempts) {
                         ++sh->retries;
-                        const TimeNs backoff = cfg->retry.backoff << attempt;
+                        const TimeNs backoff =
+                            retry_backoff(cfg->retry, attempt);
                         serve_at(arrive + backoff, key, t0, hdr, seq,
                                  attempt + 1);
                     } else {

@@ -15,10 +15,17 @@
 // injected mid-stream, which must restart from the newest valid generation
 // each time and still finish bit-identical to sequential.
 //
+// The supervised round runs fully instrumented (obs/metrics.hpp): one
+// Registry wired through supervisor, engine and durable store, sampled on a
+// cadence into <store-dir>/metrics.jsonl; after the run every record must
+// re-parse with the library's own reader and the final snapshot's
+// supervisor counters must equal the SupervisedReport.
+//
 // All disk traffic stays inside a per-run mkdtemp scratch directory, so
 // parallel smoke invocations never collide.  Set P4LRU_CHAOS_STORE_DIR to
 // keep each seed's generational store (under <dir>/seed-<seed>) after
-// exit — CI points the p4lru_ckpt CLI smoke at those remains.
+// exit — CI points the p4lru_ckpt and p4lru_metrics CLI smokes at those
+// remains.
 #include <array>
 #include <cstdio>
 #include <cstdlib>
@@ -32,6 +39,9 @@
 
 #include "p4lru/core/p4lru.hpp"
 #include "p4lru/fault/fault_plan.hpp"
+#include "p4lru/obs/exposition.hpp"
+#include "p4lru/obs/metrics.hpp"
+#include "p4lru/obs/sampler.hpp"
 #include "p4lru/replay/checkpoint_io.hpp"
 #include "p4lru/replay/durable_store.hpp"
 #include "p4lru/replay/replay.hpp"
@@ -209,10 +219,18 @@ int main() {
             std::error_code ec;
             std::filesystem::create_directories(store_base, ec);
         }
+        // The supervised round runs fully instrumented: one Registry wired
+        // through the supervisor, the replay engine and the durable store,
+        // with a background sampler appending snapshots to the store
+        // directory (CI later re-reads the JSONL with p4lru_metrics).
+        obs::Registry reg;
         replay::DurableStoreConfig store_cfg;
         store_cfg.retain = 3;
         store_cfg.sync = false;  // smoke: correctness, not disk endurance
+        store_cfg.metrics = &reg;
         replay::DurableStore store(store_dir, store_cfg);
+        replay::ShardedConfig sup_cfg = cfg;
+        sup_cfg.metrics = &reg;
 
         constexpr std::array kPoints = {fault::CrashPoint::kTornTemp,
                                         fault::CrashPoint::kTornInstall,
@@ -234,8 +252,20 @@ int main() {
         replay::SupervisorConfig sup;
         sup.every_batches = 16 + seed % 17;
         sup.max_attempts = 8;
-        const auto sv = replay::run_supervised(factory, span, cfg, store,
+        sup.metrics = &reg;
+        obs::SamplerConfig samp_cfg;
+        samp_cfg.period_ms = 20;
+        samp_cfg.jsonl_path = store_dir + "/metrics.jsonl";
+        {
+            // The store creates its directory lazily on first install; the
+            // sampler appends from construction, so make it now.
+            std::error_code ec;
+            std::filesystem::create_directories(store_dir, ec);
+        }
+        obs::Sampler sampler(reg, samp_cfg);
+        const auto sv = replay::run_supervised(factory, span, sup_cfg, store,
                                                sup, crash_plan, faults);
+        sampler.stop();  // final snapshot carries the run's totals
         if (!sv.is_ok() || !(sv.value().report.stats == seq)) {
             std::fprintf(
                 stderr,
@@ -274,6 +304,72 @@ int main() {
             return 1;
         }
         crashes_survived += sv.value().crashes;
+
+        // Observability self-check: every JSONL record the sampler wrote
+        // must parse with the library's own reader, and the final
+        // snapshot's supervisor counters must equal the SupervisedReport —
+        // the metrics plane and the report plane never disagree.
+        {
+            std::FILE* mf = std::fopen(samp_cfg.jsonl_path.c_str(), "rb");
+            if (mf == nullptr) {
+                std::fprintf(stderr,
+                             "\nchaos seed %llu: sampler wrote no JSONL at "
+                             "%s\n",
+                             static_cast<unsigned long long>(seed),
+                             samp_cfg.jsonl_path.c_str());
+                return 1;
+            }
+            std::string text;
+            char buf[1 << 14];
+            std::size_t n = 0;
+            while ((n = std::fread(buf, 1, sizeof(buf), mf)) > 0) {
+                text.append(buf, n);
+            }
+            std::fclose(mf);
+            obs::Snapshot last;
+            std::size_t records = 0, start = 0;
+            while (start < text.size()) {
+                std::size_t nl = text.find('\n', start);
+                if (nl == std::string::npos) nl = text.size();
+                if (nl > start) {
+                    const auto parsed = obs::parse_snapshot_json(
+                        std::string_view(text).substr(start, nl - start));
+                    if (!parsed.is_ok()) {
+                        std::fprintf(
+                            stderr,
+                            "\nchaos seed %llu: metrics JSONL record %zu "
+                            "unparseable: %s\n",
+                            static_cast<unsigned long long>(seed), records,
+                            parsed.status().to_string().c_str());
+                        return 1;
+                    }
+                    last = parsed.value();
+                    ++records;
+                }
+                start = nl + 1;
+            }
+            const std::uint64_t* mc = last.counter("supervisor_crashes");
+            const std::uint64_t* ma = last.counter("supervisor_attempts");
+            const std::uint64_t* mi = last.counter("supervisor_installs");
+            if (records == 0 || mc == nullptr || ma == nullptr ||
+                mi == nullptr || *mc != sv.value().crashes ||
+                *ma != sv.value().attempts || *mi != sv.value().installs) {
+                std::fprintf(
+                    stderr,
+                    "\nchaos seed %llu: metrics disagree with the "
+                    "SupervisedReport (crashes %llu/%zu attempts %llu/%zu "
+                    "installs %llu/%llu over %zu records)\n",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(mc ? *mc : 0),
+                    sv.value().crashes,
+                    static_cast<unsigned long long>(ma ? *ma : 0),
+                    sv.value().attempts,
+                    static_cast<unsigned long long>(mi ? *mi : 0),
+                    static_cast<unsigned long long>(sv.value().installs),
+                    records);
+                return 1;
+            }
+        }
 
         std::printf(
             "ok (drained_inline=%zu abandoned=%zu waits=%llu; resumed from "

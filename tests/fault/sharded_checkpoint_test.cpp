@@ -137,6 +137,13 @@ void run_trial(const Cache& ref, const ReplayStats& seq,
     const auto res = resume_sharded(resumed, Ops(ops), rd.value(), rcfg);
     ASSERT_TRUE(res.is_ok()) << res.status().to_string();
     EXPECT_EQ(res.value().stats, seq) << "resumed run diverged";
+    // Degradation telemetry carried through the kill: the resumed report
+    // must include everything the interrupted run had already accumulated
+    // at the cut (the resume leg can only add to it).
+    EXPECT_GE(res.value().backpressure_waits, cp.backpressure_waits);
+    EXPECT_GE(res.value().park_wait_us, cp.park_wait_us);
+    EXPECT_GE(res.value().drained_inline, cp.drained_inline);
+    EXPECT_GE(res.value().abandoned_workers, cp.abandoned_workers);
     expect_same_contents(ref, resumed);
 
     std::vector<std::byte> want, got;
@@ -253,6 +260,66 @@ TEST(ShardedCheckpoint, CheckpointAfterInlineDrainStaysConsistent) {
     const auto res = resume_sharded(resumed, Ops(ops), cps.back(), cfg);
     ASSERT_TRUE(res.is_ok()) << res.status().to_string();
     EXPECT_EQ(res.value().stats, seq);
+    expect_same_contents(ref, resumed);
+}
+
+/// Regression: degradation telemetry must survive a kill-and-resume.  A
+/// deterministic fault plan (a worker parked from its first batch plus a
+/// 20ms batch delay) guarantees the last checkpoint carries nonzero
+/// telemetry; resuming fault-free must produce a report that still includes
+/// those counts — i.e. the resume merges the saved telemetry instead of
+/// restarting it from zero.
+TEST(ShardedCheckpoint, TelemetryCarriedAcrossKillAndResume) {
+    const auto ops = zipf_ops();
+    using Ops = std::span<const ReplayOp<FlowKey, std::uint32_t>>;
+    FlowCache ref(1024, 0x77);
+    const auto seq = replay_sequential(ref, Ops(ops));
+
+    ShardedConfig cfg;
+    cfg.shards = 4;
+    cfg.batch_ops = 64;
+    cfg.queue_batches = 4;
+    cfg.mode = Mode::kThreaded;
+    cfg.robust.push_deadline_us = 100;
+    cfg.robust.stall_timeout_us = 2'000;
+
+    fault::FaultPlan plan;
+    plan.stall_worker(/*shard=*/1, /*at_batch=*/0);
+    plan.delay_batch(/*shard=*/2, /*at_batch=*/2, /*micros=*/20'000);
+    const fault::InjectedFaults faults(plan);
+
+    std::vector<ShardedCheckpoint> cps;
+    FlowCache cache(1024, 0x77);
+    const auto rep = replay_sharded_checkpointed(
+        cache, Ops(ops), cfg, /*every_batches=*/32,
+        [&](ShardedCheckpoint&& cp) { cps.push_back(std::move(cp)); },
+        faults);
+    EXPECT_EQ(rep.stats, seq);
+    EXPECT_TRUE(rep.degraded());
+    ASSERT_FALSE(cps.empty());
+
+    // Telemetry in checkpoints is cumulative, so the last one carries the
+    // most; the plan above must have degraded the run well before it.
+    const ShardedCheckpoint& cp = cps.back();
+    ASSERT_GE(cp.abandoned_workers + cp.drained_inline, 1u)
+        << "fault plan failed to degrade the run before the kill point";
+
+    // Resume fault-free with default robustness: the resume leg adds no
+    // degradation of its own, so the carried telemetry must show through.
+    ShardedConfig rcfg;
+    rcfg.shards = 3;
+    rcfg.batch_ops = 128;
+    rcfg.mode = Mode::kThreaded;
+    FlowCache resumed(1024, 0x77);
+    const auto res = resume_sharded(resumed, Ops(ops), cp, rcfg);
+    ASSERT_TRUE(res.is_ok()) << res.status().to_string();
+    EXPECT_EQ(res.value().stats, seq);
+    EXPECT_GE(res.value().backpressure_waits, cp.backpressure_waits);
+    EXPECT_GE(res.value().park_wait_us, cp.park_wait_us);
+    EXPECT_GE(res.value().drained_inline, cp.drained_inline);
+    EXPECT_GE(res.value().abandoned_workers, cp.abandoned_workers);
+    EXPECT_TRUE(res.value().degraded())
+        << "carried telemetry lost across resume";
     expect_same_contents(ref, resumed);
 }
 

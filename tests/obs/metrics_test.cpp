@@ -1,0 +1,170 @@
+// Registry/instrument semantics (DESIGN.md §13): striped counters and
+// histograms must merge to *exact* totals under a multi-thread hammer (the
+// stripes are a contention optimization, not a sampling one), the log2
+// bucket boundaries must match the documented [2^(i-1), 2^i - 1] bands, and
+// registry lookups must be stable (same name -> same pointer, forever).
+#include "p4lru/obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace p4lru::obs {
+namespace {
+
+TEST(ObsRegistry, SameNameResolvesToSamePointer) {
+    Registry reg;
+    Counter* c1 = reg.counter("hits");
+    Counter* c2 = reg.counter("hits");
+    EXPECT_EQ(c1, c2);
+    EXPECT_NE(c1, reg.counter("misses"));
+
+    Gauge* g1 = reg.gauge("depth");
+    EXPECT_EQ(g1, reg.gauge("depth"));
+    Histogram* h1 = reg.histogram("lat");
+    EXPECT_EQ(h1, reg.histogram("lat"));
+
+    // Namespaces are per-kind: a counter and a gauge may share a name.
+    EXPECT_NE(static_cast<void*>(reg.counter("x")),
+              static_cast<void*>(reg.gauge("x")));
+}
+
+TEST(ObsRegistry, SnapshotIsSortedAndLookupsWork) {
+    Registry reg;
+    reg.counter("zeta")->add(3);
+    reg.counter("alpha")->add(1);
+    reg.gauge("mid")->set(-7);
+    reg.histogram("lat")->record(5);
+
+    const Snapshot snap = reg.snapshot();
+    ASSERT_EQ(snap.counters.size(), 2u);
+    EXPECT_EQ(snap.counters[0].first, "alpha");
+    EXPECT_EQ(snap.counters[1].first, "zeta");
+
+    ASSERT_NE(snap.counter("zeta"), nullptr);
+    EXPECT_EQ(*snap.counter("zeta"), 3u);
+    EXPECT_EQ(snap.counter("nope"), nullptr);
+    ASSERT_NE(snap.gauge("mid"), nullptr);
+    EXPECT_EQ(*snap.gauge("mid"), -7);
+    ASSERT_NE(snap.histogram("lat"), nullptr);
+    EXPECT_EQ(snap.histogram("lat")->count, 1u);
+}
+
+TEST(ObsRegistry, MergedTotalsAreExactUnderConcurrentHammer) {
+    Registry reg;
+    Counter* c = reg.counter("hammered");
+    Gauge* g = reg.gauge("hammered");
+    Histogram* h = reg.histogram("hammered");
+
+    constexpr std::size_t kThreads = 8;
+    constexpr std::uint64_t kIters = 20'000;
+    std::vector<std::thread> pool;
+    pool.reserve(kThreads);
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&] {
+            for (std::uint64_t i = 0; i < kIters; ++i) {
+                c->add(1);
+                g->add(1);
+                h->record(i);
+            }
+        });
+    }
+    for (auto& th : pool) th.join();
+
+    // Exactness: every relaxed fetch_add lands in exactly one stripe, and
+    // the read-side merge sums all of them — no sampling, no loss.
+    EXPECT_EQ(c->value(), kThreads * kIters);
+    EXPECT_EQ(g->value(),
+              static_cast<std::int64_t>(kThreads * kIters));
+    const HistogramSnapshot hs = h->snapshot();
+    EXPECT_EQ(hs.count, kThreads * kIters);
+    EXPECT_EQ(hs.sum, kThreads * (kIters * (kIters - 1) / 2));
+    std::uint64_t bucket_total = 0;
+    for (const std::uint64_t b : hs.buckets) bucket_total += b;
+    EXPECT_EQ(bucket_total, hs.count) << "buckets lost a sample";
+}
+
+TEST(ObsRegistry, ConcurrentResolutionIsRaceFree) {
+    // Threads racing get-or-create on overlapping names must all agree on
+    // the resulting pointers and never double-count.
+    Registry reg;
+    constexpr std::size_t kThreads = 8;
+    std::vector<std::thread> pool;
+    for (std::size_t t = 0; t < kThreads; ++t) {
+        pool.emplace_back([&reg] {
+            for (int i = 0; i < 1'000; ++i) {
+                reg.counter("shared_" + std::to_string(i % 7))->add(1);
+            }
+        });
+    }
+    for (auto& th : pool) th.join();
+    std::uint64_t total = 0;
+    for (int i = 0; i < 7; ++i) {
+        total += reg.counter("shared_" + std::to_string(i))->value();
+    }
+    EXPECT_EQ(total, kThreads * 1'000u);
+}
+
+TEST(ObsHistogram, BucketBoundariesMatchTheLog2Bands) {
+    // Bucket 0 = {0}; bucket i >= 1 = [2^(i-1), 2^i - 1].
+    EXPECT_EQ(bucket_index(0), 0u);
+    EXPECT_EQ(bucket_index(1), 1u);
+    EXPECT_EQ(bucket_index(2), 2u);
+    EXPECT_EQ(bucket_index(3), 2u);
+    EXPECT_EQ(bucket_index(4), 3u);
+    for (std::size_t i = 1; i + 1 < kHistBuckets; ++i) {
+        const std::uint64_t lo = std::uint64_t{1} << (i - 1);
+        const std::uint64_t hi = bucket_upper_bound(i);
+        EXPECT_EQ(hi, (std::uint64_t{1} << i) - 1);
+        EXPECT_EQ(bucket_index(lo), i) << "lower edge of bucket " << i;
+        EXPECT_EQ(bucket_index(hi), i) << "upper edge of bucket " << i;
+        EXPECT_EQ(bucket_index(hi + 1), i + 1) << "first value past " << i;
+    }
+    // The last bucket saturates: everything >= 2^62 lands in it.
+    EXPECT_EQ(bucket_index(std::uint64_t{1} << 62), kHistBuckets - 1);
+    EXPECT_EQ(bucket_index(std::uint64_t{1} << 63), kHistBuckets - 1);
+    EXPECT_EQ(bucket_index(~std::uint64_t{0}), kHistBuckets - 1);
+}
+
+TEST(ObsHistogram, RecordedValuesLandInTheirBuckets) {
+    Registry reg;
+    Histogram* h = reg.histogram("lat");
+    h->record(0);
+    h->record(1);
+    h->record(7);    // bucket 3 = [4, 7]
+    h->record(8);    // bucket 4 = [8, 15]
+    h->record(~std::uint64_t{0});
+    const HistogramSnapshot s = h->snapshot();
+    EXPECT_EQ(s.count, 5u);
+    EXPECT_EQ(s.buckets[0], 1u);
+    EXPECT_EQ(s.buckets[1], 1u);
+    EXPECT_EQ(s.buckets[3], 1u);
+    EXPECT_EQ(s.buckets[4], 1u);
+    EXPECT_EQ(s.buckets[kHistBuckets - 1], 1u);
+    EXPECT_DOUBLE_EQ(h->snapshot().mean(),
+                     static_cast<double>(s.sum) / 5.0);
+}
+
+TEST(ObsGauge, LastWriteWinsAndAddAccumulates) {
+    Registry reg;
+    Gauge* g = reg.gauge("depth");
+    EXPECT_EQ(g->value(), 0);
+    g->set(42);
+    EXPECT_EQ(g->value(), 42);
+    g->set(-3);
+    EXPECT_EQ(g->value(), -3);
+    g->add(10);
+    EXPECT_EQ(g->value(), 7);
+}
+
+TEST(ObsGauge, GlobalGaugePublishes) {
+    set_global_gauge("obs_test_global", 123);
+    const Snapshot snap = Registry::global().snapshot();
+    ASSERT_NE(snap.gauge("obs_test_global"), nullptr);
+    EXPECT_EQ(*snap.gauge("obs_test_global"), 123);
+}
+
+}  // namespace
+}  // namespace p4lru::obs

@@ -1,0 +1,231 @@
+// Exposition round trip and sampler semantics (DESIGN.md §13): a snapshot
+// rendered by to_json_line must parse back field-identical (including
+// escaped names and trimmed histogram bucket tails), damaged lines must be
+// rejected with a useful Status, and the sampler's ring/JSONL sinks must
+// agree with each other in both manual and background-thread modes.
+#include "p4lru/obs/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "p4lru/obs/exposition.hpp"
+#include "p4lru/obs/metrics.hpp"
+#include "../test_util.hpp"
+
+namespace p4lru::obs {
+namespace {
+
+/// Read a whole file into a string (the JSONL sink is small in tests).
+std::string slurp(const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr) << path;
+    std::string out;
+    if (f != nullptr) {
+        char buf[4096];
+        std::size_t n = 0;
+        while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+            out.append(buf, n);
+        }
+        std::fclose(f);
+    }
+    return out;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start < text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        if (nl == std::string::npos) {
+            out.push_back(text.substr(start));
+            break;
+        }
+        out.push_back(text.substr(start, nl - start));
+        start = nl + 1;
+    }
+    return out;
+}
+
+void expect_snapshots_equal(const Snapshot& a, const Snapshot& b) {
+    EXPECT_EQ(a.seq, b.seq);
+    EXPECT_EQ(a.unix_us, b.unix_us);
+    ASSERT_EQ(a.counters.size(), b.counters.size());
+    for (std::size_t i = 0; i < a.counters.size(); ++i) {
+        EXPECT_EQ(a.counters[i], b.counters[i]);
+    }
+    ASSERT_EQ(a.gauges.size(), b.gauges.size());
+    for (std::size_t i = 0; i < a.gauges.size(); ++i) {
+        EXPECT_EQ(a.gauges[i], b.gauges[i]);
+    }
+    ASSERT_EQ(a.histograms.size(), b.histograms.size());
+    for (std::size_t i = 0; i < a.histograms.size(); ++i) {
+        EXPECT_EQ(a.histograms[i].first, b.histograms[i].first);
+        EXPECT_EQ(a.histograms[i].second.count, b.histograms[i].second.count);
+        EXPECT_EQ(a.histograms[i].second.sum, b.histograms[i].second.sum);
+        EXPECT_EQ(a.histograms[i].second.buckets,
+                  b.histograms[i].second.buckets);
+    }
+}
+
+TEST(ObsExposition, JsonLineRoundTripsFieldIdentical) {
+    Registry reg;
+    reg.counter("hits")->add(12);
+    reg.counter("weird \"name\"\twith\\escapes")->add(1);
+    reg.gauge("depth")->set(-42);
+    Histogram* h = reg.histogram("lat_ns");
+    h->record(0);
+    h->record(3);
+    h->record(900);
+    h->record(~std::uint64_t{0});  // populates the saturating last bucket
+
+    Snapshot snap = reg.snapshot();
+    snap.seq = 7;
+    snap.unix_us = 1'700'000'000'000'000ull;
+
+    const std::string line = to_json_line(snap);
+    EXPECT_EQ(line.find('\n'), std::string::npos) << "JSONL must be 1 line";
+    const auto parsed = parse_snapshot_json(line);
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+    expect_snapshots_equal(parsed.value(), snap);
+}
+
+TEST(ObsExposition, TrimmedBucketTailZeroFillsOnParse) {
+    Registry reg;
+    reg.histogram("narrow")->record(5);  // only bucket 3 occupied
+    Snapshot snap = reg.snapshot();
+    const std::string line = to_json_line(snap);
+    // The emitter trims the 60 trailing zero buckets.
+    EXPECT_LT(line.size(), 200u) << line;
+    const auto parsed = parse_snapshot_json(line);
+    ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+    const HistogramSnapshot* h = parsed.value().histogram("narrow");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->buckets[3], 1u);
+    for (std::size_t b = 4; b < kHistBuckets; ++b) {
+        EXPECT_EQ(h->buckets[b], 0u) << "bucket " << b;
+    }
+}
+
+TEST(ObsExposition, DamagedLinesAreRejected) {
+    Registry reg;
+    reg.counter("c")->add(1);
+    Snapshot snap = reg.snapshot();
+    const std::string line = to_json_line(snap);
+
+    // A torn tail (the sampler's crash mode) fails to parse.
+    EXPECT_FALSE(
+        parse_snapshot_json(line.substr(0, line.size() / 2)).is_ok());
+    // Trailing bytes after the object are rejected.
+    EXPECT_FALSE(parse_snapshot_json(line + "x").is_ok());
+    // Unknown top-level fields are out of contract.
+    EXPECT_FALSE(
+        parse_snapshot_json(R"({"seq":1,"unix_us":2,"counters":{},)"
+                            R"("gauges":{},"bogus":{}})")
+            .is_ok());
+    EXPECT_FALSE(parse_snapshot_json("").is_ok());
+    EXPECT_FALSE(parse_snapshot_json("not json").is_ok());
+}
+
+TEST(ObsExposition, PrometheusRendersCumulativeBuckets) {
+    Registry reg;
+    reg.counter("req total")->add(5);  // space must be sanitized
+    reg.gauge("depth")->set(3);
+    Histogram* h = reg.histogram("lat");
+    h->record(1);
+    h->record(2);
+    h->record(3);
+
+    const std::string text = to_prometheus(reg.snapshot());
+    EXPECT_NE(text.find("# TYPE req_total counter"), std::string::npos);
+    EXPECT_NE(text.find("req_total 5"), std::string::npos);
+    EXPECT_NE(text.find("# TYPE depth gauge"), std::string::npos);
+    // le="1" covers {0} + [1,1] = 1 sample; le="3" is cumulative = 3.
+    EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1"), std::string::npos);
+    EXPECT_NE(text.find("lat_bucket{le=\"3\"} 3"), std::string::npos);
+    EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
+    EXPECT_NE(text.find("lat_sum 6"), std::string::npos);
+    EXPECT_NE(text.find("lat_count 3"), std::string::npos);
+}
+
+TEST(ObsSampler, ManualModeRingAndJsonlAgree) {
+    testutil::ScopedTempDir tmp{"p4lru_obs_sampler"};
+    Registry reg;
+    Counter* c = reg.counter("ops");
+
+    SamplerConfig cfg;
+    cfg.ring_capacity = 3;
+    cfg.jsonl_path = tmp.file("metrics.jsonl");
+    Sampler sampler(reg, cfg, /*start_thread=*/false);
+
+    for (int i = 1; i <= 5; ++i) {
+        c->add(10);
+        sampler.sample_now();
+    }
+    EXPECT_EQ(sampler.samples_taken(), 5u);
+
+    // Ring keeps the newest `ring_capacity` snapshots, oldest first.
+    const std::vector<Snapshot> ring = sampler.ring();
+    ASSERT_EQ(ring.size(), 3u);
+    EXPECT_EQ(ring.front().seq, 3u);
+    EXPECT_EQ(ring.back().seq, 5u);
+    EXPECT_EQ(*ring.back().counter("ops"), 50u);
+
+    // The JSONL sink holds *all* 5 records; every line parses and the
+    // parsed counters match what the ring saw.
+    const auto lines = lines_of(slurp(cfg.jsonl_path));
+    ASSERT_EQ(lines.size(), 5u);
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        const auto parsed = parse_snapshot_json(lines[i]);
+        ASSERT_TRUE(parsed.is_ok())
+            << "line " << i << ": " << parsed.status().to_string();
+        EXPECT_EQ(parsed.value().seq, i + 1);
+        ASSERT_NE(parsed.value().counter("ops"), nullptr);
+        EXPECT_EQ(*parsed.value().counter("ops"), (i + 1) * 10);
+    }
+}
+
+TEST(ObsSampler, BackgroundThreadSamplesAndStopsClean) {
+    testutil::ScopedTempDir tmp{"p4lru_obs_bg"};
+    Registry reg;
+    reg.counter("beat")->add(1);
+
+    SamplerConfig cfg;
+    cfg.period_ms = 5;
+    cfg.jsonl_path = tmp.file("bg.jsonl");
+    {
+        Sampler sampler(reg, cfg);
+        std::this_thread::sleep_for(std::chrono::milliseconds(60));
+        sampler.stop();  // idempotent with the destructor
+        EXPECT_GE(sampler.samples_taken(), 1u)
+            << "background thread never fired";
+    }
+    // Clean shutdown: every line in the file is whole and parseable.
+    const auto lines = lines_of(slurp(cfg.jsonl_path));
+    ASSERT_GE(lines.size(), 1u);
+    std::uint64_t prev_seq = 0;
+    for (const auto& line : lines) {
+        const auto parsed = parse_snapshot_json(line);
+        ASSERT_TRUE(parsed.is_ok()) << parsed.status().to_string();
+        EXPECT_GT(parsed.value().seq, prev_seq) << "seq not monotone";
+        prev_seq = parsed.value().seq;
+    }
+}
+
+TEST(ObsSampler, MissingSinkDirectoryDegradesToRingOnly) {
+    Registry reg;
+    reg.counter("c")->add(1);
+    SamplerConfig cfg;
+    cfg.jsonl_path = "/nonexistent-p4lru-dir/metrics.jsonl";
+    Sampler sampler(reg, cfg, /*start_thread=*/false);
+    sampler.sample_now();  // must not crash or throw
+    EXPECT_EQ(sampler.ring().size(), 1u);
+}
+
+}  // namespace
+}  // namespace p4lru::obs

@@ -21,15 +21,24 @@
 // durable store installs generations from the dispatcher thread, and the
 // retry re-enters the whole threaded machinery — racing the supervisor's
 // stop/restart seams that the plain rounds never reach.
+//
+// The obs rounds put the metrics plane itself under the race detector: an
+// N-thread registry hammer (striped counters/histograms + get-or-create
+// races) with a live background sampler reading snapshots concurrently,
+// and one fully instrumented threaded replay whose report must stay
+// bit-identical to the uninstrumented rounds.
 #include <cstdio>
 #include <cstring>
 #include <deque>
 #include <memory>
 #include <span>
+#include <thread>
 #include <vector>
 
 #include "p4lru/core/p4lru.hpp"
 #include "p4lru/fault/fault_plan.hpp"
+#include "p4lru/obs/metrics.hpp"
+#include "p4lru/obs/sampler.hpp"
 #include "p4lru/replay/checkpoint.hpp"
 #include "p4lru/replay/durable_store.hpp"
 #include "p4lru/replay/replay.hpp"
@@ -181,16 +190,86 @@ int main() {
         return 1;
     }
 
+    // --- obs rounds (metrics plane under the race detector) ---------------
+    // Registry hammer: writer threads on shared instruments + get-or-create
+    // races, while a background sampler snapshots concurrently.
+    std::uint64_t hammer_total = 0;
+    {
+        obs::Registry reg;
+        obs::SamplerConfig samp_cfg;
+        samp_cfg.period_ms = 1;
+        obs::Sampler sampler(reg, samp_cfg);
+        obs::Counter* shared_c = reg.counter("tsan_shared");
+        obs::Histogram* shared_h = reg.histogram("tsan_shared");
+        constexpr std::size_t kThreads = 8;
+        constexpr std::uint64_t kIters = 50'000;
+        std::vector<std::thread> pool;
+        for (std::size_t t = 0; t < kThreads; ++t) {
+            pool.emplace_back([&, t] {
+                obs::Gauge* g = reg.gauge("tsan_g" + std::to_string(t));
+                for (std::uint64_t i = 0; i < kIters; ++i) {
+                    shared_c->add(1);
+                    shared_h->record(i);
+                    g->set(static_cast<std::int64_t>(i));
+                    if (i % 4096 == 0) {
+                        reg.counter("tsan_late_" + std::to_string(i % 3))
+                            ->add(1);
+                    }
+                }
+            });
+        }
+        for (auto& th : pool) th.join();
+        sampler.stop();
+        hammer_total = shared_c->value();
+        if (hammer_total != kThreads * kIters ||
+            shared_h->snapshot().count != kThreads * kIters) {
+            std::fprintf(stderr,
+                         "obs hammer: merged totals inexact (%llu/%llu)\n",
+                         static_cast<unsigned long long>(hammer_total),
+                         static_cast<unsigned long long>(kThreads * kIters));
+            return 1;
+        }
+    }
+
+    // Instrumented threaded replay: the engine's metric writes (dispatcher
+    // gauges, worker-side batch timings) race-free and report-inert.
+    {
+        obs::Registry reg;
+        replay::ShardedConfig ocfg = cfg;
+        ocfg.metrics = &reg;
+        Cache cache(1024, 0x7A);
+        const auto rep = replay::replay_sharded(cache, span, ocfg);
+        if (!(rep.stats == seq)) {
+            std::fprintf(
+                stderr,
+                "obs round: instrumented stats diverge from sequential "
+                "(ops %llu/%llu)\n",
+                static_cast<unsigned long long>(rep.stats.ops),
+                static_cast<unsigned long long>(seq.ops));
+            return 1;
+        }
+        const auto snap = reg.snapshot();
+        const std::uint64_t* batches =
+            snap.counter("replay_batches_applied");
+        if (batches == nullptr || *batches == 0) {
+            std::fprintf(stderr,
+                         "obs round: engine published no batch metrics\n");
+            return 1;
+        }
+    }
+
     std::printf(
         "replay_tsan_smoke: 5 threaded rounds (eager + first-touch) + 3 "
         "checkpointed rounds (%zu quiesce snapshots) + 3 system-target "
         "rounds (LruMonTarget, %llu uploads, %zu-byte canonical state) + 1 "
-        "supervised crash-recovery round (%zu attempts, %llu installs), 8 "
-        "shards, stats identical to sequential (%llu ops, %llu hits, %llu "
+        "supervised crash-recovery round (%zu attempts, %llu installs) + "
+        "obs rounds (%llu hammered adds exact, instrumented replay inert), "
+        "8 shards, stats identical to sequential (%llu ops, %llu hits, %llu "
         "evictions)\n",
         snapshots, static_cast<unsigned long long>(seq_sys.uploads),
         seq_image.size(), sv.value().attempts,
         static_cast<unsigned long long>(sv.value().installs),
+        static_cast<unsigned long long>(hammer_total),
         static_cast<unsigned long long>(seq.ops),
         static_cast<unsigned long long>(seq.hits),
         static_cast<unsigned long long>(seq.evictions));

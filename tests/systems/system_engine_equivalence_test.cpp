@@ -207,6 +207,12 @@ void check_kill_and_resume(Make make, const std::vector<Op>& ops,
     ASSERT_TRUE(res.is_ok()) << res.status().to_string();
     EXPECT_EQ(res.value().stats, seq) << "resumed run diverged";
     EXPECT_EQ(state_of(resumed), seq_state) << "resumed state diverged";
+    // The resumed report must carry the cut's degradation telemetry — it
+    // reads as one uninterrupted run, never restarting counters from zero.
+    EXPECT_GE(res.value().backpressure_waits, cp.backpressure_waits);
+    EXPECT_GE(res.value().park_wait_us, cp.park_wait_us);
+    EXPECT_GE(res.value().drained_inline, cp.drained_inline);
+    EXPECT_GE(res.value().abandoned_workers, cp.abandoned_workers);
 
     // Disk round trip of the same cut.
     testutil::ScopedTempDir tmp{"p4lru_tgc_" + disk_tag};
@@ -222,6 +228,10 @@ void check_kill_and_resume(Make make, const std::vector<Op>& ops,
     EXPECT_EQ(res2.value().stats, seq) << "disk-resumed run diverged";
     EXPECT_EQ(state_of(from_disk), seq_state)
         << "disk-resumed state diverged";
+    EXPECT_GE(res2.value().backpressure_waits, rd.value().backpressure_waits);
+    EXPECT_GE(res2.value().park_wait_us, rd.value().park_wait_us);
+    EXPECT_GE(res2.value().drained_inline, rd.value().drained_inline);
+    EXPECT_GE(res2.value().abandoned_workers, rd.value().abandoned_workers);
 }
 
 TEST(SystemEngineEquivalence, LruMonKillAndResume) {

@@ -1,0 +1,269 @@
+// p4lru_metrics — offline reader for the sampler's JSONL metric logs
+// (DESIGN.md §13).  One parser (obs::parse_snapshot_json) shared with the
+// library, so a file this tool accepts is exactly a file the sampler wrote
+// whole.
+//
+//   p4lru_metrics print <file.jsonl>            pretty-print the last
+//                                               snapshot (tail of the run)
+//   p4lru_metrics tail <file.jsonl> [n]         last n snapshots, compact
+//   p4lru_metrics verify <file.jsonl>...        every line must parse; one
+//                                               verdict line per file
+//   p4lru_metrics check <file.jsonl> k=v...     last snapshot's counters
+//                                               must equal the given values
+//   p4lru_metrics prom <file.jsonl>             last snapshot re-rendered
+//                                               in Prometheus text format
+//
+// Exit status: 0 on success, 1 when a file is damaged or a check fails,
+// 2 on usage errors.  A torn tail line (crash while appending) counts as
+// damage for `verify` but is tolerated by `print`/`tail`/`check`, which
+// read the newest *parseable* record — matching how an operator uses the
+// log after a crash.
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "p4lru/obs/exposition.hpp"
+#include "p4lru/obs/metrics.hpp"
+
+namespace {
+
+using namespace p4lru;
+
+int usage() {
+    std::fprintf(stderr,
+                 "usage: p4lru_metrics print <file.jsonl>\n"
+                 "       p4lru_metrics tail <file.jsonl> [n]\n"
+                 "       p4lru_metrics verify <file.jsonl>...\n"
+                 "       p4lru_metrics check <file.jsonl> name=value...\n"
+                 "       p4lru_metrics prom <file.jsonl>\n");
+    return 2;
+}
+
+/// Split a file into lines (empty lines dropped; no trailing-newline
+/// requirement, so a torn tail shows up as one unparseable line).
+bool read_lines(const std::string& path, std::vector<std::string>& out) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) {
+        std::fprintf(stderr, "p4lru_metrics: cannot open %s\n", path.c_str());
+        return false;
+    }
+    std::string text;
+    char buf[1 << 16];
+    std::size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        text.append(buf, n);
+    }
+    std::fclose(f);
+    std::size_t start = 0;
+    while (start <= text.size()) {
+        const std::size_t nl = text.find('\n', start);
+        const std::size_t end = nl == std::string::npos ? text.size() : nl;
+        if (end > start) out.push_back(text.substr(start, end - start));
+        if (nl == std::string::npos) break;
+        start = nl + 1;
+    }
+    return true;
+}
+
+/// The newest line that parses; nullopt-style via bool.
+bool last_snapshot(const std::vector<std::string>& lines,
+                   obs::Snapshot& out) {
+    for (auto it = lines.rbegin(); it != lines.rend(); ++it) {
+        const auto parsed = obs::parse_snapshot_json(*it);
+        if (parsed.is_ok()) {
+            out = parsed.value();
+            return true;
+        }
+    }
+    return false;
+}
+
+void print_snapshot(const obs::Snapshot& s, bool compact) {
+    if (compact) {
+        std::printf("seq=%" PRIu64 " unix_us=%" PRIu64, s.seq, s.unix_us);
+        for (const auto& [name, v] : s.counters) {
+            std::printf(" %s=%" PRIu64, name.c_str(), v);
+        }
+        for (const auto& [name, v] : s.gauges) {
+            std::printf(" %s=%" PRId64, name.c_str(), v);
+        }
+        std::printf("\n");
+        return;
+    }
+    std::printf("snapshot seq %" PRIu64 "  (unix_us %" PRIu64 ")\n", s.seq,
+                s.unix_us);
+    if (!s.counters.empty()) {
+        std::printf("counters:\n");
+        for (const auto& [name, v] : s.counters) {
+            std::printf("  %-36s %12" PRIu64 "\n", name.c_str(), v);
+        }
+    }
+    if (!s.gauges.empty()) {
+        std::printf("gauges:\n");
+        for (const auto& [name, v] : s.gauges) {
+            std::printf("  %-36s %12" PRId64 "\n", name.c_str(), v);
+        }
+    }
+    if (!s.histograms.empty()) {
+        std::printf("histograms:\n");
+        for (const auto& [name, h] : s.histograms) {
+            std::printf("  %-36s count %-10" PRIu64 " sum %-14" PRIu64
+                        " mean %.1f\n",
+                        name.c_str(), h.count, h.sum, h.mean());
+            // The occupied log2 band, one row per nonzero bucket.
+            for (std::size_t b = 0; b < obs::kHistBuckets; ++b) {
+                if (h.buckets[b] == 0) continue;
+                if (b + 1 == obs::kHistBuckets) {
+                    std::printf("    le +Inf%-22s %10" PRIu64 "\n", "",
+                                h.buckets[b]);
+                } else {
+                    std::printf("    le %-26" PRIu64 " %10" PRIu64 "\n",
+                                obs::bucket_upper_bound(b), h.buckets[b]);
+                }
+            }
+        }
+    }
+}
+
+int cmd_print(const std::string& path) {
+    std::vector<std::string> lines;
+    if (!read_lines(path, lines)) return 1;
+    obs::Snapshot snap;
+    if (!last_snapshot(lines, snap)) {
+        std::fprintf(stderr, "p4lru_metrics: no parseable snapshot in %s\n",
+                     path.c_str());
+        return 1;
+    }
+    print_snapshot(snap, /*compact=*/false);
+    return 0;
+}
+
+int cmd_tail(const std::string& path, std::size_t count) {
+    std::vector<std::string> lines;
+    if (!read_lines(path, lines)) return 1;
+    std::vector<obs::Snapshot> snaps;
+    for (const auto& line : lines) {
+        const auto parsed = obs::parse_snapshot_json(line);
+        if (parsed.is_ok()) snaps.push_back(parsed.value());
+    }
+    if (snaps.empty()) {
+        std::fprintf(stderr, "p4lru_metrics: no parseable snapshot in %s\n",
+                     path.c_str());
+        return 1;
+    }
+    const std::size_t first =
+        snaps.size() > count ? snaps.size() - count : 0;
+    for (std::size_t i = first; i < snaps.size(); ++i) {
+        print_snapshot(snaps[i], /*compact=*/true);
+    }
+    return 0;
+}
+
+int cmd_verify(const std::vector<std::string>& paths) {
+    int rc = 0;
+    for (const auto& path : paths) {
+        std::vector<std::string> lines;
+        if (!read_lines(path, lines)) {
+            rc = 1;
+            continue;
+        }
+        std::size_t bad = 0;
+        std::string first_err;
+        for (const auto& line : lines) {
+            const auto parsed = obs::parse_snapshot_json(line);
+            if (!parsed.is_ok()) {
+                if (bad == 0) first_err = parsed.status().to_string();
+                ++bad;
+            }
+        }
+        if (bad == 0) {
+            std::printf("%-40s ok (%zu snapshots)\n", path.c_str(),
+                        lines.size());
+        } else {
+            std::printf("%-40s DAMAGED (%zu/%zu lines bad: %s)\n",
+                        path.c_str(), bad, lines.size(), first_err.c_str());
+            rc = 1;
+        }
+    }
+    return rc;
+}
+
+int cmd_check(const std::string& path,
+              const std::vector<std::string>& expectations) {
+    std::vector<std::string> lines;
+    if (!read_lines(path, lines)) return 1;
+    obs::Snapshot snap;
+    if (!last_snapshot(lines, snap)) {
+        std::fprintf(stderr, "p4lru_metrics: no parseable snapshot in %s\n",
+                     path.c_str());
+        return 1;
+    }
+    int rc = 0;
+    for (const auto& e : expectations) {
+        const std::size_t eq = e.find('=');
+        if (eq == std::string::npos || eq == 0) {
+            std::fprintf(stderr, "p4lru_metrics: bad expectation '%s'\n",
+                         e.c_str());
+            return 2;
+        }
+        const std::string name = e.substr(0, eq);
+        const std::uint64_t want =
+            std::strtoull(e.c_str() + eq + 1, nullptr, 10);
+        const std::uint64_t* got = snap.counter(name);
+        if (got == nullptr) {
+            std::printf("%-36s MISSING (want %" PRIu64 ")\n", name.c_str(),
+                        want);
+            rc = 1;
+        } else if (*got != want) {
+            std::printf("%-36s MISMATCH (want %" PRIu64 ", got %" PRIu64
+                        ")\n",
+                        name.c_str(), want, *got);
+            rc = 1;
+        } else {
+            std::printf("%-36s ok (%" PRIu64 ")\n", name.c_str(), want);
+        }
+    }
+    return rc;
+}
+
+int cmd_prom(const std::string& path) {
+    std::vector<std::string> lines;
+    if (!read_lines(path, lines)) return 1;
+    obs::Snapshot snap;
+    if (!last_snapshot(lines, snap)) {
+        std::fprintf(stderr, "p4lru_metrics: no parseable snapshot in %s\n",
+                     path.c_str());
+        return 1;
+    }
+    const std::string text = obs::to_prometheus(snap);
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    if (argc < 3) return usage();
+    const std::string cmd = argv[1];
+    if (cmd == "print") {
+        return cmd_print(argv[2]);
+    }
+    if (cmd == "tail") {
+        std::size_t n = 10;
+        if (argc >= 4) n = std::strtoull(argv[3], nullptr, 10);
+        return cmd_tail(argv[2], n == 0 ? 1 : n);
+    }
+    if (cmd == "verify") {
+        return cmd_verify({argv + 2, argv + argc});
+    }
+    if (cmd == "check") {
+        if (argc < 4) return usage();
+        return cmd_check(argv[2], {argv + 3, argv + argc});
+    }
+    if (cmd == "prom") {
+        return cmd_prom(argv[2]);
+    }
+    return usage();
+}
