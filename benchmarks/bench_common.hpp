@@ -14,6 +14,8 @@
 #include <cstdlib>
 #include <functional>
 #include <memory>
+#include <span>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -280,13 +282,16 @@ struct SystemModePoint {
     bool matches_sequential = true;
 };
 
-/// Drive fresh `make()`-constructed targets over `ops`, once per axis
-/// entry.  Each entry owns its own target instance (identical seeds come
-/// from the factory), so the runs are independent and any statistics drift
-/// between modes is the engine's fault, not shared state's.
-template <typename TargetFactory, typename Op>
-auto run_system_series(TargetFactory&& make, const std::vector<Op>& ops,
-                       const std::vector<EngineMode>& axis) {
+/// Drive fresh `make()`-constructed targets over an op source, once per
+/// axis entry, rewinding the source (seek(0)) before each mode so every
+/// entry replays the identical op stream.  Each entry owns its own target
+/// instance (identical seeds come from the factory), so the runs are
+/// independent and any statistics drift between modes is the engine's
+/// fault, not shared state's.  Source failures throw (benches have no
+/// recovery story — a broken trace file should abort the figure loudly).
+template <typename TargetFactory, typename Source>
+auto run_system_series_stream(TargetFactory&& make, Source& source,
+                              const std::vector<EngineMode>& axis) {
     using Target = std::decay_t<std::invoke_result_t<TargetFactory&>>;
     using Stats = typename Target::Stats;
     std::vector<SystemModePoint<Stats>> out;
@@ -298,16 +303,25 @@ auto run_system_series(TargetFactory&& make, const std::vector<Op>& ops,
         SystemModePoint<Stats> pt;
         pt.mode = m.name;
         pt.workers = m.workers;
-        const std::span<const Op> span(ops.data(), ops.size());
+        if (Status st = source.seek(0); !st.is_ok()) {
+            throw std::runtime_error("run_system_series: rewind failed: " +
+                                     st.to_string());
+        }
+        const std::uint64_t ops = source.size();
         StopWatch w;
         if (m.workers == 0) {
-            pt.stats = replay::replay_target_sequential(target, span);
+            pt.stats =
+                replay::replay_target_sequential_stream(target, source)
+                    .value();
         } else {
-            pt.stats = replay::replay_target_sharded(target, span, m.cfg).stats;
+            pt.stats = replay::replay_target_sharded_stream(target, source,
+                                                            m.cfg)
+                           .value()
+                           .stats;
         }
         pt.wall_s = w.seconds();
         pt.mops = pt.wall_s > 0.0
-                      ? static_cast<double>(ops.size()) / pt.wall_s / 1e6
+                      ? static_cast<double>(ops) / pt.wall_s / 1e6
                       : 0.0;
         if (m.workers == 0 && !have_reference) {
             reference = pt.stats;
@@ -318,6 +332,16 @@ auto run_system_series(TargetFactory&& make, const std::vector<Op>& ops,
         out.push_back(std::move(pt));
     }
     return out;
+}
+
+/// In-memory entry point: wraps `ops` in a SpanOpSource and streams it.
+template <typename TargetFactory, typename Op>
+auto run_system_series(TargetFactory&& make, const std::vector<Op>& ops,
+                       const std::vector<EngineMode>& axis) {
+    replay::SpanOpSource<Op> source(
+        std::span<const Op>(ops.data(), ops.size()));
+    return run_system_series_stream(std::forward<TargetFactory>(make),
+                                    source, axis);
 }
 
 // ---------------------------------------------------------------------------

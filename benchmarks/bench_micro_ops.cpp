@@ -12,6 +12,9 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
 #include <span>
 #include <tuple>
 #include <vector>
@@ -26,9 +29,12 @@
 #include "p4lru/obs/metrics.hpp"
 #include "p4lru/pipeline/p4lru3_program.hpp"
 #include "p4lru/replay/checkpoint.hpp"
+#include "p4lru/replay/op_source.hpp"
 #include "p4lru/replay/replay.hpp"
 #include "p4lru/sketch/countmin.hpp"
 #include "p4lru/sketch/towersketch.hpp"
+#include "p4lru/trace/trace_io.hpp"
+#include "p4lru/trace/trace_source.hpp"
 
 namespace {
 
@@ -592,6 +598,106 @@ void run_obs_series(ReplaySpan span, std::size_t units, ConsoleTable& table,
                                               : "DIVERGED (BUG)");
 }
 
+/// Trace-source axis: the same replay pulled through each TraceSource — the
+/// in-memory vector, the mmap'd file, the chunked background reader — via
+/// the streaming engine, sequential and 4-way threaded.  Prices the
+/// ingestion paths against each other; the stats must be bit-identical in
+/// every cell (the sources yield the same record stream by contract), so
+/// only wall time may move.
+template <typename Cache>
+void run_source_series(const std::vector<PacketRecord>& trace,
+                       const std::string& trace_path, std::size_t units,
+                       ConsoleTable& table,
+                       std::vector<bench::ReplayJsonSeries>& json) {
+    const char* layout = Cache::storage_type::layout_name();
+    const char* kernel = active_kernel_name();
+    constexpr int kReps = 3;
+
+    const auto open_source =
+        [&](const char* which) -> std::unique_ptr<trace::TraceSource> {
+        if (std::strcmp(which, "vector") == 0) {
+            return std::make_unique<trace::VectorSource>(
+                std::span<const PacketRecord>(trace));
+        }
+        if (std::strcmp(which, "mmap") == 0) {
+            return trace::MmapSource::open(trace_path).value();
+        }
+        trace::ChunkedSourceOptions opts;
+        opts.chunk_records = 1u << 16;
+        return trace::ChunkedFileSource::open(trace_path, opts).value();
+    };
+
+    replay::ShardedConfig cfg;
+    cfg.shards = 4;
+    cfg.mode = replay::Mode::kThreaded;
+
+    replay::ReplayStats first_stats;
+    bool have_first = false;
+    bool identical = true;
+    double vector_seq_seconds = 0.0;
+    for (const char* source : {"vector", "mmap", "chunked"}) {
+        double seq_best = 0.0;
+        replay::ReplayStats s;
+        for (int rep = 0; rep < kReps; ++rep) {
+            auto src = open_source(source);
+            auto stream = replay::packet_op_source(*src);
+            Cache cache(units, 0xE1);
+            bench::StopWatch w;
+            s = replay::replay_sequential_stream(cache, stream).value();
+            const double secs = w.seconds();
+            if (rep == 0 || secs < seq_best) seq_best = secs;
+        }
+        if (!have_first) {
+            first_stats = s;
+            have_first = true;
+            vector_seq_seconds = seq_best;
+        }
+        identical = identical && s == first_stats;
+        {
+            const stats::Throughput tp{s.ops, seq_best};
+            table.add_row({"trace_source", layout, "1", source, kernel,
+                           "seq_stream", ConsoleTable::num(seq_best, 3),
+                           ConsoleTable::num(tp.mops(), 2),
+                           ConsoleTable::num(vector_seq_seconds / seq_best, 2),
+                           bench::pct(s.hit_rate())});
+            json.push_back({"trace_source", layout, 0, source, kernel,
+                            "seq_stream", seq_best, tp.mops(), s.ops, s.hits,
+                            s.misses, s.evictions});
+        }
+
+        double shard_best = 0.0;
+        replay::ShardedReport rep_out;
+        for (int rep = 0; rep < kReps; ++rep) {
+            auto src = open_source(source);
+            auto stream = replay::packet_op_source(*src);
+            Cache cache(units, 0xE1);
+            bench::StopWatch w;
+            rep_out =
+                replay::replay_sharded_stream(cache, stream, cfg).value();
+            const double secs = w.seconds();
+            if (rep == 0 || secs < shard_best) shard_best = secs;
+        }
+        identical = identical && rep_out.stats == first_stats;
+        {
+            const stats::Throughput tp{rep_out.stats.ops, shard_best};
+            table.add_row({"trace_source", layout, std::to_string(cfg.shards),
+                           source, kernel, "shard_stream",
+                           ConsoleTable::num(shard_best, 3),
+                           ConsoleTable::num(tp.mops(), 2),
+                           ConsoleTable::num(vector_seq_seconds / shard_best,
+                                             2),
+                           bench::pct(rep_out.stats.hit_rate())});
+            json.push_back({"trace_source", layout, cfg.shards, source,
+                            kernel, "shard_stream", shard_best, tp.mops(),
+                            rep_out.stats.ops, rep_out.stats.hits,
+                            rep_out.stats.misses, rep_out.stats.evictions});
+        }
+    }
+    std::printf("trace sources (%s layout): vector vs mmap vs chunked stats "
+                "%s\n",
+                layout, identical ? "IDENTICAL" : "DIVERGED (BUG)");
+}
+
 void run_replay_throughput() {
     using Unit = core::P4lru<FlowKey, std::uint32_t, 3>;
     using SoaCache = core::ParallelCache<Unit, FlowKey, std::uint32_t>;
@@ -626,6 +732,16 @@ void run_replay_throughput() {
     run_scrubber_series<SoaCache>(span, units, table, json);
     run_checkpoint_series<SoaCache>(span, units, table, json);
     run_obs_series<SoaCache>(span, units, table, json);
+    {
+        // The file-backed sources need the trace on disk in P4LRUTRC form.
+        const std::string trace_path =
+            (std::filesystem::temp_directory_path() / "p4lru_bench_trace.bin")
+                .string();
+        trace::write_trace(trace_path, trace);
+        run_source_series<SoaCache>(trace, trace_path, units, table, json);
+        std::error_code ec;
+        std::filesystem::remove(trace_path, ec);
+    }
 
     table.print("Replay throughput: AoS reference vs SoA slab, sequential "
                 "vs sharded (" +

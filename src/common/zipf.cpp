@@ -67,11 +67,38 @@ std::uint64_t ZipfSampler::sample(Xoshiro256& rng) const {
 }
 
 ScrambledZipf::ScrambledZipf(std::uint64_t n, double alpha, std::uint64_t seed)
-    : zipf_(n, alpha), n_(n), salt_(hash::mix64(seed ^ 0xA5C3E1F7ULL)) {}
+    : zipf_(n, alpha), n_(n) {
+    // Smallest even bit count whose power-of-two domain covers [0, n): even
+    // so the Feistel halves are equal width, minimal so cycle-walking's
+    // expected rejection stays below 3/4 (domain < 4n).
+    std::uint32_t bits = 2;
+    while (bits < 64 && (std::uint64_t{1} << bits) < n) bits += 2;
+    half_bits_ = bits / 2;
+    half_mask_ = (std::uint64_t{1} << half_bits_) - 1;
+    std::uint64_t s = seed ^ 0x9E3779B97F4A7C15ULL;
+    for (auto& key : keys_) {
+        s += 0x9E3779B97F4A7C15ULL;
+        key = hash::mix64(s);
+    }
+}
+
+std::uint64_t ScrambledZipf::permute(std::uint64_t x) const {
+    // Cycle-walk: a Feistel pass is a bijection on the 2^(2*half_bits_)
+    // domain, so re-applying it until the value lands below n restricts it
+    // to a bijection on [0, n).
+    do {
+        for (const std::uint64_t key : keys_) {
+            const std::uint64_t left = x >> half_bits_;
+            const std::uint64_t right = x & half_mask_;
+            const std::uint64_t f = hash::mix64(right ^ key) & half_mask_;
+            x = (right << half_bits_) | (left ^ f);
+        }
+    } while (x >= n_);
+    return x;
+}
 
 std::uint64_t ScrambledZipf::sample(Xoshiro256& rng) const {
-    const std::uint64_t rank = zipf_.sample(rng) - 1;
-    return hash::mix64(rank ^ salt_) % n_;
+    return permute(zipf_.sample(rng) - 1);
 }
 
 }  // namespace p4lru::rng

@@ -41,6 +41,13 @@ class ZipfSampler {
 /// Pre-shuffled Zipf: maps sampled ranks through a fixed pseudo-random
 /// permutation so that popular keys are scattered over the key space
 /// (YCSB's "scrambled zipfian"). Deterministic given the seed.
+///
+/// The permutation is a 4-round Feistel network over the smallest even-bit
+/// power-of-two domain covering [0, n), cycle-walked back into range — a
+/// true bijection for every n.  (The previous hash-and-mod scramble was
+/// not: mix64(rank ^ salt) % n collides, so distinct Zipf ranks could
+/// alias to one key, silently inflating the hottest keys' popularity and
+/// shrinking the effective key space.)
 class ScrambledZipf {
   public:
     ScrambledZipf(std::uint64_t n, double alpha, std::uint64_t seed);
@@ -48,10 +55,16 @@ class ScrambledZipf {
     /// Draw one key in [0, n).
     [[nodiscard]] std::uint64_t sample(Xoshiro256& rng) const;
 
+    /// The scramble itself: a bijection on [0, n) (property-tested).
+    /// `x` must be < n.
+    [[nodiscard]] std::uint64_t permute(std::uint64_t x) const;
+
   private:
     ZipfSampler zipf_;
     std::uint64_t n_;
-    std::uint64_t salt_;
+    std::uint32_t half_bits_;   ///< Feistel half width; domain = 2^(2*half)
+    std::uint64_t half_mask_;
+    std::uint64_t keys_[4];     ///< per-round keys derived from the seed
 };
 
 }  // namespace p4lru::rng

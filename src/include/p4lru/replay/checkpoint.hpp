@@ -122,66 +122,115 @@ template <typename Cache>
 
 }  // namespace detail
 
-/// Restore `cp` into `cache` and replay the remaining ops [cp.cursor, end).
-/// Returns the final statistics — bit-identical to an uninterrupted
-/// replay_sequential over the full stream, for any checkpoint cursor.
-/// Fails with kInvalidState when the checkpoint does not fit the cache
-/// (different unit count / layout / geometry) or its cursor lies beyond the
-/// stream.
-template <typename Cache, typename Key, typename Value>
-[[nodiscard]] Expected<ReplayStats> resume_sequential(
-    Cache& cache, std::span<const ReplayOp<Key, Value>> ops,
-    const ReplayCheckpoint& cp) {
-    if (Status st = detail::check_checkpoint_fits(cache, ops.size(), cp);
+/// Restore `cp` into `cache` and stream the remaining ops [cp.cursor, end):
+/// the source must cover the full op stream the checkpoint describes; the
+/// resume *seeks* it to the checkpoint cursor instead of re-reading the
+/// prefix, so an on-disk source replays only the suffix bytes.  Returns the
+/// final statistics — bit-identical to an uninterrupted replay over the
+/// full stream, for any checkpoint cursor.  Fails with kInvalidState when
+/// the checkpoint does not fit the cache (different unit count / layout /
+/// geometry) or its cursor lies beyond the stream, and with the source's
+/// own Status on a seek or mid-stream failure.
+template <typename Cache, typename Source>
+[[nodiscard]] Expected<ReplayStats> resume_sequential_stream(
+    Cache& cache, Source& source, const ReplayCheckpoint& cp) {
+    if (Status st = detail::check_checkpoint_fits(
+            cache, static_cast<std::size_t>(source.size()), cp);
         !st.is_ok()) {
         return st;
     }
     if (Status st = detail::load_checkpoint_planes(cache, cp); !st.is_ok()) {
         return st;
     }
+    if (Status st = source.seek(cp.cursor); !st.is_ok()) {
+        return st;
+    }
     ReplayStats s = cp.stats;
     // The suffix goes through the batched path (hash-ahead + prefetch);
     // per-op application order is unchanged, so the result stream is the
     // one an uninterrupted per-op replay would have produced.
-    cache.update_batch(ops.subspan(cp.cursor),
-                       [&s](std::size_t, std::size_t, const auto& r) {
-                           s.tally(r);
-                       });
+    const auto tally = [&s](std::size_t, std::size_t, const auto& r) {
+        s.tally(r);
+    };
+    for (;;) {
+        auto pulled = source.next_batch(kSequentialPullOps);
+        if (!pulled.is_ok()) return pulled.status();
+        const auto chunk = pulled.value();
+        if (chunk.empty()) break;
+        cache.update_batch(chunk, tally);
+    }
     return s;
 }
 
-/// Sequential replay that emits a checkpoint into `sink` every `every` ops
-/// (sink(ReplayCheckpoint&&)).  The statistics are bit-identical to
-/// replay_sequential; checkpointing only copies plane bytes between ops.
-template <typename Cache, typename Key, typename Value, typename Sink>
-ReplayStats replay_sequential_checkpointed(
+/// Restore `cp` into `cache` and replay the remaining ops [cp.cursor, end).
+/// A SpanOpSource wrapper over resume_sequential_stream.
+template <typename Cache, typename Key, typename Value>
+[[nodiscard]] Expected<ReplayStats> resume_sequential(
     Cache& cache, std::span<const ReplayOp<Key, Value>> ops,
-    std::uint64_t every, Sink&& sink) {
+    const ReplayCheckpoint& cp) {
+    SpanOpSource<ReplayOp<Key, Value>> source(ops);
+    return resume_sequential_stream(cache, source, cp);
+}
+
+/// Sequential streaming replay that emits a checkpoint into `sink` every
+/// `every` ops (sink(ReplayCheckpoint&&)).  Checkpoint cursors are relative
+/// to the source's position at entry; statistics are bit-identical to
+/// replay_sequential_stream — checkpointing only copies plane bytes between
+/// ops.  Fails when the source fails mid-stream.
+template <typename Cache, typename Source, typename Sink>
+[[nodiscard]] Expected<ReplayStats> replay_sequential_checkpointed_stream(
+    Cache& cache, Source& source, std::uint64_t every, Sink&& sink) {
     cache.materialize();
     ReplayStats s;
     const auto tally = [&s](std::size_t, std::size_t, const auto& r) {
         s.tally(r);
     };
     std::uint64_t cursor = 0;
-    const std::uint64_t n = ops.size();
+    const std::uint64_t n = source.size() - source.tell();
     while (cursor < n) {
         // Batched application, with each chunk clipped at the next cadence
         // point: checkpoints land on exactly the op cursors the per-op loop
-        // used, and each snapshot still happens between ops.
+        // used, and each snapshot still happens between ops.  A source may
+        // split the clipped chunk further (its per-batch cap); the inner
+        // loop re-pulls until the cadence point is reached.
         std::uint64_t take = n - cursor;
         if (every != 0) {
             take = std::min<std::uint64_t>(take, every - cursor % every);
         }
-        cache.update_batch(
-            ops.subspan(static_cast<std::size_t>(cursor),
-                        static_cast<std::size_t>(take)),
-            tally);
+        std::uint64_t got = 0;
+        while (got < take) {
+            auto pulled = source.next_batch(
+                static_cast<std::size_t>(take - got));
+            if (!pulled.is_ok()) return pulled.status();
+            const auto chunk = pulled.value();
+            if (chunk.empty()) {
+                return invalid_state(
+                    "op source '" + std::string(source.name()) +
+                    "' ended at op " + std::to_string(cursor + got) +
+                    " of " + std::to_string(n));
+            }
+            cache.update_batch(chunk, tally);
+            got += chunk.size();
+        }
         cursor += take;
         if (every != 0 && cursor % every == 0 && cursor < n) {
             sink(take_checkpoint(cache, cursor, s));
         }
     }
     return s;
+}
+
+/// Sequential replay that emits a checkpoint into `sink` every `every` ops.
+/// A SpanOpSource wrapper over replay_sequential_checkpointed_stream (a
+/// span source never fails).
+template <typename Cache, typename Key, typename Value, typename Sink>
+ReplayStats replay_sequential_checkpointed(
+    Cache& cache, std::span<const ReplayOp<Key, Value>> ops,
+    std::uint64_t every, Sink&& sink) {
+    SpanOpSource<ReplayOp<Key, Value>> source(ops);
+    return replay_sequential_checkpointed_stream(cache, source, every,
+                                                 std::forward<Sink>(sink))
+        .value();
 }
 
 /// A resumable snapshot of an in-progress *sharded* replay: the sequential
@@ -261,40 +310,63 @@ class DispatchCheckpointer {
 
 }  // namespace detail
 
+/// Streaming sharded replay that emits a ShardedCheckpoint into `sink`
+/// every `every_batches` delivered batches (sink(ShardedCheckpoint&&)); 0
+/// disables emission.  Checkpoint cursors are relative to the source's
+/// position at entry.  Statistics and final cache state stay bit-identical
+/// to replay_sharded_stream — the quiesce only decides *when* work happens,
+/// never what — and the fault hooks compose: checkpoints are taken even
+/// while stalled workers are being abandoned and drained inline.
+template <typename Cache, typename Source, typename Sink,
+          typename Faults = fault::NoFaults>
+[[nodiscard]] Expected<ShardedReport> replay_sharded_checkpointed_stream(
+    Cache& cache, Source& source, const ShardedConfig& cfg,
+    std::uint64_t every_batches, Sink&& sink, const Faults& faults = {}) {
+    using Op = std::remove_cvref_t<typename Source::value_type>;
+    using Traits = detail::ReplayOpTraits<Op>;
+    detail::DispatchCheckpointer<Cache, std::remove_reference_t<Sink>> ckpt(
+        cache, every_batches, sink);
+    CacheReplayTarget<Cache, typename Traits::key_type,
+                      typename Traits::value_type>
+        target(cache);
+    return detail::replay_sharded_stream_impl(target, source, cfg, faults,
+                                              ckpt);
+}
+
 /// Sharded replay that emits a ShardedCheckpoint into `sink` every
-/// `every_batches` delivered batches (sink(ShardedCheckpoint&&)); 0
-/// disables emission.  Statistics and final cache state stay bit-identical
-/// to replay_sharded — the quiesce only decides *when* work happens, never
-/// what — and the fault hooks compose: checkpoints are taken even while
-/// stalled workers are being abandoned and drained inline.
+/// `every_batches` delivered batches.  A SpanOpSource wrapper over
+/// replay_sharded_checkpointed_stream (a span source never fails).
 template <typename Cache, typename Key, typename Value, typename Sink,
           typename Faults = fault::NoFaults>
 ShardedReport replay_sharded_checkpointed(
     Cache& cache, std::span<const ReplayOp<Key, Value>> ops,
     const ShardedConfig& cfg, std::uint64_t every_batches, Sink&& sink,
     const Faults& faults = {}) {
-    detail::DispatchCheckpointer<Cache, std::remove_reference_t<Sink>> ckpt(
-        cache, every_batches, sink);
-    CacheReplayTarget<Cache, Key, Value> target(cache);
-    return detail::replay_sharded_impl(target, ops, cfg, faults, ckpt);
+    SpanOpSource<ReplayOp<Key, Value>> source(ops);
+    return replay_sharded_checkpointed_stream(cache, source, cfg,
+                                              every_batches,
+                                              std::forward<Sink>(sink),
+                                              faults)
+        .value();
 }
 
-/// Restore a sharded checkpoint into `cache` and replay the remaining ops
-/// [cp.base.cursor, end) with `cfg` — the resume may use a different shard
+/// Restore a sharded checkpoint into `cache` and stream the remaining ops
+/// [cp.base.cursor, end) with `cfg` — the resume *seeks* the source to the
+/// cursor instead of re-reading the prefix, and may use a different shard
 /// count, batch size or mode than the interrupted run; bit-exactness holds
 /// regardless because the cut is a clean op prefix.  The returned report
 /// merges the checkpoint's statistics and telemetry, so it reads as if the
 /// run had never been interrupted.  Fails with kInvalidState on any
 /// layout/shape mismatch or when the checkpoint is internally inconsistent
-/// (per-shard stats that do not sum to its totals).
-template <typename Cache, typename Key, typename Value,
+/// (per-shard stats that do not sum to its totals), and with the source's
+/// own Status on a seek or mid-stream failure.
+template <typename Cache, typename Source,
           typename Faults = fault::NoFaults>
-[[nodiscard]] Expected<ShardedReport> resume_sharded(
-    Cache& cache, std::span<const ReplayOp<Key, Value>> ops,
-    const ShardedCheckpoint& cp, const ShardedConfig& cfg = {},
-    const Faults& faults = {}) {
-    if (Status st = detail::check_checkpoint_fits(cache, ops.size(),
-                                                  cp.base);
+[[nodiscard]] Expected<ShardedReport> resume_sharded_stream(
+    Cache& cache, Source& source, const ShardedCheckpoint& cp,
+    const ShardedConfig& cfg = {}, const Faults& faults = {}) {
+    if (Status st = detail::check_checkpoint_fits(
+            cache, static_cast<std::size_t>(source.size()), cp.base);
         !st.is_ok()) {
         return st;
     }
@@ -317,8 +389,12 @@ template <typename Cache, typename Key, typename Value,
         !st.is_ok()) {
         return st;
     }
-    ShardedReport rep =
-        replay_sharded(cache, ops.subspan(cp.base.cursor), cfg, faults);
+    if (Status st = source.seek(cp.base.cursor); !st.is_ok()) {
+        return st;
+    }
+    auto streamed = replay_sharded_stream(cache, source, cfg, faults);
+    if (!streamed.is_ok()) return streamed.status();
+    ShardedReport rep = std::move(streamed).value();
     rep.stats.merge(cp.base.stats);
     rep.backpressure_waits += cp.backpressure_waits;
     rep.park_wait_us += cp.park_wait_us;
@@ -326,6 +402,19 @@ template <typename Cache, typename Key, typename Value,
     rep.abandoned_workers += static_cast<std::size_t>(cp.abandoned_workers);
     rep.scrub.merge(cp.scrub);
     return rep;
+}
+
+/// Restore a sharded checkpoint into `cache` and replay the remaining ops
+/// [cp.base.cursor, end).  A SpanOpSource wrapper over
+/// resume_sharded_stream.
+template <typename Cache, typename Key, typename Value,
+          typename Faults = fault::NoFaults>
+[[nodiscard]] Expected<ShardedReport> resume_sharded(
+    Cache& cache, std::span<const ReplayOp<Key, Value>> ops,
+    const ShardedCheckpoint& cp, const ShardedConfig& cfg = {},
+    const Faults& faults = {}) {
+    SpanOpSource<ReplayOp<Key, Value>> source(ops);
+    return resume_sharded_stream(cache, source, cp, cfg, faults);
 }
 
 }  // namespace p4lru::replay

@@ -78,6 +78,7 @@
 #include "p4lru/common/types.hpp"
 #include "p4lru/core/parallel_array.hpp"
 #include "p4lru/fault/fault_plan.hpp"
+#include "p4lru/fault/status.hpp"
 #include "p4lru/obs/metrics.hpp"
 #include "p4lru/replay/affinity.hpp"
 #include "p4lru/replay/shard_plan.hpp"
@@ -125,6 +126,57 @@ struct ReplayStats {
         return ops ? static_cast<double>(hits) / static_cast<double>(ops)
                    : 0.0;
     }
+};
+
+/// Minimal in-memory model of the OpSource concept the streaming engine
+/// pulls from (DESIGN.md §14).  An op source is any type exposing
+///
+///   using value_type = Op;
+///   Expected<std::span<const Op>> next_batch(std::size_t max);
+///   Status seek(std::uint64_t op_index);
+///   std::uint64_t size() const;   std::uint64_t tell() const;
+///   const char* name() const;
+///
+/// with the TraceSource batch contract (trace_source.hpp): next_batch
+/// returns exactly min(max, size() - tell()) ops, an empty span means end
+/// of stream, the span stays valid until the next next_batch()/seek(), and
+/// errors are typed Status at the batch boundary.  SpanOpSource wraps a
+/// span the caller already holds — it never fails — and is how the legacy
+/// whole-span entry points below ride the streaming engine unchanged.
+/// op_source.hpp bridges trace::TraceSource (on-disk packet streams) into
+/// the same concept.
+template <typename Op>
+class SpanOpSource {
+  public:
+    using value_type = Op;
+
+    explicit SpanOpSource(std::span<const Op> ops) noexcept : ops_(ops) {}
+
+    [[nodiscard]] Expected<std::span<const Op>> next_batch(std::size_t max) {
+        const std::size_t n = std::min(max, ops_.size() - cursor_);
+        auto out = ops_.subspan(cursor_, n);
+        cursor_ += n;
+        return Expected<std::span<const Op>>(out);
+    }
+
+    [[nodiscard]] Status seek(std::uint64_t op_index) {
+        if (op_index > ops_.size()) {
+            return Status(ErrorCode::kInvalidArgument,
+                          "seek to op " + std::to_string(op_index) +
+                              " past stream of " +
+                              std::to_string(ops_.size()));
+        }
+        cursor_ = static_cast<std::size_t>(op_index);
+        return Status::ok();
+    }
+
+    [[nodiscard]] std::uint64_t size() const noexcept { return ops_.size(); }
+    [[nodiscard]] std::uint64_t tell() const noexcept { return cursor_; }
+    [[nodiscard]] const char* name() const noexcept { return "span"; }
+
+  private:
+    std::span<const Op> ops_;
+    std::size_t cursor_ = 0;
 };
 
 enum class Mode {
@@ -199,15 +251,64 @@ struct BasicShardedReport {
 
 using ShardedReport = BasicShardedReport<ReplayStats>;
 
-/// Reference replayer: one op at a time on the calling thread.  `Cache` is
-/// any core::ParallelCache instantiation (either storage layout).
+/// Default pull size of the sequential streaming replayers: large enough to
+/// amortize the per-batch virtual call, small enough that a bounded-memory
+/// source stays bounded.  Results never depend on it — ops are applied one
+/// at a time in stream order whatever the pull size.
+inline constexpr std::size_t kSequentialPullOps = 4096;
+
+/// Reference replayer over any op source (OpSource concept above): one op
+/// at a time on the calling thread, pulled in `pull_ops`-record batches.
+/// `Cache` is any core::ParallelCache instantiation (either storage
+/// layout).  Fails only when the source fails (a SpanOpSource never does).
+template <typename Cache, typename Source>
+[[nodiscard]] Expected<ReplayStats> replay_sequential_stream(
+    Cache& cache, Source& source,
+    std::size_t pull_ops = kSequentialPullOps) {
+    cache.materialize();  // no-op unless constructed with defer_init
+    ReplayStats s;
+    for (;;) {
+        auto pulled = source.next_batch(pull_ops ? pull_ops : 1);
+        if (!pulled.is_ok()) return pulled.status();
+        const auto chunk = pulled.value();
+        if (chunk.empty()) break;
+        for (const auto& op : chunk) {
+            s.tally(cache.update(op.key, op.value));
+        }
+    }
+    return s;
+}
+
+/// Reference replayer: one op at a time on the calling thread.  A
+/// SpanOpSource wrapper over the streaming core — the span is just an op
+/// source that never fails.
 template <typename Cache, typename Key, typename Value>
 ReplayStats replay_sequential(Cache& cache,
                               std::span<const ReplayOp<Key, Value>> ops) {
-    cache.materialize();  // no-op unless constructed with defer_init
+    SpanOpSource<ReplayOp<Key, Value>> source(ops);
+    return replay_sequential_stream(cache, source).value();
+}
+
+/// Streaming counterpart of replay_sequential_batched: each pulled chunk
+/// goes through the cache's batched update path.  Ops are still applied one
+/// at a time in stream order, so the UpdateResult stream — and therefore
+/// the statistics and the final cache state — is bit-identical to
+/// replay_sequential_stream for any pull size.
+template <typename Cache, typename Source>
+[[nodiscard]] Expected<ReplayStats> replay_sequential_batched_stream(
+    Cache& cache, Source& source,
+    std::size_t pull_ops = kSequentialPullOps) {
+    cache.materialize();
     ReplayStats s;
-    for (const auto& op : ops) {
-        s.tally(cache.update(op.key, op.value));
+    const auto tally = [&s](std::size_t, std::size_t, const auto& r) {
+        s.tally(r);
+    };
+    for (;;) {
+        auto pulled = source.next_batch(pull_ops ? pull_ops : 1);
+        if (!pulled.is_ok()) return pulled.status();
+        const auto chunk = pulled.value();
+        if (chunk.empty()) break;
+        cache.update_batch(chunk, tally);
     }
     return s;
 }
@@ -222,12 +323,8 @@ ReplayStats replay_sequential(Cache& cache,
 template <typename Cache, typename Key, typename Value>
 ReplayStats replay_sequential_batched(
     Cache& cache, std::span<const ReplayOp<Key, Value>> ops) {
-    cache.materialize();
-    ReplayStats s;
-    cache.update_batch(ops, [&](std::size_t, std::size_t, const auto& r) {
-        s.tally(r);
-    });
-    return s;
+    SpanOpSource<ReplayOp<Key, Value>> source(ops);
+    return replay_sequential_batched_stream(cache, source).value();
 }
 
 /// Sequential replay with the integrity scrubber on a fixed cadence: every
@@ -265,6 +362,18 @@ struct RoutedOp {
     std::uint32_t bucket = 0;
     Key key{};
     Value value{};
+};
+
+/// Key/Value extraction from a ReplayOp instantiation — the cache-level
+/// streaming entry points cannot deduce them from a span argument, so they
+/// read them off the source's value_type instead.
+template <typename Op>
+struct ReplayOpTraits;
+
+template <typename Key, typename Value>
+struct ReplayOpTraits<ReplayOp<Key, Value>> {
+    using key_type = Key;
+    using value_type = Value;
 };
 
 /// Per-shard control block shared between a worker and the dispatcher's
@@ -429,28 +538,49 @@ struct NoCheckpoint {
     }
 };
 
-/// Shared engine behind replay_sharded, replay_sharded_checkpointed
-/// (checkpoint.hpp) and the system adapters (systems/*/..._target.hpp).
-/// `Target` is any model of the ReplayTarget concept (replay_target.hpp) —
-/// the engine only routes, batches, prefetches and applies; what an op
-/// *means* belongs to the target.  `Ckpt` decides at compile time whether
-/// the dispatch loop carries checkpoint triggers; `ckpt.due(delivered)` is
+/// Shared engine behind every sharded entry point — replay_sharded,
+/// replay_sharded_checkpointed (checkpoint.hpp), the system adapters
+/// (systems/*/..._target.hpp) and the streaming variants.  `Target` is any
+/// model of the ReplayTarget concept (replay_target.hpp) — the engine only
+/// routes, batches, prefetches and applies; what an op *means* belongs to
+/// the target.  `Source` is any model of the OpSource concept (SpanOpSource
+/// above, op_source.hpp for on-disk traces); the engine pulls `batch_ops`
+/// records at a time, so its resident set is O(batch) plus whatever the
+/// source itself stages.  `Ckpt` decides at compile time whether the
+/// dispatch loop carries checkpoint triggers; `ckpt.due(delivered)` is
 /// polled at dispatch boundaries and `ckpt.emit(cut)` runs with every
 /// worker quiesced.
-template <typename Target, typename Faults, typename Ckpt>
-BasicShardedReport<typename Target::Stats> replay_sharded_impl(
-    Target& target, std::span<const typename Target::Op> ops,
-    const ShardedConfig& cfg, const Faults& faults, Ckpt& ckpt) {
+///
+/// The run covers the ops [source.tell(), source.size()) at entry, and all
+/// indices — fault ordinals, checkpoint cursors — are relative to the entry
+/// position, exactly as the legacy span engine treated a suffix subspan:
+/// seek-based resume (checkpoint.hpp, target_checkpoint.hpp) positions the
+/// source at the checkpoint cursor instead of re-reading the prefix.
+///
+/// A source failure (rot discovered mid-stream, a file that shrank under
+/// the reader) aborts the run at a batch boundary: no further batches are
+/// delivered, the queues are closed, the workers join, and the Status is
+/// returned after the join — the target is left in a valid (but partial)
+/// state and must be discarded or re-seeded by the caller.
+template <typename Target, typename Source, typename Faults, typename Ckpt>
+Expected<BasicShardedReport<typename Target::Stats>>
+replay_sharded_stream_impl(Target& target, Source& source,
+                           const ShardedConfig& cfg, const Faults& faults,
+                           Ckpt& ckpt) {
     using Op = typename Target::Op;
     using Routed = typename Target::Routed;
     using Stats = typename Target::Stats;
     using Batch = std::vector<Routed>;
+    static_assert(
+        std::is_same_v<std::remove_cvref_t<typename Source::value_type>, Op>,
+        "op source value_type must match the target's Op type");
 
     const std::size_t requested = cfg.shards ? cfg.shards : default_shards();
     const ShardPlan plan = ShardPlan::make(target.unit_count(), requested);
     const std::size_t W = plan.shards();
     const std::size_t batch_ops = cfg.batch_ops ? cfg.batch_ops : 256;
     const std::uint64_t scrub_every = cfg.robust.scrub_every;
+    const std::uint64_t remaining = source.size() - source.tell();
 
     const bool threaded =
         cfg.mode == Mode::kThreaded ||
@@ -525,26 +655,41 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
         block.reserve(batch_ops);
         std::uint64_t until_scrub = scrub_every;
         std::uint64_t delivered = 0;
-        for (std::size_t base = 0; base < ops.size(); base += batch_ops) {
-            const std::size_t n = std::min(batch_ops, ops.size() - base);
+        std::uint64_t base = 0;
+        while (base < remaining) {
+            const std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(batch_ops, remaining - base));
+            auto pulled = source.next_batch(want);
+            if (!pulled.is_ok()) return pulled.status();
+            const std::span<const Op> chunk = pulled.value();
+            if (chunk.empty()) {
+                // Contract violation guard: the source promised more ops
+                // than it delivered without reporting why.
+                return invalid_state(
+                    "op source '" + std::string(source.name()) +
+                    "' ended at op " + std::to_string(base) + " of " +
+                    std::to_string(remaining));
+            }
+            const std::size_t n = chunk.size();
             block.clear();
             for (std::size_t i = 0; i < n; ++i) {
                 const std::uint64_t idx = base + i;
                 if constexpr (Faults::kEnabled) {
-                    Op op = ops[idx];
+                    Op op = chunk[i];
                     target.inject_storage_faults(faults, idx);
                     target.inject_op_faults(faults, idx, op);
                     const Routed r = target.route(op);
                     target.prefetch_unit(r.bucket);
                     block.push_back(r);
                 } else {
-                    const Routed r = target.route(ops[idx]);
+                    const Routed r = target.route(chunk[i]);
                     target.prefetch_unit(r.bucket);
                     block.push_back(r);
                 }
             }
             apply_timed(std::span<const Routed>(block), results[0].s);
             ++delivered;
+            base += n;
             if (scrub_every != 0) {
                 // Carry the op remainder across blocks so the scrub fires
                 // on exactly the same op counts as the sequential path: a
@@ -560,9 +705,9 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
                 until_scrub -= left;
             }
             if constexpr (Ckpt::kEnabled) {
-                if (base + n < ops.size() && ckpt.due(delivered)) {
+                if (base < remaining && ckpt.due(delivered)) {
                     BasicCheckpointCut<Stats> cut;
-                    cut.cursor = base + n;
+                    cut.cursor = base;
                     cut.delivered_batches = delivered;
                     cut.shard_stats =
                         std::span<const Stats>(&results[0].s, 1);
@@ -607,6 +752,8 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
         // the running snapshot epoch, and reusable per-shard scratch that
         // CheckpointCut::shard_stats aliases during emit.
         std::uint64_t delivered = 0;
+        // A source failure mid-dispatch; checked after the workers join.
+        Status stream_error = Status::ok();
         [[maybe_unused]] std::uint64_t snap_epoch = 0;
         [[maybe_unused]] std::vector<Stats> cut_stats(W);
 
@@ -836,126 +983,152 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
                 apply_timed(std::span<const Routed>(b), drained[s]);
             };
 
-            // Dispatch: hash, route, batch, push.
-            for (std::size_t i = 0; i < ops.size(); ++i) {
-                const Routed r = target.route(ops[i]);
-                const std::size_t s = plan.owner(r.bucket);
-                open[s].push_back(r);
-                if (open[s].size() == batch_ops) {
-                    deliver(s, open[s]);
-                    open[s].clear();
+            // Dispatch: pull, hash, route, batch, push.
+            bool stopped = false;
+            std::uint64_t i = 0;
+            while (i < remaining && !stopped) {
+                const std::size_t want = static_cast<std::size_t>(
+                    std::min<std::uint64_t>(batch_ops, remaining - i));
+                auto pulled = source.next_batch(want);
+                if (!pulled.is_ok()) {
+                    stream_error = pulled.status();
+                    break;
                 }
-                if constexpr (Ckpt::kEnabled) {
-                    if (i + 1 < ops.size() && ckpt.due(delivered)) {
-                        // Consistent cut.  Step 1: flush every open partial
-                        // batch so the delivered set is exactly the op
-                        // prefix [0, i+1) — batch sizes never affect stats
-                        // or final planes, only throughput.
-                        for (std::size_t t = 0; t < W; ++t) {
-                            if (!open[t].empty()) {
-                                deliver(t, open[t]);
-                                open[t].clear();
+                const std::span<const Op> chunk = pulled.value();
+                if (chunk.empty()) {
+                    stream_error = invalid_state(
+                        "op source '" + std::string(source.name()) +
+                        "' ended at op " + std::to_string(i) + " of " +
+                        std::to_string(remaining));
+                    break;
+                }
+                for (std::size_t k = 0; k < chunk.size() && !stopped; ++k) {
+                    const Routed r = target.route(chunk[k]);
+                    const std::size_t s = plan.owner(r.bucket);
+                    open[s].push_back(r);
+                    if (open[s].size() == batch_ops) {
+                        deliver(s, open[s]);
+                        open[s].clear();
+                    }
+                    ++i;
+                    if constexpr (Ckpt::kEnabled) {
+                        if (i < remaining && ckpt.due(delivered)) {
+                            // Consistent cut.  Step 1: flush every open partial
+                            // batch so the delivered set is exactly the op
+                            // prefix [0, i) — batch sizes never affect stats
+                            // or final planes, only throughput.
+                            for (std::size_t t = 0; t < W; ++t) {
+                                if (!open[t].empty()) {
+                                    deliver(t, open[t]);
+                                    open[t].clear();
+                                }
                             }
-                        }
-                        // Step 2: quiesce each live worker.  The epoch is
-                        // raised only after the flush, so a worker's
-                        // "queue empty" means "cut reached".  A worker
-                        // that never acks is handled with the same ladder
-                        // as deliver: parked → takeover, or watchdog
-                        // abandon → park → takeover.
-                        const std::uint64_t epoch = ++snap_epoch;
-                        for (std::size_t t = 0; t < W; ++t) {
-                            if (!inlined[t]) {
-                                ctl[t].snap_req.store(
+                            // Step 2: quiesce each live worker.  The epoch is
+                            // raised only after the flush, so a worker's
+                            // "queue empty" means "cut reached".  A worker
+                            // that never acks is handled with the same ladder
+                            // as deliver: parked → takeover, or watchdog
+                            // abandon → park → takeover.
+                            const std::uint64_t epoch = ++snap_epoch;
+                            for (std::size_t t = 0; t < W; ++t) {
+                                if (!inlined[t]) {
+                                    ctl[t].snap_req.store(
+                                        epoch, std::memory_order_release);
+                                }
+                            }
+                            for (std::size_t t = 0; t < W; ++t) {
+                                if (inlined[t]) continue;
+                                auto last_progress = ctl[t].progress.load(
+                                    std::memory_order_acquire);
+                                auto stalled_since =
+                                    std::chrono::steady_clock::now();
+                                for (;;) {
+                                    if (ctl[t].snap_ack.load(
+                                            std::memory_order_acquire) ==
+                                        epoch) {
+                                        break;
+                                    }
+                                    if (ctl[t].parked.load(
+                                            std::memory_order_acquire)) {
+                                        takeover(t);
+                                        break;
+                                    }
+                                    const auto p = ctl[t].progress.load(
+                                        std::memory_order_acquire);
+                                    const auto now =
+                                        std::chrono::steady_clock::now();
+                                    if (p != last_progress) {
+                                        last_progress = p;  // draining: alive
+                                        stalled_since = now;
+                                        continue;
+                                    }
+                                    if (cfg.robust.watchdog &&
+                                        now - stalled_since >= stall_timeout) {
+                                        ctl[t].abandon.store(
+                                            true, std::memory_order_release);
+                                        ++report.abandoned_workers;
+                                        if (obs_abandoned != nullptr) {
+                                            obs_abandoned->add(1);
+                                        }
+                                        wait_for_park(t);
+                                        takeover(t);
+                                        break;
+                                    }
+                                    std::this_thread::yield();
+                                }
+                            }
+                            // Step 3: every shard is either ack-parked at its
+                            // boundary or dispatcher-owned; nobody writes the
+                            // target until release, so the sink may serialize
+                            // its state.
+                            BasicCheckpointCut<Stats> cut;
+                            cut.cursor = i;
+                            cut.delivered_batches = delivered;
+                            for (std::size_t t = 0; t < W; ++t) {
+                                cut_stats[t] = results[t].s;
+                                cut_stats[t].merge(drained[t]);
+                                cut.stats.merge(cut_stats[t]);
+                                cut.scrub.merge(results[t].scrub);
+                            }
+                            cut.shard_stats = cut_stats;
+                            cut.shards = W;
+                            cut.threaded = true;
+                            cut.backpressure_waits = report.backpressure_waits;
+                            cut.park_wait_us = report.park_wait_us;
+                            cut.drained_inline = report.drained_inline;
+                            cut.abandoned_workers = report.abandoned_workers;
+                            ckpt.emit(cut);
+                            // Step 4: resume the quiesced workers.
+                            for (std::size_t t = 0; t < W; ++t) {
+                                ctl[t].snap_release.store(
                                     epoch, std::memory_order_release);
                             }
+                            // Cooperative early stop (crash injection /
+                            // supervisor shutdown).  Every open batch was
+                            // flushed and every queue drained to the cut
+                            // before the emit, so stopping here — never
+                            // throwing, which would deadlock the parked
+                            // workers against the jthread join — ends the run
+                            // with a report covering exactly the checkpointed
+                            // prefix [0, i): the close below wakes the
+                            // workers into an empty, closed queue and they
+                            // exit cleanly.
+                            if (ckpt.stop_requested()) stopped = true;
                         }
-                        for (std::size_t t = 0; t < W; ++t) {
-                            if (inlined[t]) continue;
-                            auto last_progress = ctl[t].progress.load(
-                                std::memory_order_acquire);
-                            auto stalled_since =
-                                std::chrono::steady_clock::now();
-                            for (;;) {
-                                if (ctl[t].snap_ack.load(
-                                        std::memory_order_acquire) ==
-                                    epoch) {
-                                    break;
-                                }
-                                if (ctl[t].parked.load(
-                                        std::memory_order_acquire)) {
-                                    takeover(t);
-                                    break;
-                                }
-                                const auto p = ctl[t].progress.load(
-                                    std::memory_order_acquire);
-                                const auto now =
-                                    std::chrono::steady_clock::now();
-                                if (p != last_progress) {
-                                    last_progress = p;  // draining: alive
-                                    stalled_since = now;
-                                    continue;
-                                }
-                                if (cfg.robust.watchdog &&
-                                    now - stalled_since >= stall_timeout) {
-                                    ctl[t].abandon.store(
-                                        true, std::memory_order_release);
-                                    ++report.abandoned_workers;
-                                    if (obs_abandoned != nullptr) {
-                                        obs_abandoned->add(1);
-                                    }
-                                    wait_for_park(t);
-                                    takeover(t);
-                                    break;
-                                }
-                                std::this_thread::yield();
-                            }
-                        }
-                        // Step 3: every shard is either ack-parked at its
-                        // boundary or dispatcher-owned; nobody writes the
-                        // target until release, so the sink may serialize
-                        // its state.
-                        BasicCheckpointCut<Stats> cut;
-                        cut.cursor = i + 1;
-                        cut.delivered_batches = delivered;
-                        for (std::size_t t = 0; t < W; ++t) {
-                            cut_stats[t] = results[t].s;
-                            cut_stats[t].merge(drained[t]);
-                            cut.stats.merge(cut_stats[t]);
-                            cut.scrub.merge(results[t].scrub);
-                        }
-                        cut.shard_stats = cut_stats;
-                        cut.shards = W;
-                        cut.threaded = true;
-                        cut.backpressure_waits = report.backpressure_waits;
-                        cut.park_wait_us = report.park_wait_us;
-                        cut.drained_inline = report.drained_inline;
-                        cut.abandoned_workers = report.abandoned_workers;
-                        ckpt.emit(cut);
-                        // Step 4: resume the quiesced workers.
-                        for (std::size_t t = 0; t < W; ++t) {
-                            ctl[t].snap_release.store(
-                                epoch, std::memory_order_release);
-                        }
-                        // Cooperative early stop (crash injection /
-                        // supervisor shutdown).  Every open batch was
-                        // flushed and every queue drained to the cut
-                        // before the emit, so breaking here — never
-                        // throwing, which would deadlock the parked
-                        // workers against the jthread join — ends the run
-                        // with a report covering exactly the checkpointed
-                        // prefix [0, i+1): the close below wakes the
-                        // workers into an empty, closed queue and they
-                        // exit cleanly.
-                        if (ckpt.stop_requested()) break;
                     }
-                }
+                }  // chunk loop
             }
+            // A source failure abandons the run: nothing more is delivered
+            // (the in-flight prefix is already with the workers) and the
+            // Status surfaces after the join below.
             for (std::size_t s = 0; s < W; ++s) {
-                if (!open[s].empty()) deliver(s, open[s]);
+                if (stream_error.is_ok() && !open[s].empty()) {
+                    deliver(s, open[s]);
+                }
                 if (!inlined[s]) queues[s]->close();
             }
         }  // jthreads join here
+        if (!stream_error.is_ok()) return stream_error;
 
         // Post-join sweep: a worker that parked during the final drain (or
         // one that died without ever filling its ring) left a queued suffix
@@ -988,6 +1161,18 @@ BasicShardedReport<typename Target::Stats> replay_sharded_impl(
     return report;
 }
 
+/// Whole-span engine entry: the historical signature, now a SpanOpSource
+/// wrapper over the streaming core.  A span source never fails, so the
+/// Expected unwrap cannot throw.
+template <typename Target, typename Faults, typename Ckpt>
+BasicShardedReport<typename Target::Stats> replay_sharded_impl(
+    Target& target, std::span<const typename Target::Op> ops,
+    const ShardedConfig& cfg, const Faults& faults, Ckpt& ckpt) {
+    SpanOpSource<typename Target::Op> source(ops);
+    return replay_sharded_stream_impl(target, source, cfg, faults, ckpt)
+        .value();
+}
+
 }  // namespace detail
 
 /// Sharded replay. Bit-identical statistics and final cache state to
@@ -1010,20 +1195,55 @@ ShardedReport replay_sharded(Cache& cache,
     return detail::replay_sharded_impl(target, ops, cfg, faults, no_ckpt);
 }
 
+/// Streaming counterpart of replay_sharded: pulls ReplayOp batches from any
+/// op source (the source's value_type names the Key/Value pair), so the
+/// cache-level engine also runs in O(batch) memory.  Fails when the source
+/// fails mid-stream.
+template <typename Cache, typename Source, typename Faults = fault::NoFaults>
+[[nodiscard]] Expected<ShardedReport> replay_sharded_stream(
+    Cache& cache, Source& source, const ShardedConfig& cfg = {},
+    const Faults& faults = {}) {
+    using Op = std::remove_cvref_t<typename Source::value_type>;
+    using Traits = detail::ReplayOpTraits<Op>;
+    CacheReplayTarget<Cache, typename Traits::key_type,
+                      typename Traits::value_type>
+        target(cache);
+    detail::NoCheckpoint no_ckpt;
+    return detail::replay_sharded_stream_impl(target, source, cfg, faults,
+                                              no_ckpt);
+}
+
+/// Sequential reference replay of any ReplayTarget over any op source: one
+/// op at a time on the calling thread, in stream order, pulled in
+/// `pull_ops`-record batches.  Fails only when the source fails.
+template <typename Target, typename Source>
+[[nodiscard]] Expected<typename Target::Stats>
+replay_target_sequential_stream(Target& target, Source& source,
+                                std::size_t pull_ops = kSequentialPullOps) {
+    target.materialize();
+    typename Target::Stats stats{};
+    for (;;) {
+        auto pulled = source.next_batch(pull_ops ? pull_ops : 1);
+        if (!pulled.is_ok()) return pulled.status();
+        const auto chunk = pulled.value();
+        if (chunk.empty()) break;
+        for (const auto& op : chunk) {
+            const typename Target::Routed r = target.route(op);
+            target.apply_batch(
+                std::span<const typename Target::Routed>(&r, 1), stats);
+        }
+    }
+    return stats;
+}
+
 /// Sequential reference replay of any ReplayTarget: one op at a time on the
 /// calling thread, in arrival order.  This is the oracle the sharded modes
 /// are proven bit-identical against (tests/systems/).
 template <typename Target>
 typename Target::Stats replay_target_sequential(
     Target& target, std::span<const typename Target::Op> ops) {
-    target.materialize();
-    typename Target::Stats stats{};
-    for (const auto& op : ops) {
-        const typename Target::Routed r = target.route(op);
-        target.apply_batch(
-            std::span<const typename Target::Routed>(&r, 1), stats);
-    }
-    return stats;
+    SpanOpSource<typename Target::Op> source(ops);
+    return replay_target_sequential_stream(target, source).value();
 }
 
 /// Sharded replay of any ReplayTarget through the shared engine: inline
@@ -1037,6 +1257,25 @@ BasicShardedReport<typename Target::Stats> replay_target_sharded(
     const ShardedConfig& cfg = {}, const Faults& faults = {}) {
     detail::NoCheckpoint no_ckpt;
     return detail::replay_sharded_impl(target, ops, cfg, faults, no_ckpt);
+}
+
+/// Streaming counterpart of replay_target_sharded: the same engine, pulling
+/// `cfg.batch_ops`-record chunks from any op source instead of indexing a
+/// resident span — the engine's footprint is O(batch), so an on-disk trace
+/// far larger than RAM replays through a bounded-memory source
+/// (op_source.hpp over trace::ChunkedFileSource).  Covers the ops
+/// [source.tell(), source.size()); statistics and final target state are
+/// bit-identical to the span entry point over the same op sequence.  Fails
+/// when the source fails mid-stream; the target is then left in a valid but
+/// partial state.
+template <typename Target, typename Source, typename Faults = fault::NoFaults>
+[[nodiscard]] Expected<BasicShardedReport<typename Target::Stats>>
+replay_target_sharded_stream(Target& target, Source& source,
+                             const ShardedConfig& cfg = {},
+                             const Faults& faults = {}) {
+    detail::NoCheckpoint no_ckpt;
+    return detail::replay_sharded_stream_impl(target, source, cfg, faults,
+                                              no_ckpt);
 }
 
 /// Adapter: a packet trace as replay operations (key = 5-tuple, value = wire

@@ -141,28 +141,33 @@ class CrashingStoreSink {
 
 }  // namespace detail
 
-/// Run `ops` through a checkpointed, store-backed, crash-surviving replay.
+/// Stream an op source through a checkpointed, store-backed,
+/// crash-surviving replay.
 ///
 /// `make_target` is called once per attempt and must return a *fresh*
 /// target (by value or by reference) — a crashed attempt's in-memory state
 /// is abandoned, exactly as a process death would abandon it; all carried
-/// state comes back through the store.  `plan` schedules deterministic
-/// crashes (pass an empty plan — or one without crash events — for a
-/// plain durable run); `faults` is the usual engine fault hook set and
-/// composes freely.
+/// state comes back through the store.  Each attempt repositions the
+/// source itself: a cold start seeks to 0, a recovery resumes by seeking
+/// to the restored checkpoint's cursor, so an on-disk source re-reads only
+/// the suffix bytes after a crash.  `plan` schedules deterministic crashes
+/// (pass an empty plan — or one without crash events — for a plain durable
+/// run); `faults` is the usual engine fault hook set and composes freely.
 ///
 /// Completes with a SupervisedReport whose `report` is bit-identical to an
 /// uninterrupted replay of the same ops, or fails with kUnavailable after
-/// `max_attempts` runs (last failure cause appended).
-template <typename TargetFactory, typename Op,
+/// `max_attempts` runs (last failure cause appended).  A seek or
+/// mid-stream source failure fails the attempt like any other failure —
+/// and retries, since trace I/O errors may be transient.
+template <typename TargetFactory, typename Source,
           typename Faults = fault::NoFaults>
-[[nodiscard]] auto run_supervised(TargetFactory&& make_target,
-                                  std::span<const Op> ops,
-                                  const ShardedConfig& cfg,
-                                  DurableStore& store,
-                                  const SupervisorConfig& sup = {},
-                                  const fault::FaultPlan& plan = {},
-                                  const Faults& faults = {}) {
+[[nodiscard]] auto run_supervised_stream(TargetFactory&& make_target,
+                                         Source& source,
+                                         const ShardedConfig& cfg,
+                                         DurableStore& store,
+                                         const SupervisorConfig& sup = {},
+                                         const fault::FaultPlan& plan = {},
+                                         const Faults& faults = {}) {
     using Target = std::remove_reference_t<decltype(make_target())>;
     using Stats = typename Target::Stats;
     using Report = SupervisedReport<Stats>;
@@ -205,8 +210,9 @@ template <typename TargetFactory, typename Op,
         // inside the scan so a shape-mismatched generation is skipped like
         // a torn one instead of failing the attempt.
         auto recovery = store.recover_newest(
-            [&target, n = ops.size()](const std::vector<std::byte>& image,
-                                      const std::string& origin)
+            [&target, n = static_cast<std::size_t>(source.size())](
+                const std::vector<std::byte>& image,
+                const std::string& origin)
                 -> Expected<TargetCheckpoint<Stats>> {
                 Expected<TargetCheckpoint<Stats>> cp =
                     parse_target_checkpoint<Stats>(image, origin);
@@ -226,30 +232,33 @@ template <typename TargetFactory, typename Op,
                                               obs_serialize);
         const std::uint64_t before = install_ordinal;
         BasicShardedReport<Stats> rep;
+        Expected<BasicShardedReport<Stats>> run = Status::ok();
         if (recovery.found) {
             out.resumed_from_gen = recovery.gen.seq;
-            Expected<BasicShardedReport<Stats>> resumed =
-                resume_target_checkpointed(target, ops, recovery.checkpoint,
-                                           cfg, sup.every_batches, sink,
-                                           faults);
-            if (!resumed.is_ok()) {
-                // The scan validated the checkpoint, so this is a state-
-                // image/target disagreement (load_state refusal): count it
-                // as a failed attempt and retry — the bad generation ages
-                // out of the ladder via fresher installs.
-                last_failure = resumed.status();
-                out.installs += install_ordinal - before;
-                if (obs_installs != nullptr) {
-                    obs_installs->add(install_ordinal - before);
-                }
-                continue;
-            }
-            rep = std::move(resumed).value();
+            // The resume seeks the source to the checkpoint cursor itself.
+            run = resume_target_checkpointed_stream(
+                target, source, recovery.checkpoint, cfg, sup.every_batches,
+                sink, faults);
+        } else if (Status st = source.seek(0); !st.is_ok()) {
+            run = st;
         } else {
-            rep = replay_target_checkpointed(target, ops, cfg,
-                                             sup.every_batches, sink,
-                                             faults);
+            run = replay_target_checkpointed_stream(target, source, cfg,
+                                                    sup.every_batches, sink,
+                                                    faults);
         }
+        if (!run.is_ok()) {
+            // Either a state-image/target disagreement (load_state refusal
+            // — the scan validated the checkpoint, so the bad generation
+            // ages out of the ladder via fresher installs) or a source
+            // seek/stream failure: count it as a failed attempt and retry.
+            last_failure = run.status();
+            out.installs += install_ordinal - before;
+            if (obs_installs != nullptr) {
+                obs_installs->add(install_ordinal - before);
+            }
+            continue;
+        }
+        rep = std::move(run).value();
         out.installs += install_ordinal - before;
         if (obs_installs != nullptr) {
             obs_installs->add(install_ordinal - before);
@@ -275,6 +284,24 @@ template <typename TargetFactory, typename Op,
         ErrorCode::kUnavailable,
         "supervised replay gave up after " + std::to_string(out.attempts) +
             " attempts; last failure: " + last_failure.to_string()));
+}
+
+/// Run `ops` through a checkpointed, store-backed, crash-surviving replay.
+/// A SpanOpSource wrapper over run_supervised_stream (cold starts "seek"
+/// the span back to 0; resumes skip the prefix).
+template <typename TargetFactory, typename Op,
+          typename Faults = fault::NoFaults>
+[[nodiscard]] auto run_supervised(TargetFactory&& make_target,
+                                  std::span<const Op> ops,
+                                  const ShardedConfig& cfg,
+                                  DurableStore& store,
+                                  const SupervisorConfig& sup = {},
+                                  const fault::FaultPlan& plan = {},
+                                  const Faults& faults = {}) {
+    SpanOpSource<Op> source(ops);
+    return run_supervised_stream(
+        std::forward<TargetFactory>(make_target), source, cfg, store, sup,
+        plan, faults);
 }
 
 }  // namespace p4lru::replay

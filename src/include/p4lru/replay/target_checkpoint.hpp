@@ -169,22 +169,42 @@ class TargetDispatchCheckpointer {
 
 }  // namespace detail
 
-/// Sharded target replay that emits a TargetCheckpoint into `sink` every
-/// `every_batches` delivered batches (sink(TargetCheckpoint&&)); 0 disables
-/// emission.  Statistics and final target state stay bit-identical to
-/// replay_target_sharded — the quiesce only decides *when* work happens,
-/// never what — and the fault hooks compose.  A sink exposing a
+/// Streaming sharded target replay that emits a TargetCheckpoint into
+/// `sink` every `every_batches` delivered batches (sink(TargetCheckpoint&&));
+/// 0 disables emission.  Checkpoint cursors are relative to the source's
+/// position at entry.  Statistics and final target state stay bit-identical
+/// to replay_target_sharded_stream — the quiesce only decides *when* work
+/// happens, never what — and the fault hooks compose.  A sink exposing a
 /// `stop_requested()` member can end the run early at a cut boundary; the
 /// returned report then covers the prefix up to the last emitted cut plus
 /// any batches already in flight.
+template <typename Target, typename Source, typename Sink,
+          typename Faults = fault::NoFaults>
+[[nodiscard]] Expected<BasicShardedReport<typename Target::Stats>>
+replay_target_checkpointed_stream(Target& target, Source& source,
+                                  const ShardedConfig& cfg,
+                                  std::uint64_t every_batches, Sink&& sink,
+                                  const Faults& faults = {}) {
+    detail::TargetDispatchCheckpointer<Target, std::remove_reference_t<Sink>>
+        ckpt(target, every_batches, sink);
+    return detail::replay_sharded_stream_impl(target, source, cfg, faults,
+                                              ckpt);
+}
+
+/// Sharded target replay that emits a TargetCheckpoint into `sink` every
+/// `every_batches` delivered batches.  A SpanOpSource wrapper over
+/// replay_target_checkpointed_stream (a span source never fails).
 template <typename Target, typename Sink, typename Faults = fault::NoFaults>
 BasicShardedReport<typename Target::Stats> replay_target_checkpointed(
     Target& target, std::span<const typename Target::Op> ops,
     const ShardedConfig& cfg, std::uint64_t every_batches, Sink&& sink,
     const Faults& faults = {}) {
-    detail::TargetDispatchCheckpointer<Target, std::remove_reference_t<Sink>>
-        ckpt(target, every_batches, sink);
-    return detail::replay_sharded_impl(target, ops, cfg, faults, ckpt);
+    SpanOpSource<typename Target::Op> source(ops);
+    return replay_target_checkpointed_stream(target, source, cfg,
+                                             every_batches,
+                                             std::forward<Sink>(sink),
+                                             faults)
+        .value();
 }
 
 /// Shape/consistency validation shared by the resume entry points and the
@@ -234,21 +254,23 @@ template <typename Target>
     return Status::ok();
 }
 
-/// Restore a target checkpoint into `target` and replay the remaining ops
-/// [cp.cursor, end) with `cfg` — the resume may use a different shard
+/// Restore a target checkpoint into `target` and stream the remaining ops
+/// [cp.cursor, end) with `cfg` — the resume *seeks* the source to the
+/// cursor instead of re-reading the prefix, and may use a different shard
 /// count, batch size or mode than the interrupted run.  The returned report
 /// merges the checkpoint's statistics and telemetry, so it reads as if the
 /// run had never been interrupted.  Fails with kInvalidState on any shape
-/// mismatch or when the checkpoint is internally inconsistent.
-template <typename Target, typename Faults = fault::NoFaults>
+/// mismatch or when the checkpoint is internally inconsistent, and with
+/// the source's own Status on a seek or mid-stream failure.
+template <typename Target, typename Source, typename Faults = fault::NoFaults>
 [[nodiscard]] Expected<BasicShardedReport<typename Target::Stats>>
-resume_target_sharded(Target& target,
-                      std::span<const typename Target::Op> ops,
-                      const TargetCheckpoint<typename Target::Stats>& cp,
-                      const ShardedConfig& cfg = {},
-                      const Faults& faults = {}) {
+resume_target_sharded_stream(
+    Target& target, Source& source,
+    const TargetCheckpoint<typename Target::Stats>& cp,
+    const ShardedConfig& cfg = {}, const Faults& faults = {}) {
     using Stats = typename Target::Stats;
-    if (Status st = validate_target_checkpoint(target, ops.size(), cp);
+    if (Status st = validate_target_checkpoint(
+            target, static_cast<std::size_t>(source.size()), cp);
         !st.is_ok()) {
         return st;
     }
@@ -257,8 +279,12 @@ resume_target_sharded(Target& target,
                              std::to_string(cp.state.size()) +
                              " bytes does not match this target's shape");
     }
-    BasicShardedReport<Stats> rep =
-        replay_target_sharded(target, ops.subspan(cp.cursor), cfg, faults);
+    if (Status st = source.seek(cp.cursor); !st.is_ok()) {
+        return st;
+    }
+    auto streamed = replay_target_sharded_stream(target, source, cfg, faults);
+    if (!streamed.is_ok()) return streamed.status();
+    BasicShardedReport<Stats> rep = std::move(streamed).value();
     rep.stats.merge(cp.stats);
     rep.backpressure_waits += cp.backpressure_waits;
     rep.park_wait_us += cp.park_wait_us;
@@ -266,6 +292,20 @@ resume_target_sharded(Target& target,
     rep.abandoned_workers += static_cast<std::size_t>(cp.abandoned_workers);
     rep.scrub.merge(cp.scrub);
     return rep;
+}
+
+/// Restore a target checkpoint into `target` and replay the remaining ops
+/// [cp.cursor, end).  A SpanOpSource wrapper over
+/// resume_target_sharded_stream.
+template <typename Target, typename Faults = fault::NoFaults>
+[[nodiscard]] Expected<BasicShardedReport<typename Target::Stats>>
+resume_target_sharded(Target& target,
+                      std::span<const typename Target::Op> ops,
+                      const TargetCheckpoint<typename Target::Stats>& cp,
+                      const ShardedConfig& cfg = {},
+                      const Faults& faults = {}) {
+    SpanOpSource<typename Target::Op> source(ops);
+    return resume_target_sharded_stream(target, source, cp, cfg, faults);
 }
 
 namespace detail {
@@ -311,24 +351,25 @@ class RebasedTargetSink {
 
 }  // namespace detail
 
-/// resume_target_sharded + continued checkpoint emission: restore `cp`,
-/// replay the suffix, and keep emitting checkpoints into `sink` every
-/// `every_batches` delivered batches.  Emitted checkpoints are rebased to
-/// absolute run coordinates (see RebasedTargetSink), so each one is itself
-/// a valid resume point — this is what lets the supervisor chain an
-/// arbitrary number of crash/recover cycles.  A sink `stop_requested()`
-/// ends the suffix early at a cut, exactly as in
-/// replay_target_checkpointed.
-template <typename Target, typename Sink, typename Faults = fault::NoFaults>
+/// resume_target_sharded_stream + continued checkpoint emission: restore
+/// `cp`, seek the source to its cursor, stream the suffix, and keep
+/// emitting checkpoints into `sink` every `every_batches` delivered
+/// batches.  Emitted checkpoints are rebased to absolute run coordinates
+/// (see RebasedTargetSink), so each one is itself a valid resume point —
+/// this is what lets the supervisor chain an arbitrary number of
+/// crash/recover cycles.  A sink `stop_requested()` ends the suffix early
+/// at a cut, exactly as in replay_target_checkpointed_stream.
+template <typename Target, typename Source, typename Sink,
+          typename Faults = fault::NoFaults>
 [[nodiscard]] Expected<BasicShardedReport<typename Target::Stats>>
-resume_target_checkpointed(Target& target,
-                           std::span<const typename Target::Op> ops,
-                           const TargetCheckpoint<typename Target::Stats>& cp,
-                           const ShardedConfig& cfg,
-                           std::uint64_t every_batches, Sink&& sink,
-                           const Faults& faults = {}) {
+resume_target_checkpointed_stream(
+    Target& target, Source& source,
+    const TargetCheckpoint<typename Target::Stats>& cp,
+    const ShardedConfig& cfg, std::uint64_t every_batches, Sink&& sink,
+    const Faults& faults = {}) {
     using Stats = typename Target::Stats;
-    if (Status st = validate_target_checkpoint(target, ops.size(), cp);
+    if (Status st = validate_target_checkpoint(
+            target, static_cast<std::size_t>(source.size()), cp);
         !st.is_ok()) {
         return st;
     }
@@ -337,10 +378,15 @@ resume_target_checkpointed(Target& target,
                              std::to_string(cp.state.size()) +
                              " bytes does not match this target's shape");
     }
+    if (Status st = source.seek(cp.cursor); !st.is_ok()) {
+        return st;
+    }
     detail::RebasedTargetSink<Stats, std::remove_reference_t<Sink>> rebased(
         cp, sink);
-    BasicShardedReport<Stats> rep = replay_target_checkpointed(
-        target, ops.subspan(cp.cursor), cfg, every_batches, rebased, faults);
+    auto streamed = replay_target_checkpointed_stream(
+        target, source, cfg, every_batches, rebased, faults);
+    if (!streamed.is_ok()) return streamed.status();
+    BasicShardedReport<Stats> rep = std::move(streamed).value();
     rep.stats.merge(cp.stats);
     rep.backpressure_waits += cp.backpressure_waits;
     rep.park_wait_us += cp.park_wait_us;
@@ -348,6 +394,23 @@ resume_target_checkpointed(Target& target,
     rep.abandoned_workers += static_cast<std::size_t>(cp.abandoned_workers);
     rep.scrub.merge(cp.scrub);
     return rep;
+}
+
+/// resume_target_sharded + continued checkpoint emission.  A SpanOpSource
+/// wrapper over resume_target_checkpointed_stream.
+template <typename Target, typename Sink, typename Faults = fault::NoFaults>
+[[nodiscard]] Expected<BasicShardedReport<typename Target::Stats>>
+resume_target_checkpointed(Target& target,
+                           std::span<const typename Target::Op> ops,
+                           const TargetCheckpoint<typename Target::Stats>& cp,
+                           const ShardedConfig& cfg,
+                           std::uint64_t every_batches, Sink&& sink,
+                           const Faults& faults = {}) {
+    SpanOpSource<typename Target::Op> source(ops);
+    return resume_target_checkpointed_stream(target, source, cp, cfg,
+                                             every_batches,
+                                             std::forward<Sink>(sink),
+                                             faults);
 }
 
 // ---------------------------------------------------------------------------

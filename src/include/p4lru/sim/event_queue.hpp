@@ -2,9 +2,10 @@
 // callbacks. Replaces the paper's DPDK testbed timing (see DESIGN.md).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "p4lru/common/types.hpp"
@@ -12,6 +13,14 @@
 namespace p4lru::sim {
 
 /// Deterministic event queue: ties broken by insertion order.
+///
+/// Implemented over an owned vector with std::push_heap/pop_heap rather
+/// than std::priority_queue: priority_queue::top() returns a const
+/// reference, and moving the callback out through a const_cast — the
+/// classic workaround — mutates an object the container's comparator may
+/// still observe during pop(), which is undefined behavior.  With the raw
+/// heap, pop_heap moves the earliest event to back() *first*, where it is
+/// plain mutable data that can be moved out before pop_back.
 class EventQueue {
   public:
     using Callback = std::function<void()>;
@@ -19,7 +28,8 @@ class EventQueue {
     /// Schedule `fn` at absolute time `when` (>= now(), not checked: events
     /// scheduled in the past fire immediately-next, keeping runs monotone).
     void schedule(TimeNs when, Callback fn) {
-        heap_.push(Event{when, seq_++, std::move(fn)});
+        heap_.push_back(Event{when, seq_++, std::move(fn)});
+        std::push_heap(heap_.begin(), heap_.end(), Event::later);
     }
 
     void schedule_after(TimeNs delay, Callback fn) {
@@ -33,17 +43,16 @@ class EventQueue {
 
     /// Run events with time <= `until`.
     void run_until(TimeNs until) {
-        while (!heap_.empty() && heap_.top().when <= until) step();
+        while (!heap_.empty() && heap_.front().when <= until) step();
         now_ = std::max(now_, until);
     }
 
     /// Execute the single earliest event. Returns false if none is pending.
     bool step() {
         if (heap_.empty()) return false;
-        // Move out the callback before popping (top() is const; copy cheap
-        // fields, swap the function).
-        Event ev = std::move(const_cast<Event&>(heap_.top()));
-        heap_.pop();
+        std::pop_heap(heap_.begin(), heap_.end(), Event::later);
+        Event ev = std::move(heap_.back());
+        heap_.pop_back();
         now_ = std::max(now_, ev.when);
         ev.fn();
         return true;
@@ -58,12 +67,14 @@ class EventQueue {
         TimeNs when = 0;
         std::uint64_t seq = 0;
         Callback fn;
-        bool operator>(const Event& o) const noexcept {
-            return when != o.when ? when > o.when : seq > o.seq;
+        /// Heap comparator: a max-heap under "fires later" keeps the
+        /// earliest event at front(), ties broken by insertion order.
+        static bool later(const Event& a, const Event& b) noexcept {
+            return a.when != b.when ? a.when > b.when : a.seq > b.seq;
         }
     };
 
-    std::priority_queue<Event, std::vector<Event>, std::greater<>> heap_;
+    std::vector<Event> heap_;
     TimeNs now_ = 0;
     std::uint64_t seq_ = 0;
 };

@@ -13,6 +13,8 @@
 // multi-gigabyte reserve.  read_trace is the throwing convenience wrapper.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -20,6 +22,37 @@
 #include "p4lru/fault/status.hpp"
 
 namespace p4lru::trace {
+
+/// On-disk geometry of the P4LRUTRC format, shared by the whole-file reader
+/// below and the streaming sources (trace_source.hpp): record `i` lives at
+/// byte offset kTraceHeaderBytes + i * kTraceRecordBytes.
+inline constexpr std::size_t kTraceRecordBytes = 8 + 4 + 4 + 2 + 2 + 1 + 3 + 4;
+inline constexpr std::size_t kTraceHeaderBytes = 8 + 4 + 8;
+
+/// Decode one on-disk record (kTraceRecordBytes bytes, little-endian) into
+/// the in-memory PacketRecord.  The layouts differ (PacketRecord carries
+/// alignment padding), so every reader decodes rather than reinterprets.
+[[nodiscard]] PacketRecord decode_trace_record(const std::uint8_t* buf);
+
+/// Encode `r` into `buf` (kTraceRecordBytes bytes), the inverse of
+/// decode_trace_record.
+void encode_trace_record(const PacketRecord& r, std::uint8_t* buf);
+
+/// Validated header facts: how many records the file holds and where the
+/// body starts.
+struct TraceHeaderInfo {
+    std::uint64_t count = 0;      ///< records promised (and size-verified)
+    std::uint64_t file_size = 0;  ///< bytes on disk at validation time
+};
+
+/// Validate the 20-byte header `hdr` of a trace file of `file_size` bytes:
+/// magic, version, and the count-vs-file-size cross-check that stops a
+/// corrupt count field from driving a multi-gigabyte reserve.  Shared by
+/// read_trace_checked and every TraceSource open path, so all readers
+/// reject rot identically.
+[[nodiscard]] Expected<TraceHeaderInfo> validate_trace_header(
+    const std::uint8_t* hdr, std::uint64_t file_size,
+    const std::string& path);
 
 /// Write the trace to `path`. Throws std::runtime_error on IO failure.
 void write_trace(const std::string& path,

@@ -12,29 +12,17 @@ namespace {
 constexpr std::array<char, 8> kMagic = {'P', '4', 'L', 'R', 'U',
                                         'T', 'R', 'C'};
 constexpr std::uint32_t kVersion = 1;
-constexpr std::size_t kRecordBytes = 8 + 4 + 4 + 2 + 2 + 1 + 3 + 4;
-constexpr std::size_t kHeaderBytes = 8 + 4 + 8;
 
 void put_record(std::ofstream& os, const PacketRecord& r) {
-    std::array<std::uint8_t, kRecordBytes> buf{};
-    std::size_t off = 0;
-    const auto put = [&](const void* p, std::size_t n) {
-        std::memcpy(buf.data() + off, p, n);
-        off += n;
-    };
-    put(&r.ts, 8);
-    put(&r.flow.src_ip, 4);
-    put(&r.flow.dst_ip, 4);
-    put(&r.flow.src_port, 2);
-    put(&r.flow.dst_port, 2);
-    put(&r.flow.proto, 1);
-    off += 3;  // padding
-    put(&r.len, 4);
+    std::array<std::uint8_t, kTraceRecordBytes> buf{};
+    encode_trace_record(r, buf.data());
     os.write(reinterpret_cast<const char*>(buf.data()),
              static_cast<std::streamsize>(buf.size()));
 }
 
-PacketRecord parse_record(const std::uint8_t* buf) {
+}  // namespace
+
+PacketRecord decode_trace_record(const std::uint8_t* buf) {
     PacketRecord r;
     std::size_t off = 0;
     const auto get = [&](void* p, std::size_t n) {
@@ -52,7 +40,65 @@ PacketRecord parse_record(const std::uint8_t* buf) {
     return r;
 }
 
-}  // namespace
+void encode_trace_record(const PacketRecord& r, std::uint8_t* buf) {
+    std::size_t off = 0;
+    const auto put = [&](const void* p, std::size_t n) {
+        std::memcpy(buf + off, p, n);
+        off += n;
+    };
+    put(&r.ts, 8);
+    put(&r.flow.src_ip, 4);
+    put(&r.flow.dst_ip, 4);
+    put(&r.flow.src_port, 2);
+    put(&r.flow.dst_port, 2);
+    put(&r.flow.proto, 1);
+    std::memset(buf + off, 0, 3);  // padding
+    off += 3;
+    put(&r.len, 4);
+}
+
+Expected<TraceHeaderInfo> validate_trace_header(const std::uint8_t* hdr,
+                                                std::uint64_t file_size,
+                                                const std::string& path) {
+    if (file_size < kTraceHeaderBytes) {
+        return Status(ErrorCode::kTruncated,
+                      "file of " + std::to_string(file_size) +
+                          " bytes is shorter than the header",
+                      file_size);
+    }
+    if (std::memcmp(hdr, kMagic.data(), kMagic.size()) != 0) {
+        return Status(ErrorCode::kCorrupt, "bad magic in " + path, 0);
+    }
+    std::uint32_t version = 0;
+    std::memcpy(&version, hdr + kMagic.size(), sizeof(version));
+    if (version != kVersion) {
+        return Status(ErrorCode::kCorrupt,
+                      "unsupported version " + std::to_string(version),
+                      kMagic.size());
+    }
+    std::uint64_t count = 0;
+    std::memcpy(&count, hdr + kMagic.size() + sizeof(version), sizeof(count));
+    // Sanity-cap the count against the actual file size: a flipped bit in
+    // the count field must not drive a huge allocation or a long read loop.
+    const std::uint64_t body = file_size - kTraceHeaderBytes;
+    if (count > body / kTraceRecordBytes) {
+        return Status(ErrorCode::kCorrupt,
+                      "record count " + std::to_string(count) +
+                          " exceeds file body of " + std::to_string(body) +
+                          " bytes (" +
+                          std::to_string(body / kTraceRecordBytes) +
+                          " records)",
+                      kMagic.size() + sizeof(version));
+    }
+    if (body != count * kTraceRecordBytes) {
+        return Status(ErrorCode::kTruncated,
+                      "file body is " + std::to_string(body) +
+                          " bytes; header promises " +
+                          std::to_string(count * kTraceRecordBytes),
+                      file_size);
+    }
+    return TraceHeaderInfo{count, file_size};
+}
 
 void write_trace(const std::string& path,
                  const std::vector<PacketRecord>& records) {
@@ -85,52 +131,23 @@ Expected<std::vector<PacketRecord>> read_trace_checked(
     const auto file_size = static_cast<std::uint64_t>(is.tellg());
     is.seekg(0);
 
-    if (file_size < kHeaderBytes) {
-        return Status(ErrorCode::kTruncated,
-                      "file of " + std::to_string(file_size) +
-                          " bytes is shorter than the header",
-                      file_size);
+    std::array<std::uint8_t, kTraceHeaderBytes> hdr{};
+    if (file_size >= kTraceHeaderBytes) {
+        errno = 0;
+        is.read(reinterpret_cast<char*>(hdr.data()),
+                static_cast<std::streamsize>(hdr.size()));
+        if (!is) {
+            return io_error_errno("read_trace: header read failed on", path);
+        }
     }
-    std::array<char, 8> magic{};
-    is.read(magic.data(), magic.size());
-    if (magic != kMagic) {
-        return Status(ErrorCode::kCorrupt, "bad magic in " + path, 0);
-    }
-    std::uint32_t version = 0;
-    is.read(reinterpret_cast<char*>(&version), sizeof(version));
-    if (version != kVersion) {
-        return Status(ErrorCode::kCorrupt,
-                      "unsupported version " + std::to_string(version),
-                      magic.size());
-    }
-    std::uint64_t count = 0;
-    errno = 0;
-    is.read(reinterpret_cast<char*>(&count), sizeof(count));
-    if (!is) {
-        return io_error_errno("read_trace: header read failed on", path);
-    }
-    // Sanity-cap the count against the actual file size: a flipped bit in
-    // the count field must not drive a huge allocation or a long read loop.
-    const std::uint64_t body = file_size - kHeaderBytes;
-    if (count > body / kRecordBytes) {
-        return Status(ErrorCode::kCorrupt,
-                      "record count " + std::to_string(count) +
-                          " exceeds file body of " + std::to_string(body) +
-                          " bytes (" + std::to_string(body / kRecordBytes) +
-                          " records)",
-                      magic.size() + sizeof(version));
-    }
-    if (body != count * kRecordBytes) {
-        return Status(ErrorCode::kTruncated,
-                      "file body is " + std::to_string(body) +
-                          " bytes; header promises " +
-                          std::to_string(count * kRecordBytes),
-                      file_size);
-    }
+    Expected<TraceHeaderInfo> info =
+        validate_trace_header(hdr.data(), file_size, path);
+    if (!info.is_ok()) return info.status();
+    const std::uint64_t count = info.value().count;
 
     std::vector<PacketRecord> out;
     out.reserve(count);
-    std::array<std::uint8_t, kRecordBytes> buf{};
+    std::array<std::uint8_t, kTraceRecordBytes> buf{};
     for (std::uint64_t i = 0; i < count; ++i) {
         is.read(reinterpret_cast<char*>(buf.data()),
                 static_cast<std::streamsize>(buf.size()));
@@ -139,10 +156,10 @@ Expected<std::vector<PacketRecord>> read_trace_checked(
                 ErrorCode::kTruncated,
                 "record " + std::to_string(i) + " of " +
                     std::to_string(count) + " cut short",
-                kHeaderBytes + i * kRecordBytes +
+                kTraceHeaderBytes + i * kTraceRecordBytes +
                     static_cast<std::uint64_t>(is.gcount()));
         }
-        out.push_back(parse_record(buf.data()));
+        out.push_back(decode_trace_record(buf.data()));
     }
     return out;
 }

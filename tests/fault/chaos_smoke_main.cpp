@@ -13,7 +13,10 @@
 // round: the replay driven through a DurableStore-backed supervisor with
 // three deterministic crashes (torn temp, torn install, lost rename)
 // injected mid-stream, which must restart from the newest valid generation
-// each time and still finish bit-identical to sequential.
+// each time and still finish bit-identical to sequential.  A fourth,
+// streamed round replays the same trace through a ChunkedFileSource whose
+// background reader is faulted (short reads, EINTR storms, stalls) on top
+// of the engine chaos plan.
 //
 // The supervised round runs fully instrumented (obs/metrics.hpp): one
 // Registry wired through supervisor, engine and durable store, sampled on a
@@ -44,9 +47,12 @@
 #include "p4lru/obs/sampler.hpp"
 #include "p4lru/replay/checkpoint_io.hpp"
 #include "p4lru/replay/durable_store.hpp"
+#include "p4lru/replay/op_source.hpp"
 #include "p4lru/replay/replay.hpp"
 #include "p4lru/replay/supervisor.hpp"
 #include "p4lru/trace/trace_gen.hpp"
+#include "p4lru/trace/trace_io.hpp"
+#include "p4lru/trace/trace_source.hpp"
 #include "../test_util.hpp"
 
 namespace {
@@ -109,6 +115,13 @@ int main() {
     testutil::ScopedTempDir scratch{"p4lru_chaos"};
     const char* store_env = std::getenv("P4LRU_CHAOS_STORE_DIR");
     const std::string store_base = store_env != nullptr ? store_env : "";
+
+    // On-disk copy of the trace for the streamed I/O-fault rounds: each
+    // seed replays it through a ChunkedFileSource whose reader is fed
+    // seed-chosen short reads, EINTR storms and stalls on top of the
+    // engine's own chaos plan.
+    const std::string trace_path = scratch.file("trace.bin");
+    trace::write_trace(trace_path, trace);
 
     const auto seeds = pick_seeds();
     std::size_t degraded_rounds = 0;
@@ -371,6 +384,65 @@ int main() {
             }
         }
 
+        // Streamed I/O-fault round: the same engine chaos plan, but the ops
+        // now arrive through a chunked background reader whose freads are
+        // themselves faulted with seed-chosen short reads, EINTR storms and
+        // stalls.  Neither layer's misbehavior may move one bit of the
+        // statistics — and the obs counters must prove the faults fired.
+        {
+            trace::ChunkedSourceOptions sopts;
+            sopts.chunk_records = 4'096 + seed % 4'099;
+            fault::FaultPlan io_plan;
+            io_plan.short_read(seed % 8)
+                .eintr_read((seed >> 4) % 8, 1 + seed % 3)
+                .slow_reader((seed >> 8) % 8, 50 + seed % 200);
+            sopts.faults = &io_plan;
+            obs::Registry io_reg;
+            sopts.metrics = &io_reg;
+            auto src = trace::ChunkedFileSource::open(trace_path, sopts);
+            if (!src.is_ok()) {
+                std::fprintf(stderr,
+                             "\nchaos seed %llu: chunked open: %s\n",
+                             static_cast<unsigned long long>(seed),
+                             src.status().to_string().c_str());
+                return 1;
+            }
+            auto stream = replay::packet_op_source(*src.value());
+            Cache io_cache(1024, 0x7A);
+            const auto io_rep =
+                replay::replay_sharded_stream(io_cache, stream, cfg, faults);
+            if (!io_rep.is_ok() || !(io_rep.value().stats == seq)) {
+                std::fprintf(
+                    stderr,
+                    "\nchaos seed %llu: streamed I/O-fault round %s "
+                    "(ops %llu/%llu); re-run with P4LRU_CHAOS_SEEDS=%llu\n",
+                    static_cast<unsigned long long>(seed),
+                    io_rep.is_ok() ? "diverged from sequential"
+                                   : io_rep.status().to_string().c_str(),
+                    static_cast<unsigned long long>(
+                        io_rep.is_ok() ? io_rep.value().stats.ops : 0),
+                    static_cast<unsigned long long>(seq.ops),
+                    static_cast<unsigned long long>(seed));
+                return 1;
+            }
+            const auto io_snap = io_reg.snapshot();
+            const std::uint64_t* shorts =
+                io_snap.counter("trace_reader_short_reads");
+            const std::uint64_t* eintrs =
+                io_snap.counter("trace_reader_eintr_retries");
+            if (shorts == nullptr || *shorts == 0 || eintrs == nullptr ||
+                *eintrs == 0) {
+                std::fprintf(
+                    stderr,
+                    "\nchaos seed %llu: injected reader faults never fired "
+                    "(short_reads=%llu eintr_retries=%llu)\n",
+                    static_cast<unsigned long long>(seed),
+                    static_cast<unsigned long long>(shorts ? *shorts : 0),
+                    static_cast<unsigned long long>(eintrs ? *eintrs : 0));
+                return 1;
+            }
+        }
+
         std::printf(
             "ok (drained_inline=%zu abandoned=%zu waits=%llu; resumed from "
             "checkpoint %zu/%zu at cursor %llu; supervised: %zu attempts, "
@@ -386,8 +458,8 @@ int main() {
     std::printf(
         "fault_chaos_smoke: %zu seeds, %zu degraded rounds, %zu injected "
         "crashes survived, all bit-identical to sequential incl. "
-        "disk-checkpoint resume and supervised crash recovery "
-        "(%llu ops, %llu hits)\n",
+        "disk-checkpoint resume, supervised crash recovery and streamed "
+        "I/O-fault replay (%llu ops, %llu hits)\n",
         seeds.size(), degraded_rounds, crashes_survived,
         static_cast<unsigned long long>(seq.ops),
         static_cast<unsigned long long>(seq.hits));

@@ -27,6 +27,11 @@
 // races) with a live background sampler reading snapshots concurrently,
 // and one fully instrumented threaded replay whose report must stay
 // bit-identical to the uninstrumented rounds.
+//
+// The streamed-source rounds feed the threaded engine from a
+// ChunkedFileSource: every op crosses two thread boundaries (background
+// reader -> consumer over the chunk SPSC queue, then dispatcher -> shard
+// workers), so the trace-ingestion handoff races with the engine's own.
 #include <cstdio>
 #include <cstring>
 #include <deque>
@@ -41,10 +46,13 @@
 #include "p4lru/obs/sampler.hpp"
 #include "p4lru/replay/checkpoint.hpp"
 #include "p4lru/replay/durable_store.hpp"
+#include "p4lru/replay/op_source.hpp"
 #include "p4lru/replay/replay.hpp"
 #include "p4lru/replay/supervisor.hpp"
 #include "p4lru/systems/lrumon/lrumon_target.hpp"
 #include "p4lru/trace/trace_gen.hpp"
+#include "p4lru/trace/trace_io.hpp"
+#include "p4lru/trace/trace_source.hpp"
 #include "../test_util.hpp"
 
 int main() {
@@ -258,14 +266,48 @@ int main() {
         }
     }
 
+    // --- streamed-source rounds (chunked reader under the race detector) --
+    {
+        const std::string trace_path = scratch.file("trace.bin");
+        trace::write_trace(trace_path, trace);
+        for (int round = 0; round < 3; ++round) {
+            trace::ChunkedSourceOptions sopts;
+            // Chunk sizes that never divide the batch size: most batches
+            // straddle a chunk boundary and go through the stitch buffer.
+            sopts.chunk_records = 1'000 + 513 * static_cast<std::size_t>(round);
+            auto src = trace::ChunkedFileSource::open(trace_path, sopts);
+            if (!src.is_ok()) {
+                std::fprintf(stderr, "streamed round %d: open: %s\n", round,
+                             src.status().to_string().c_str());
+                return 1;
+            }
+            auto stream = replay::packet_op_source(*src.value());
+            Cache cache(1024, 0x7A);
+            const auto rep = replay::replay_sharded_stream(cache, stream, cfg);
+            if (!rep.is_ok() || !(rep.value().stats == seq)) {
+                std::fprintf(
+                    stderr,
+                    "streamed round %d: chunked-source threaded replay %s "
+                    "(ops %llu/%llu)\n",
+                    round,
+                    rep.is_ok() ? "diverged from sequential"
+                                : rep.status().to_string().c_str(),
+                    static_cast<unsigned long long>(
+                        rep.is_ok() ? rep.value().stats.ops : 0),
+                    static_cast<unsigned long long>(seq.ops));
+                return 1;
+            }
+        }
+    }
+
     std::printf(
         "replay_tsan_smoke: 5 threaded rounds (eager + first-touch) + 3 "
         "checkpointed rounds (%zu quiesce snapshots) + 3 system-target "
         "rounds (LruMonTarget, %llu uploads, %zu-byte canonical state) + 1 "
         "supervised crash-recovery round (%zu attempts, %llu installs) + "
-        "obs rounds (%llu hammered adds exact, instrumented replay inert), "
-        "8 shards, stats identical to sequential (%llu ops, %llu hits, %llu "
-        "evictions)\n",
+        "obs rounds (%llu hammered adds exact, instrumented replay inert) + "
+        "3 streamed chunked-source rounds, 8 shards, stats identical to "
+        "sequential (%llu ops, %llu hits, %llu evictions)\n",
         snapshots, static_cast<unsigned long long>(seq_sys.uploads),
         seq_image.size(), sv.value().attempts,
         static_cast<unsigned long long>(sv.value().installs),

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+#include <functional>
 #include <vector>
+
+#include "p4lru/common/random.hpp"
 
 namespace p4lru::sim {
 namespace {
@@ -60,6 +65,65 @@ TEST(EventQueue, StepReturnsFalseWhenEmpty) {
     q.schedule(1, [] {});
     EXPECT_TRUE(q.step());
     EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueue, StressRandomScheduleDrainStaysOrdered) {
+    // Heavy mixed workload over the vector-heap implementation (the
+    // std::priority_queue predecessor moved the callback out of top()
+    // through a const_cast — UB a sanitizer run of exactly this pattern is
+    // meant to keep dead): random times, re-entrant scheduling from inside
+    // callbacks, interleaved step()/run_until() drains.  Events must fire
+    // in nondecreasing time order with ties in insertion order.
+    EventQueue q;
+    rng::Xoshiro256 rng(2024);
+    struct Fired {
+        TimeNs when;
+        std::uint64_t id;
+    };
+    std::vector<Fired> fired;
+    std::uint64_t next_id = 0;
+    std::function<void(TimeNs, std::uint64_t)> fire =
+        [&](TimeNs when, std::uint64_t id) {
+            fired.push_back({when, id});
+            // Every third event schedules two follow-ups, one possibly in
+            // the past (clamped by the monotone clock).
+            if (id % 3 == 0) {
+                const TimeNs ahead = q.now() + rng.below(50);
+                const std::uint64_t a = next_id++;
+                q.schedule(ahead, [&, ahead, a] { fire(ahead, a); });
+                const TimeNs behind =
+                    q.now() > 25 ? q.now() - rng.below(25) : q.now();
+                const std::uint64_t b = next_id++;
+                q.schedule(behind, [&, behind, b] { fire(behind, b); });
+            }
+        };
+    for (int i = 0; i < 2'000; ++i) {
+        const TimeNs when = rng.below(10'000);
+        const std::uint64_t id = next_id++;
+        q.schedule(when, [&, when, id] { fire(when, id); });
+    }
+    // Drain in stages to exercise run_until boundaries, then finish.
+    q.run_until(2'500);
+    q.run_until(2'500);  // idempotent at the same boundary
+    while (q.pending() > 1'000) q.step();
+    q.run();
+    EXPECT_TRUE(q.empty());
+    ASSERT_GT(fired.size(), 2'000u);
+    TimeNs last_effective = 0;
+    for (const auto& f : fired) {
+        // The effective fire time is max(when, clock at fire): past events
+        // fire at the clamped clock, so effective times are nondecreasing.
+        const TimeNs effective = std::max(f.when, last_effective);
+        EXPECT_GE(effective, last_effective);
+        last_effective = effective;
+    }
+    // Same-time events fire in insertion order.
+    for (std::size_t i = 1; i < fired.size(); ++i) {
+        if (fired[i].when == fired[i - 1].when) {
+            EXPECT_GT(fired[i].id, fired[i - 1].id)
+                << "tie at t=" << fired[i].when;
+        }
+    }
 }
 
 TEST(EventQueue, ClockIsMonotoneEvenWithPastEvents) {

@@ -17,6 +17,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <memory>
 #include <random>
 #include <span>
 #include <string>
@@ -24,12 +25,15 @@
 
 #include "p4lru/cache/policy.hpp"
 #include "p4lru/fault/fault_plan.hpp"
+#include "p4lru/replay/op_source.hpp"
 #include "p4lru/replay/replay_target.hpp"
 #include "p4lru/replay/target_checkpoint.hpp"
 #include "p4lru/systems/lruindex/lruindex_target.hpp"
 #include "p4lru/systems/lrumon/lrumon_target.hpp"
 #include "p4lru/systems/lrutable/lrutable_target.hpp"
 #include "p4lru/trace/trace_gen.hpp"
+#include "p4lru/trace/trace_io.hpp"
+#include "p4lru/trace/trace_source.hpp"
 #include "p4lru/trace/ycsb.hpp"
 #include "../test_util.hpp"
 
@@ -381,6 +385,183 @@ TEST(SystemEngineEquivalence, ReportsDeriveFromMergedStats) {
     EXPECT_EQ(ra.total_bytes, rbb.total_bytes);
     EXPECT_EQ(ra.total_error_rate, rbb.total_error_rate);
     EXPECT_EQ(ra.upload_kpps, rbb.upload_kpps);
+}
+
+// ---------------------------------------------------------------------------
+// Property 6: the engine is source-agnostic (DESIGN.md §14).  Pulling the
+// same on-disk trace through VectorSource, MmapSource, or ChunkedFileSource
+// (chunk sized so batches straddle chunk boundaries) yields bit-identical
+// stats and state images in every engine mode — and a kill-and-resume may
+// switch sources between the cut and the resume without a trace.
+
+enum class SourceKind { kVector, kMmap, kChunked };
+
+constexpr SourceKind kAllSources[] = {SourceKind::kVector, SourceKind::kMmap,
+                                      SourceKind::kChunked};
+
+const char* source_label(SourceKind k) {
+    switch (k) {
+        case SourceKind::kVector: return "vector";
+        case SourceKind::kMmap: return "mmap";
+        case SourceKind::kChunked: return "chunked";
+    }
+    return "?";
+}
+
+std::unique_ptr<trace::TraceSource> open_source(
+    SourceKind kind, const std::string& path,
+    const std::vector<PacketRecord>& trace) {
+    switch (kind) {
+        case SourceKind::kVector:
+            return std::make_unique<trace::VectorSource>(
+                std::span<const PacketRecord>(trace));
+        case SourceKind::kMmap: {
+            auto src = trace::MmapSource::open(path);
+            if (!src.is_ok()) {
+                ADD_FAILURE() << "mmap open: " << src.status().to_string();
+                return nullptr;
+            }
+            return std::move(src).value();
+        }
+        case SourceKind::kChunked: {
+            trace::ChunkedSourceOptions opts;
+            opts.chunk_records = 777;  // no batch size divides it: stitching
+            auto src = trace::ChunkedFileSource::open(path, opts);
+            if (!src.is_ok()) {
+                ADD_FAILURE() << "chunked open: " << src.status().to_string();
+                return nullptr;
+            }
+            return std::move(src).value();
+        }
+    }
+    return nullptr;
+}
+
+template <typename Make>
+void check_source_equivalence(Make make, const std::string& disk_tag) {
+    const auto trace = zipf_trace(61, 30'000);
+    testutil::ScopedTempDir tmp{"p4lru_src_equiv_" + disk_tag};
+    const std::string path = tmp.file("trace.bin");
+    trace::write_trace(path, trace);
+
+    // Oracle: in-memory sequential replay over the raw span.
+    auto ref_target = make();
+    const auto ref = replay::replay_target_sequential(
+        ref_target, std::span<const PacketRecord>(trace));
+    const std::vector<std::byte> ref_state = state_of(ref_target);
+
+    ShardedConfig inline_cfg;
+    inline_cfg.shards = 4;
+    inline_cfg.batch_ops = 96;
+    inline_cfg.mode = Mode::kInline;
+    ShardedConfig threaded_cfg;
+    threaded_cfg.shards = 3;
+    threaded_cfg.batch_ops = 64;
+    threaded_cfg.mode = Mode::kThreaded;
+
+    for (const SourceKind kind : kAllSources) {
+        auto src = open_source(kind, path, trace);
+        ASSERT_NE(src, nullptr);
+        replay::PacketTraceOpSource ops(*src);
+
+        auto seq = make();
+        const auto seq_run =
+            replay::replay_target_sequential_stream(seq, ops);
+        ASSERT_TRUE(seq_run.is_ok())
+            << source_label(kind) << ": " << seq_run.status().to_string();
+        EXPECT_EQ(seq_run.value(), ref)
+            << source_label(kind) << " sequential diverged";
+        EXPECT_EQ(state_of(seq), ref_state)
+            << source_label(kind) << " sequential state diverged";
+
+        ASSERT_TRUE(src->seek(0).is_ok());
+        auto inl = make();
+        const auto inl_run =
+            replay::replay_target_sharded_stream(inl, ops, inline_cfg);
+        ASSERT_TRUE(inl_run.is_ok())
+            << source_label(kind) << ": " << inl_run.status().to_string();
+        EXPECT_EQ(inl_run.value().stats, ref)
+            << source_label(kind) << " inline diverged";
+        EXPECT_EQ(state_of(inl), ref_state)
+            << source_label(kind) << " inline state diverged";
+
+        ASSERT_TRUE(src->seek(0).is_ok());
+        auto thr = make();
+        const auto thr_run =
+            replay::replay_target_sharded_stream(thr, ops, threaded_cfg);
+        ASSERT_TRUE(thr_run.is_ok())
+            << source_label(kind) << ": " << thr_run.status().to_string();
+        EXPECT_EQ(thr_run.value().stats, ref)
+            << source_label(kind) << " threaded diverged";
+        EXPECT_EQ(state_of(thr), ref_state)
+            << source_label(kind) << " threaded state diverged";
+    }
+}
+
+TEST(SystemEngineEquivalence, LruMonTraceSourcesAgree) {
+    check_source_equivalence([] { return make_lrumon(); }, "lrumon");
+}
+
+TEST(SystemEngineEquivalence, LruTableTraceSourcesAgree) {
+    check_source_equivalence([] { return make_lrutable(); }, "lrutable");
+}
+
+TEST(SystemEngineEquivalence, KillAndResumeMaySwitchTraceSources) {
+    const auto trace = zipf_trace(67, 30'000);
+    testutil::ScopedTempDir tmp{"p4lru_src_resume"};
+    const std::string path = tmp.file("trace.bin");
+    trace::write_trace(path, trace);
+
+    auto ref_target = make_lrumon();
+    using Target = decltype(ref_target);
+    using Stats = typename Target::Stats;
+    const Stats ref = replay::replay_target_sequential(
+        ref_target, std::span<const PacketRecord>(trace));
+    const std::vector<std::byte> ref_state = state_of(ref_target);
+
+    // Checkpointed run over the background-reader source: cuts every 8
+    // delivered batches, cursors are op indices into the stream.
+    auto chunked = open_source(SourceKind::kChunked, path, trace);
+    ASSERT_NE(chunked, nullptr);
+    replay::PacketTraceOpSource ops(*chunked);
+    std::vector<replay::TargetCheckpoint<Stats>> cps;
+    auto sink = [&cps](replay::TargetCheckpoint<Stats>&& cp) {
+        cps.push_back(std::move(cp));
+    };
+    ShardedConfig run_cfg;
+    run_cfg.shards = 3;
+    run_cfg.batch_ops = 64;
+    run_cfg.mode = Mode::kThreaded;
+    auto live = make_lrumon();
+    const auto full = replay::replay_target_checkpointed_stream(
+        live, ops, run_cfg, 8, sink);
+    ASSERT_TRUE(full.is_ok()) << full.status().to_string();
+    EXPECT_EQ(full.value().stats, ref) << "checkpointed chunked run diverged";
+    ASSERT_FALSE(cps.empty());
+    const auto& cp = cps[cps.size() / 2];
+    ASSERT_GT(cp.cursor, 0u);
+    ASSERT_LT(cp.cursor, trace.size());
+
+    // Resume the suffix through every source kind under a different
+    // geometry: the cut must not remember which source produced it.
+    ShardedConfig resume_cfg;
+    resume_cfg.shards = 5;
+    resume_cfg.batch_ops = 32;
+    resume_cfg.mode = Mode::kInline;
+    for (const SourceKind kind : kAllSources) {
+        auto src = open_source(kind, path, trace);
+        ASSERT_NE(src, nullptr);
+        replay::PacketTraceOpSource resume_ops(*src);
+        auto resumed = make_lrumon();
+        const auto res = replay::resume_target_sharded_stream(
+            resumed, resume_ops, cp, resume_cfg);
+        ASSERT_TRUE(res.is_ok())
+            << source_label(kind) << ": " << res.status().to_string();
+        EXPECT_EQ(res.value().stats, ref)
+            << source_label(kind) << " resume diverged";
+        EXPECT_EQ(state_of(resumed), ref_state)
+            << source_label(kind) << " resume state diverged";
+    }
 }
 
 }  // namespace

@@ -1,0 +1,363 @@
+// Streaming trace-source contract tests (trace_source.hpp): the three
+// implementations must yield bit-identical record streams under any batch
+// size, reject every damaged file with a typed error instead of crashing,
+// keep per-chunk allocations capped whatever the header claims, seek like
+// a file, and surface injected I/O faults through the obs counters.
+#include "p4lru/trace/trace_source.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "p4lru/fault/fault_plan.hpp"
+#include "p4lru/obs/metrics.hpp"
+#include "p4lru/trace/trace_gen.hpp"
+#include "p4lru/trace/trace_io.hpp"
+#include "../test_util.hpp"
+
+namespace p4lru::trace {
+namespace {
+
+std::vector<PacketRecord> small_trace(std::size_t packets,
+                                      std::uint64_t seed = 7) {
+    // generate_trace may overshoot by one packet per segment (a flow's last
+    // burst can cross the quota); one segment + truncation makes the count
+    // exact, which the contract assertions below depend on.
+    TraceConfig cfg;
+    cfg.total_packets = packets;
+    cfg.segments = 1;
+    cfg.seed = seed;
+    auto out = generate_trace(cfg);
+    if (out.size() > packets) out.resize(packets);
+    return out;
+}
+
+/// Drain a source with a fixed batch size and return every record.
+std::vector<PacketRecord> drain(TraceSource& src, std::size_t batch) {
+    std::vector<PacketRecord> out;
+    for (;;) {
+        auto b = src.next_batch(batch);
+        if (!b.is_ok()) {
+            ADD_FAILURE() << src.name() << ": " << b.status().to_string();
+            return out;
+        }
+        if (b.value().empty()) break;
+        out.insert(out.end(), b.value().begin(), b.value().end());
+    }
+    return out;
+}
+
+class TraceSourceTest : public ::testing::Test {
+  protected:
+    void SetUp() override { path_ = dir_.file("trace.bin"); }
+    testutil::ScopedTempDir dir_{"p4lru_trace_source"};
+    std::string path_;
+};
+
+TEST_F(TraceSourceTest, VectorSourceHonorsTheBatchContract) {
+    const auto trace = small_trace(100);
+    VectorSource src(trace);
+    EXPECT_EQ(src.size(), 100u);
+    EXPECT_EQ(src.tell(), 0u);
+    auto b = src.next_batch(33);
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_EQ(b.value().size(), 33u);  // exactly min(max, remaining)
+    EXPECT_EQ(src.tell(), 33u);
+    ASSERT_TRUE(src.seek(90).is_ok());
+    b = src.next_batch(33);
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_EQ(b.value().size(), 10u);  // clipped at end of stream
+    b = src.next_batch(33);
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_TRUE(b.value().empty());  // EOF is an empty span, not an error
+    EXPECT_EQ(src.seek(101).code(), ErrorCode::kInvalidArgument);
+}
+
+TEST_F(TraceSourceTest, AllSourcesYieldIdenticalRecords) {
+    const auto trace = small_trace(10'000);
+    write_trace(path_, trace);
+
+    // Odd batch sizes exercise the chunked source's stitch path (chunk 257
+    // never divides them) as well as the subspan fast path.
+    for (const std::size_t batch : {1ul, 7ul, 97ul, 257ul, 1000ul, 4096ul}) {
+        VectorSource vec(trace);
+        auto from_vec = drain(vec, batch);
+        ASSERT_EQ(from_vec.size(), trace.size());
+
+        auto mm = MmapSource::open(path_);
+        ASSERT_TRUE(mm.is_ok()) << mm.status().to_string();
+        auto from_mmap = drain(*mm.value(), batch);
+
+        ChunkedSourceOptions copts;
+        copts.chunk_records = 257;
+        auto ch = ChunkedFileSource::open(path_, copts);
+        ASSERT_TRUE(ch.is_ok()) << ch.status().to_string();
+        auto from_chunked = drain(*ch.value(), batch);
+
+        ASSERT_EQ(from_mmap.size(), trace.size()) << "batch " << batch;
+        ASSERT_EQ(from_chunked.size(), trace.size()) << "batch " << batch;
+        for (std::size_t i = 0; i < trace.size(); ++i) {
+            ASSERT_EQ(from_vec[i], trace[i]) << "vector record " << i;
+            ASSERT_EQ(from_mmap[i], trace[i])
+                << "mmap record " << i << " batch " << batch;
+            ASSERT_EQ(from_chunked[i], trace[i])
+                << "chunked record " << i << " batch " << batch;
+        }
+    }
+}
+
+TEST_F(TraceSourceTest, EmptyTraceIsImmediateEof) {
+    write_trace(path_, {});
+    auto mm = MmapSource::open(path_);
+    ASSERT_TRUE(mm.is_ok()) << mm.status().to_string();
+    EXPECT_EQ(mm.value()->size(), 0u);
+    auto b = mm.value()->next_batch(64);
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_TRUE(b.value().empty());
+
+    auto ch = ChunkedFileSource::open(path_);
+    ASSERT_TRUE(ch.is_ok()) << ch.status().to_string();
+    EXPECT_EQ(ch.value()->size(), 0u);
+    b = ch.value()->next_batch(64);
+    ASSERT_TRUE(b.is_ok());
+    EXPECT_TRUE(b.value().empty());
+}
+
+TEST_F(TraceSourceTest, MissingFileIsIoErrorForBothSources) {
+    const std::string missing = dir_.file("nope.bin");
+    EXPECT_EQ(MmapSource::open(missing).status().code(),
+              ErrorCode::kIoError);
+    EXPECT_EQ(ChunkedFileSource::open(missing).status().code(),
+              ErrorCode::kIoError);
+}
+
+/// Truncation sweep (the whole-file reader's hardening, applied to the
+/// streaming opens): every strict prefix of a valid trace file must be
+/// rejected at open with a typed error — never parsed, never crash.
+TEST_F(TraceSourceTest, OpenRejectsEveryTruncationPrefix) {
+    const auto trace = small_trace(8);  // 20 + 8*28 = 244 bytes
+    write_trace(path_, trace);
+    const auto full = std::filesystem::file_size(path_);
+    for (std::uintmax_t cut = 0; cut < full; ++cut) {
+        write_trace(path_, trace);
+        std::filesystem::resize_file(path_, cut);
+
+        auto mm = MmapSource::open(path_);
+        ASSERT_FALSE(mm.is_ok()) << "mmap parsed a prefix of " << cut;
+        auto mc = mm.status().code();
+        EXPECT_TRUE(mc == ErrorCode::kCorrupt || mc == ErrorCode::kTruncated)
+            << "mmap prefix " << cut << ": " << mm.status().to_string();
+
+        auto ch = ChunkedFileSource::open(path_);
+        ASSERT_FALSE(ch.is_ok()) << "chunked parsed a prefix of " << cut;
+        auto cc = ch.status().code();
+        EXPECT_TRUE(cc == ErrorCode::kCorrupt || cc == ErrorCode::kTruncated)
+            << "chunked prefix " << cut << ": " << ch.status().to_string();
+    }
+}
+
+TEST_F(TraceSourceTest, MmapShrinkUnderReaderIsStickyTruncatedUntilSeek) {
+    const auto trace = small_trace(1'000);
+    write_trace(path_, trace);
+    auto mm = MmapSource::open(path_);
+    ASSERT_TRUE(mm.is_ok()) << mm.status().to_string();
+    MmapSource& src = *mm.value();
+
+    auto b = src.next_batch(100);
+    ASSERT_TRUE(b.is_ok());
+    ASSERT_EQ(b.value().size(), 100u);
+
+    // The file shrinks under the open mapping: the next decode that would
+    // touch vanished bytes must be a typed error, not a SIGBUS.
+    std::filesystem::resize_file(
+        path_, kTraceHeaderBytes + 500 * kTraceRecordBytes);
+    ASSERT_TRUE(src.seek(450).is_ok());
+    b = src.next_batch(100);  // records 450..549: 500+ are gone
+    ASSERT_FALSE(b.is_ok());
+    EXPECT_EQ(b.status().code(), ErrorCode::kTruncated);
+    // Sticky: the error repeats without progress...
+    EXPECT_EQ(src.next_batch(1).status().code(), ErrorCode::kTruncated);
+    // ...until a seek clears it; surviving records stay readable.
+    ASSERT_TRUE(src.seek(0).is_ok());
+    b = src.next_batch(100);
+    ASSERT_TRUE(b.is_ok()) << b.status().to_string();
+    ASSERT_EQ(b.value().size(), 100u);
+    for (std::size_t i = 0; i < 100; ++i) {
+        ASSERT_EQ(b.value()[i], trace[i]) << "record " << i;
+    }
+}
+
+TEST_F(TraceSourceTest, ChunkedShrinkUnderReaderIsStickyTruncated) {
+    const auto trace = small_trace(1'000);
+    write_trace(path_, trace);
+    // Truncate to half before open-and-stream would be rejected at open, so
+    // shrink *after* open: use a tiny chunk so the reader is still far from
+    // the cut when it happens.
+    ChunkedSourceOptions copts;
+    copts.chunk_records = 16;
+    auto ch = ChunkedFileSource::open(path_, copts);
+    ASSERT_TRUE(ch.is_ok()) << ch.status().to_string();
+    ChunkedFileSource& src = *ch.value();
+    std::filesystem::resize_file(
+        path_, kTraceHeaderBytes + 500 * kTraceRecordBytes);
+
+    std::size_t got = 0;
+    Status failure = Status::ok();
+    for (;;) {
+        auto b = src.next_batch(64);
+        if (!b.is_ok()) {
+            failure = b.status();
+            break;
+        }
+        if (b.value().empty()) break;
+        // Every record delivered before the cut must still be correct.
+        for (const auto& r : b.value()) {
+            ASSERT_EQ(r, trace[got]) << "record " << got;
+            ++got;
+        }
+    }
+    EXPECT_EQ(failure.code(), ErrorCode::kTruncated)
+        << "stream of " << got << " records ended with: "
+        << failure.to_string();
+    EXPECT_LE(got, 512u);  // nothing past the cut (+ reader lookahead) leaks
+    // Sticky until seek.
+    EXPECT_EQ(src.next_batch(1).status().code(), ErrorCode::kTruncated);
+    ASSERT_TRUE(src.seek(0).is_ok());
+    auto b = src.next_batch(16);
+    ASSERT_TRUE(b.is_ok()) << b.status().to_string();
+    ASSERT_EQ(b.value().size(), 16u);
+    EXPECT_EQ(b.value()[0], trace[0]);
+}
+
+TEST_F(TraceSourceTest, SeekRepositionsBothFileSources) {
+    const auto trace = small_trace(2'000);
+    write_trace(path_, trace);
+    ChunkedSourceOptions copts;
+    copts.chunk_records = 64;
+    auto ch = ChunkedFileSource::open(path_, copts);
+    ASSERT_TRUE(ch.is_ok());
+    auto mm = MmapSource::open(path_);
+    ASSERT_TRUE(mm.is_ok());
+
+    for (TraceSource* src : {static_cast<TraceSource*>(ch.value().get()),
+                             static_cast<TraceSource*>(mm.value().get())}) {
+        // Forward past in-flight chunks, then backward behind them.
+        for (const std::uint64_t at : {1'500ull, 3ull, 1'999ull, 0ull}) {
+            ASSERT_TRUE(src->seek(at).is_ok()) << src->name();
+            EXPECT_EQ(src->tell(), at);
+            auto b = src->next_batch(5);
+            ASSERT_TRUE(b.is_ok()) << src->name();
+            const std::size_t want =
+                std::min<std::size_t>(5, 2'000 - static_cast<std::size_t>(at));
+            ASSERT_EQ(b.value().size(), want) << src->name() << " @" << at;
+            for (std::size_t i = 0; i < want; ++i) {
+                ASSERT_EQ(b.value()[i], trace[at + i])
+                    << src->name() << " record " << at + i;
+            }
+        }
+        // seek(size) is EOF, one past is out of contract.
+        ASSERT_TRUE(src->seek(2'000).is_ok());
+        auto b = src->next_batch(5);
+        ASSERT_TRUE(b.is_ok());
+        EXPECT_TRUE(b.value().empty());
+        EXPECT_EQ(src->seek(2'001).code(), ErrorCode::kInvalidArgument);
+    }
+}
+
+TEST_F(TraceSourceTest, ChunkSizeIsClampedToCapAndCount) {
+    write_trace(path_, small_trace(100));
+    ChunkedSourceOptions copts;
+    copts.chunk_records = 0;  // below the floor
+    auto ch = ChunkedFileSource::open(path_, copts);
+    ASSERT_TRUE(ch.is_ok());
+    EXPECT_EQ(ch.value()->chunk_records(), 1u);
+
+    copts.chunk_records = ~std::size_t{0};  // far above the reserve cap
+    ch = ChunkedFileSource::open(path_, copts);
+    ASSERT_TRUE(ch.is_ok());
+    // Capped at kMaxBatchRecords, then at the file's record count: the
+    // per-chunk allocation can never exceed either, whatever the header or
+    // the caller asks for.
+    EXPECT_EQ(ch.value()->chunk_records(), 100u);
+    EXPECT_LE(ch.value()->chunk_records(), kMaxBatchRecords);
+}
+
+TEST_F(TraceSourceTest, ObsCountersTrackReaderHealth) {
+    const auto trace = small_trace(1'000);
+    write_trace(path_, trace);
+    obs::Registry reg;
+    ChunkedSourceOptions copts;
+    copts.chunk_records = 100;
+    copts.metrics = &reg;
+    auto ch = ChunkedFileSource::open(path_, copts);
+    ASSERT_TRUE(ch.is_ok());
+    auto got = drain(*ch.value(), 333);
+    ASSERT_EQ(got.size(), trace.size());
+    EXPECT_EQ(reg.counter("trace_bytes_read")->value(),
+              1'000u * kTraceRecordBytes);
+    EXPECT_EQ(reg.counter("trace_chunks_queued")->value(), 10u);
+
+    obs::Registry mreg;
+    MmapSourceOptions mopts;
+    mopts.metrics = &mreg;
+    auto mm = MmapSource::open(path_, mopts);
+    ASSERT_TRUE(mm.is_ok());
+    (void)drain(*mm.value(), 256);
+    EXPECT_EQ(mreg.counter("trace_bytes_read")->value(),
+              1'000u * kTraceRecordBytes);
+}
+
+TEST_F(TraceSourceTest, InjectedIoFaultsAreSurvivedAndCounted) {
+    const auto trace = small_trace(1'000);
+    write_trace(path_, trace);
+    fault::FaultPlan plan;
+    plan.short_read(0)         // chunk 0 arrives in two partial reads
+        .eintr_read(1, 3)      // chunk 1 interrupted three times
+        .slow_reader(2, 200);  // chunk 2 delayed 200us
+    obs::Registry reg;
+    ChunkedSourceOptions copts;
+    copts.chunk_records = 100;
+    copts.metrics = &reg;
+    copts.faults = &plan;
+    auto ch = ChunkedFileSource::open(path_, copts);
+    ASSERT_TRUE(ch.is_ok());
+    auto got = drain(*ch.value(), 97);
+    // Faults injected into the reader never corrupt the stream — the chunk
+    // still assembles bit-identically.
+    ASSERT_EQ(got.size(), trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        ASSERT_EQ(got[i], trace[i]) << "record " << i;
+    }
+    EXPECT_EQ(reg.counter("trace_reader_short_reads")->value(), 1u);
+    EXPECT_EQ(reg.counter("trace_reader_eintr_retries")->value(), 3u);
+}
+
+TEST_F(TraceSourceTest, FaultChunkOrdinalsResetOnSeek) {
+    const auto trace = small_trace(400);
+    write_trace(path_, trace);
+    fault::FaultPlan plan;
+    plan.short_read(0);  // "chunk 0" = first chunk since the reader started
+    obs::Registry reg;
+    ChunkedSourceOptions copts;
+    copts.chunk_records = 100;
+    copts.metrics = &reg;
+    copts.faults = &plan;
+    auto ch = ChunkedFileSource::open(path_, copts);
+    ASSERT_TRUE(ch.is_ok());
+    (void)drain(*ch.value(), 100);
+    const std::uint64_t after_first =
+        reg.counter("trace_reader_short_reads")->value();
+    EXPECT_EQ(after_first, 1u);
+    // A seek restarts the reader; its chunk ordinals restart at 0, so the
+    // same fault fires again — `at` is relative to the last (re)start.
+    ASSERT_TRUE(ch.value()->seek(0).is_ok());
+    (void)drain(*ch.value(), 100);
+    EXPECT_EQ(reg.counter("trace_reader_short_reads")->value(), 2u);
+}
+
+}  // namespace
+}  // namespace p4lru::trace

@@ -99,6 +99,53 @@ TEST(ScrambledZipf, PopularKeysAreScattered) {
     EXPECT_GT(best, 10'000u);  // still heavily skewed after scrambling
 }
 
+TEST(ScrambledZipf, PermuteIsABijectionForAwkwardSizes) {
+    // The Feistel + cycle-walk scramble must hit every key in [0, n)
+    // exactly once — the old hash-and-mod scramble collided, aliasing
+    // distinct Zipf ranks onto one key.  Sweep sizes around power-of-two
+    // boundaries (where cycle-walking actually rejects) plus degenerate
+    // n = 1..4.
+    for (const std::uint64_t n :
+         {1ull, 2ull, 3ull, 4ull, 5ull, 15ull, 16ull, 17ull, 63ull, 64ull,
+          65ull, 255ull, 1000ull, 1024ull, 1025ull, 4095ull, 5000ull}) {
+        for (const std::uint64_t seed : {0ull, 42ull, 0xDEADBEEFull}) {
+            ScrambledZipf z(n, 0.9, seed);
+            std::vector<bool> hit(n, false);
+            for (std::uint64_t x = 0; x < n; ++x) {
+                const std::uint64_t y = z.permute(x);
+                ASSERT_LT(y, n) << "n=" << n << " seed=" << seed;
+                ASSERT_FALSE(hit[y]) << "collision at n=" << n
+                                     << " seed=" << seed << " x=" << x;
+                hit[y] = true;
+            }
+        }
+    }
+}
+
+TEST(ScrambledZipf, SamplesCoverTheWholeKeySpace) {
+    // With a bijective scramble and enough draws, every key of a small
+    // space is reachable; the collision bug left permanent holes.
+    const std::uint64_t n = 64;
+    ScrambledZipf z(n, 0.5, 1234);
+    Xoshiro256 rng(99);
+    std::vector<bool> seen(n, false);
+    for (int i = 0; i < 200'000; ++i) seen[z.sample(rng)] = true;
+    for (std::uint64_t k = 0; k < n; ++k) {
+        EXPECT_TRUE(seen[k]) << "key " << k << " unreachable";
+    }
+}
+
+TEST(ScrambledZipf, PermutationDiffersAcrossSeeds) {
+    ScrambledZipf a(1024, 0.9, 1);
+    ScrambledZipf b(1024, 0.9, 2);
+    std::size_t same = 0;
+    for (std::uint64_t x = 0; x < 1024; ++x) {
+        same += a.permute(x) == b.permute(x) ? 1 : 0;
+    }
+    // Two random permutations of 1024 elements agree on ~1 point.
+    EXPECT_LT(same, 32u);
+}
+
 TEST(Xoshiro, ExponentialHasRequestedMean) {
     Xoshiro256 rng(11);
     double sum = 0;
